@@ -1,0 +1,28 @@
+# Canonical targets for the Pestrie reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench examples results clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper-style table into benchmarks/results/.
+results: bench
+	@ls benchmarks/results/
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf benchmarks/results .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

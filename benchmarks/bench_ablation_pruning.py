@@ -1,0 +1,60 @@
+"""Ablation — Theorem 2 redundant-rectangle pruning on/off.
+
+The paper prunes every rectangle whose corner is covered by a stored one
+(Theorem 2 guarantees full enclosure).  This ablation quantifies what the
+segment-tree pass buys: stored-rectangle count and the resulting persistent
+file size with pruning disabled.
+"""
+
+from repro.bench.harness import Table, geometric_mean
+from repro.core.builder import build_pestrie
+from repro.core.encoder import PestrieEncoder
+from repro.core.intervals import assign_intervals
+from repro.core.pipeline import rectangles_for
+from repro.core.rectangles import generate_rectangles
+
+from conftest import write_result
+
+
+def _sizes(matrix, prune):
+    pestrie = build_pestrie(matrix, order="hub")
+    assign_intervals(pestrie)
+    rects = generate_rectangles(pestrie, prune=prune)
+    data = PestrieEncoder(pestrie, rects.rects).to_bytes()
+    return len(rects.rects), len(rects.pruned), len(data)
+
+
+def test_ablation_pruning(encoded_suite, benchmark):
+    table = Table(
+        title="Ablation — Theorem 2 pruning",
+        columns=("Program", "kept rects", "pruned rects", "size pruned (KB)",
+                 "size unpruned (KB)", "size saving"),
+    )
+    savings = []
+    for name in ("samba", "php", "antlr", "chart", "fop"):
+        matrix = encoded_suite[name].subject.matrix
+        kept, pruned, size_pruned = _sizes(matrix, prune=True)
+        unpruned_total, _, size_unpruned = _sizes(matrix, prune=False)
+        assert unpruned_total == kept + pruned
+        saving = size_unpruned / size_pruned
+        savings.append(saving)
+        table.add(
+            Program=name,
+            **{
+                "kept rects": kept,
+                "pruned rects": pruned,
+                "size pruned (KB)": size_pruned / 1024,
+                "size unpruned (KB)": size_unpruned / 1024,
+                "size saving": saving,
+            },
+        )
+    table.note = "geomean size saving from pruning: %.2fx" % geometric_mean(savings)
+    write_result("ablation_pruning.txt", table.render())
+
+    # Pruning must never enlarge the file.
+    assert all(saving >= 1.0 for saving in savings)
+
+    matrix = encoded_suite["antlr"].subject.matrix
+    benchmark.pedantic(
+        lambda: rectangles_for(matrix, prune=True), rounds=2, iterations=1
+    )

@@ -1,0 +1,65 @@
+"""Ablation — query-structure choice: per-column lists vs segment tree.
+
+Section 4 builds per-column rectangle lists (``ptList``), trading memory
+(every rectangle appears once per covered column) for O(log R) point
+queries; the construction-time segment tree could serve queries instead at
+O(log² n) with memory linear in the rectangle count.  The paper keeps the
+lists and reports the memory in Table 7; this ablation measures both sides
+of that trade on our subjects.
+"""
+
+from repro.bench.harness import Table, geometric_mean, sample_pairs, timed
+from repro.core.pipeline import load_index
+
+from conftest import write_result
+
+PAIR_LIMIT = 8_000
+
+
+def test_query_mode_trade(encoded_suite, benchmark):
+    table = Table(
+        title="Ablation — ptList vs segment-tree query structure",
+        columns=("Program", "mem ptList (MB)", "mem segment (MB)",
+                 "IsAlias ptList (s)", "IsAlias segment (s)",
+                 "decode ptList (s)", "decode segment (s)"),
+        note="ptList: O(log R) queries, O(sum width) memory; segment: O(log^2 n), O(R).",
+    )
+    memory_ratios = []
+    time_ratios = []
+    for name in ("samba", "postgreSQL", "antlr", "chart", "tomcat", "fop"):
+        encoded = encoded_suite[name]
+        ptlist_decode = timed(lambda: load_index(encoded.pes_path, mode="ptlist"))
+        segment_decode = timed(lambda: load_index(encoded.pes_path, mode="segment"))
+        ptlist = ptlist_decode.result
+        segment = segment_decode.result
+
+        pairs = sample_pairs(encoded.subject.base_pointers, PAIR_LIMIT)
+        ptlist_time = timed(lambda: sum(1 for p, q in pairs if ptlist.is_alias(p, q)))
+        segment_time = timed(lambda: sum(1 for p, q in pairs if segment.is_alias(p, q)))
+        assert ptlist_time.result == segment_time.result
+
+        memory_ratios.append(
+            ptlist.memory_footprint() / max(segment.memory_footprint(), 1)
+        )
+        time_ratios.append(segment_time.seconds / max(ptlist_time.seconds, 1e-9))
+        table.add(
+            Program=name,
+            **{
+                "mem ptList (MB)": ptlist.memory_footprint() / 1e6,
+                "mem segment (MB)": segment.memory_footprint() / 1e6,
+                "IsAlias ptList (s)": ptlist_time.seconds,
+                "IsAlias segment (s)": segment_time.seconds,
+                "decode ptList (s)": ptlist_decode.seconds,
+                "decode segment (s)": segment_decode.seconds,
+            },
+        )
+    table.note = (table.note or "") + (
+        "\ngeomeans: ptList/segment memory %.2fx, segment/ptList IsAlias time %.2fx"
+        % (geometric_mean(memory_ratios), geometric_mean(time_ratios))
+    )
+    write_result("ablation_query_mode.txt", table.render())
+
+    encoded = encoded_suite["antlr"]
+    segment = load_index(encoded.pes_path, mode="segment")
+    pairs = sample_pairs(encoded.subject.base_pointers, 2000)
+    benchmark(lambda: sum(1 for p, q in pairs if segment.is_alias(p, q)))

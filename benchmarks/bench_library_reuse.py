@@ -1,0 +1,103 @@
+"""Extension — library pre-analysis reuse (the paper's stated future work).
+
+Section 9 proposes persisting pre-computed pointer information for
+libraries to cut client analysis cost.  We implement it (seeded Andersen,
+`repro.analysis.library`) and measure, per synthetic "framework" split:
+from-scratch analysis of client+library vs loading the persisted library
+summary and solving only the client-dependent part.  Results are identical
+(asserted); the saved fixpoint work is the payoff.
+"""
+
+from repro.analysis import andersen
+from repro.analysis.ir import Program
+from repro.analysis.library import analyze_client, analyze_library, load_library, save_library
+from repro.bench.harness import Table, geometric_mean, timed
+from repro.bench.programs import ProgramSpec, generate_program
+
+from conftest import write_result
+
+
+def _split(program: Program):
+    """Call-closed prefix = library, remainder (with main) = client."""
+    names = list(program.functions)
+    cut = int(len(names) * 0.7)  # frameworks dwarf their clients
+    library_names = set(names[:cut])
+    library = Program(entry=names[0])
+    client = Program(entry="main")
+    for name, function in program.functions.items():
+        (library if name in library_names else client).functions[name] = function
+    library.globals = list(program.globals)
+    client.globals = list(program.globals)
+    return library, client
+
+
+def test_library_reuse(benchmark, tmp_path_factory):
+    table = Table(
+        title="Extension — client analysis with a persisted library summary",
+        columns=("framework", "lib funcs", "client funcs", "scratch iters",
+                 "seeded iters", "work saved %", "scratch (s)", "load+solve (s)"),
+        note="Identical solutions asserted; 'work saved' is fixpoint iterations avoided.",
+    )
+    savings = []
+    directory = str(tmp_path_factory.mktemp("libs"))
+    for seed, functions in ((1, 60), (2, 90), (3, 120)):
+        program = generate_program(
+            ProgramSpec(name="fw%d" % seed, n_functions=functions,
+                        statements_per_function=30, n_types=12, seed=seed)
+        )
+        library, client = _split(program)
+
+        # Offline: analyse and persist the library once.
+        summary = analyze_library(library)
+        lib_dir = "%s/fw%d" % (directory, seed)
+        save_library(summary, lib_dir)
+
+        # Client build 1: from scratch over the merged program.
+        scratch_run = timed(lambda: analyze_client(client, _empty_summary(library)))
+        scratch = scratch_run.result.result
+
+        # Client build 2: reload the persisted summary and solve seeded.
+        def seeded_build():
+            reloaded = load_library(lib_dir)
+            return analyze_client(client, reloaded)
+
+        seeded_run = timed(seeded_build)
+        seeded = seeded_run.result.result
+
+        assert seeded.to_matrix() == scratch.to_matrix(), "seeding changed the answer"
+        saved = 1.0 - seeded.iterations / max(scratch.iterations, 1)
+        savings.append(max(saved, 1e-6))
+        table.add(
+            framework="fw%d" % seed,
+            **{
+                "lib funcs": len(library.functions),
+                "client funcs": len(client.functions),
+                "scratch iters": scratch.iterations,
+                "seeded iters": seeded.iterations,
+                "work saved %": 100.0 * saved,
+                "scratch (s)": scratch_run.seconds,
+                "load+solve (s)": seeded_run.seconds,
+            },
+        )
+    table.note = (table.note or "") + "\ngeomean fraction of iterations saved: %.0f%%" % (
+        100.0 * geometric_mean(savings)
+    )
+    write_result("library_reuse.txt", table.render())
+
+    # The future-work claim: pre-analysis must save real fixpoint work.
+    assert all(saving > 0.0 for saving in savings)
+
+    program = generate_program(
+        ProgramSpec(name="fw1", n_functions=60, statements_per_function=30,
+                    n_types=12, seed=1)
+    )
+    library, client = _split(program)
+    summary = analyze_library(library)
+    benchmark.pedantic(lambda: analyze_client(client, summary), rounds=2, iterations=1)
+
+
+def _empty_summary(library: Program):
+    """A summary with no facts: forces the full merged solve."""
+    from repro.analysis.library import LibrarySummary
+
+    return LibrarySummary(program=library, var_facts={}, obj_facts={})

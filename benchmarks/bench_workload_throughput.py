@@ -1,0 +1,70 @@
+"""Extension — end-to-end client throughput on mixed query traces.
+
+The single-query tables (Table 7) isolate one operation at a time; a real
+query-intensive client interleaves them.  This bench replays a reproducible
+race-detector-profile trace (70% IsAlias, 15% ListPointsTo, 5%
+ListPointedBy, 10% ListAliases, Zipf-hot operands) against every backend
+and reports queries/second.
+"""
+
+from repro.bench.harness import Table, geometric_mean, timed
+from repro.bench.workloads import TraceSpec, generate_trace, replay
+
+from conftest import write_result
+
+TRACE_LENGTH = 8_000
+
+
+def test_mixed_trace_throughput(encoded_suite, benchmark):
+    table = Table(
+        title="Extension — mixed-trace throughput (queries/second)",
+        columns=("Program", "trace", "PesP q/s", "BitP q/s", "Demand q/s",
+                 "PesP/Demand"),
+        note="Race-detector mix: 70% IsAlias, 15% ListPointsTo, 5% ListPointedBy, 10% ListAliases.",
+    )
+    ratios = []
+    for name in ("samba", "postgreSQL", "antlr", "chart", "tomcat", "fop"):
+        encoded = encoded_suite[name]
+        matrix = encoded.subject.matrix
+        trace = generate_trace(
+            TraceSpec(length=TRACE_LENGTH, seed=5),
+            pointers=encoded.subject.base_pointers,
+            objects=list(range(matrix.n_objects)),
+        )
+        pes = timed(lambda: replay(trace, encoded.pestrie))
+        bitp = timed(lambda: replay(trace, encoded.bitp))
+
+        # The demand baseline restricts ListAliases to its universe, so its
+        # checksum differs; compare PesP/BitP strictly, demand for time.
+        assert pes.result == bitp.result
+        demand = timed(lambda: replay(trace, encoded.demand))
+
+        pes_qps = TRACE_LENGTH / pes.seconds
+        ratio = demand.seconds / pes.seconds
+        ratios.append(ratio)
+        table.add(
+            Program=name,
+            trace=len(trace),
+            **{
+                "PesP q/s": pes_qps,
+                "BitP q/s": TRACE_LENGTH / bitp.seconds,
+                "Demand q/s": TRACE_LENGTH / demand.seconds,
+                "PesP/Demand": ratio,
+            },
+        )
+    table.note = (table.note or "") + "\ngeomean demand-time/PesP-time: %.2fx" % (
+        geometric_mean(ratios)
+    )
+    write_result("workload_throughput.txt", table.render())
+
+    # On a mixed trace the ListAliases share dominates demand cost:
+    # Pestrie must win end to end even at 1/100 scale.
+    assert geometric_mean(ratios) > 1.0
+
+    encoded = encoded_suite["antlr"]
+    trace = generate_trace(
+        TraceSpec(length=2_000, seed=7),
+        pointers=encoded.subject.base_pointers,
+        objects=list(range(encoded.subject.matrix.n_objects)),
+    )
+    benchmark(lambda: replay(trace, encoded.pestrie))

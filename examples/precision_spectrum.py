@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""One program, four analyses, four persistent files (Section 6 in action).
+
+Runs the same source through the whole precision spectrum — Steensgaard,
+Andersen, flow-sensitive, and 2-callsite context-sensitive with heap
+cloning — canonicalises each result into the points-to matrix (the
+Section 6.1 transforms), persists each with Pestrie, and shows how
+precision changes both the facts and a client-visible query.
+
+Run:  python examples/precision_spectrum.py
+"""
+
+import os
+import tempfile
+
+from repro.analysis import (
+    andersen,
+    context_sensitive,
+    flow_sensitive,
+    parse_program,
+    steensgaard,
+)
+from repro.analysis.transform import (
+    context_sensitive_to_matrix,
+    flow_sensitive_to_matrix,
+)
+from repro.core.pipeline import load_index, persist
+
+SOURCE = """
+func box(v) {
+  b = alloc Box
+  *b = v
+  return b
+}
+
+func main() {
+  x = alloc X
+  y = alloc Y
+  bx = call box(x)
+  by = call box(y)
+  u = *bx
+  w = *by
+  r = x
+  r = y
+  return
+}
+"""
+
+
+def main() -> None:
+    program = parse_program(SOURCE)
+    directory = tempfile.mkdtemp()
+    rows = []
+
+    # --- Steensgaard (coarsest) and Andersen -----------------------------
+    st_matrix = steensgaard.analyze(program).to_matrix()
+    an_result = andersen.analyze(program)
+    an_matrix = an_result.to_matrix()
+
+    # --- Flow-sensitive: (l, p) -> p_l rows -------------------------------
+    fs_named = flow_sensitive_to_matrix(flow_sensitive.analyze(program))
+
+    # --- 2-callsite with heap cloning: (c, p) -> p_c rows ------------------
+    cs_named = context_sensitive_to_matrix(context_sensitive.analyze(program, k=2))
+
+    for label, matrix in (
+        ("steensgaard", st_matrix),
+        ("andersen", an_matrix),
+        ("flow-sensitive", fs_named.matrix),
+        ("2-callsite", cs_named.matrix),
+    ):
+        path = os.path.join(directory, label + ".pes")
+        size = persist(matrix, path)
+        index = load_index(path)
+        assert index.materialize() == matrix
+        rows.append((label, matrix.n_pointers, matrix.n_objects,
+                     matrix.fact_count(), size))
+
+    print("%-16s %9s %9s %7s %10s" % ("analysis", "pointers", "objects", "facts",
+                                      "PesP bytes"))
+    for label, pointers, objects, facts, size in rows:
+        print("%-16s %9d %9d %7d %10d" % (label, pointers, objects, facts, size))
+
+    # Precision visible through one client question: do the two boxes alias?
+    print("\ndo bx and by alias?  (they never should — distinct boxes)")
+
+    symbols = an_result.symbols
+    bx, by = symbols.variable("main", "bx"), symbols.variable("main", "by")
+    print("  steensgaard:    ", st_matrix.is_alias(bx, by), "(unification merges them)")
+    print("  andersen:       ", an_matrix.is_alias(bx, by), "(one Box site for both calls)")
+
+    cs = cs_named.matrix
+    cs_bx = cs_named.pointer_id("main::bx")
+    cs_by = cs_named.pointer_id("main::by")
+    print("  2-callsite:     ", cs.is_alias(cs_bx, cs_by), "(heap cloning splits the site)")
+
+    print("\ndoes the killed definition of r still alias x?  (r = x, then r = y)")
+    fs = fs_named.matrix
+    r_first = fs_named.pointer_id("main::r@L6")
+    r_second = fs_named.pointer_id("main::r@L7")
+    fs_x = fs_named.pointer_id("main::x@L0")
+    print("  r@L6 (r = x):   ", fs.is_alias(r_first, fs_x))
+    print("  r@L7 (r = y):   ", fs.is_alias(r_second, fs_x),
+          "(flow-sensitivity kills the earlier binding)")
+    an_r = symbols.variable("main", "r")
+    an_x = symbols.variable("main", "x")
+    print("  andersen's r:   ", an_matrix.is_alias(an_r, an_x),
+          "(flow-insensitive: one r for both bindings)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""A static race detector fed by persistent pointer information.
+
+The Section 7.1.1 scenario end to end: analyse a worker-pool style program
+once, persist the pointer information, then compute the conflicting
+load/store base-pointer pairs two ways —
+
+* Method 1: enumerate base-pointer pairs through IsAlias;
+* Method 2: one ListAliases query per base pointer (the paper's 123.6×
+  faster route).
+
+Run:  python examples/race_detector.py
+"""
+
+import os
+import tempfile
+import time
+
+from repro.analysis import andersen, parse_program
+from repro.analysis.ir import Load, Store
+from repro.baselines.demand import DemandDriven
+from repro.clients.race import (
+    aliasing_pairs_by_is_alias,
+    aliasing_pairs_by_list_aliases,
+    conflict_report,
+)
+from repro.core.pipeline import load_index, persist
+
+WORKER_POOL = """
+global queue
+global results
+
+func new_task() {
+  t = alloc Task
+  return t
+}
+
+func enqueue(item) {
+  *queue = item
+  return
+}
+
+func dequeue() {
+  item = *queue
+  return item
+}
+
+func worker() {
+  job = call dequeue()
+  out = alloc Result
+  *job = out
+  *results = out
+  return
+}
+
+func finalizer() {
+  last = call dequeue()
+  status = alloc Status
+  *last = status
+  return
+}
+
+func producer() {
+  t1 = call new_task()
+  call enqueue(t1)
+  t2 = call new_task()
+  call enqueue(t2)
+  return
+}
+
+func main() {
+  queue = alloc Queue
+  results = alloc Results
+  call producer()
+  while {
+    call worker()
+    call finalizer()
+  }
+  return
+}
+"""
+
+
+def main() -> None:
+    program = parse_program(WORKER_POOL)
+    result = andersen.analyze(program)
+    matrix = result.to_matrix()
+    symbols = result.symbols
+    print("analysed %d statements -> %d pointers, %d objects, %d facts"
+          % (program.statement_count(), matrix.n_pointers, matrix.n_objects,
+             matrix.fact_count()))
+
+    # Base pointers: every variable used as a load source or store target.
+    base = set()
+    for function in program.functions.values():
+        for stmt in function.simple_statements():
+            if isinstance(stmt, Store):
+                base.add(symbols.variable(function.name, stmt.target))
+            elif isinstance(stmt, Load):
+                base.add(symbols.variable(function.name, stmt.source))
+    base = sorted(base)
+    names = symbols.variable_names()
+    print("base pointers:", ", ".join(names[p] for p in base))
+
+    # Persist once; every later detector run starts from the file.
+    path = os.path.join(tempfile.mkdtemp(), "pool.pes")
+    persist(matrix, path)
+    index = load_index(path)
+
+    start = time.perf_counter()
+    via_is_alias = aliasing_pairs_by_is_alias(index, base)
+    t_method1 = time.perf_counter() - start
+
+    start = time.perf_counter()
+    via_list_aliases = aliasing_pairs_by_list_aliases(index, base)
+    t_method2 = time.perf_counter() - start
+
+    start = time.perf_counter()
+    via_demand = aliasing_pairs_by_is_alias(DemandDriven(matrix, universe=base), base)
+    t_demand = time.perf_counter() - start
+
+    assert via_is_alias == via_list_aliases == via_demand
+    print("\n%d may-race pairs found" % len(via_is_alias))
+    for line in conflict_report(via_is_alias, names):
+        print(" ", line)
+
+    print("\nmethod timings (identical answers):")
+    print("  demand-driven IsAlias enumeration: %.6fs" % t_demand)
+    print("  Pestrie IsAlias enumeration:       %.6fs" % t_method1)
+    print("  Pestrie ListAliases:               %.6fs" % t_method2)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Pointer-analysis substrate: IR, frontend, and four analyses.
+
+The substrate produces the constrained points-to results that Section 6 of
+the paper canonicalises into the matrix Pestrie persists.
+"""
+
+from . import andersen, context_sensitive, field_andersen, flow_sensitive, steensgaard
+from .ondemand import OnDemandAndersen
+from .callgraph import CallGraph, CallSite
+from .correlate import Archive, check_correlation, load_archive, save_archive
+from .library import (
+    ClientAnalysis,
+    LibrarySummary,
+    analyze_client,
+    analyze_library,
+    load_library,
+    merge_programs,
+    save_library,
+)
+from .ir import (
+    Alloc,
+    Call,
+    Copy,
+    Function,
+    If,
+    Load,
+    Program,
+    Return,
+    Store,
+    SymbolTable,
+    While,
+)
+from .parser import ParseError, format_program, parse_program
+from .transform import (
+    NamedMatrix,
+    PathFact,
+    context_sensitive_to_matrix,
+    flow_sensitive_to_matrix,
+    merge_context,
+    path_sensitive_to_matrix,
+)
+
+__all__ = [
+    "Alloc",
+    "Archive",
+    "Call",
+    "CallGraph",
+    "ClientAnalysis",
+    "LibrarySummary",
+    "CallSite",
+    "Copy",
+    "Function",
+    "If",
+    "Load",
+    "NamedMatrix",
+    "OnDemandAndersen",
+    "ParseError",
+    "PathFact",
+    "Program",
+    "Return",
+    "Store",
+    "SymbolTable",
+    "While",
+    "analyze_client",
+    "analyze_library",
+    "andersen",
+    "field_andersen",
+    "check_correlation",
+    "context_sensitive",
+    "context_sensitive_to_matrix",
+    "flow_sensitive",
+    "flow_sensitive_to_matrix",
+    "format_program",
+    "load_archive",
+    "load_library",
+    "merge_programs",
+    "merge_context",
+    "parse_program",
+    "path_sensitive_to_matrix",
+    "save_archive",
+    "save_library",
+    "steensgaard",
+]

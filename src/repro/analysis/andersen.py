@@ -1,0 +1,330 @@
+"""Andersen-style inclusion-based points-to analysis.
+
+Flow- and context-insensitive subset constraints solved to a fixed point
+with a worklist over a constraint graph whose points-to sets are sparse
+bitmaps:
+
+* ``p = alloc S``   →  ``S ∈ pts(p)``
+* ``p = q``         →  ``pts(q) ⊆ pts(p)``          (copy edge q → p)
+* ``p = *q``        →  ``∀o ∈ pts(q): pts(o) ⊆ pts(p)``
+* ``*p = q``        →  ``∀o ∈ pts(p): pts(q) ⊆ pts(o)``
+* calls/returns     →  copy edges between arguments/parameters/returns
+
+Objects (allocation sites) have points-to sets of their own — the contents
+of the abstract cell — so loads and stores add copy edges lazily as the
+pointer sets grow.  This is the baseline precision the paper's "most
+imprecise" persisted results come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..matrix.bitmap import SparseBitmap
+from ..matrix.points_to import PointsToMatrix
+from .ir import (
+    Alloc,
+    Call,
+    Copy,
+    FieldLoad,
+    FieldStore,
+    FuncRef,
+    IndirectCall,
+    Load,
+    Program,
+    Return,
+    Store,
+    SymbolTable,
+)
+
+
+@dataclass
+class AndersenResult:
+    """Solved constraint system plus the id universe it is expressed over."""
+
+    symbols: SymbolTable
+    #: Per-variable points-to sets over site ids.
+    var_pts: List[SparseBitmap]
+    #: Per-site (abstract cell) points-to sets over site ids.
+    obj_pts: List[SparseBitmap]
+    iterations: int = 0
+
+    def to_matrix(self) -> PointsToMatrix:
+        """The normalised points-to matrix over (variables × sites)."""
+        matrix = PointsToMatrix(
+            self.symbols.n_variables,
+            self.symbols.n_sites,
+            pointer_names=self.symbols.variable_names(),
+            object_names=self.symbols.site_names(),
+        )
+        for pointer, pts in enumerate(self.var_pts):
+            for obj in pts:
+                matrix.add(pointer, obj)
+        return matrix
+
+    def pts_of(self, function: str, name: str) -> Set[int]:
+        return set(self.var_pts[self.symbols.variable(function, name)])
+
+    def indirect_call_targets(self) -> Dict[Tuple[str, int], Set[str]]:
+        """The induced call graph of indirect calls: ``(caller, icall index
+        within the caller) -> possible callee names``."""
+        fn_sites = self.symbols.function_object_sites()
+        targets: Dict[Tuple[str, int], Set[str]] = {}
+        for function in self.symbols.program.functions.values():
+            position = 0
+            for stmt in function.simple_statements():
+                if isinstance(stmt, IndirectCall):
+                    pointer = self.symbols.variable(function.name, stmt.pointer)
+                    callees = {
+                        fn_sites[site]
+                        for site in self.var_pts[pointer]
+                        if site in fn_sites
+                    }
+                    targets[(function.name, position)] = callees
+                    position += 1
+        return targets
+
+
+@dataclass
+class _Constraints:
+    """The raw constraint lists extracted from the program."""
+
+    allocs: List[Tuple[int, int]] = field(default_factory=list)  # (var, site)
+    copies: List[Tuple[int, int]] = field(default_factory=list)  # src -> dst
+    loads: List[Tuple[int, int]] = field(default_factory=list)  # (dst, src: *src)
+    stores: List[Tuple[int, int]] = field(default_factory=list)  # (dst: *dst, src)
+    #: Indirect calls: (pointer var, optional target var, argument vars).
+    icalls: List[Tuple[int, Optional[int], Tuple[int, ...]]] = field(default_factory=list)
+
+
+def _return_vars(program: Program, symbols: SymbolTable) -> Dict[str, List[int]]:
+    return_vars: Dict[str, List[int]] = {}
+    for function in program.functions.values():
+        for stmt in function.simple_statements():
+            if isinstance(stmt, Return) and stmt.value is not None:
+                return_vars.setdefault(function.name, []).append(
+                    symbols.variable(function.name, stmt.value)
+                )
+    return return_vars
+
+
+def _collect(program: Program, symbols: SymbolTable) -> _Constraints:
+    constraints = _Constraints()
+    return_vars = _return_vars(program, symbols)
+    for function in program.functions.values():
+        fname = function.name
+        for stmt in function.simple_statements():
+            if isinstance(stmt, Alloc):
+                constraints.allocs.append(
+                    (symbols.variable(fname, stmt.target), symbols.site(fname, stmt.site))
+                )
+            elif isinstance(stmt, Copy):
+                constraints.copies.append(
+                    (symbols.variable(fname, stmt.source), symbols.variable(fname, stmt.target))
+                )
+            elif isinstance(stmt, (Load, FieldLoad)):
+                # Field loads collapse onto the object cell here; the
+                # field-sensitive solver lives in field_andersen.py.
+                constraints.loads.append(
+                    (symbols.variable(fname, stmt.target), symbols.variable(fname, stmt.source))
+                )
+            elif isinstance(stmt, (Store, FieldStore)):
+                constraints.stores.append(
+                    (symbols.variable(fname, stmt.target), symbols.variable(fname, stmt.source))
+                )
+            elif isinstance(stmt, Call):
+                callee = program.functions[stmt.callee]
+                for param, arg in zip(callee.params, stmt.args):
+                    constraints.copies.append(
+                        (
+                            symbols.variable(fname, arg),
+                            symbols.variable(stmt.callee, param),
+                        )
+                    )
+                if stmt.target is not None:
+                    target = symbols.variable(fname, stmt.target)
+                    for returned in return_vars.get(stmt.callee, ()):
+                        constraints.copies.append((returned, target))
+            elif isinstance(stmt, FuncRef):
+                constraints.allocs.append(
+                    (symbols.variable(fname, stmt.target), symbols.function_object(stmt.func))
+                )
+            elif isinstance(stmt, IndirectCall):
+                constraints.icalls.append(
+                    (
+                        symbols.variable(fname, stmt.pointer),
+                        symbols.variable(fname, stmt.target) if stmt.target else None,
+                        tuple(symbols.variable(fname, arg) for arg in stmt.args),
+                    )
+                )
+    return constraints
+
+
+def analyze(
+    program: Program,
+    symbols: SymbolTable | None = None,
+    optimize: bool = True,
+    seed_var_facts: Optional[List[Tuple[int, int]]] = None,
+    seed_obj_facts: Optional[List[Tuple[int, int]]] = None,
+) -> AndersenResult:
+    """Run the inclusion-based analysis to a fixed point.
+
+    ``optimize`` enables the offline presolve (copy-cycle collapsing, see
+    :mod:`repro.analysis.presolve`); the solution is identical either way —
+    collapsed variables share their representative's points-to set.
+
+    ``seed_var_facts``/``seed_obj_facts`` pre-load ``(var, site)`` /
+    ``(cell site, site)`` facts before solving — the library-reuse hook
+    (:mod:`repro.analysis.library`).  Seeds must be a subset of the final
+    fixpoint (guaranteed when they come from analysing a sub-program), in
+    which case the result is identical to an unseeded run.
+    """
+    if symbols is None:
+        symbols = SymbolTable(program)
+    constraints = _collect(program, symbols)
+
+    n_vars = symbols.n_variables
+    n_sites = symbols.n_sites
+
+    representative: Optional[List[int]] = None
+    allocs = constraints.allocs
+    copies = constraints.copies
+    loads = constraints.loads
+    stores = constraints.stores
+    icalls = constraints.icalls
+    if optimize:
+        from .presolve import collapse, copy_graph_sccs
+
+        representative = copy_graph_sccs(n_vars, copies)
+        allocs, copies, loads, stores = (
+            list(part) for part in collapse(representative, allocs, copies, loads, stores)
+        )
+        rep = representative
+        icalls = [
+            (rep[pointer], rep[target] if target is not None else None,
+             tuple(rep[arg] for arg in args))
+            for pointer, target, args in icalls
+        ]
+
+    def as_rep(var: int) -> int:
+        return representative[var] if representative is not None else var
+
+    var_pts = [SparseBitmap() for _ in range(n_vars)]
+    obj_pts = [SparseBitmap() for _ in range(n_sites)]
+
+    # Copy edges between variables; loads/stores add var<->object flows.
+    succ_var: List[Set[int]] = [set() for _ in range(n_vars)]
+    for src, dst in copies:
+        if dst != src:
+            succ_var[src].add(dst)
+    loads_from: List[Set[int]] = [set() for _ in range(n_vars)]  # src -> {dst}
+    stores_to: List[Set[int]] = [set() for _ in range(n_vars)]  # dst -> {src}
+    for dst, src in loads:
+        loads_from[src].add(dst)
+    for dst, src in stores:
+        stores_to[dst].add(src)
+
+    for var, site in allocs:
+        var_pts[var].add(site)
+
+    # Library-reuse seeds: facts pre-paid by an earlier analysis cycle.
+    if seed_var_facts:
+        for var, site in seed_var_facts:
+            var_pts[as_rep(var)].add(site)
+    if seed_obj_facts:
+        for cell, site in seed_obj_facts:
+            obj_pts[cell].add(site)
+
+    # Indirect-call plumbing: which icall records watch each pointer var,
+    # plus the function-object site table and per-function signatures.
+    fn_sites = symbols.function_object_sites()
+    icalls_on: List[List[int]] = [[] for _ in range(n_vars)]
+    for icall_id, (pointer, _target, _args) in enumerate(icalls):
+        icalls_on[pointer].append(icall_id)
+    return_vars = _return_vars(program, symbols)
+    param_vars = {
+        name: [symbols.variable(name, param) for param in function.params]
+        for name, function in program.functions.items()
+    }
+    resolved_icalls: Set[Tuple[int, int]] = set()
+
+    # Dynamic copy edges discovered by dereferences, deduplicated.
+    obj_to_var: List[Set[int]] = [set() for _ in range(n_sites)]  # pts(o) ⊆ pts(v)
+    var_to_obj: List[Set[int]] = [set() for _ in range(n_vars)]  # pts(v) ⊆ pts(o)
+
+    worklist: List[Tuple[str, int]] = [("var", v) for v in range(n_vars) if var_pts[v]]
+    pending: Set[Tuple[str, int]] = set(worklist)
+    iterations = 0
+
+    def push(kind: str, index: int) -> None:
+        key = (kind, index)
+        if key not in pending:
+            pending.add(key)
+            worklist.append(key)
+
+    while worklist:
+        kind, index = worklist.pop()
+        pending.discard((kind, index))
+        iterations += 1
+        if kind == "var":
+            pts = var_pts[index]
+            # Resolve indirect calls through this pointer (on-the-fly call
+            # graph): each function object in its points-to set wires the
+            # usual argument/return copy edges, once.
+            for icall_id in icalls_on[index]:
+                _pointer, target, args = icalls[icall_id]
+                for site in pts:
+                    func = fn_sites.get(site)
+                    if func is None or (icall_id, site) in resolved_icalls:
+                        continue
+                    resolved_icalls.add((icall_id, site))
+                    for arg, param in zip(args, param_vars[func]):
+                        param = as_rep(param)
+                        if param != arg:
+                            succ_var[arg].add(param)
+                        if var_pts[param].union_update(var_pts[arg]):
+                            push("var", param)
+                    if target is not None:
+                        for returned in return_vars.get(func, ()):
+                            returned = as_rep(returned)
+                            if returned != target:
+                                succ_var[returned].add(target)
+                            if var_pts[target].union_update(var_pts[returned]):
+                                push("var", target)
+            # New dereference edges induced by this variable's points-to set.
+            for dst in loads_from[index]:
+                for obj in pts:
+                    if dst not in obj_to_var[obj]:
+                        obj_to_var[obj].add(dst)
+                        if var_pts[dst].union_update(obj_pts[obj]):
+                            push("var", dst)
+            for src in stores_to[index]:
+                for obj in pts:
+                    if obj not in var_to_obj[src]:
+                        var_to_obj[src].add(obj)
+                        if obj_pts[obj].union_update(var_pts[src]):
+                            push("obj", obj)
+            # Propagate along static and dynamic copy edges.
+            for dst in succ_var[index]:
+                if var_pts[dst].union_update(pts):
+                    push("var", dst)
+            for obj in var_to_obj[index]:
+                if obj_pts[obj].union_update(pts):
+                    push("obj", obj)
+        else:
+            pts = obj_pts[index]
+            for dst in obj_to_var[index]:
+                if var_pts[dst].union_update(pts):
+                    push("var", dst)
+
+    if representative is not None:
+        # Collapsed variables share their representative's solution (the
+        # same row sharing the merged encodings use).
+        for var in range(n_vars):
+            rep = representative[var]
+            if rep != var:
+                var_pts[var] = var_pts[rep]
+
+    return AndersenResult(symbols=symbols, var_pts=var_pts, obj_pts=obj_pts,
+                          iterations=iterations)

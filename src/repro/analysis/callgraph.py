@@ -1,0 +1,127 @@
+"""Call graph construction and call-edge numbering.
+
+Calls in the IR are direct, so the call graph is syntactic.  Call *edges*
+(individual call sites) get stable integer ids — these are the context
+atoms of the k-callsite-sensitive analysis and the names Section 6.2
+persists so contexts stay correlated across analysis runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Set, Tuple
+
+from .ir import Call, Program
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call site: caller, site index within the caller, and callee."""
+
+    caller: str
+    index: int
+    callee: str
+
+    @property
+    def label(self) -> str:
+        return "%s@%d->%s" % (self.caller, self.index, self.callee)
+
+
+class CallGraph:
+    """Direct call graph with numbered call edges."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.sites: List[CallSite] = []
+        self.site_ids: Dict[CallSite, int] = {}
+        self._out: Dict[str, List[CallSite]] = {name: [] for name in program.functions}
+        self._in: Dict[str, List[CallSite]] = {name: [] for name in program.functions}
+        for function in program.functions.values():
+            index = 0
+            for stmt in function.simple_statements():
+                if isinstance(stmt, Call):
+                    site = CallSite(caller=function.name, index=index, callee=stmt.callee)
+                    self.site_ids[site] = len(self.sites)
+                    self.sites.append(site)
+                    self._out[function.name].append(site)
+                    self._in[stmt.callee].append(site)
+                    index += 1
+
+    def callees(self, function: str) -> List[str]:
+        return [site.callee for site in self._out[function]]
+
+    def callers(self, function: str) -> List[str]:
+        return [site.caller for site in self._in[function]]
+
+    def out_sites(self, function: str) -> List[CallSite]:
+        return list(self._out[function])
+
+    def in_sites(self, function: str) -> List[CallSite]:
+        return list(self._in[function])
+
+    def edge_count(self) -> int:
+        return len(self.sites)
+
+    def reachable(self, root: str) -> Set[str]:
+        """Functions reachable from ``root`` through direct calls."""
+        seen: Set[str] = set()
+        stack = [root]
+        while stack:
+            current = stack.pop()
+            if current in seen or current not in self._out:
+                continue
+            seen.add(current)
+            stack.extend(site.callee for site in self._out[current])
+        return seen
+
+    def topological_sccs(self) -> List[List[str]]:
+        """Strongly connected components in reverse topological order.
+
+        Tarjan's algorithm, iterative; recursive cycles (even mutual
+        recursion) collapse into one component.
+        """
+        index: Dict[str, int] = {}
+        lowlink: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        components: List[List[str]] = []
+        counter = [0]
+
+        for root in self.program.functions:
+            if root in index:
+                continue
+            work: List[Tuple[str, Iterator[str]]] = [(root, iter(self.callees(root)))]
+            index[root] = lowlink[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                for succ in successors:
+                    if succ not in index:
+                        index[succ] = lowlink[succ] = counter[0]
+                        counter[0] += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, iter(self.callees(succ))))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        lowlink[node] = min(lowlink[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(component)
+        return components

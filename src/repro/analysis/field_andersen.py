@@ -1,0 +1,263 @@
+"""Field-sensitive Andersen analysis.
+
+The Java analyses behind the paper's subjects (Paddle, geomPTA) are
+field-sensitive: an object's fields are distinct cells, so ``p.f`` and
+``p.g`` never alias through the same object.  This solver refines
+:mod:`repro.analysis.andersen` with cells keyed ``(site, field)``:
+
+* ``p = q.f``  →  ``∀o ∈ pts(q): pts(o.f) ⊆ pts(p)``
+* ``p.f = q``  →  ``∀o ∈ pts(p): pts(q) ⊆ pts(o.f)``
+* ``*p`` / ``*p = q`` use the distinguished field ``"*"``.
+
+Everything else (calls, function pointers, seeds' shape) matches the base
+solver.  The result is pointwise at least as precise as the
+field-insensitive one, which treats all fields of an object as one cell —
+except that the collapsed model also conflates ``*o`` with ``o.f``, so the
+comparison holds against a collapsed run where field accesses were
+rewritten to plain dereferences (property-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..matrix.bitmap import SparseBitmap
+from ..matrix.points_to import PointsToMatrix
+from .andersen import _return_vars
+from .ir import (
+    Alloc,
+    Call,
+    Copy,
+    FieldLoad,
+    FieldStore,
+    FuncRef,
+    IndirectCall,
+    Load,
+    Program,
+    Return,
+    Store,
+    SymbolTable,
+)
+
+#: The cell reached by a plain ``*p`` dereference.
+DEREF_FIELD = "*"
+
+Cell = Tuple[int, str]  # (site id, field name)
+
+
+@dataclass
+class FieldAndersenResult:
+    """Field-sensitive solution: per-variable sets plus per-cell contents."""
+
+    symbols: SymbolTable
+    var_pts: List[SparseBitmap]
+    #: Cell contents, keyed (site, field).
+    cell_pts: Dict[Cell, SparseBitmap]
+    iterations: int = 0
+
+    def to_matrix(self) -> PointsToMatrix:
+        matrix = PointsToMatrix(
+            self.symbols.n_variables,
+            self.symbols.n_sites,
+            pointer_names=self.symbols.variable_names(),
+            object_names=self.symbols.site_names(),
+        )
+        for pointer, pts in enumerate(self.var_pts):
+            for obj in pts:
+                matrix.add(pointer, obj)
+        return matrix
+
+    def pts_of(self, function: str, name: str) -> Set[int]:
+        return set(self.var_pts[self.symbols.variable(function, name)])
+
+    def cell_of(self, function: str, site: str, field: str = DEREF_FIELD) -> Set[int]:
+        """The contents of one field cell (empty if never written)."""
+        key = (self.symbols.site(function, site), field)
+        cell = self.cell_pts.get(key)
+        return set(cell) if cell is not None else set()
+
+
+def analyze(program: Program, symbols: Optional[SymbolTable] = None) -> FieldAndersenResult:
+    """Solve the field-sensitive constraint system to a fixed point."""
+    if symbols is None:
+        symbols = SymbolTable(program)
+
+    n_vars = symbols.n_variables
+    var_pts = [SparseBitmap() for _ in range(n_vars)]
+    cell_pts: Dict[Cell, SparseBitmap] = {}
+
+    def cell(site: int, field: str) -> SparseBitmap:
+        key = (site, field)
+        existing = cell_pts.get(key)
+        if existing is None:
+            existing = SparseBitmap()
+            cell_pts[key] = existing
+        return existing
+
+    succ_var: List[Set[int]] = [set() for _ in range(n_vars)]
+    #: (dst, field) pairs loading through each variable.
+    loads_from: List[List[Tuple[int, str]]] = [[] for _ in range(n_vars)]
+    #: (src, field) pairs storing through each variable.
+    stores_to: List[List[Tuple[int, str]]] = [[] for _ in range(n_vars)]
+    icalls: List[Tuple[int, Optional[int], Tuple[int, ...]]] = []
+
+    return_vars = _return_vars(program, symbols)
+    for function in program.functions.values():
+        fname = function.name
+
+        def var(name: str) -> int:
+            return symbols.variable(fname, name)
+
+        for stmt in function.simple_statements():
+            if isinstance(stmt, Alloc):
+                var_pts[var(stmt.target)].add(symbols.site(fname, stmt.site))
+            elif isinstance(stmt, Copy):
+                if var(stmt.source) != var(stmt.target):
+                    succ_var[var(stmt.source)].add(var(stmt.target))
+            elif isinstance(stmt, Load):
+                loads_from[var(stmt.source)].append((var(stmt.target), DEREF_FIELD))
+            elif isinstance(stmt, FieldLoad):
+                loads_from[var(stmt.source)].append((var(stmt.target), stmt.field))
+            elif isinstance(stmt, Store):
+                stores_to[var(stmt.target)].append((var(stmt.source), DEREF_FIELD))
+            elif isinstance(stmt, FieldStore):
+                stores_to[var(stmt.target)].append((var(stmt.source), stmt.field))
+            elif isinstance(stmt, Call):
+                callee = program.functions[stmt.callee]
+                for param, arg in zip(callee.params, stmt.args):
+                    source = var(arg)
+                    target = symbols.variable(stmt.callee, param)
+                    if source != target:
+                        succ_var[source].add(target)
+                if stmt.target is not None:
+                    for returned in return_vars.get(stmt.callee, ()):
+                        if returned != var(stmt.target):
+                            succ_var[returned].add(var(stmt.target))
+            elif isinstance(stmt, FuncRef):
+                var_pts[var(stmt.target)].add(symbols.function_object(stmt.func))
+            elif isinstance(stmt, IndirectCall):
+                icalls.append(
+                    (
+                        var(stmt.pointer),
+                        var(stmt.target) if stmt.target else None,
+                        tuple(var(arg) for arg in stmt.args),
+                    )
+                )
+            elif isinstance(stmt, Return):
+                pass
+
+    fn_sites = symbols.function_object_sites()
+    icalls_on: List[List[int]] = [[] for _ in range(n_vars)]
+    for icall_id, (pointer, _target, _args) in enumerate(icalls):
+        icalls_on[pointer].append(icall_id)
+    param_vars = {
+        name: [symbols.variable(name, param) for param in function.params]
+        for name, function in program.functions.items()
+    }
+    resolved: Set[Tuple[int, int]] = set()
+
+    # Dynamic edges, deduplicated: cell -> vars it flows into; var -> cells.
+    cell_to_var: Dict[Cell, Set[int]] = {}
+    var_to_cell: Dict[int, Set[Cell]] = {}
+
+    worklist: List[Tuple[str, object]] = [("var", v) for v in range(n_vars) if var_pts[v]]
+    pending: Set[Tuple[str, object]] = set(worklist)
+    iterations = 0
+
+    def push(kind: str, index: object) -> None:
+        key = (kind, index)
+        if key not in pending:
+            pending.add(key)
+            worklist.append(key)
+
+    while worklist:
+        kind, index = worklist.pop()
+        pending.discard((kind, index))
+        iterations += 1
+        if kind == "var":
+            pts = var_pts[index]
+            for icall_id in icalls_on[index]:
+                _pointer, target, args = icalls[icall_id]
+                for site in pts:
+                    func = fn_sites.get(site)
+                    if func is None or (icall_id, site) in resolved:
+                        continue
+                    resolved.add((icall_id, site))
+                    for arg, param in zip(args, param_vars[func]):
+                        if param != arg:
+                            succ_var[arg].add(param)
+                        if var_pts[param].union_update(var_pts[arg]):
+                            push("var", param)
+                    if target is not None:
+                        for returned in return_vars.get(func, ()):
+                            if returned != target:
+                                succ_var[returned].add(target)
+                            if var_pts[target].union_update(var_pts[returned]):
+                                push("var", target)
+            for dst, field in loads_from[index]:
+                for obj in pts:
+                    key = (obj, field)
+                    watchers = cell_to_var.setdefault(key, set())
+                    if dst not in watchers:
+                        watchers.add(dst)
+                        if var_pts[dst].union_update(cell(obj, field)):
+                            push("var", dst)
+            for src, field in stores_to[index]:
+                for obj in pts:
+                    key = (obj, field)
+                    sources = var_to_cell.setdefault(src, set())
+                    if key not in sources:
+                        sources.add(key)
+                        if cell(obj, field).union_update(var_pts[src]):
+                            push("cell", key)
+            for dst in succ_var[index]:
+                if var_pts[dst].union_update(pts):
+                    push("var", dst)
+            for key in var_to_cell.get(index, ()):
+                if cell(*key).union_update(pts):
+                    push("cell", key)
+        else:
+            contents = cell_pts[index]
+            for dst in cell_to_var.get(index, ()):
+                if var_pts[dst].union_update(contents):
+                    push("var", dst)
+
+    return FieldAndersenResult(
+        symbols=symbols, var_pts=var_pts, cell_pts=cell_pts, iterations=iterations
+    )
+
+
+def collapse_fields(program: Program) -> Program:
+    """Rewrite field accesses into plain dereferences (the insensitive view).
+
+    Used by the precision-ordering property test: the field-sensitive
+    result on ``program`` must be pointwise within the base solver's result
+    on ``collapse_fields(program)``.
+    """
+    from .ir import Function, If, Stmt, While
+
+    def rewrite(body: List[Stmt]) -> List[Stmt]:
+        result: List[Stmt] = []
+        for stmt in body:
+            if isinstance(stmt, If):
+                result.append(
+                    If(then_body=rewrite(stmt.then_body), else_body=rewrite(stmt.else_body))
+                )
+            elif isinstance(stmt, While):
+                result.append(While(body=rewrite(stmt.body)))
+            elif isinstance(stmt, FieldLoad):
+                result.append(Load(target=stmt.target, source=stmt.source))
+            elif isinstance(stmt, FieldStore):
+                result.append(Store(target=stmt.target, source=stmt.source))
+            else:
+                result.append(stmt)
+        return result
+
+    collapsed = Program(entry=program.entry)
+    collapsed.globals = list(program.globals)
+    for function in program.functions.values():
+        collapsed.functions[function.name] = Function(
+            name=function.name, params=function.params, body=rewrite(function.body)
+        )
+    return collapsed

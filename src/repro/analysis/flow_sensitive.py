@@ -1,0 +1,355 @@
+"""Flow-sensitive points-to analysis with strong updates.
+
+Produces *constrained* facts ``p --l--> o`` (pointer ``p`` points to ``o``
+at program point ``l``), the input shape Section 6.1 of the paper
+canonicalises into the matrix via the ``(l, p) → p_l`` renaming.
+
+Design (a Lhoták-style strong-update analysis, bounded by Andersen):
+
+* an Andersen pass first fixes the interprocedural facts — parameter/return
+  bindings, the global heap — so each function can then be analysed
+  flow-sensitively in isolation;
+* inside a function, a forward dataflow over the structured CFG tracks a
+  variable environment and a heap environment, joined pointwise at merges;
+* direct assignments to variables are always strong updates (a local is a
+  single location; the IR has no address-of on variables);
+* a store ``*p = q`` is a strong update when ``pts(p)`` is a singleton
+  *unique* cell — an allocation site outside loops, in a non-recursive
+  function with at most one static call site;
+* call statements havoc the heap and the globals back to the Andersen
+  solution (callees may touch both); the return value binds to the
+  Andersen return set.
+
+The result is sound and pointwise at least as precise as Andersen, strictly
+more precise whenever a kill is observable — exactly the shape of results
+the paper persists for its C subjects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..matrix.bitmap import SparseBitmap
+from .andersen import AndersenResult, analyze as andersen_analyze
+from .callgraph import CallGraph
+from .ir import (
+    Alloc,
+    Call,
+    Copy,
+    FieldLoad,
+    FieldStore,
+    FuncRef,
+    Function,
+    If,
+    IndirectCall,
+    Load,
+    Program,
+    Return,
+    Simple,
+    Store,
+    SymbolTable,
+    While,
+)
+
+PointsTo = FrozenSet[int]
+VarEnv = Dict[int, PointsTo]
+HeapEnv = Dict[int, PointsTo]
+
+_EMPTY: PointsTo = frozenset()
+
+
+@dataclass
+class _Node:
+    """One CFG node wrapping a simple statement (or a no-op join point)."""
+
+    id: int
+    stmt: Optional[Simple]
+    #: Label: pre-order index of the statement within its function, or -1.
+    label: int = -1
+    successors: List[int] = field(default_factory=list)
+
+
+class _Cfg:
+    """Structured-control-flow CFG for one function."""
+
+    def __init__(self):
+        self.nodes: List[_Node] = []
+
+    def new_node(self, stmt: Optional[Simple], label: int = -1) -> _Node:
+        node = _Node(id=len(self.nodes), stmt=stmt, label=label)
+        self.nodes.append(node)
+        return node
+
+
+def _build_cfg(function: Function) -> Tuple[_Cfg, int]:
+    """Build the CFG; return it and the entry node id."""
+    cfg = _Cfg()
+    entry = cfg.new_node(None)
+    label_counter = [0]
+
+    def build(body, preds: List[int]) -> List[int]:
+        current = preds
+        for stmt in body:
+            if isinstance(stmt, If):
+                joins: List[int] = []
+                joins.extend(build(stmt.then_body, current))
+                joins.extend(build(stmt.else_body, current))
+                current = joins
+            elif isinstance(stmt, While):
+                head = cfg.new_node(None)
+                for pred in current:
+                    cfg.nodes[pred].successors.append(head.id)
+                exits = build(stmt.body, [head.id])
+                for node_id in exits:
+                    cfg.nodes[node_id].successors.append(head.id)
+                current = [head.id]  # loop may execute zero times
+            else:
+                node = cfg.new_node(stmt, label_counter[0])
+                label_counter[0] += 1
+                for pred in current:
+                    cfg.nodes[pred].successors.append(node.id)
+                current = [node.id]
+        return current
+
+    build(function.body, [entry.id])
+    return cfg, entry.id
+
+
+def _unique_sites(program: Program, callgraph: CallGraph) -> Set[str]:
+    """Qualified names of allocation sites eligible for strong updates."""
+    multi_called: Set[str] = set()
+    recursive: Set[str] = set()
+    for component in callgraph.topological_sccs():
+        if len(component) > 1:
+            recursive.update(component)
+        else:
+            name = component[0]
+            if name in callgraph.callees(name):
+                recursive.add(name)
+    # A function whose address is taken may be invoked through any number
+    # of indirect calls: never eligible for strong updates.
+    address_taken: Set[str] = set()
+    for function in program.functions.values():
+        for stmt in function.simple_statements():
+            if isinstance(stmt, FuncRef):
+                address_taken.add(stmt.func)
+
+    for name in program.functions:
+        in_degree = len(callgraph.in_sites(name))
+        if name == program.entry:
+            in_degree += 1
+        if in_degree > 1 or name in address_taken:
+            multi_called.add(name)
+
+    unique: Set[str] = set()
+
+    def scan(body, fname: str, in_loop: bool) -> None:
+        for stmt in body:
+            if isinstance(stmt, If):
+                scan(stmt.then_body, fname, in_loop)
+                scan(stmt.else_body, fname, in_loop)
+            elif isinstance(stmt, While):
+                scan(stmt.body, fname, True)
+            elif isinstance(stmt, Alloc) and not in_loop:
+                unique.add("%s::%s" % (fname, stmt.site))
+
+    for function in program.functions.values():
+        if function.name in multi_called or function.name in recursive:
+            continue
+        scan(function.body, function.name, False)
+    return unique
+
+
+@dataclass(frozen=True)
+class FlowFact:
+    """One constrained fact: at point ``label`` of ``function``, the
+    just-defined ``variable`` points to exactly ``objects``."""
+
+    function: str
+    label: int
+    variable: int
+    objects: PointsTo
+
+
+@dataclass
+class FlowSensitiveResult:
+    symbols: SymbolTable
+    andersen: AndersenResult
+    facts: List[FlowFact]
+    #: Variables never redefined get their entry fact here (function, var).
+    entry_facts: List[Tuple[str, int, PointsTo]]
+
+    def fact_count(self) -> int:
+        return len(self.facts) + len(self.entry_facts)
+
+
+def _as_frozen(bitmap: SparseBitmap) -> PointsTo:
+    return frozenset(bitmap)
+
+
+def analyze(program: Program, symbols: Optional[SymbolTable] = None) -> FlowSensitiveResult:
+    """Run the flow-sensitive analysis over every function."""
+    if symbols is None:
+        symbols = SymbolTable(program)
+    andersen = andersen_analyze(program, symbols)
+    callgraph = CallGraph(program)
+    unique = _unique_sites(program, callgraph)
+    unique_ids = {symbols.site_ids[name] for name in unique if name in symbols.site_ids}
+
+    andersen_var: List[PointsTo] = [_as_frozen(pts) for pts in andersen.var_pts]
+    andersen_obj: List[PointsTo] = [_as_frozen(pts) for pts in andersen.obj_pts]
+    global_ids = {symbols.variable(None, name) for name in program.globals}
+
+    facts: List[FlowFact] = []
+    entry_facts: List[Tuple[str, int, PointsTo]] = []
+
+    for function in program.functions.values():
+        fname = function.name
+        cfg, entry_id = _build_cfg(function)
+
+        def var_id(name: str) -> int:
+            return symbols.variable(fname, name)
+
+        # Entry state: parameters and globals at the Andersen solution,
+        # other locals undefined (empty).  The heap environment is a sparse
+        # *delta* from the Andersen heap: a site appears only while a strong
+        # update holds it below its Andersen value; absent sites read as
+        # ``andersen_obj[site]``.
+        entry_env: VarEnv = {}
+        for param in function.params:
+            entry_env[var_id(param)] = andersen_var[var_id(param)]
+        for gid in global_ids:
+            entry_env[gid] = andersen_var[gid]
+        entry_heap: HeapEnv = {}
+
+        in_env: Dict[int, Optional[VarEnv]] = {node.id: None for node in cfg.nodes}
+        in_heap: Dict[int, Optional[HeapEnv]] = {node.id: None for node in cfg.nodes}
+        in_env[entry_id] = dict(entry_env)
+        in_heap[entry_id] = dict(entry_heap)
+
+        worklist = [entry_id]
+        pending = {entry_id}
+        # Post-state per statement label for the defined variable.
+        def_state: Dict[Tuple[int, int], PointsTo] = {}
+        defined_vars: Set[int] = set()
+
+        def transfer(node: _Node, env: VarEnv, heap: HeapEnv) -> Tuple[VarEnv, HeapEnv]:
+            stmt = node.stmt
+            if stmt is None:
+                return env, heap
+            env = dict(env)
+            if isinstance(stmt, Alloc):
+                target = var_id(stmt.target)
+                site = symbols.site(fname, stmt.site)
+                env[target] = frozenset((site,))
+                if site in unique_ids and andersen_obj[site]:
+                    heap = dict(heap)
+                    heap[site] = _EMPTY  # a unique cell is born empty
+                _record(node, target, env[target])
+            elif isinstance(stmt, Copy):
+                target = var_id(stmt.target)
+                env[target] = env.get(var_id(stmt.source), _EMPTY)
+                _record(node, target, env[target])
+            elif isinstance(stmt, (Load, FieldLoad)):
+                target = var_id(stmt.target)
+                merged: Set[int] = set()
+                for obj in env.get(var_id(stmt.source), _EMPTY):
+                    merged.update(heap.get(obj, andersen_obj[obj]))
+                env[target] = frozenset(merged)
+                _record(node, target, env[target])
+            elif isinstance(stmt, (Store, FieldStore)):
+                heap = dict(heap)
+                base = env.get(var_id(stmt.target), _EMPTY)
+                value = env.get(var_id(stmt.source), _EMPTY)
+                if len(base) == 1 and next(iter(base)) in unique_ids:
+                    obj = next(iter(base))
+                    if value == andersen_obj[obj]:
+                        heap.pop(obj, None)
+                    else:
+                        heap[obj] = value  # strong update: kill
+                else:
+                    for obj in base:
+                        current = heap.get(obj)
+                        if current is None:
+                            continue  # already at the Andersen ceiling
+                        merged = current | value
+                        if merged == andersen_obj[obj]:
+                            del heap[obj]
+                        else:
+                            heap[obj] = merged
+            elif isinstance(stmt, FuncRef):
+                target = var_id(stmt.target)
+                env[target] = frozenset((symbols.function_object(stmt.func),))
+                _record(node, target, env[target])
+            elif isinstance(stmt, (Call, IndirectCall)):
+                # Callee effects: heap and globals havoc to Andersen.
+                heap = {}
+                for gid in global_ids:
+                    env[gid] = andersen_var[gid]
+                if stmt.target is not None:
+                    target = var_id(stmt.target)
+                    env[target] = andersen_var[target]
+                    _record(node, target, env[target])
+            elif isinstance(stmt, Return):
+                pass
+            return env, heap
+
+        def _record(node: _Node, variable: int, objects: PointsTo) -> None:
+            key = (node.label, variable)
+            previous = def_state.get(key, _EMPTY)
+            def_state[key] = previous | objects
+            defined_vars.add(variable)
+
+        while worklist:
+            node_id = worklist.pop()
+            pending.discard(node_id)
+            node = cfg.nodes[node_id]
+            env, heap = transfer(node, in_env[node_id] or {}, in_heap[node_id] or {})
+            for succ in node.successors:
+                changed = False
+                if in_env[succ] is None:
+                    in_env[succ] = dict(env)
+                    in_heap[succ] = dict(heap)
+                    changed = True
+                else:
+                    succ_env = in_env[succ]
+                    for var, pts in env.items():
+                        merged = succ_env.get(var, _EMPTY) | pts
+                        if merged != succ_env.get(var, _EMPTY):
+                            succ_env[var] = merged
+                            changed = True
+                    # Heap join under the delta encoding: a site missing on
+                    # either side is at the Andersen ceiling, so the join is
+                    # the ceiling too — only sites present in both survive.
+                    succ_heap = in_heap[succ]
+                    for obj in [o for o in succ_heap if o not in heap]:
+                        del succ_heap[obj]
+                        changed = True
+                    for obj, pts in heap.items():
+                        current = succ_heap.get(obj)
+                        if current is None:
+                            continue
+                        merged = current | pts
+                        if merged == andersen_obj[obj]:
+                            del succ_heap[obj]
+                            changed = True
+                        elif merged != current:
+                            succ_heap[obj] = merged
+                            changed = True
+                if changed and succ not in pending:
+                    pending.add(succ)
+                    worklist.append(succ)
+
+        for (label, variable), objects in sorted(def_state.items()):
+            facts.append(FlowFact(function=fname, label=label, variable=variable,
+                                  objects=objects))
+        # Parameters and globals read but never redefined in this function
+        # still carry their entry facts.
+        for variable, objects in entry_env.items():
+            if variable not in defined_vars and objects:
+                entry_facts.append((fname, variable, objects))
+
+    return FlowSensitiveResult(
+        symbols=symbols, andersen=andersen, facts=facts, entry_facts=entry_facts
+    )

@@ -1,0 +1,299 @@
+"""A small imperative pointer IR.
+
+This is the analysis substrate standing in for LLVM bitcode / Jimple in the
+paper's pipeline: a whole program is a set of functions over pointer-typed
+variables, with allocation, copy, load, store, direct calls, returns, and
+structured nondeterministic control flow (``if``/``while``), which is what
+makes flow-sensitivity observable.
+
+The IR is deliberately field-insensitive (one abstract cell per object), the
+usual baseline for the algorithms reproduced here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Alloc:
+    """``target = alloc Site`` — ``target`` points to allocation site ``site``."""
+
+    target: str
+    site: str
+
+
+@dataclass(frozen=True)
+class Copy:
+    """``target = source``."""
+
+    target: str
+    source: str
+
+
+@dataclass(frozen=True)
+class Load:
+    """``target = *source``."""
+
+    target: str
+    source: str
+
+
+@dataclass(frozen=True)
+class Store:
+    """``*target = source``."""
+
+    target: str
+    source: str
+
+
+@dataclass(frozen=True)
+class FieldLoad:
+    """``target = source.field``."""
+
+    target: str
+    source: str
+    field: str
+
+
+@dataclass(frozen=True)
+class FieldStore:
+    """``target.field = source``."""
+
+    target: str
+    field: str
+    source: str
+
+
+@dataclass(frozen=True)
+class Call:
+    """``target = callee(args...)`` — ``target`` may be ``None``."""
+
+    target: Optional[str]
+    callee: str
+    args: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class FuncRef:
+    """``target = &func`` — take the address of a function."""
+
+    target: str
+    func: str
+
+
+@dataclass(frozen=True)
+class IndirectCall:
+    """``target = icall pointer(args...)`` — call through a function pointer.
+
+    The callee set is whatever the points-to analysis resolves for
+    ``pointer`` (on-the-fly call-graph construction).
+    """
+
+    target: Optional[str]
+    pointer: str
+    args: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Return:
+    """``return value`` — ``value`` may be ``None``."""
+
+    value: Optional[str]
+
+
+Simple = Union[Alloc, Copy, Load, Store, FieldLoad, FieldStore, Call, FuncRef, IndirectCall, Return]
+
+
+@dataclass
+class If:
+    """Nondeterministic two-way branch (conditions are abstracted away)."""
+
+    then_body: List["Stmt"] = field(default_factory=list)
+    else_body: List["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class While:
+    """Nondeterministic loop."""
+
+    body: List["Stmt"] = field(default_factory=list)
+
+
+Stmt = Union[Simple, If, While]
+
+
+@dataclass
+class Function:
+    """One function: parameter names, body, and its declared locals."""
+
+    name: str
+    params: Tuple[str, ...]
+    body: List[Stmt] = field(default_factory=list)
+
+    def simple_statements(self) -> Iterator[Simple]:
+        """All simple statements, in source order, descending into blocks."""
+        yield from _walk(self.body)
+
+    def variables(self) -> List[str]:
+        """Every variable mentioned in the function, params first."""
+        seen: Dict[str, None] = {param: None for param in self.params}
+        for stmt in self.simple_statements():
+            for name in _mentioned(stmt):
+                seen.setdefault(name, None)
+        return list(seen)
+
+
+def _walk(body: List[Stmt]) -> Iterator[Simple]:
+    for stmt in body:
+        if isinstance(stmt, If):
+            yield from _walk(stmt.then_body)
+            yield from _walk(stmt.else_body)
+        elif isinstance(stmt, While):
+            yield from _walk(stmt.body)
+        else:
+            yield stmt
+
+
+def _mentioned(stmt: Simple) -> Iterator[str]:
+    if isinstance(stmt, Alloc):
+        yield stmt.target
+    elif isinstance(stmt, (Copy, Load, Store, FieldLoad, FieldStore)):
+        yield stmt.target
+        yield stmt.source
+    elif isinstance(stmt, Call):
+        if stmt.target is not None:
+            yield stmt.target
+        yield from stmt.args
+    elif isinstance(stmt, FuncRef):
+        yield stmt.target
+    elif isinstance(stmt, IndirectCall):
+        if stmt.target is not None:
+            yield stmt.target
+        yield stmt.pointer
+        yield from stmt.args
+    elif isinstance(stmt, Return):
+        if stmt.value is not None:
+            yield stmt.value
+
+
+@dataclass
+class Program:
+    """A whole program: functions plus global variable declarations."""
+
+    functions: Dict[str, Function] = field(default_factory=dict)
+    globals: List[str] = field(default_factory=list)
+    entry: str = "main"
+
+    def add_function(self, function: Function) -> None:
+        if function.name in self.functions:
+            raise ValueError("duplicate function %r" % function.name)
+        self.functions[function.name] = function
+
+    def statement_count(self) -> int:
+        """Simple-statement count — the LOC analogue of the paper's Table 2."""
+        return sum(
+            sum(1 for _ in function.simple_statements())
+            for function in self.functions.values()
+        )
+
+    def validate(self) -> None:
+        """Check call/func-ref targets exist and direct-call arities match."""
+        for function in self.functions.values():
+            for stmt in function.simple_statements():
+                if isinstance(stmt, Call):
+                    callee = self.functions.get(stmt.callee)
+                    if callee is None:
+                        raise ValueError(
+                            "%s calls unknown function %r" % (function.name, stmt.callee)
+                        )
+                    if len(stmt.args) != len(callee.params):
+                        raise ValueError(
+                            "%s calls %s with %d args, expected %d"
+                            % (function.name, stmt.callee, len(stmt.args), len(callee.params))
+                        )
+                elif isinstance(stmt, FuncRef):
+                    if stmt.func not in self.functions:
+                        raise ValueError(
+                            "%s references unknown function %r"
+                            % (function.name, stmt.func)
+                        )
+        if self.entry not in self.functions:
+            raise ValueError("entry function %r missing" % self.entry)
+
+
+class SymbolTable:
+    """Dense integer ids for variables and allocation sites.
+
+    Variables are qualified ``function::name`` (globals keep their bare
+    name); allocation sites are qualified ``function::site``; functions
+    whose address is taken get a *function object* site ``fn:name``.  The
+    table is the id universe the points-to matrices are built over, and
+    what Section 6.2's cross-run correlation persists.
+    """
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.variable_ids: Dict[str, int] = {}
+        self.site_ids: Dict[str, int] = {}
+        for name in program.globals:
+            self._intern_variable(name)
+        for function in program.functions.values():
+            for variable in function.variables():
+                if variable not in program.globals:
+                    self._intern_variable("%s::%s" % (function.name, variable))
+            for stmt in function.simple_statements():
+                if isinstance(stmt, Alloc):
+                    self._intern_site("%s::%s" % (function.name, stmt.site))
+                elif isinstance(stmt, FuncRef):
+                    self._intern_site("fn:%s" % stmt.func)
+
+    def _intern_variable(self, qualified: str) -> int:
+        return self.variable_ids.setdefault(qualified, len(self.variable_ids))
+
+    def _intern_site(self, qualified: str) -> int:
+        return self.site_ids.setdefault(qualified, len(self.site_ids))
+
+    def variable(self, function: Optional[str], name: str) -> int:
+        """Resolve a variable reference from inside ``function``."""
+        if name in self.program.globals:
+            return self.variable_ids[name]
+        if function is None:
+            raise KeyError("%r is not a global" % name)
+        return self.variable_ids["%s::%s" % (function, name)]
+
+    def site(self, function: str, name: str) -> int:
+        return self.site_ids["%s::%s" % (function, name)]
+
+    def function_object(self, func: str) -> int:
+        """The site id of a function object (address-taken function)."""
+        return self.site_ids["fn:%s" % func]
+
+    def function_object_sites(self) -> Dict[int, str]:
+        """Map each function-object site id back to its function name."""
+        return {
+            site_id: name[3:]
+            for name, site_id in self.site_ids.items()
+            if name.startswith("fn:")
+        }
+
+    @property
+    def n_variables(self) -> int:
+        return len(self.variable_ids)
+
+    @property
+    def n_sites(self) -> int:
+        return len(self.site_ids)
+
+    def variable_names(self) -> List[str]:
+        names = [""] * len(self.variable_ids)
+        for name, index in self.variable_ids.items():
+            names[index] = name
+        return names
+
+    def site_names(self) -> List[str]:
+        names = [""] * len(self.site_ids)
+        for name, index in self.site_ids.items():
+            names[index] = name
+        return names

@@ -1,0 +1,206 @@
+"""Library pre-analysis and client-time reuse — the paper's future work.
+
+Section 9: "The main focus of our future work is applying persistence
+technique to pre-compute pointer information for libraries in order to
+reduce the cost of points-to analysis for framework-heavy programs", and
+Section 1's second scenario: persist the points-to relations of a library
+that are *independent of clients*, so client analyses don't re-derive them.
+
+The key observation making this sound: Andersen's analysis is monotone in
+its constraint set.  A library analysed alone yields facts that are a
+subset of any client+library fixpoint, so a client analysis *seeded* with
+the persisted library solution converges to exactly the from-scratch
+result — it just starts much closer to the fixpoint (tests assert
+equality; the benchmark measures the saved work).
+
+Workflow::
+
+    summary = analyze_library(lib_program)          # once, offline
+    save_library(summary, "stdlib.lib/")            # persist (Pestrie file)
+
+    summary = load_library("stdlib.lib/")           # per client build
+    result = analyze_client(app_program, summary)   # seeded Andersen
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.pipeline import load_index, persist
+from .andersen import AndersenResult, analyze as andersen_analyze
+from .ir import Function, Program, Return, SymbolTable
+from .parser import format_program, parse_program
+
+_PROGRAM_FILE = "library.ir"
+_NAMES_FILE = "names.json"
+_MATRIX_FILE = "points_to.pes"
+
+
+@dataclass
+class LibrarySummary:
+    """A pre-analysed library: its IR plus the client-independent facts."""
+
+    program: Program
+    #: Qualified variable name -> frozenset of qualified site names.
+    var_facts: Dict[str, frozenset]
+    #: Qualified site name -> frozenset of qualified site names (cells).
+    obj_facts: Dict[str, frozenset]
+
+    def fact_count(self) -> int:
+        return sum(len(objects) for objects in self.var_facts.values()) + sum(
+            len(objects) for objects in self.obj_facts.values()
+        )
+
+
+def analyze_library(program: Program) -> LibrarySummary:
+    """Analyse a library on its own (no client, any function may be dead).
+
+    The library's entry point is irrelevant; the analysis covers every
+    function.  All derived facts are client-independent by monotonicity.
+    """
+    result = andersen_analyze(program)
+    symbols = result.symbols
+    variable_names = symbols.variable_names()
+    site_names = symbols.site_names()
+    var_facts = {}
+    for var, pts in enumerate(result.var_pts):
+        if pts:
+            var_facts[variable_names[var]] = frozenset(site_names[o] for o in pts)
+    obj_facts = {}
+    for site, pts in enumerate(result.obj_pts):
+        if pts:
+            obj_facts[site_names[site]] = frozenset(site_names[o] for o in pts)
+    return LibrarySummary(program=program, var_facts=var_facts, obj_facts=obj_facts)
+
+
+def merge_programs(client: Program, library: Program) -> Program:
+    """One whole program: client + library (clients call library directly).
+
+    Function names must be disjoint; globals shared by name.
+    """
+    merged = Program(entry=client.entry)
+    merged.globals = list(dict.fromkeys(client.globals + library.globals))
+    for function in library.functions.values():
+        merged.add_function(function)
+    for function in client.functions.values():
+        if function.name in merged.functions:
+            raise ValueError("client redefines library function %r" % function.name)
+        merged.add_function(function)
+    merged.validate()
+    return merged
+
+
+@dataclass
+class ClientAnalysis:
+    """A client analysis seeded from a library summary."""
+
+    result: AndersenResult
+    merged: Program
+    #: Facts injected from the summary (how much work was pre-paid).
+    seeded_facts: int
+
+
+def analyze_client(client: Program, summary: LibrarySummary) -> ClientAnalysis:
+    """Analyse ``client`` against the pre-analysed library.
+
+    The merged program is solved with the library facts pre-loaded, so the
+    fixpoint iteration only derives the genuinely client-dependent part.
+    The outcome equals a from-scratch analysis of the merged program.
+    """
+    merged = merge_programs(client, summary.program)
+    symbols = SymbolTable(merged)
+    seeds_vars: List[Tuple[int, int]] = []
+    seeds_objs: List[Tuple[int, int]] = []
+    for name, objects in summary.var_facts.items():
+        var = symbols.variable_ids.get(name)
+        if var is None:
+            continue
+        for obj_name in objects:
+            site = symbols.site_ids.get(obj_name)
+            if site is not None:
+                seeds_vars.append((var, site))
+    for name, objects in summary.obj_facts.items():
+        cell = symbols.site_ids.get(name)
+        if cell is None:
+            continue
+        for obj_name in objects:
+            site = symbols.site_ids.get(obj_name)
+            if site is not None:
+                seeds_objs.append((cell, site))
+
+    result = andersen_analyze(merged, symbols, seed_var_facts=seeds_vars,
+                              seed_obj_facts=seeds_objs)
+    return ClientAnalysis(
+        result=result,
+        merged=merged,
+        seeded_facts=len(seeds_vars) + len(seeds_objs),
+    )
+
+
+# ----------------------------------------------------------------------
+# Persistence of summaries
+# ----------------------------------------------------------------------
+
+def save_library(summary: LibrarySummary, directory: str) -> None:
+    """Persist a library summary: IR, name tables, and a Pestrie file.
+
+    The Pestrie file holds the variable facts (the queryable part); the
+    cell contents ride along in the JSON name table.
+    """
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, _PROGRAM_FILE), "w") as stream:
+        stream.write(format_program(summary.program))
+
+    pointer_names = sorted(summary.var_facts)
+    object_names = sorted(
+        {name for objects in summary.var_facts.values() for name in objects}
+        | set(summary.obj_facts)
+        | {name for objects in summary.obj_facts.values() for name in objects}
+    )
+    pointer_index = {name: i for i, name in enumerate(pointer_names)}
+    object_index = {name: i for i, name in enumerate(object_names)}
+
+    from ..matrix.points_to import PointsToMatrix
+
+    matrix = PointsToMatrix(len(pointer_names), len(object_names))
+    for name, objects in summary.var_facts.items():
+        for obj_name in objects:
+            matrix.add(pointer_index[name], object_index[obj_name])
+    persist(matrix, os.path.join(directory, _MATRIX_FILE))
+
+    with open(os.path.join(directory, _NAMES_FILE), "w") as stream:
+        json.dump(
+            {
+                "pointers": pointer_index,
+                "objects": object_index,
+                "cells": {
+                    name: sorted(objects) for name, objects in summary.obj_facts.items()
+                },
+            },
+            stream,
+        )
+
+
+def load_library(directory: str) -> LibrarySummary:
+    """Reload a persisted library summary without re-analysing anything."""
+    with open(os.path.join(directory, _PROGRAM_FILE)) as stream:
+        # A library has no entry point; skip whole-program validation.
+        program = parse_program(stream.read(), validate=False)
+        if program.functions:
+            program.entry = next(iter(program.functions))
+    with open(os.path.join(directory, _NAMES_FILE)) as stream:
+        names = json.load(stream)
+    index = load_index(os.path.join(directory, _MATRIX_FILE))
+    object_names = {value: key for key, value in names["objects"].items()}
+    var_facts = {}
+    for name, pointer in names["pointers"].items():
+        objects = frozenset(object_names[o] for o in index.list_points_to(pointer))
+        if objects:
+            var_facts[name] = objects
+    obj_facts = {
+        name: frozenset(objects) for name, objects in names["cells"].items()
+    }
+    return LibrarySummary(program=program, var_facts=var_facts, obj_facts=obj_facts)

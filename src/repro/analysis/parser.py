@@ -1,0 +1,268 @@
+"""Frontend for the pointer IR: a small line-oriented language.
+
+Example program::
+
+    global g
+
+    func id(x) {
+      return x
+    }
+
+    func main() {
+      p = alloc A
+      q = p
+      *p = q
+      r = *p
+      if {
+        s = call id(p)
+      } else {
+        s = alloc B
+      }
+      while {
+        t = *s
+        *g = t
+      }
+      return r
+    }
+
+One statement per line; ``//`` starts a comment; ``if``/``else``/``while``
+blocks use braces on their own lines as shown.  Conditions are abstracted
+(the analyses are path-insensitive at the IR level; path predicates enter
+through Section 6's transformation instead).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .ir import (
+    Alloc,
+    Call,
+    Copy,
+    FieldLoad,
+    FieldStore,
+    FuncRef,
+    Function,
+    If,
+    IndirectCall,
+    Load,
+    Program,
+    Return,
+    Stmt,
+    Store,
+    While,
+)
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_]*"
+_RE_GLOBAL = re.compile(r"^global\s+(%s)$" % _IDENT)
+_RE_FUNC = re.compile(r"^func\s+(%s)\s*\(([^)]*)\)\s*\{$" % _IDENT)
+_RE_ALLOC = re.compile(r"^(%s)\s*=\s*alloc\s+(%s)$" % (_IDENT, _IDENT))
+_RE_COPY = re.compile(r"^(%s)\s*=\s*(%s)$" % (_IDENT, _IDENT))
+_RE_LOAD = re.compile(r"^(%s)\s*=\s*\*\s*(%s)$" % (_IDENT, _IDENT))
+_RE_STORE = re.compile(r"^\*\s*(%s)\s*=\s*(%s)$" % (_IDENT, _IDENT))
+_RE_FIELD_LOAD = re.compile(r"^(%s)\s*=\s*(%s)\.(%s)$" % (_IDENT, _IDENT, _IDENT))
+_RE_FIELD_STORE = re.compile(r"^(%s)\.(%s)\s*=\s*(%s)$" % (_IDENT, _IDENT, _IDENT))
+_RE_CALL = re.compile(r"^(?:(%s)\s*=\s*)?call\s+(%s)\s*\(([^)]*)\)$" % (_IDENT, _IDENT))
+_RE_FUNCREF = re.compile(r"^(%s)\s*=\s*&\s*(%s)$" % (_IDENT, _IDENT))
+_RE_ICALL = re.compile(r"^(?:(%s)\s*=\s*)?icall\s+(%s)\s*\(([^)]*)\)$" % (_IDENT, _IDENT))
+_RE_RETURN = re.compile(r"^return(?:\s+(%s))?$" % _IDENT)
+
+_KEYWORDS = {"global", "func", "alloc", "call", "icall", "return", "if", "else", "while"}
+
+
+class ParseError(ValueError):
+    """A syntax error, with the offending line number."""
+
+    def __init__(self, message: str, line_number: int):
+        super().__init__("line %d: %s" % (line_number, message))
+        self.line_number = line_number
+
+
+def _strip(line: str) -> str:
+    comment = line.find("//")
+    if comment != -1:
+        line = line[:comment]
+    return line.strip()
+
+
+def _split_args(raw: str, line_number: int) -> Tuple[str, ...]:
+    raw = raw.strip()
+    if not raw:
+        return ()
+    parts = [part.strip() for part in raw.split(",")]
+    for part in parts:
+        if not re.fullmatch(_IDENT, part):
+            raise ParseError("bad identifier %r in argument list" % part, line_number)
+    return tuple(parts)
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.lines = source.splitlines()
+        self.position = 0
+
+    def _next(self) -> Optional[Tuple[int, str]]:
+        while self.position < len(self.lines):
+            self.position += 1
+            text = _strip(self.lines[self.position - 1])
+            if text:
+                return self.position, text
+        return None
+
+    def parse(self) -> Program:
+        program = Program()
+        while True:
+            item = self._next()
+            if item is None:
+                break
+            line_number, text = item
+            match = _RE_GLOBAL.match(text)
+            if match:
+                name = match.group(1)
+                if name in program.globals:
+                    raise ParseError("duplicate global %r" % name, line_number)
+                program.globals.append(name)
+                continue
+            match = _RE_FUNC.match(text)
+            if match:
+                name = match.group(1)
+                params = _split_args(match.group(2), line_number)
+                body = self._parse_block(name)
+                program.add_function(Function(name=name, params=params, body=body))
+                continue
+            raise ParseError("expected 'global' or 'func', got %r" % text, line_number)
+        return program
+
+    def _parse_block(self, function: str) -> List[Stmt]:
+        body: List[Stmt] = []
+        while True:
+            item = self._next()
+            if item is None:
+                raise ParseError("unexpected end of file inside %r" % function, len(self.lines))
+            line_number, text = item
+            if text == "}":
+                return body
+            body.append(self._parse_statement(function, line_number, text))
+
+    def _parse_statement(self, function: str, line_number: int, text: str) -> Stmt:
+        if text == "if {":
+            then_body = self._parse_block(function)
+            # Optional 'else {' immediately after.
+            checkpoint = self.position
+            item = self._next()
+            if item is not None and item[1] == "else {":
+                else_body = self._parse_block(function)
+            else:
+                self.position = checkpoint
+                else_body = []
+            return If(then_body=then_body, else_body=else_body)
+        if text == "while {":
+            return While(body=self._parse_block(function))
+        match = _RE_ALLOC.match(text)
+        if match:
+            return Alloc(target=match.group(1), site=match.group(2))
+        match = _RE_LOAD.match(text)
+        if match:
+            return Load(target=match.group(1), source=match.group(2))
+        match = _RE_STORE.match(text)
+        if match:
+            return Store(target=match.group(1), source=match.group(2))
+        match = _RE_FIELD_LOAD.match(text)
+        if match:
+            return FieldLoad(target=match.group(1), source=match.group(2),
+                             field=match.group(3))
+        match = _RE_FIELD_STORE.match(text)
+        if match:
+            return FieldStore(target=match.group(1), field=match.group(2),
+                              source=match.group(3))
+        match = _RE_CALL.match(text)
+        if match:
+            return Call(
+                target=match.group(1),
+                callee=match.group(2),
+                args=_split_args(match.group(3), line_number),
+            )
+        match = _RE_ICALL.match(text)
+        if match:
+            return IndirectCall(
+                target=match.group(1),
+                pointer=match.group(2),
+                args=_split_args(match.group(3), line_number),
+            )
+        match = _RE_FUNCREF.match(text)
+        if match:
+            return FuncRef(target=match.group(1), func=match.group(2))
+        match = _RE_RETURN.match(text)
+        if match:
+            return Return(value=match.group(1))
+        match = _RE_COPY.match(text)
+        if match:
+            if match.group(2) in _KEYWORDS:
+                raise ParseError("malformed statement %r" % text, line_number)
+            return Copy(target=match.group(1), source=match.group(2))
+        raise ParseError("unrecognised statement %r" % text, line_number)
+
+
+def parse_program(source: str, validate: bool = True) -> Program:
+    """Parse source text into a :class:`Program`."""
+    program = _Parser(source).parse()
+    if validate:
+        program.validate()
+    return program
+
+
+def format_program(program: Program) -> str:
+    """Pretty-print a program back to parseable source (IR persistence)."""
+    lines: List[str] = []
+    for name in program.globals:
+        lines.append("global %s" % name)
+    if program.globals:
+        lines.append("")
+    for function in program.functions.values():
+        lines.append("func %s(%s) {" % (function.name, ", ".join(function.params)))
+        _format_block(function.body, lines, indent=1)
+        lines.append("}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _format_block(body: List[Stmt], lines: List[str], indent: int) -> None:
+    pad = "  " * indent
+    for stmt in body:
+        if isinstance(stmt, If):
+            lines.append(pad + "if {")
+            _format_block(stmt.then_body, lines, indent + 1)
+            if stmt.else_body:
+                lines.append(pad + "}")
+                lines.append(pad + "else {")
+                _format_block(stmt.else_body, lines, indent + 1)
+            lines.append(pad + "}")
+        elif isinstance(stmt, While):
+            lines.append(pad + "while {")
+            _format_block(stmt.body, lines, indent + 1)
+            lines.append(pad + "}")
+        elif isinstance(stmt, Alloc):
+            lines.append(pad + "%s = alloc %s" % (stmt.target, stmt.site))
+        elif isinstance(stmt, Copy):
+            lines.append(pad + "%s = %s" % (stmt.target, stmt.source))
+        elif isinstance(stmt, Load):
+            lines.append(pad + "%s = *%s" % (stmt.target, stmt.source))
+        elif isinstance(stmt, Store):
+            lines.append(pad + "*%s = %s" % (stmt.target, stmt.source))
+        elif isinstance(stmt, FieldLoad):
+            lines.append(pad + "%s = %s.%s" % (stmt.target, stmt.source, stmt.field))
+        elif isinstance(stmt, FieldStore):
+            lines.append(pad + "%s.%s = %s" % (stmt.target, stmt.field, stmt.source))
+        elif isinstance(stmt, Call):
+            prefix = "%s = " % stmt.target if stmt.target else ""
+            lines.append(pad + "%scall %s(%s)" % (prefix, stmt.callee, ", ".join(stmt.args)))
+        elif isinstance(stmt, FuncRef):
+            lines.append(pad + "%s = &%s" % (stmt.target, stmt.func))
+        elif isinstance(stmt, IndirectCall):
+            prefix = "%s = " % stmt.target if stmt.target else ""
+            lines.append(pad + "%sicall %s(%s)" % (prefix, stmt.pointer, ", ".join(stmt.args)))
+        elif isinstance(stmt, Return):
+            lines.append(pad + ("return %s" % stmt.value if stmt.value else "return"))
+        else:  # pragma: no cover - exhaustive over Stmt
+            raise TypeError("unknown statement %r" % (stmt,))

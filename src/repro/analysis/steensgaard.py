@@ -1,0 +1,258 @@
+"""Steensgaard-style unification-based points-to analysis.
+
+The almost-linear-time, less precise cousin of Andersen's analysis: every
+assignment unifies equivalence classes instead of adding subset edges.
+Each class has at most one pointee class; unifying two classes recursively
+unifies their pointees.  Allocation sites live in classes too, so the final
+points-to set of a variable is every site in its class's pointee class.
+
+Included as the coarse end of the precision spectrum: its output feeds the
+same Pestrie pipeline and maximises the equivalence property (whole classes
+share one points-to set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..matrix.points_to import PointsToMatrix
+from .ir import (
+    Alloc,
+    Call,
+    Copy,
+    FieldLoad,
+    FieldStore,
+    FuncRef,
+    IndirectCall,
+    Load,
+    Program,
+    Return,
+    Store,
+    SymbolTable,
+)
+
+
+class _UnionFind:
+    def __init__(self):
+        self.parent: List[int] = []
+        self.rank: List[int] = []
+
+    def make(self) -> int:
+        self.parent.append(len(self.parent))
+        self.rank.append(0)
+        return len(self.parent) - 1
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> int:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+        return ra
+
+
+@dataclass
+class SteensgaardResult:
+    symbols: SymbolTable
+    #: Representative class per variable id.
+    var_class: List[int]
+    #: Sites contained in each class (by representative at solve end).
+    sites_in_class: Dict[int, List[int]]
+    #: Pointee class per class representative, if any.
+    pointee: Dict[int, int]
+
+    def to_matrix(self) -> PointsToMatrix:
+        matrix = PointsToMatrix(
+            self.symbols.n_variables,
+            self.symbols.n_sites,
+            pointer_names=self.symbols.variable_names(),
+            object_names=self.symbols.site_names(),
+        )
+        for var in range(self.symbols.n_variables):
+            pointee = self.pointee.get(self.var_class[var])
+            if pointee is None:
+                continue
+            for site in self.sites_in_class.get(pointee, ()):
+                matrix.add(var, site)
+        return matrix
+
+
+class _Solver:
+    def __init__(self, symbols: SymbolTable):
+        self.symbols = symbols
+        self.uf = _UnionFind()
+        # Node layout: one union-find element per variable, then per site.
+        self.var_node = [self.uf.make() for _ in range(symbols.n_variables)]
+        self.site_node = [self.uf.make() for _ in range(symbols.n_sites)]
+        self.pointee: Dict[int, Optional[int]] = {}
+        #: Lambda signatures per class root: (param nodes, return node).
+        #: Attached to function-object classes; unified pointwise on join.
+        self.signature: Dict[int, tuple] = {}
+
+    def _get_pointee(self, node: int) -> Optional[int]:
+        return self.pointee.get(self.uf.find(node))
+
+    def _set_pointee(self, node: int, target: int) -> None:
+        root = self.uf.find(node)
+        existing = self.pointee.get(root)
+        if existing is None:
+            self.pointee[root] = self.uf.find(target)
+        else:
+            self.join(existing, target)
+
+    def join(self, a: int, b: int) -> None:
+        """Unify two classes and, recursively, their pointees/signatures."""
+        ra, rb = self.uf.find(a), self.uf.find(b)
+        if ra == rb:
+            return
+        pa, pb = self.pointee.get(ra), self.pointee.get(rb)
+        sa, sb = self.signature.pop(ra, None), self.signature.pop(rb, None)
+        self.pointee.pop(ra, None)
+        self.pointee.pop(rb, None)
+        root = self.uf.union(ra, rb)
+        if pa is not None and pb is not None:
+            self.pointee[root] = self.uf.find(pa)
+            self.join(pa, pb)
+        elif pa is not None or pb is not None:
+            self.pointee[root] = self.uf.find(pa if pa is not None else pb)
+        if sa is not None and sb is not None:
+            self.signature[root] = sa
+            for pa_node, pb_node in zip(sa[0], sb[0]):
+                self.join(pa_node, pb_node)
+            self.join(sa[1], sb[1])
+        elif sa is not None or sb is not None:
+            self.signature[root] = sa if sa is not None else sb
+
+    def _signature_of(self, node: int, arity: int) -> tuple:
+        """Get (or create a fresh placeholder) lambda signature."""
+        root = self.uf.find(node)
+        existing = self.signature.get(root)
+        if existing is None:
+            existing = (tuple(self.uf.make() for _ in range(arity)), self.uf.make())
+            self.signature[root] = existing
+        return existing
+
+    def assign(self, dst: int, src: int) -> None:
+        """``dst = src``: unify the pointees of both sides."""
+        p_src = self._get_pointee(src)
+        if p_src is None:
+            # Give src a fresh pointee class so future joins line up.
+            fresh = self.uf.make()
+            self.pointee[self.uf.find(src)] = fresh
+            p_src = fresh
+        self._set_pointee(dst, p_src)
+
+    def _bind_function(self, program: Program, return_vars, func: str, site: int) -> None:
+        """Attach ``func``'s real parameter/return nodes to its object's
+        lambda signature (unifying with any placeholder already there)."""
+        function = program.functions[func]
+        params, ret = self._signature_of(site, len(function.params))
+        for param_node, param_name in zip(params, function.params):
+            self.join(param_node, self.var_node[self.symbols.variable(func, param_name)])
+        for returned in return_vars.get(func, ()):
+            self.join(ret, self.var_node[returned])
+
+    def solve(self, program: Program) -> SteensgaardResult:
+        symbols = self.symbols
+        return_vars: Dict[str, List[int]] = {}
+        for function in program.functions.values():
+            for stmt in function.simple_statements():
+                if isinstance(stmt, Return) and stmt.value is not None:
+                    return_vars.setdefault(function.name, []).append(
+                        symbols.variable(function.name, stmt.value)
+                    )
+        for function in program.functions.values():
+            fname = function.name
+            for stmt in function.simple_statements():
+                if isinstance(stmt, Alloc):
+                    var = self.var_node[symbols.variable(fname, stmt.target)]
+                    site = self.site_node[symbols.site(fname, stmt.site)]
+                    self._set_pointee(var, site)
+                elif isinstance(stmt, Copy):
+                    self.assign(
+                        self.var_node[symbols.variable(fname, stmt.target)],
+                        self.var_node[symbols.variable(fname, stmt.source)],
+                    )
+                elif isinstance(stmt, (Load, FieldLoad)):
+                    src = self.var_node[symbols.variable(fname, stmt.source)]
+                    p_src = self._get_pointee(src)
+                    if p_src is None:
+                        p_src = self.uf.make()
+                        self.pointee[self.uf.find(src)] = p_src
+                    self.assign(
+                        self.var_node[symbols.variable(fname, stmt.target)], p_src
+                    )
+                elif isinstance(stmt, (Store, FieldStore)):
+                    dst = self.var_node[symbols.variable(fname, stmt.target)]
+                    p_dst = self._get_pointee(dst)
+                    if p_dst is None:
+                        p_dst = self.uf.make()
+                        self.pointee[self.uf.find(dst)] = p_dst
+                    self.assign(
+                        p_dst, self.var_node[symbols.variable(fname, stmt.source)]
+                    )
+                elif isinstance(stmt, Call):
+                    callee = program.functions[stmt.callee]
+                    for param, arg in zip(callee.params, stmt.args):
+                        self.assign(
+                            self.var_node[symbols.variable(stmt.callee, param)],
+                            self.var_node[symbols.variable(fname, arg)],
+                        )
+                    if stmt.target is not None:
+                        target = self.var_node[symbols.variable(fname, stmt.target)]
+                        for returned in return_vars.get(stmt.callee, ()):
+                            self.assign(target, self.var_node[returned])
+                elif isinstance(stmt, FuncRef):
+                    site = self.site_node[symbols.function_object(stmt.func)]
+                    self._bind_function(program, return_vars, stmt.func, site)
+                    self._set_pointee(
+                        self.var_node[symbols.variable(fname, stmt.target)], site
+                    )
+                elif isinstance(stmt, IndirectCall):
+                    fp = self.var_node[symbols.variable(fname, stmt.pointer)]
+                    pointee = self._get_pointee(fp)
+                    if pointee is None:
+                        pointee = self.uf.make()
+                        self.pointee[self.uf.find(fp)] = pointee
+                    params, ret = self._signature_of(pointee, len(stmt.args))
+                    for param, arg in zip(params, stmt.args):
+                        self.assign(param, self.var_node[symbols.variable(fname, arg)])
+                    if stmt.target is not None:
+                        self.assign(
+                            self.var_node[symbols.variable(fname, stmt.target)], ret
+                        )
+
+        var_class = [self.uf.find(self.var_node[v]) for v in range(symbols.n_variables)]
+        sites_in_class: Dict[int, List[int]] = {}
+        for site in range(symbols.n_sites):
+            sites_in_class.setdefault(self.uf.find(self.site_node[site]), []).append(site)
+        pointee = {root: self.uf.find(target) for root, target in self.pointee.items()}
+        # Re-root pointee keys: entries may be stale after later unions.
+        canonical: Dict[int, int] = {}
+        for root, target in pointee.items():
+            canonical[self.uf.find(root)] = self.uf.find(target)
+        return SteensgaardResult(
+            symbols=symbols,
+            var_class=var_class,
+            sites_in_class=sites_in_class,
+            pointee=canonical,
+        )
+
+
+def analyze(program: Program, symbols: SymbolTable | None = None) -> SteensgaardResult:
+    """Run the unification-based analysis."""
+    if symbols is None:
+        symbols = SymbolTable(program)
+    return _Solver(symbols).solve(program)

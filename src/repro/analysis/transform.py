@@ -1,0 +1,176 @@
+"""Canonicalising constrained points-to results to the matrix (Section 6.1).
+
+The Pestrie pipeline consumes an *unconstrained* boolean matrix.  Precise
+analyses attach qualifiers to their facts; each qualifier family has a
+renaming into fresh pointer rows:
+
+* flow-sensitive  ``p --l--> o``        →  ``(l, p) ↦ p_l``;
+* context-sensitive ``(c, p) → (c', o)`` →  ``p_c`` and ``o_c'`` (after
+  merging contexts per call site — the 1-callsite projection the paper
+  applies to geomPTA results);
+* path-sensitive ``p --l1∨…∨lk--> o``   →  split over the basis predicates
+  into ``p_l1 → o, …, p_lk → o``.
+
+Every transform returns the matrix *and* the name tables, so queries can be
+posed in source terms (e.g. ``ListPointsTo(c, p)``) and so Section 6.2's
+correlation can keep ids stable across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from ..matrix.points_to import PointsToMatrix
+from .context_sensitive import ContextSensitiveResult
+from .flow_sensitive import FlowSensitiveResult
+
+
+@dataclass
+class NamedMatrix:
+    """A points-to matrix plus its row/column naming."""
+
+    matrix: PointsToMatrix
+    pointer_index: Dict[str, int] = field(default_factory=dict)
+    object_index: Dict[str, int] = field(default_factory=dict)
+
+    def pointer_id(self, name: str) -> int:
+        return self.pointer_index[name]
+
+    def object_id(self, name: str) -> int:
+        return self.object_index[name]
+
+
+class _Interner:
+    def __init__(self):
+        self.index: Dict[str, int] = {}
+
+    def intern(self, name: str) -> int:
+        return self.index.setdefault(name, len(self.index))
+
+    def names(self) -> List[str]:
+        table = [""] * len(self.index)
+        for name, value in self.index.items():
+            table[value] = name
+        return table
+
+
+def _build(pairs: Iterable[Tuple[str, str]]) -> NamedMatrix:
+    pointers = _Interner()
+    objects = _Interner()
+    facts = [(pointers.intern(p), objects.intern(o)) for p, o in pairs]
+    matrix = PointsToMatrix(
+        len(pointers.index), len(objects.index),
+        pointer_names=pointers.names(), object_names=objects.names(),
+    )
+    for pointer, obj in facts:
+        matrix.add(pointer, obj)
+    return NamedMatrix(matrix=matrix, pointer_index=pointers.index,
+                       object_index=objects.index)
+
+
+# ----------------------------------------------------------------------
+# Flow-sensitive: (l, p) ↦ p_l
+# ----------------------------------------------------------------------
+
+def flow_sensitive_to_matrix(result: FlowSensitiveResult) -> NamedMatrix:
+    """Rename each ``(definition point, variable)`` pair to a fresh row."""
+    variable_names = result.symbols.variable_names()
+    site_names = result.symbols.site_names()
+
+    def emit() -> Iterable[Tuple[str, str]]:
+        for fact in result.facts:
+            pointer = "%s@L%d" % (variable_names[fact.variable], fact.label)
+            for obj in sorted(fact.objects):
+                yield pointer, site_names[obj]
+        for function, variable, objects in result.entry_facts:
+            pointer = "%s@entry(%s)" % (variable_names[variable], function)
+            for obj in sorted(objects):
+                yield pointer, site_names[obj]
+
+    return _build(emit())
+
+
+# ----------------------------------------------------------------------
+# Context-sensitive: (c, p) ↦ p_c with per-call-site context merging
+# ----------------------------------------------------------------------
+
+def merge_context(context: Tuple[int, ...], depth: int = 1) -> Tuple[int, ...]:
+    """The paper's representative-context projection: keep the innermost
+    ``depth`` call sites (all contexts of one call site merge into one)."""
+    if depth <= 0:
+        return ()
+    return tuple(context[-depth:])
+
+
+def context_sensitive_to_matrix(
+    result: ContextSensitiveResult, merge_depth: int = 1
+) -> NamedMatrix:
+    """Rename merged ``(context, entity)`` pairs to fresh rows/columns."""
+    symbols = result.symbols
+    variable_names = symbols.variable_names()
+    site_names = symbols.site_names()
+
+    def owner_of(qualified: str) -> Tuple[str, Tuple[int, ...], str]:
+        """Split ``clone::name`` into (base function, merged context, name)."""
+        if "::" not in qualified:
+            return "", (), qualified  # a global: context-free by definition
+        clone, _, bare = qualified.partition("::")
+        base, context = result.clone_info[clone]
+        return base, merge_context(context, merge_depth), bare
+
+    def render(base: str, context: Tuple[int, ...], bare: str) -> str:
+        if not base:
+            return bare
+        if not context:
+            return "%s::%s" % (base, bare)
+        return "%s[%s]::%s" % (base, ",".join(map(str, context)), bare)
+
+    def emit() -> Iterable[Tuple[str, str]]:
+        for pointer, pts in enumerate(result.andersen.var_pts):
+            if not pts:
+                continue
+            pointer_name = render(*owner_of(variable_names[pointer]))
+            for obj in pts:
+                yield pointer_name, render(*owner_of(site_names[obj]))
+
+    return _build(emit())
+
+
+# ----------------------------------------------------------------------
+# Path-sensitive: split disjunctions of basis predicates
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PathFact:
+    """``pointer --cond--> obj`` where ``cond`` is a disjunction of basis
+    predicates (Hackett/Aiken-style path conditions rewritten over a finite
+    basis, as Section 6.1 prescribes)."""
+
+    pointer: str
+    obj: str
+    predicates: FrozenSet[str]
+
+
+def path_sensitive_to_matrix(
+    facts: Sequence[PathFact], basis: Sequence[str]
+) -> NamedMatrix:
+    """Split each fact across its predicates: ``p_l1 → o ∪ … ∪ p_lk → o``."""
+    basis_set = set(basis)
+
+    def emit() -> Iterable[Tuple[str, str]]:
+        for fact in facts:
+            unknown = fact.predicates - basis_set
+            if unknown:
+                raise ValueError(
+                    "predicates %s are not in the basis" % sorted(unknown)
+                )
+            if not fact.predicates:
+                raise ValueError(
+                    "fact %s -> %s has an empty (unsatisfiable) condition"
+                    % (fact.pointer, fact.obj)
+                )
+            for predicate in sorted(fact.predicates):
+                yield "%s|%s" % (fact.pointer, predicate), fact.obj
+
+    return _build(emit())

@@ -1,0 +1,7 @@
+"""Persistence and querying baselines: BitP, bzip, demand-driven."""
+
+from .bitmap_persist import BitmapIndex, BitmapPersistence
+from .bzip_persist import BzipPersistence
+from .demand import DemandDriven
+
+__all__ = ["BitmapIndex", "BitmapPersistence", "BzipPersistence", "DemandDriven"]

@@ -1,0 +1,65 @@
+"""bzip baseline: off-the-shelf compression of the points-to matrix.
+
+The paper's point (Section 1): a general-purpose compressor shrinks the raw
+relation but cannot exploit its semantics and, worse, must be *fully
+decompressed* before any query can be answered.  We serialise ``PM`` in a
+simple row-major binary layout and run it through ``bz2`` at maximum
+compression, exactly mirroring that trade-off.
+"""
+
+from __future__ import annotations
+
+import bz2
+import os
+import struct
+from typing import List
+
+from ..matrix.points_to import PointsToMatrix
+
+MAGIC = b"BZPM\x00\x01\x00\x00"
+
+_U32 = struct.Struct("<I")
+
+
+def _serialize(matrix: PointsToMatrix) -> bytes:
+    chunks: List[bytes] = [_U32.pack(matrix.n_pointers), _U32.pack(matrix.n_objects)]
+    for row in matrix.rows:
+        objects = list(row)
+        chunks.append(_U32.pack(len(objects)))
+        chunks.extend(_U32.pack(obj) for obj in objects)
+    return b"".join(chunks)
+
+
+def _deserialize(data: bytes) -> PointsToMatrix:
+    offset = 0
+    n_pointers = _U32.unpack_from(data, offset)[0]
+    offset += 4
+    n_objects = _U32.unpack_from(data, offset)[0]
+    offset += 4
+    matrix = PointsToMatrix(n_pointers, n_objects)
+    for pointer in range(n_pointers):
+        count = _U32.unpack_from(data, offset)[0]
+        offset += 4
+        for _ in range(count):
+            matrix.add(pointer, _U32.unpack_from(data, offset)[0])
+            offset += 4
+    return matrix
+
+
+class BzipPersistence:
+    """bz2-compressed PM persistence; decoding inflates the whole matrix."""
+
+    @staticmethod
+    def encode_to_file(matrix: PointsToMatrix, path: str, level: int = 9) -> int:
+        payload = MAGIC + bz2.compress(_serialize(matrix), compresslevel=level)
+        with open(path, "wb") as stream:
+            stream.write(payload)
+        return os.path.getsize(path)
+
+    @staticmethod
+    def decode_from_file(path: str) -> PointsToMatrix:
+        with open(path, "rb") as stream:
+            data = stream.read()
+        if data[:8] != MAGIC:
+            raise ValueError("not a bzip-PM file")
+        return _deserialize(bz2.decompress(data[8:]))

@@ -1,0 +1,15 @@
+"""From-scratch ROBDD engine and the BDD points-to persistence baseline."""
+
+from .encode import PointsToBdd, encode_matrix, facts
+from .manager import FALSE, TRUE, BddManager
+from .persist import BddPersistence
+
+__all__ = [
+    "FALSE",
+    "TRUE",
+    "BddManager",
+    "BddPersistence",
+    "PointsToBdd",
+    "encode_matrix",
+    "facts",
+]

@@ -1,0 +1,156 @@
+"""Encoding a points-to matrix as one BDD (the Whaley/Lam-style baseline).
+
+The relation ``PM ⊆ Pointers × Objects`` becomes a boolean function over
+interleaved pointer/object bit variables: variable ``2i`` is pointer bit
+``i`` and variable ``2i+1`` is object bit ``i`` (MSB first).  Interleaving
+is the standard order for points-to BDDs — it lets equivalent pointers and
+equivalent objects share structure, which is where the BDD's compression
+comes from.
+
+Equivalent pointer rows are detected first and each distinct points-to set
+is turned into one object-cube disjunction, OR-ed with the cube of every
+pointer in the class — mirroring how BDD-based analyses merge duplicated
+rows "for free".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from ..matrix.equivalence import partition_rows
+from ..matrix.points_to import PointsToMatrix
+from .manager import FALSE, BddManager
+
+
+def _bits_needed(count: int) -> int:
+    if count <= 1:
+        return 1
+    return (count - 1).bit_length()
+
+
+class PointsToBdd:
+    """One BDD holding a whole points-to matrix, plus its bit layout."""
+
+    def __init__(self, manager: BddManager, root: int, n_pointers: int, n_objects: int,
+                 pointer_bits: int, object_bits: int):
+        self.manager = manager
+        self.root = root
+        self.n_pointers = n_pointers
+        self.n_objects = n_objects
+        self.pointer_bits = pointer_bits
+        self.object_bits = object_bits
+
+    # Bit layout: pointer bit i (MSB first) ↔ var 2i; object bit i ↔ var 2i+1.
+
+    def pointer_assignment(self, pointer: int) -> Dict[int, bool]:
+        return {
+            2 * i: bool(pointer >> (self.pointer_bits - 1 - i) & 1)
+            for i in range(self.pointer_bits)
+        }
+
+    def object_assignment(self, obj: int) -> Dict[int, bool]:
+        return {
+            2 * i + 1: bool(obj >> (self.object_bits - 1 - i) & 1)
+            for i in range(self.object_bits)
+        }
+
+    def _object_from_assignment(self, assignment: Dict[int, bool]) -> int:
+        value = 0
+        for i in range(self.object_bits):
+            value = (value << 1) | int(assignment[2 * i + 1])
+        return value
+
+    def _pointer_from_assignment(self, assignment: Dict[int, bool]) -> int:
+        value = 0
+        for i in range(self.pointer_bits):
+            value = (value << 1) | int(assignment[2 * i])
+        return value
+
+    # ------------------------------------------------------------------
+    # Queries (all require decode work — the paper's criticism)
+    # ------------------------------------------------------------------
+
+    def list_points_to(self, pointer: int) -> List[int]:
+        """Restrict the pointer bits, then enumerate object assignments."""
+        restricted = self.manager.restrict(self.root, self.pointer_assignment(pointer))
+        if restricted == FALSE:
+            return []
+        object_vars = [2 * i + 1 for i in range(self.object_bits)]
+        result = []
+        for assignment in self.manager.satisfying_assignments(restricted, object_vars):
+            obj = self._object_from_assignment(assignment)
+            if obj < self.n_objects:
+                result.append(obj)
+        return sorted(result)
+
+    def list_pointed_by(self, obj: int) -> List[int]:
+        restricted = self.manager.restrict(self.root, self.object_assignment(obj))
+        if restricted == FALSE:
+            return []
+        pointer_vars = [2 * i for i in range(self.pointer_bits)]
+        result = []
+        for assignment in self.manager.satisfying_assignments(restricted, pointer_vars):
+            pointer = self._pointer_from_assignment(assignment)
+            if pointer < self.n_pointers:
+                result.append(pointer)
+        return sorted(result)
+
+    def is_alias(self, p: int, q: int) -> bool:
+        """Decode both points-to sets, then intersect — as the paper says,
+        strictly slower than the bitmap route."""
+        return bool(set(self.list_points_to(p)) & set(self.list_points_to(q)))
+
+    def list_aliases(self, p: int) -> List[int]:
+        mine = set(self.list_points_to(p))
+        if not mine:
+            return []
+        aliases = set()
+        for obj in mine:
+            aliases.update(self.list_pointed_by(obj))
+        aliases.discard(p)
+        return sorted(aliases)
+
+    def node_count(self) -> int:
+        return self.manager.reachable_count(self.root)
+
+    def to_matrix(self) -> PointsToMatrix:
+        """Full decode (round-trip oracle for tests)."""
+        matrix = PointsToMatrix(self.n_pointers, self.n_objects)
+        for pointer in range(self.n_pointers):
+            for obj in self.list_points_to(pointer):
+                matrix.add(pointer, obj)
+        return matrix
+
+
+def encode_matrix(matrix: PointsToMatrix) -> PointsToBdd:
+    """Build the interleaved-variable BDD for ``matrix``."""
+    pointer_bits = _bits_needed(matrix.n_pointers)
+    object_bits = _bits_needed(matrix.n_objects)
+    manager = BddManager(2 * max(pointer_bits, object_bits))
+    encoded = PointsToBdd(manager, FALSE, matrix.n_pointers, matrix.n_objects,
+                          pointer_bits, object_bits)
+
+    partition = partition_rows(matrix)
+    root = FALSE
+    for members in partition.members:
+        row = matrix.rows[members[0]]
+        objects_bdd = FALSE
+        for obj in row:
+            objects_bdd = manager.or_(objects_bdd, manager.cube(encoded.object_assignment(obj)))
+        if objects_bdd == FALSE:
+            continue
+        pointers_bdd = FALSE
+        for pointer in members:
+            pointers_bdd = manager.or_(
+                pointers_bdd, manager.cube(encoded.pointer_assignment(pointer))
+            )
+        root = manager.or_(root, manager.and_(pointers_bdd, objects_bdd))
+    encoded.root = root
+    return encoded
+
+
+def facts(encoded: PointsToBdd) -> Iterator[tuple]:
+    """Iterate all ``(pointer, object)`` facts stored in the BDD."""
+    for pointer in range(encoded.n_pointers):
+        for obj in encoded.list_points_to(pointer):
+            yield pointer, obj

@@ -1,0 +1,287 @@
+"""A from-scratch reduced ordered BDD engine.
+
+Implements the standard ROBDD machinery the paper's BDD baseline relies on
+(BuDDy / JavaBDD in the original artefact): hash-consed nodes, memoised
+``apply``/``ite``, restriction, satisfying-assignment enumeration, and node
+counting.  Nodes are rows in parallel arrays — ``var``, ``low``, ``high`` —
+with terminals at ids 0 (FALSE) and 1 (TRUE); canonicity is maintained by
+the unique table, so semantic equality is id equality.
+
+Variables are ordered by their integer index: smaller index = closer to the
+root.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+FALSE = 0
+TRUE = 1
+
+#: Sentinel variable index for terminal nodes (orders after all real vars).
+_TERMINAL_VAR = 1 << 30
+
+
+class BddManager:
+    """Owns the node store, the unique table, and the operation caches."""
+
+    def __init__(self, n_vars: int):
+        if n_vars < 0:
+            raise ValueError("variable count must be non-negative")
+        self.n_vars = n_vars
+        self._var: List[int] = [_TERMINAL_VAR, _TERMINAL_VAR]
+        self._low: List[int] = [FALSE, TRUE]
+        self._high: List[int] = [FALSE, TRUE]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._apply_cache: Dict[Tuple[str, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Node store
+    # ------------------------------------------------------------------
+
+    def mk(self, var: int, low: int, high: int) -> int:
+        """Hash-consed node constructor (the reduce rules live here)."""
+        if low == high:
+            return low
+        key = (var, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._var)
+            self._var.append(var)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = node
+        return node
+
+    def var_of(self, node: int) -> int:
+        return self._var[node]
+
+    def low_of(self, node: int) -> int:
+        return self._low[node]
+
+    def high_of(self, node: int) -> int:
+        return self._high[node]
+
+    def is_terminal(self, node: int) -> bool:
+        return node <= TRUE
+
+    def variable(self, var: int) -> int:
+        """The BDD of the literal ``x_var``."""
+        if not 0 <= var < self.n_vars:
+            raise IndexError("variable %d out of range" % var)
+        return self.mk(var, FALSE, TRUE)
+
+    def nvariable(self, var: int) -> int:
+        """The BDD of ``¬x_var``."""
+        return self.mk(var, TRUE, FALSE)
+
+    def size(self) -> int:
+        """Total allocated nodes, including the two terminals."""
+        return len(self._var)
+
+    # ------------------------------------------------------------------
+    # Boolean operations
+    # ------------------------------------------------------------------
+
+    def apply(self, op: str, a: int, b: int) -> int:
+        """Binary operation: ``"and"``, ``"or"``, ``"xor"``, ``"diff"``."""
+        if op == "and":
+            if a == FALSE or b == FALSE:
+                return FALSE
+            if a == TRUE:
+                return b
+            if b == TRUE:
+                return a
+            if a == b:
+                return a
+        elif op == "or":
+            if a == TRUE or b == TRUE:
+                return TRUE
+            if a == FALSE:
+                return b
+            if b == FALSE:
+                return a
+            if a == b:
+                return a
+        elif op == "xor":
+            if a == b:
+                return FALSE
+            if a == FALSE:
+                return b
+            if b == FALSE:
+                return a
+        elif op == "diff":
+            if a == FALSE or b == TRUE:
+                return FALSE
+            if b == FALSE:
+                return a
+            if a == b:
+                return FALSE
+        else:
+            raise ValueError("unknown BDD operation %r" % op)
+
+        if op in ("and", "or", "xor") and a > b:
+            a, b = b, a  # commutative: canonicalise the cache key
+        key = (op, a, b)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+
+        var_a, var_b = self._var[a], self._var[b]
+        top = min(var_a, var_b)
+        low_a, high_a = (self._low[a], self._high[a]) if var_a == top else (a, a)
+        low_b, high_b = (self._low[b], self._high[b]) if var_b == top else (b, b)
+        result = self.mk(
+            top,
+            self.apply(op, low_a, low_b),
+            self.apply(op, high_a, high_b),
+        )
+        self._apply_cache[key] = result
+        return result
+
+    def and_(self, a: int, b: int) -> int:
+        return self.apply("and", a, b)
+
+    def or_(self, a: int, b: int) -> int:
+        return self.apply("or", a, b)
+
+    def not_(self, a: int) -> int:
+        return self.ite(a, FALSE, TRUE)
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``(f ∧ g) ∨ (¬f ∧ h)``."""
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        top = min(self._var[f], self._var[g], self._var[h])
+
+        def cofactor(node: int, branch: bool) -> int:
+            if self._var[node] != top:
+                return node
+            return self._high[node] if branch else self._low[node]
+
+        result = self.mk(
+            top,
+            self.ite(cofactor(f, False), cofactor(g, False), cofactor(h, False)),
+            self.ite(cofactor(f, True), cofactor(g, True), cofactor(h, True)),
+        )
+        self._ite_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Cubes, restriction, evaluation, enumeration
+    # ------------------------------------------------------------------
+
+    def cube(self, assignment: Dict[int, bool]) -> int:
+        """The conjunction of literals given as ``{var: polarity}``."""
+        result = TRUE
+        for var in sorted(assignment, reverse=True):
+            if assignment[var]:
+                result = self.mk(var, FALSE, result)
+            else:
+                result = self.mk(var, result, FALSE)
+        return result
+
+    def restrict(self, node: int, assignment: Dict[int, bool]) -> int:
+        """Substitute constants for the given variables."""
+        cache: Dict[int, int] = {}
+
+        def walk(current: int) -> int:
+            if current <= TRUE:
+                return current
+            hit = cache.get(current)
+            if hit is not None:
+                return hit
+            var = self._var[current]
+            if var in assignment:
+                result = walk(self._high[current] if assignment[var] else self._low[current])
+            else:
+                result = self.mk(var, walk(self._low[current]), walk(self._high[current]))
+            cache[current] = result
+            return result
+
+        return walk(node)
+
+    def evaluate(self, node: int, assignment: Dict[int, bool]) -> bool:
+        """Evaluate under a total assignment."""
+        while node > TRUE:
+            node = self._high[node] if assignment[self._var[node]] else self._low[node]
+        return node == TRUE
+
+    def reachable_count(self, node: int) -> int:
+        """Nodes reachable from ``node`` (the size a persisted BDD pays for)."""
+        seen = {FALSE, TRUE}
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend((self._low[current], self._high[current]))
+        return len(seen)
+
+    def satisfying_assignments(
+        self, node: int, variables: List[int]
+    ) -> Iterator[Dict[int, bool]]:
+        """All total assignments over ``variables`` satisfying ``node``.
+
+        Don't-care variables are expanded, which is exactly the costly
+        decode step the paper blames for slow BDD queries.
+        """
+        variables = sorted(variables)
+        var_positions = {var: i for i, var in enumerate(variables)}
+
+        def expand(current: int, position: int, partial: Dict[int, bool]) -> Iterator[Dict[int, bool]]:
+            if position == len(variables):
+                if current == TRUE:
+                    yield dict(partial)
+                return
+            var = variables[position]
+            node_var = self._var[current]
+            if current <= TRUE or node_var != var:
+                if current == FALSE:
+                    return
+                # ``var`` is a don't-care here: branch both ways.
+                for polarity in (False, True):
+                    partial[var] = polarity
+                    yield from expand(current, position + 1, partial)
+                del partial[var]
+                return
+            for polarity, child in ((False, self._low[current]), (True, self._high[current])):
+                if child == FALSE:
+                    continue
+                partial[var] = polarity
+                yield from expand(child, position + 1, partial)
+            if var in partial:
+                del partial[var]
+
+        # Only sound when the node's support is within ``variables``.
+        support = self.support(node)
+        if not support.issubset(set(variables)):
+            raise ValueError("enumeration variables must cover the BDD support")
+        del var_positions
+        yield from expand(node, 0, {})
+
+    def support(self, node: int) -> set:
+        """The set of variables the function actually depends on."""
+        seen = set()
+        result = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current <= TRUE or current in seen:
+                continue
+            seen.add(current)
+            result.add(self._var[current])
+            stack.extend((self._low[current], self._high[current]))
+        return result

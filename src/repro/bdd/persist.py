@@ -1,0 +1,103 @@
+"""BDD persistent format: the reachable node table, 20 bytes per node.
+
+The paper sizes BDD persistence at the node-table level and notes every
+BuDDy/JavaBDD node occupies 20 bytes of meta-data; we serialise exactly
+that — ``(var, low, high)`` plus the implicit id — as 4 + 2×8-byte fields,
+20 bytes, so the measured file sizes carry the same constant.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import BinaryIO, Dict, List
+
+from .encode import PointsToBdd
+from .manager import FALSE, TRUE, BddManager
+
+MAGIC = b"BDDP\x00\x01\x00\x00"
+
+_HEADER = struct.Struct("<IIIIII")  # n_pointers n_objects p_bits o_bits n_nodes root
+_NODE = struct.Struct("<IQQ")  # var, low, high — 20 bytes like BuDDy/JavaBDD
+
+
+class BddPersistence:
+    """Encoder/decoder for the BDD node-table format."""
+
+    @staticmethod
+    def encode(encoded: PointsToBdd, stream: BinaryIO) -> None:
+        manager = encoded.manager
+        # Collect reachable nodes in a deterministic topological order
+        # (children before parents) so decoding is a single pass.
+        order: List[int] = []
+        seen = {FALSE, TRUE}
+        stack = [(encoded.root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node in seen and not expanded:
+                continue
+            if expanded:
+                order.append(node)
+                continue
+            seen.add(node)
+            stack.append((node, True))
+            stack.append((manager.high_of(node), False))
+            stack.append((manager.low_of(node), False))
+
+        remap: Dict[int, int] = {FALSE: 0, TRUE: 1}
+        for position, node in enumerate(order):
+            remap[node] = position + 2
+
+        stream.write(MAGIC)
+        stream.write(
+            _HEADER.pack(
+                encoded.n_pointers,
+                encoded.n_objects,
+                encoded.pointer_bits,
+                encoded.object_bits,
+                len(order),
+                remap[encoded.root],
+            )
+        )
+        for node in order:
+            stream.write(
+                _NODE.pack(
+                    manager.var_of(node),
+                    remap[manager.low_of(node)],
+                    remap[manager.high_of(node)],
+                )
+            )
+
+    @staticmethod
+    def encode_to_file(encoded: PointsToBdd, path: str) -> int:
+        with open(path, "wb") as stream:
+            BddPersistence.encode(encoded, stream)
+        return os.path.getsize(path)
+
+    @staticmethod
+    def decode(stream: BinaryIO) -> PointsToBdd:
+        magic = stream.read(8)
+        if magic != MAGIC:
+            raise ValueError("not a BDD persistence file (bad magic %r)" % magic)
+        header = stream.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise ValueError("truncated BDD file header")
+        n_pointers, n_objects, p_bits, o_bits, n_nodes, root = _HEADER.unpack(header)
+        manager = BddManager(2 * max(p_bits, o_bits))
+        remap: Dict[int, int] = {0: FALSE, 1: TRUE}
+        for position in range(n_nodes):
+            record = stream.read(_NODE.size)
+            if len(record) != _NODE.size:
+                raise ValueError("truncated BDD node table at node %d" % position)
+            var, low, high = _NODE.unpack(record)
+            if low not in remap or high not in remap:
+                raise ValueError("BDD node %d references a later node" % position)
+            remap[position + 2] = manager.mk(var, remap[low], remap[high])
+        if root not in remap:
+            raise ValueError("BDD root id %d out of range" % root)
+        return PointsToBdd(manager, remap[root], n_pointers, n_objects, p_bits, o_bits)
+
+    @staticmethod
+    def decode_from_file(path: str) -> PointsToBdd:
+        with open(path, "rb") as stream:
+            return BddPersistence.decode(stream)

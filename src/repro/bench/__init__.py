@@ -1,0 +1,42 @@
+"""Benchmark substrate: workload generators, suite, metrics, harness."""
+
+from .harness import Table, geometric_mean, human_bytes, sample_pairs, timed, traced_memory
+from .metrics import Characteristics, characterize
+from .programs import ProgramSpec, generate_program
+from .suite import (
+    BDD_SUBJECTS,
+    SUBJECT_NAMES,
+    SUITE,
+    Subject,
+    SubjectSpec,
+    build_subject,
+    get_subject,
+    iter_subjects,
+    suite_table,
+)
+from .synthetic import SyntheticSpec, synthesize, synthesize_simple
+
+__all__ = [
+    "BDD_SUBJECTS",
+    "SUBJECT_NAMES",
+    "SUITE",
+    "Characteristics",
+    "ProgramSpec",
+    "Subject",
+    "SubjectSpec",
+    "SyntheticSpec",
+    "Table",
+    "build_subject",
+    "characterize",
+    "generate_program",
+    "geometric_mean",
+    "get_subject",
+    "human_bytes",
+    "iter_subjects",
+    "sample_pairs",
+    "suite_table",
+    "synthesize",
+    "synthesize_simple",
+    "timed",
+    "traced_memory",
+]

@@ -1,0 +1,135 @@
+"""Measurement harness: timing, sizes, memory, and paper-style tables.
+
+Shared by every benchmark module so that all tables come out in a uniform
+format and rows can be diffed against the paper's numbers in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+
+@dataclass
+class Measurement:
+    """One timed call: wall-clock seconds and an optional result payload."""
+
+    seconds: float
+    result: object = None
+
+
+def timed(fn: Callable[[], object]) -> Measurement:
+    """Run ``fn`` once under a wall clock."""
+    start = time.perf_counter()
+    result = fn()
+    return Measurement(seconds=time.perf_counter() - start, result=result)
+
+
+@contextmanager
+def traced_memory():
+    """Peak-memory measurement context; yields a dict filled on exit."""
+    tracemalloc.start()
+    stats: Dict[str, int] = {}
+    try:
+        yield stats
+    finally:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        stats["peak_bytes"] = peak
+
+
+@dataclass
+class Table:
+    """A printable results table with a title and ordered columns."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    note: Optional[str] = None
+
+    def add(self, **values: object) -> None:
+        self.rows.append(values)
+
+    def render(self) -> str:
+        widths = {column: len(column) for column in self.columns}
+        formatted_rows = []
+        for row in self.rows:
+            formatted = {}
+            for column in self.columns:
+                value = row.get(column, "")
+                formatted[column] = _format_cell(value)
+                widths[column] = max(widths[column], len(formatted[column]))
+            formatted_rows.append(formatted)
+        lines = ["", "== %s ==" % self.title]
+        header = "  ".join(column.ljust(widths[column]) for column in self.columns)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for formatted in formatted_rows:
+            lines.append(
+                "  ".join(formatted[column].ljust(widths[column]) for column in self.columns)
+            )
+        if self.note:
+            lines.append(self.note)
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print(self.render())
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return "%.1f" % value
+        if abs(value) >= 0.01:
+            return "%.3f" % value
+        return "%.2e" % value
+    return str(value)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """The paper reports ratios by geometric mean."""
+    values = [value for value in values if value > 0]
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def human_bytes(size: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if size < 1024 or unit == "GB":
+            return "%.1f%s" % (size, unit)
+        size /= 1024.0
+    return "%.1fGB" % size
+
+
+def sample_pairs(items: Sequence[int], limit: int) -> List[tuple]:
+    """A deterministic subsample of item pairs, capped at ``limit``.
+
+    Enumerating all ``O(n²)`` base-pointer pairs is the paper's IsAlias
+    client; at our scale we stride-sample the pair space instead of
+    truncating it, so the workload stays representative.
+    """
+    n = len(items)
+    total = n * (n - 1) // 2
+    if total <= limit:
+        return [(items[i], items[j]) for i in range(n) for j in range(i + 1, n)]
+    stride = max(1, total // limit)
+    pairs = []
+    index = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            if index % stride == 0:
+                pairs.append((items[i], items[j]))
+                if len(pairs) >= limit:
+                    return pairs
+            index += 1
+    return pairs

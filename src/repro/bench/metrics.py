@@ -1,0 +1,89 @@
+"""Characteristics measurement — the Figure 1 and Table 2 statistics.
+
+Given any points-to matrix, computes the quantities the paper's empirical
+study reports: the percentage of non-equivalent pointers and objects, and
+the hub-degree distribution.  The absolute degree buckets of Figure 1
+(e.g. "> 5000") are tied to the paper's MLoC subjects, so alongside the raw
+buckets we report scale-free quantile statistics and the *pointer-mass*
+concentration: the fraction of (pointer, object) incidences landing on the
+top decile of objects by hub degree — the form of the hub property that
+survives downscaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..core.hub import hub_degrees
+from ..matrix.equivalence import object_equivalence, pointer_equivalence
+from ..matrix.points_to import PointsToMatrix
+
+#: Figure 1 hub-degree buckets (upper bounds; the last is open-ended).
+DEGREE_BUCKETS: Sequence[float] = (10, 100, 1000, 5000, float("inf"))
+
+
+@dataclass
+class Characteristics:
+    """Everything Figure 1 / Table 2 report for one subject."""
+
+    n_pointers: int
+    n_objects: int
+    facts: int
+    pointer_class_ratio: float
+    object_class_ratio: float
+    hub_bucket_fractions: List[float]
+    #: Fraction of incidences on the top 10% of objects by hub degree.
+    hub_mass_top_decile: float
+    max_hub_degree: float
+    median_hub_degree: float
+
+    def row(self) -> Dict[str, float]:
+        return {
+            "#Pointers": self.n_pointers,
+            "#Objects": self.n_objects,
+            "#Facts": self.facts,
+            "ptr classes %": 100.0 * self.pointer_class_ratio,
+            "obj classes %": 100.0 * self.object_class_ratio,
+            "hub mass top-10% objs": 100.0 * self.hub_mass_top_decile,
+        }
+
+
+def characterize(matrix: PointsToMatrix) -> Characteristics:
+    """Measure the Section 2 characteristics of ``matrix``."""
+    pointer_part = pointer_equivalence(matrix)
+    object_part = object_equivalence(matrix)
+    degrees = hub_degrees(matrix)
+
+    buckets = [0] * len(DEGREE_BUCKETS)
+    for degree in degrees:
+        for index, bound in enumerate(DEGREE_BUCKETS):
+            if degree <= bound:
+                buckets[index] += 1
+                break
+    total_objects = max(matrix.n_objects, 1)
+
+    # Pointer-mass concentration on top-decile hubs.
+    pointed_by = [0] * matrix.n_objects
+    for row in matrix.rows:
+        for obj in row:
+            pointed_by[obj] += 1
+    order = sorted(range(matrix.n_objects), key=lambda obj: -degrees[obj])
+    top = order[: max(1, matrix.n_objects // 10)]
+    total_incidences = sum(pointed_by) or 1
+    top_mass = sum(pointed_by[obj] for obj in top)
+
+    sorted_degrees = sorted(degrees)
+    median = sorted_degrees[len(sorted_degrees) // 2] if sorted_degrees else 0.0
+
+    return Characteristics(
+        n_pointers=matrix.n_pointers,
+        n_objects=matrix.n_objects,
+        facts=matrix.fact_count(),
+        pointer_class_ratio=pointer_part.ratio(),
+        object_class_ratio=object_part.ratio(),
+        hub_bucket_fractions=[count / total_objects for count in buckets],
+        hub_mass_top_decile=top_mass / total_incidences,
+        max_hub_degree=max(degrees, default=0.0),
+        median_hub_degree=median,
+    )

@@ -1,0 +1,264 @@
+"""Benchmark-program generator: scaled stand-ins for the Table 2 suite.
+
+Generates random-but-deterministic IR programs with the shapes the paper's
+subjects exhibit — call chains with locality, shared allocator helpers (the
+factories whose sites become hubs), loops, branches, and global escape
+routes.
+
+The generator is *typed*: every variable, parameter, and allocation site
+carries one of ``n_types`` abstract types and all flows (copies, calls,
+loads, stores) are type-consistent, with a fixed ``cell_type`` map giving
+the type stored inside each object type.  Without this, a field-insensitive
+random store/load graph transitively closes into a near-dense points-to
+matrix — nothing like a real C or Java subject, whose type structure keeps
+value flows apart.  The types exist only in the generator; the emitted IR
+is plain.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..analysis.ir import (
+    Alloc,
+    Call,
+    Copy,
+    FuncRef,
+    Function,
+    If,
+    IndirectCall,
+    Load,
+    Program,
+    Return,
+    Stmt,
+    Store,
+    While,
+)
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """Shape parameters of a generated program."""
+
+    name: str
+    n_functions: int = 40
+    statements_per_function: int = 25
+    n_globals: int = 8
+    n_types: int = 8
+    seed: int = 0
+    #: How many following functions each function may call.
+    call_fanout: int = 3
+    branch_prob: float = 0.18
+    loop_prob: float = 0.10
+    #: Probability that a call goes through a function pointer (a fresh
+    #: ``fp = &callee`` + ``icall fp(...)`` pair) instead of a direct call.
+    indirect_call_prob: float = 0.0
+
+
+class _TypedScope:
+    """Variables of one function bucketed by abstract type.
+
+    A function *uses* only a handful of types (like real code); locals
+    exist for used types only.  Types outside the used set — needed when
+    calling a function with foreign parameter types — resolve to the typed
+    globals, modelling values fetched from shared state.
+    """
+
+    def __init__(self, rng: random.Random, spec: ProgramSpec, params: Sequence[str],
+                 param_types: Sequence[int], globals_by_type: Dict[int, List[str]],
+                 types_used: Sequence[int]):
+        self.types_used = list(types_used)
+        self._globals_by_type = globals_by_type
+        self.by_type: Dict[int, List[str]] = {t: [] for t in self.types_used}
+        self.locals_by_type: Dict[int, List[str]] = {t: [] for t in self.types_used}
+        # Three locals per used type guarantee both sources and targets.
+        index = 0
+        for type_id in self.types_used:
+            for _ in range(3):
+                name = "v%d" % index
+                index += 1
+                self.by_type[type_id].append(name)
+                self.locals_by_type[type_id].append(name)
+        for name, type_id in zip(params, param_types):
+            self.by_type.setdefault(type_id, []).append(name)
+        # One visible global per used type (read access).
+        for type_id in self.types_used:
+            names = globals_by_type.get(type_id, ())
+            if names:
+                self.by_type[type_id].append(rng.choice(names))
+
+    def source(self, rng: random.Random, type_id: int) -> str:
+        candidates = self.by_type.get(type_id)
+        if candidates:
+            return rng.choice(candidates)
+        return rng.choice(self._globals_by_type[type_id])
+
+    def target(self, rng: random.Random, type_id: int) -> str:
+        return rng.choice(self.locals_by_type[type_id])
+
+
+def generate_program(spec: ProgramSpec) -> Program:
+    """Build a deterministic random program from ``spec``."""
+    rng = random.Random(spec.seed)
+    n_types = max(1, spec.n_types)
+    program = Program(entry="main")
+
+    # The contents type of cells of each object type (a fixed "field map").
+    cell_type = {t: rng.randrange(n_types) for t in range(n_types)}
+
+    # Globals, typed round-robin; at least one per type so foreign-type
+    # values are always reachable through shared state.
+    n_globals = max(spec.n_globals, n_types)
+    globals_by_type: Dict[int, List[str]] = {t: [] for t in range(n_types)}
+    global_types: Dict[str, int] = {}
+    for index in range(n_globals):
+        name = "g%d" % index
+        type_id = index % n_types
+        program.globals.append(name)
+        globals_by_type[type_id].append(name)
+        global_types[name] = type_id
+
+    # One allocator helper per type: the hub factories.
+    helper_names = []
+    for type_id in range(n_types):
+        name = "make_t%d" % type_id
+        helper_names.append(name)
+        program.add_function(
+            Function(
+                name=name,
+                params=("hint",),
+                body=[Alloc(target="fresh", site="H%d" % type_id), Return(value="fresh")],
+            )
+        )
+    helper_type = {name: type_id for type_id, name in enumerate(helper_names)}
+    helper_param_types = {name: (helper_type[name],) for name in helper_names}
+
+    # Body functions are generated back-to-front so every call target (a
+    # later function or a helper) already exists with known signature.
+    body_names = ["main"] + ["f%d" % index for index in range(1, spec.n_functions)]
+    signatures: Dict[str, tuple] = dict(helper_param_types)
+    return_types: Dict[str, int] = dict(helper_type)
+
+    for position in range(len(body_names) - 1, -1, -1):
+        name = body_names[position]
+        fn_rng = random.Random((spec.seed << 20) ^ (position * 2654435761 % (1 << 31)))
+        types_used = fn_rng.sample(range(n_types), k=min(n_types, 5))
+        if name == "main":
+            params: tuple = ()
+            param_types: tuple = ()
+        else:
+            arity = fn_rng.randint(1, 3)
+            params = tuple("a%d" % i for i in range(arity))
+            param_types = tuple(fn_rng.choice(types_used) for _ in range(arity))
+        signatures[name] = param_types
+        return_type = fn_rng.choice(types_used)
+        return_types[name] = return_type
+
+        scope = _TypedScope(fn_rng, spec, params, param_types, globals_by_type, types_used)
+        window = body_names[position + 1 : position + 1 + spec.call_fanout * 2]
+        # Allocator helpers for two of the function's own types, so helper
+        # sites become shared hubs across every function using that type.
+        my_helpers = [helper_names[type_id] for type_id in types_used[:2]]
+        callable_names = window + my_helpers
+
+        site_counter = [0]
+        site_types: Dict[str, int] = {}
+
+        def fresh_site(type_id: int) -> str:
+            site = "S%d" % site_counter[0]
+            site_counter[0] += 1
+            site_types[site] = type_id
+            return site
+
+        body: List[Stmt] = []
+        # Prologue: ground one local per used type so flows are live.
+        for type_id in types_used:
+            target = scope.locals_by_type[type_id][0]
+            body.append(Alloc(target=target, site=fresh_site(type_id)))
+
+        fp_counter = [0]
+
+        def emit_statement() -> List[Stmt]:
+            roll = fn_rng.random()
+            type_id = fn_rng.choice(types_used)
+            if roll < 0.24:
+                return [Alloc(target=scope.target(fn_rng, type_id), site=fresh_site(type_id))]
+            if roll < 0.58:
+                return [Copy(
+                    target=scope.target(fn_rng, type_id),
+                    source=scope.source(fn_rng, type_id),
+                )]
+            if roll < 0.68 and cell_type[type_id] in scope.locals_by_type:
+                # v: cell_type[t] = *p where p: t
+                return [Load(
+                    target=scope.target(fn_rng, cell_type[type_id]),
+                    source=scope.source(fn_rng, type_id),
+                )]
+            if roll < 0.76:
+                # *p = q with q: cell_type[t]
+                return [Store(
+                    target=scope.source(fn_rng, type_id),
+                    source=scope.source(fn_rng, cell_type[type_id]),
+                )]
+            if roll < 0.80:
+                candidates = globals_by_type[type_id]
+                if candidates:
+                    return [Copy(
+                        target=fn_rng.choice(candidates),
+                        source=scope.source(fn_rng, type_id),
+                    )]
+                return [Copy(
+                    target=scope.target(fn_rng, type_id),
+                    source=scope.source(fn_rng, type_id),
+                )]
+            callee = fn_rng.choice(callable_names)
+            args = tuple(scope.source(fn_rng, t) for t in signatures[callee])
+            target_type = return_types[callee]
+            target = (
+                scope.target(fn_rng, target_type)
+                if target_type in scope.locals_by_type
+                else None
+            )
+            if fn_rng.random() < spec.indirect_call_prob:
+                # Route through a fresh function pointer: fp = &f; icall fp.
+                pointer = "fp%d" % fp_counter[0]
+                fp_counter[0] += 1
+                return [
+                    FuncRef(target=pointer, func=callee),
+                    IndirectCall(target=target, pointer=pointer, args=args),
+                ]
+            return [Call(target=target, callee=callee, args=args)]
+
+        def emit_block(budget: int, depth: int) -> List[Stmt]:
+            """Emit statements consuming exactly ``budget`` simple slots."""
+            block: List[Stmt] = []
+            remaining = budget
+            while remaining > 0:
+                roll = fn_rng.random()
+                if depth < 2 and remaining >= 4 and roll < spec.branch_prob:
+                    inner = max(1, remaining // 4)
+                    block.append(
+                        If(
+                            then_body=emit_block(inner, depth + 1),
+                            else_body=emit_block(inner, depth + 1),
+                        )
+                    )
+                    remaining -= 2 * inner
+                elif depth < 2 and remaining >= 3 and roll < spec.branch_prob + spec.loop_prob:
+                    inner = max(1, remaining // 4)
+                    block.append(While(body=emit_block(inner, depth + 1)))
+                    remaining -= inner
+                else:
+                    statements = emit_statement()
+                    block.extend(statements)
+                    remaining -= len(statements)
+            return block
+
+        body.extend(emit_block(spec.statements_per_function, 0))
+        body.append(Return(value=scope.target(fn_rng, return_type)))
+        program.add_function(Function(name=name, params=params, body=body))
+
+    program.validate()
+    return program

@@ -1,0 +1,200 @@
+"""The evaluation suite: 12 scaled stand-ins for the paper's Table 2.
+
+Three groups, matching the paper's experimental setup:
+
+* **C / flow-sensitive** (samba, gs, php, postgreSQL): generated IR
+  programs analysed by the flow-sensitive analysis, canonicalised via the
+  ``(l, p) → p_l`` transform;
+* **Java / 1-object-sensitive-with-heap-cloning stand-in** (antlr, luindex,
+  bloat, chart): k=2 callsite cloning, merged to 1-callsite rows;
+* **Java / geomPTA stand-in** (batik, sunflow, tomcat, fop): k=1 callsite
+  cloning with heap cloning.
+
+Sizes are scaled ~100× down from the paper's MLoC subjects so the whole
+suite runs in pure Python; the *structure* (equivalence ratios, hub mass)
+is re-measured per subject by the Figure 1 benchmark.  Subjects are cached
+per process — building one means running a real pointer analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis import context_sensitive, flow_sensitive
+from ..analysis.ir import Load, Program, Store
+from ..analysis.transform import (
+    NamedMatrix,
+    context_sensitive_to_matrix,
+    flow_sensitive_to_matrix,
+)
+from ..matrix.points_to import PointsToMatrix
+from .programs import ProgramSpec, generate_program
+
+
+@dataclass(frozen=True)
+class SubjectSpec:
+    """One suite entry: program shape + analysis choice."""
+
+    name: str
+    language: str  # "C" or "Java"
+    analysis: str  # "flow-sensitive", "2-callsite", "1-callsite"
+    program: ProgramSpec
+
+
+@dataclass
+class Subject:
+    """A built subject: the matrix plus the client query workload."""
+
+    spec: SubjectSpec
+    program: Program
+    named: NamedMatrix
+    #: Statement count — the scaled analogue of Table 2's LOC column.
+    loc: int
+    #: Matrix rows that are base pointers of loads/stores (client workload).
+    base_pointers: List[int]
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def matrix(self) -> PointsToMatrix:
+        return self.named.matrix
+
+
+def _spec(name: str, language: str, analysis: str, functions: int, stmts: int,
+          types: int, seed: int, fanout: int = 3) -> SubjectSpec:
+    return SubjectSpec(
+        name=name,
+        language=language,
+        analysis=analysis,
+        program=ProgramSpec(
+            name=name,
+            n_functions=functions,
+            statements_per_function=stmts,
+            n_types=types,
+            seed=seed,
+            call_fanout=fanout,
+        ),
+    )
+
+
+#: The twelve subjects, ordered as in Table 2.  Sizes keep the paper's
+#: relative ordering (samba largest C subject, fop largest Java one) at
+#: roughly 1/100 scale.
+SUITE: Tuple[SubjectSpec, ...] = (
+    _spec("samba", "C", "flow-sensitive", 120, 50, types=20, seed=101),
+    _spec("gs", "C", "flow-sensitive", 100, 45, types=18, seed=102),
+    _spec("php", "C", "flow-sensitive", 90, 42, types=16, seed=103),
+    _spec("postgreSQL", "C", "flow-sensitive", 80, 40, types=16, seed=104),
+    _spec("antlr", "Java", "2-callsite", 40, 22, types=10, seed=201, fanout=2),
+    _spec("luindex", "Java", "2-callsite", 36, 20, types=10, seed=202, fanout=2),
+    _spec("bloat", "Java", "2-callsite", 48, 24, types=12, seed=203, fanout=2),
+    _spec("chart", "Java", "2-callsite", 56, 26, types=12, seed=204, fanout=2),
+    _spec("batik", "Java", "1-callsite", 80, 30, types=14, seed=301),
+    _spec("sunflow", "Java", "1-callsite", 70, 28, types=14, seed=302),
+    _spec("tomcat", "Java", "1-callsite", 76, 29, types=14, seed=303),
+    _spec("fop", "Java", "1-callsite", 96, 34, types=16, seed=304),
+)
+
+SUBJECT_NAMES: Tuple[str, ...] = tuple(spec.name for spec in SUITE)
+
+#: Subjects the BDD baseline is run on — the paper, too, only reports BDD
+#: numbers for its four smallest (Paddle) subjects.
+BDD_SUBJECTS: Tuple[str, ...] = ("antlr", "luindex", "bloat", "chart")
+
+
+def _dereference_stems(program: Program) -> set:
+    """Qualified names of variables used as load/store base pointers."""
+    stems = set()
+    for function in program.functions.values():
+        for stmt in function.simple_statements():
+            if isinstance(stmt, Store):
+                name = stmt.target
+            elif isinstance(stmt, Load):
+                name = stmt.source
+            else:
+                continue
+            if name in program.globals:
+                stems.add(name)
+            else:
+                stems.add("%s::%s" % (function.name, name))
+    return stems
+
+
+def _stem_of(row_name: str) -> str:
+    """Reduce a transformed row name to its ``function::variable`` stem."""
+    base = row_name.split("@", 1)[0]  # strip flow-sensitive @L / @entry
+    if "[" in base:  # strip context brackets: f3[12]::v2 -> f3::v2
+        head, _, tail = base.partition("[")
+        closing = tail.find("]::")
+        if closing != -1:
+            base = head + "::" + tail[closing + 3 :]
+    return base
+
+
+def _base_pointer_rows(named: NamedMatrix, stems: set) -> List[int]:
+    rows = [
+        index
+        for name, index in named.pointer_index.items()
+        if _stem_of(name) in stems
+    ]
+    rows.sort()
+    return rows
+
+
+def build_subject(spec: SubjectSpec) -> Subject:
+    """Generate the program, run the analysis, canonicalise the matrix."""
+    program = generate_program(spec.program)
+    if spec.analysis == "flow-sensitive":
+        named = flow_sensitive_to_matrix(flow_sensitive.analyze(program))
+    elif spec.analysis == "2-callsite":
+        named = context_sensitive_to_matrix(context_sensitive.analyze(program, k=2),
+                                            merge_depth=1)
+    elif spec.analysis == "1-callsite":
+        named = context_sensitive_to_matrix(context_sensitive.analyze(program, k=1),
+                                            merge_depth=1)
+    else:
+        raise ValueError("unknown analysis %r" % spec.analysis)
+    stems = _dereference_stems(program)
+    return Subject(
+        spec=spec,
+        program=program,
+        named=named,
+        loc=program.statement_count(),
+        base_pointers=_base_pointer_rows(named, stems),
+    )
+
+
+@lru_cache(maxsize=None)
+def get_subject(name: str) -> Subject:
+    """Build (once per process) and return a suite subject by name."""
+    for spec in SUITE:
+        if spec.name == name:
+            return build_subject(spec)
+    raise KeyError("unknown subject %r; choose from %s" % (name, SUBJECT_NAMES))
+
+
+def iter_subjects(names: Optional[Tuple[str, ...]] = None):
+    """Yield built subjects, defaulting to the full suite."""
+    for name in names or SUBJECT_NAMES:
+        yield get_subject(name)
+
+
+def suite_table() -> List[Dict[str, object]]:
+    """Table 2 rows for every subject."""
+    rows = []
+    for subject in iter_subjects():
+        rows.append(
+            {
+                "Program": subject.name,
+                "Language": subject.spec.language,
+                "Analysis": subject.spec.analysis,
+                "LOC": subject.loc,
+                "#Pointers": subject.matrix.n_pointers,
+                "#Objects": subject.matrix.n_objects,
+            }
+        )
+    return rows

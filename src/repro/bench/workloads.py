@@ -1,0 +1,102 @@
+"""Client query-trace generation: realistic mixed workloads.
+
+The paper's motivation is *query-intensive* clients (Section 8: demand
+approaches fail "in query-intensive situation").  A real client does not
+issue one query kind in isolation — a race detector mixes IsAlias bursts
+with ListAliases sweeps; a value-flow analysis leans on ListPointedBy.
+This module synthesises reproducible traces with a configurable mix, and
+replays them against any backend exposing the Table 1 interface.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+#: Query kinds and their trace encoding.
+IS_ALIAS = "is_alias"
+LIST_POINTS_TO = "list_points_to"
+LIST_POINTED_BY = "list_pointed_by"
+LIST_ALIASES = "list_aliases"
+
+KINDS = (IS_ALIAS, LIST_POINTS_TO, LIST_POINTED_BY, LIST_ALIASES)
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Mix and size of a generated query trace."""
+
+    length: int = 10_000
+    #: Relative weights per query kind; the race-detector profile default.
+    mix: Tuple[float, float, float, float] = (0.70, 0.15, 0.05, 0.10)
+    #: Bias toward "hot" pointers (a Zipf exponent; 0 = uniform).
+    locality: float = 0.8
+    seed: int = 0
+
+
+@dataclass
+class Trace:
+    """A concrete replayable query sequence."""
+
+    operations: List[Tuple[str, Tuple[int, ...]]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def kind_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {kind: 0 for kind in KINDS}
+        for kind, _ in self.operations:
+            counts[kind] += 1
+        return counts
+
+
+def generate_trace(
+    spec: TraceSpec, pointers: Sequence[int], objects: Sequence[int]
+) -> Trace:
+    """Build a trace over the given pointer/object id universes."""
+    if not pointers or not objects:
+        raise ValueError("trace generation needs non-empty id universes")
+    rng = random.Random(spec.seed)
+    weights = list(spec.mix)
+    if len(weights) != 4 or any(w < 0 for w in weights) or not any(weights):
+        raise ValueError("mix must be four non-negative weights, not all zero")
+
+    # Zipf-permuted popularity: hot ids get picked disproportionately.
+    hot_pointers = list(pointers)
+    rng.shuffle(hot_pointers)
+    hot_objects = list(objects)
+    rng.shuffle(hot_objects)
+
+    def pick(universe: List[int]) -> int:
+        if spec.locality <= 0:
+            return rng.choice(universe)
+        # Inverse-CDF sampling of a truncated Zipf over ranks.
+        rank = int(len(universe) * rng.random() ** (1.0 + spec.locality))
+        return universe[min(rank, len(universe) - 1)]
+
+    trace = Trace()
+    kinds = rng.choices(KINDS, weights=weights, k=spec.length)
+    for kind in kinds:
+        if kind == IS_ALIAS:
+            trace.operations.append((kind, (pick(hot_pointers), pick(hot_pointers))))
+        elif kind == LIST_POINTED_BY:
+            trace.operations.append((kind, (pick(hot_objects),)))
+        else:
+            trace.operations.append((kind, (pick(hot_pointers),)))
+    return trace
+
+
+def replay(trace: Trace, backend) -> int:
+    """Run every operation; return a checksum so answers can be compared."""
+    checksum = 0
+    for kind, operands in trace.operations:
+        if kind == IS_ALIAS:
+            checksum += 1 if backend.is_alias(*operands) else 0
+        elif kind == LIST_POINTS_TO:
+            checksum += len(backend.list_points_to(*operands))
+        elif kind == LIST_POINTED_BY:
+            checksum += len(backend.list_pointed_by(*operands))
+        else:
+            checksum += len(backend.list_aliases(*operands))
+    return checksum

@@ -1,0 +1,232 @@
+"""Command-line interface: analyse, encode, inspect, and query.
+
+Mirrors the workflow of the paper's released C++ artefact (a pair of
+``pestrie``/``bitmap`` command-line codecs), plus the analysis frontend:
+
+    repro-pestrie analyze  app.ir out/            # IR -> archive directory
+    repro-pestrie encode   app.ir app.pes         # IR -> persistent file
+    repro-pestrie info     app.pes                # header & section stats
+    repro-pestrie query    app.pes is_alias 3 7
+    repro-pestrie query    app.pes list_points_to 3
+    repro-pestrie bench    app.ir                 # size comparison table
+
+Matrices can also be given directly as ``.pm`` text files: first line
+``<n_pointers> <n_objects>``, then one ``<pointer> <object>`` fact per line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import andersen, context_sensitive, flow_sensitive, parse_program
+from .analysis.correlate import save_archive
+from .analysis.transform import context_sensitive_to_matrix, flow_sensitive_to_matrix
+from .baselines.bitmap_persist import BitmapPersistence
+from .baselines.bzip_persist import BzipPersistence
+from .core.decoder import load_payload
+from .core.pipeline import load_index, persist
+from .matrix.points_to import PointsToMatrix
+
+ANALYSES = ("andersen", "steensgaard", "flow-sensitive", "1-callsite", "2-callsite")
+
+
+def load_matrix_file(path: str) -> PointsToMatrix:
+    """Read a ``.pm`` text matrix: header line, then pointer/object pairs."""
+    with open(path) as stream:
+        header = stream.readline().split()
+        if len(header) != 2:
+            raise ValueError("%s: first line must be '<n_pointers> <n_objects>'" % path)
+        matrix = PointsToMatrix(int(header[0]), int(header[1]))
+        for line_number, line in enumerate(stream, start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            if len(fields) != 2:
+                raise ValueError("%s:%d: expected '<pointer> <object>'" % (path, line_number))
+            matrix.add(int(fields[0]), int(fields[1]))
+        return matrix
+
+
+def save_matrix_file(matrix: PointsToMatrix, path: str) -> None:
+    """Write a matrix in the ``.pm`` text format."""
+    with open(path, "w") as stream:
+        stream.write("%d %d\n" % (matrix.n_pointers, matrix.n_objects))
+        for pointer, obj in matrix.pairs():
+            stream.write("%d %d\n" % (pointer, obj))
+
+
+def _matrix_from_source(path: str, analysis: str) -> PointsToMatrix:
+    if path.endswith(".pm"):
+        return load_matrix_file(path)
+    with open(path) as stream:
+        program = parse_program(stream.read())
+    if analysis == "andersen":
+        return andersen.analyze(program).to_matrix()
+    if analysis == "steensgaard":
+        from .analysis import steensgaard
+
+        return steensgaard.analyze(program).to_matrix()
+    if analysis == "flow-sensitive":
+        return flow_sensitive_to_matrix(flow_sensitive.analyze(program)).matrix
+    if analysis in ("1-callsite", "2-callsite"):
+        k = int(analysis[0])
+        return context_sensitive_to_matrix(context_sensitive.analyze(program, k=k)).matrix
+    raise ValueError("unknown analysis %r" % analysis)
+
+
+def cmd_encode(args: argparse.Namespace) -> int:
+    matrix = _matrix_from_source(args.source, args.analysis)
+    size = persist(matrix, args.output, order=args.order, compact=args.compact)
+    print("%s: %d pointers, %d objects, %d facts -> %d bytes"
+          % (args.output, matrix.n_pointers, matrix.n_objects,
+             matrix.fact_count(), size))
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    with open(args.source) as stream:
+        program = parse_program(stream.read())
+    result = andersen.analyze(program)
+    save_archive(
+        args.output,
+        program,
+        result.to_matrix(),
+        dict(result.symbols.variable_ids),
+        dict(result.symbols.site_ids),
+        compact=args.compact,
+    )
+    print("archive written to %s/ (program.ir, variables.json, call_edges.json,"
+          " points_to.pes)" % args.output.rstrip("/"))
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    payload = load_payload(args.file)
+    tracked = sum(1 for ts in payload.pointer_ts if ts is not None)
+    case1 = sum(1 for _, flag in payload.rects if flag)
+    points = sum(1 for rect, _ in payload.rects
+                 if rect.x1 == rect.x2 and rect.y1 == rect.y2)
+    lines = sum(1 for rect, _ in payload.rects
+                if (rect.x1 == rect.x2) != (rect.y1 == rect.y2))
+    print("pointers:     %d (%d tracked)" % (payload.n_pointers, tracked))
+    print("objects:      %d" % payload.n_objects)
+    print("groups (ES):  %d" % payload.n_groups)
+    print("rectangles:   %d (%d case-1, %d case-2)"
+          % (len(payload.rects), case1, len(payload.rects) - case1))
+    print("  points:     %d" % points)
+    print("  lines:      %d" % lines)
+    print("  full rects: %d" % (len(payload.rects) - points - lines))
+    print("file size:    %d bytes" % os.path.getsize(args.file))
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    index = load_index(args.file, mode=args.mode)
+    operands = [int(value) for value in args.operands]
+    if args.kind == "is_alias":
+        if len(operands) != 2:
+            print("is_alias needs two pointer ids", file=sys.stderr)
+            return 2
+        print("true" if index.is_alias(*operands) else "false")
+        return 0
+    if len(operands) != 1:
+        print("%s needs one id" % args.kind, file=sys.stderr)
+        return 2
+    if args.kind == "list_points_to":
+        answer = index.list_points_to(operands[0])
+    elif args.kind == "list_pointed_by":
+        answer = index.list_pointed_by(operands[0])
+    else:
+        answer = index.list_aliases(operands[0])
+    print(" ".join(str(value) for value in sorted(answer)))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    import tempfile
+
+    matrix = _matrix_from_source(args.source, args.analysis)
+    directory = tempfile.mkdtemp(prefix="repro-bench-")
+    rows = [
+        ("pestrie", persist(matrix, os.path.join(directory, "m.pes"))),
+        ("pestrie-compact", persist(matrix, os.path.join(directory, "m.pesz"), compact=True)),
+        ("bitmap (PM+AM)", BitmapPersistence.encode_to_file(matrix, os.path.join(directory, "m.bitp"))),
+        ("bzip (PM only)", BzipPersistence.encode_to_file(matrix, os.path.join(directory, "m.bz"))),
+    ]
+    if matrix.n_pointers <= args.bdd_limit:
+        from .bdd import BddPersistence, encode_matrix
+
+        rows.append(
+            ("bdd (PM only)",
+             BddPersistence.encode_to_file(encode_matrix(matrix), os.path.join(directory, "m.bdd")))
+        )
+    width = max(len(name) for name, _ in rows)
+    print("%d pointers, %d objects, %d facts" % (matrix.n_pointers, matrix.n_objects,
+                                                 matrix.fact_count()))
+    for name, size in rows:
+        print("  %-*s %10d bytes" % (width, name, size))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-pestrie",
+        description="Persistent pointer information (Pestrie, PLDI 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    encode = sub.add_parser("encode", help="encode IR or a .pm matrix into a .pes file")
+    encode.add_argument("source", help="IR source file or .pm matrix file")
+    encode.add_argument("output", help="persistent file to write")
+    encode.add_argument("--analysis", choices=ANALYSES, default="andersen")
+    encode.add_argument("--order", default="hub",
+                        choices=("hub", "simple", "identity", "random"))
+    encode.add_argument("--compact", action="store_true",
+                        help="varint/delta-compressed format")
+    encode.set_defaults(handler=cmd_encode)
+
+    analyze = sub.add_parser("analyze", help="analyse IR into a reusable archive dir")
+    analyze.add_argument("source")
+    analyze.add_argument("output")
+    analyze.add_argument("--compact", action="store_true")
+    analyze.set_defaults(handler=cmd_analyze)
+
+    info = sub.add_parser("info", help="show persistent-file statistics")
+    info.add_argument("file")
+    info.set_defaults(handler=cmd_info)
+
+    query = sub.add_parser("query", help="run one query against a .pes file")
+    query.add_argument("file")
+    query.add_argument(
+        "kind",
+        choices=("is_alias", "list_points_to", "list_pointed_by", "list_aliases"),
+    )
+    query.add_argument("operands", nargs="+")
+    query.add_argument("--mode", default="ptlist", choices=("ptlist", "segment"),
+                       help="query structure: per-column lists or low-memory segment tree")
+    query.set_defaults(handler=cmd_query)
+
+    bench = sub.add_parser("bench", help="compare encoding sizes on one input")
+    bench.add_argument("source")
+    bench.add_argument("--analysis", choices=ANALYSES, default="andersen")
+    bench.add_argument("--bdd-limit", type=int, default=5000,
+                       help="skip the BDD encoding above this pointer count")
+    bench.set_defaults(handler=cmd_bench)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except (OSError, ValueError) as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Client analyses consuming the Table 1 query interface."""
+
+from .diff import PointsToDiff, diff_points_to, impacted_pointers, new_alias_pairs
+from .escape import SiteReport, classify_sites, escape_summary
+from .impact import direct_impact, transitive_impact
+from .race import (
+    aliasing_pairs_by_is_alias,
+    aliasing_pairs_by_list_aliases,
+    conflict_report,
+)
+
+__all__ = [
+    "PointsToDiff",
+    "SiteReport",
+    "aliasing_pairs_by_is_alias",
+    "aliasing_pairs_by_list_aliases",
+    "classify_sites",
+    "conflict_report",
+    "escape_summary",
+    "diff_points_to",
+    "direct_impact",
+    "impacted_pointers",
+    "new_alias_pairs",
+    "transitive_impact",
+]

@@ -1,0 +1,87 @@
+"""Variable-escape analysis over persisted pointer information.
+
+A third client in the paper's pipelining scenario (Section 1: leak
+detectors, race detectors, and escape/locality questions sharing one
+persisted file).  An allocation site *escapes by pointer* when some pointer
+variable outside its allocating function — a global, or any other
+function's variable — may reference it.
+
+This is exactly the question the persisted PM matrix answers (one
+``ListPointedBy`` query per site, no analysis re-run).  Note the scope: a
+full stack-allocation legality check additionally needs the *heap cell*
+contents (a value stored into a heap object escapes even if no outside
+variable names it yet), which live in the analysis result, not in PM —
+so treat ``escapes=False`` as "no outside variable ever points at it",
+the thin-slicing/locality notion, not a storage-class proof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Protocol, Sequence
+
+
+class EscapeBackend(Protocol):
+    def list_pointed_by(self, obj: int) -> List[int]: ...
+
+
+@dataclass(frozen=True)
+class SiteReport:
+    """Escape verdict for one allocation site."""
+
+    site: int
+    site_name: str
+    escapes: bool
+    #: Pointer names outside the owner that reach the site (evidence).
+    witnesses: tuple
+
+
+def owner_of_site(site_name: str) -> str:
+    """The allocating function of a qualified site (``f::S`` → ``f``)."""
+    if "::" in site_name:
+        return site_name.split("::", 1)[0]
+    return ""  # function objects ("fn:f") and synthetic sites own nothing
+
+
+def owner_of_pointer(pointer_name: str) -> str:
+    """The owning function of a qualified variable; globals own nothing."""
+    if "::" in pointer_name:
+        return pointer_name.split("::", 1)[0]
+    return ""
+
+
+def classify_sites(
+    backend: EscapeBackend,
+    site_names: Sequence[str],
+    pointer_names: Sequence[str],
+    sites: Sequence[int] | None = None,
+) -> List[SiteReport]:
+    """Escape verdicts for the given sites (default: all of them)."""
+    reports: List[SiteReport] = []
+    for site in sites if sites is not None else range(len(site_names)):
+        site_name = site_names[site]
+        owner = owner_of_site(site_name)
+        witnesses = []
+        for pointer in backend.list_pointed_by(site):
+            pointer_owner = owner_of_pointer(pointer_names[pointer])
+            if pointer_owner != owner:
+                witnesses.append(pointer_names[pointer])
+        reports.append(
+            SiteReport(
+                site=site,
+                site_name=site_name,
+                escapes=bool(witnesses),
+                witnesses=tuple(sorted(witnesses)),
+            )
+        )
+    return reports
+
+
+def escape_summary(reports: Sequence[SiteReport]) -> Dict[str, int]:
+    """Counts for a one-line report."""
+    escaping = sum(1 for report in reports if report.escapes)
+    return {
+        "sites": len(reports),
+        "escaping": escaping,
+        "local": len(reports) - escaping,
+    }

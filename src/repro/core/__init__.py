@@ -1,0 +1,76 @@
+"""Pestrie core: construction, labelling, rectangles, persistence, queries."""
+
+from .builder import ORDER_CHOICES, build_pestrie, resolve_order
+from .decoder import PestriePayload, decode_bytes, load_payload
+from .encoder import ABSENT, PestrieEncoder, save_pestrie
+from .hub import (
+    hub_degrees,
+    hub_order,
+    identity_order,
+    partition_objective,
+    random_order,
+    simple_degree_order,
+    simple_degrees,
+)
+from .named import NamedIndex, stem_of
+from .trie import StandardTrie, lemma_3_holds
+from .intervals import assign_intervals, contains, cross_edge_interval, group_interval
+from .pipeline import (
+    build_labeled_pestrie,
+    encode,
+    index_from_bytes,
+    load_index,
+    persist,
+    rectangles_for,
+)
+from .query import PestrieIndex
+from .reachability import pointed_by, points_to, verify_theorem_1, xi_reachable_groups
+from .rectangles import LabeledRect, RectangleSet, generate_rectangles
+from .segment_tree import Rect, SegmentTree
+from .structure import CrossEdge, Group, Pestrie
+
+__all__ = [
+    "ABSENT",
+    "ORDER_CHOICES",
+    "CrossEdge",
+    "Group",
+    "LabeledRect",
+    "NamedIndex",
+    "StandardTrie",
+    "Pestrie",
+    "PestrieEncoder",
+    "PestrieIndex",
+    "PestriePayload",
+    "Rect",
+    "RectangleSet",
+    "SegmentTree",
+    "assign_intervals",
+    "build_labeled_pestrie",
+    "build_pestrie",
+    "contains",
+    "cross_edge_interval",
+    "decode_bytes",
+    "encode",
+    "generate_rectangles",
+    "group_interval",
+    "hub_degrees",
+    "lemma_3_holds",
+    "stem_of",
+    "hub_order",
+    "identity_order",
+    "index_from_bytes",
+    "load_index",
+    "load_payload",
+    "partition_objective",
+    "persist",
+    "pointed_by",
+    "points_to",
+    "random_order",
+    "rectangles_for",
+    "resolve_order",
+    "save_pestrie",
+    "simple_degree_order",
+    "simple_degrees",
+    "verify_theorem_1",
+    "xi_reachable_groups",
+]

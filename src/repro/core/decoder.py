@@ -1,0 +1,155 @@
+"""Pestrie persistent-file reader (Section 4, step 1).
+
+Decoding restores the pointer/object timestamps and the rectangle list; the
+PES identifiers — deliberately dropped by the encoder to keep the file small
+— are recovered by sorting the objects by timestamp (which *is* the
+construction object order) and binary-searching each pointer's timestamp
+into the origin-timestamp array.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .encoder import ABSENT, MAGIC_COMPACT, MAGIC_RAW
+from .segment_tree import Rect
+
+_U32 = struct.Struct("<I")
+
+_SHAPES = ("point", "vline", "hline", "rect")
+_SHAPE_ARITY = {"point": 2, "vline": 3, "hline": 3, "rect": 4}
+
+
+@dataclass
+class PestriePayload:
+    """Everything stored in a persistent file, decoded."""
+
+    n_pointers: int
+    n_objects: int
+    n_groups: int
+    #: Pre-order timestamp per pointer; ``None`` for untracked pointers.
+    pointer_ts: List[Optional[int]]
+    #: Pre-order timestamp per object (its origin group's timestamp).
+    object_ts: List[int]
+    #: ``(rect, case1)`` pairs.
+    rects: List[Tuple[Rect, bool]]
+
+
+class CorruptFileError(ValueError):
+    """The byte stream is not a well-formed Pestrie persistent file."""
+
+
+class _Reader:
+    def __init__(self, data: bytes, compact: bool):
+        self.data = data
+        self.offset = 8  # past the magic
+        self.compact = compact
+
+    def read_u32(self) -> int:
+        if self.offset + 4 > len(self.data):
+            raise CorruptFileError("truncated file at offset %d" % self.offset)
+        value = _U32.unpack_from(self.data, self.offset)[0]
+        self.offset += 4
+        return value
+
+    def read_int(self) -> int:
+        if not self.compact:
+            return self.read_u32()
+        shift = 0
+        value = 0
+        while True:
+            if self.offset >= len(self.data):
+                raise CorruptFileError("truncated varint at offset %d" % self.offset)
+            if shift > 35:
+                raise CorruptFileError("overlong varint at offset %d" % self.offset)
+            byte = self.data[self.offset]
+            self.offset += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+
+    def read_ints(self, count: int) -> List[int]:
+        return [self.read_int() for _ in range(count)]
+
+
+def _inflate(shape: str, values: List[int]) -> Rect:
+    if shape == "point":
+        x, y = values
+        return Rect(x1=x, x2=x, y1=y, y2=y)
+    if shape == "vline":
+        x, y1, y2 = values
+        return Rect(x1=x, x2=x, y1=y1, y2=y2)
+    if shape == "hline":
+        x1, x2, y = values
+        return Rect(x1=x1, x2=x2, y1=y, y2=y)
+    x1, x2, y1, y2 = values
+    return Rect(x1=x1, x2=x2, y1=y1, y2=y2)
+
+
+def decode_bytes(data: bytes) -> PestriePayload:
+    """Parse a persistent file image into a :class:`PestriePayload`."""
+    magic = data[:8]
+    if magic == MAGIC_RAW:
+        compact = False
+    elif magic == MAGIC_COMPACT:
+        compact = True
+    else:
+        raise ValueError("not a Pestrie persistent file (bad magic %r)" % magic)
+
+    reader = _Reader(data, compact)
+    # The header is raw uint32 in both formats.
+    n_pointers = reader.read_u32()
+    n_objects = reader.read_u32()
+    n_groups = reader.read_u32()
+    counts: List[int] = [reader.read_u32() for _ in range(8)]
+
+    raw_pointer_ts = reader.read_ints(n_pointers)
+    pointer_ts: List[Optional[int]] = [None if ts == ABSENT else ts for ts in raw_pointer_ts]
+    object_ts = reader.read_ints(n_objects)
+
+    rects: List[Tuple[Rect, bool]] = []
+    # Header count order: per shape, (case1, case2).  Section order on disk:
+    # all case1 sections (by shape), then all case2 sections (by shape).
+    per_shape = {shape: (counts[2 * i], counts[2 * i + 1]) for i, shape in enumerate(_SHAPES)}
+    for case_index, case1 in ((0, True), (1, False)):
+        for shape in _SHAPES:
+            arity = _SHAPE_ARITY[shape]
+            section_count = per_shape[shape][case_index]
+            previous_lead = 0
+            for _ in range(section_count):
+                values = reader.read_ints(arity)
+                if compact:
+                    lead = previous_lead + values[0]
+                    values = [lead] + [lead + v for v in values[1:]]
+                    previous_lead = lead
+                rects.append((_inflate(shape, values), case1))
+
+    # Structural validation: timestamps must name real groups and every
+    # rectangle must be well-formed (X before Y, within the group range).
+    for ts in object_ts:
+        if not 0 <= ts < n_groups:
+            raise CorruptFileError("object timestamp %d outside group range" % ts)
+    for ts in pointer_ts:
+        if ts is not None and not 0 <= ts < n_groups:
+            raise CorruptFileError("pointer timestamp %d outside group range" % ts)
+    for rect, _ in rects:
+        if not (0 <= rect.x1 <= rect.x2 < rect.y1 <= rect.y2 < n_groups):
+            raise CorruptFileError("malformed rectangle %r" % (rect.as_tuple(),))
+
+    return PestriePayload(
+        n_pointers=n_pointers,
+        n_objects=n_objects,
+        n_groups=n_groups,
+        pointer_ts=pointer_ts,
+        object_ts=object_ts,
+        rects=rects,
+    )
+
+
+def load_payload(path: str) -> PestriePayload:
+    """Read and decode a persistent file from disk."""
+    with open(path, "rb") as stream:
+        return decode_bytes(stream.read())

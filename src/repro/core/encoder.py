@@ -1,0 +1,161 @@
+"""Pestrie persistent-file writer (Section 3.4.2, Figure 5).
+
+Layout (all integers little-endian):
+
+* 8-byte magic ``PESTRIE1`` (raw uint32 payload) or ``PESTRIE2``
+  (varint/delta-compressed payload, an extension of ours);
+* header: ``n_pointers``, ``n_objects``, ``n_groups`` and eight shape
+  counts — Case-1/Case-2 quantities of points, vertical lines, horizontal
+  lines, and full rectangles;
+* the pre-order timestamp of every pointer (``ABSENT`` for pointers with
+  empty points-to sets, which never enter the trie) and of every object;
+* eight rectangle sections, Case-1 before Case-2 within each shape.
+
+Splitting rectangles by shape is the paper's size trick: a degenerate
+rectangle is a point (2 integers) or a line (3 integers) instead of 4.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, List, Sequence, Tuple
+
+from .rectangles import LabeledRect
+from .segment_tree import Rect
+from .structure import Pestrie
+
+MAGIC_RAW = b"PESTRIE1"
+MAGIC_COMPACT = b"PESTRIE2"
+
+#: Timestamp sentinel for pointers outside the trie (empty points-to set).
+ABSENT = 0xFFFFFFFF
+
+_U32 = struct.Struct("<I")
+
+
+def pointer_timestamps(pestrie: Pestrie) -> List[int]:
+    """Per-pointer group pre-order timestamps (``ABSENT`` when untracked)."""
+    stamps = []
+    for pointer in range(pestrie.n_pointers):
+        group_id = pestrie.group_of_pointer[pointer]
+        stamps.append(ABSENT if group_id is None else pestrie.pre_order[group_id])
+    return stamps
+
+
+def object_timestamps(pestrie: Pestrie) -> List[int]:
+    """Per-object origin-group pre-order timestamps."""
+    return [pestrie.pre_order[pestrie.group_of_object[obj]] for obj in range(pestrie.n_objects)]
+
+
+def _classify(rect: Rect) -> str:
+    if rect.x1 == rect.x2 and rect.y1 == rect.y2:
+        return "point"
+    if rect.x1 == rect.x2:
+        return "vline"
+    if rect.y1 == rect.y2:
+        return "hline"
+    return "rect"
+
+
+_SHAPES = ("point", "vline", "hline", "rect")
+
+#: Integers stored per shape entry.
+_SHAPE_FIELDS = {
+    "point": lambda r: (r.x1, r.y1),
+    "vline": lambda r: (r.x1, r.y1, r.y2),
+    "hline": lambda r: (r.x1, r.x2, r.y1),
+    "rect": lambda r: (r.x1, r.x2, r.y1, r.y2),
+}
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    """LEB128 unsigned varint."""
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _encode_ints(values: Sequence[int], compact: bool) -> bytes:
+    if not compact:
+        return b"".join(_U32.pack(v) for v in values)
+    out = bytearray()
+    for value in values:
+        _write_varint(out, value)
+    return bytes(out)
+
+
+class PestrieEncoder:
+    """Serialises a labelled Pestrie plus its rectangle set to bytes."""
+
+    def __init__(self, pestrie: Pestrie, rects: Sequence[LabeledRect], compact: bool = False):
+        self.pestrie = pestrie
+        self.rects = list(rects)
+        self.compact = compact
+
+    def _sections(self) -> Tuple[dict, dict]:
+        """Bucket rectangles into ``(case1, case2)`` shape dictionaries."""
+        case1 = {shape: [] for shape in _SHAPES}
+        case2 = {shape: [] for shape in _SHAPES}
+        for entry in self.rects:
+            bucket = case1 if entry.case1 else case2
+            bucket[_classify(entry.rect)].append(entry.rect)
+        for buckets in (case1, case2):
+            for shape in _SHAPES:
+                # Sorting by the leading coordinate makes delta encoding in
+                # the compact format effective and the output canonical.
+                buckets[shape].sort(key=Rect.as_tuple)
+        return case1, case2
+
+    def to_bytes(self) -> bytes:
+        pestrie = self.pestrie
+        case1, case2 = self._sections()
+
+        header = [pestrie.n_pointers, pestrie.n_objects, len(pestrie.groups)]
+        for shape in _SHAPES:
+            header.append(len(case1[shape]))
+            header.append(len(case2[shape]))
+
+        chunks = [MAGIC_COMPACT if self.compact else MAGIC_RAW]
+        chunks.append(b"".join(_U32.pack(v) for v in header))
+        chunks.append(_encode_ints(pointer_timestamps(pestrie), self.compact))
+        chunks.append(_encode_ints(object_timestamps(pestrie), self.compact))
+        for buckets in (case1, case2):
+            for shape in _SHAPES:
+                fields = _SHAPE_FIELDS[shape]
+                flat: List[int] = []
+                previous_lead = 0
+                for rect in buckets[shape]:
+                    values = list(fields(rect))
+                    if self.compact:
+                        # Delta-encode the leading coordinate within the
+                        # section; the remaining fields are offsets from it.
+                        lead = values[0]
+                        encoded = [lead - previous_lead] + [v - lead for v in values[1:]]
+                        previous_lead = lead
+                        flat.extend(encoded)
+                    else:
+                        flat.extend(values)
+                chunks.append(_encode_ints(flat, self.compact))
+        return b"".join(chunks)
+
+    def write(self, stream: BinaryIO) -> int:
+        payload = self.to_bytes()
+        stream.write(payload)
+        return len(payload)
+
+
+def save_pestrie(
+    pestrie: Pestrie,
+    rects: Sequence[LabeledRect],
+    path: str,
+    compact: bool = False,
+) -> int:
+    """Write the persistent file; return its size in bytes."""
+    encoder = PestrieEncoder(pestrie, rects, compact=compact)
+    with open(path, "wb") as stream:
+        return encoder.write(stream)

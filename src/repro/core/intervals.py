@@ -1,0 +1,76 @@
+"""Interval labelling of the Pestrie forest (Section 3.4.1).
+
+A DFS over tree edges assigns each group ``[I, E]``: ``I`` its pre-order
+timestamp and ``E`` the largest timestamp in its subtree, so tree
+reachability is interval containment.  Two ordering rules make every
+ξ-subtree a *contiguous* timestamp range:
+
+* PESs are visited in the construction object order (so each PES occupies a
+  contiguous block after all earlier PESs);
+* inside a non-origin node, children are visited in *reversed* creation
+  order (the k-th tree edge before the (k-1)-th), so the children created
+  after any cross edge — exactly the ξ-reachable ones — sit immediately
+  after their parent.  Origins may use any child order (a ξ-path cannot pass
+  an origin); we use creation order, which matches the paper's Table 5.
+
+After labelling, the ξ-subtree of a cross edge ``x --ω--> y`` is
+``[I_y, E_z]`` with ``z`` the target of tree edge ``y --ω--> z``, or
+``[I_y, I_y]`` when ``y`` has fewer than ``ω + 1`` tree edges.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .structure import CrossEdge, Pestrie
+
+
+def assign_intervals(pestrie: Pestrie) -> None:
+    """Fill ``pestrie.pre_order`` / ``pestrie.max_pre_order`` in place."""
+    n_groups = len(pestrie.groups)
+    pre_order = [-1] * n_groups
+    max_pre_order = [-1] * n_groups
+    counter = 0
+
+    for obj in pestrie.object_order:
+        root = pestrie.origin_of_pes(obj)
+        # Iterative DFS; entries are (group_id, entered) frames.
+        stack = [(root.id, False)]
+        while stack:
+            group_id, entered = stack.pop()
+            group = pestrie.groups[group_id]
+            if entered:
+                max_pre_order[group_id] = counter - 1
+                continue
+            pre_order[group_id] = counter
+            counter += 1
+            stack.append((group_id, True))
+            if group.is_origin:
+                children = reversed(group.children)  # stack pop restores creation order
+            else:
+                children = iter(group.children)  # stack pop yields reversed creation order
+            for child in children:
+                stack.append((child, False))
+
+    pestrie.pre_order = pre_order
+    pestrie.max_pre_order = max_pre_order
+
+
+def group_interval(pestrie: Pestrie, group_id: int) -> Tuple[int, int]:
+    """The ``[I, E]`` label of a group (labelling must have run)."""
+    return pestrie.pre_order[group_id], pestrie.max_pre_order[group_id]
+
+
+def cross_edge_interval(pestrie: Pestrie, edge: CrossEdge) -> Tuple[int, int]:
+    """The contiguous timestamp range of the edge's ξ-subtree."""
+    target = pestrie.groups[edge.target]
+    start = pestrie.pre_order[target.id]
+    if edge.xi < len(target.children):
+        boundary_child = target.children[edge.xi]
+        return start, pestrie.max_pre_order[boundary_child]
+    return start, start
+
+
+def contains(outer: Tuple[int, int], inner: Tuple[int, int]) -> bool:
+    """Interval containment: reachability on trees in O(1)."""
+    return outer[0] <= inner[0] and inner[1] <= outer[1]

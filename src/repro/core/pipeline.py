@@ -1,0 +1,83 @@
+"""End-to-end Pestrie pipeline: matrix → persistent file → query index.
+
+This is the facade most users want: :func:`persist` turns a points-to
+matrix into a persistent file, :func:`load_index` turns a persistent file
+into a query structure, and :func:`encode`/:func:`index_from_bytes` are the
+in-memory equivalents.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..matrix.points_to import PointsToMatrix
+from .builder import build_pestrie
+from .decoder import decode_bytes, load_payload
+from .encoder import PestrieEncoder, save_pestrie
+from .intervals import assign_intervals
+from .query import PestrieIndex
+from .rectangles import RectangleSet, generate_rectangles
+from .structure import Pestrie
+
+
+def build_labeled_pestrie(
+    matrix: PointsToMatrix,
+    order: str = "hub",
+    seed: Optional[int] = None,
+    explicit_order: Optional[Sequence[int]] = None,
+) -> Pestrie:
+    """Construct a Pestrie and assign its interval labels."""
+    pestrie = build_pestrie(matrix, order=order, seed=seed, explicit_order=explicit_order)
+    assign_intervals(pestrie)
+    return pestrie
+
+
+def encode(
+    matrix: PointsToMatrix,
+    order: str = "hub",
+    seed: Optional[int] = None,
+    compact: bool = False,
+    explicit_order: Optional[Sequence[int]] = None,
+) -> bytes:
+    """Encode a matrix straight to persistent-file bytes."""
+    pestrie = build_labeled_pestrie(matrix, order=order, seed=seed, explicit_order=explicit_order)
+    rect_set = generate_rectangles(pestrie)
+    return PestrieEncoder(pestrie, rect_set.rects, compact=compact).to_bytes()
+
+
+def persist(
+    matrix: PointsToMatrix,
+    path: str,
+    order: str = "hub",
+    seed: Optional[int] = None,
+    compact: bool = False,
+) -> int:
+    """Encode ``matrix`` and write the persistent file; return its size."""
+    pestrie = build_labeled_pestrie(matrix, order=order, seed=seed)
+    rect_set = generate_rectangles(pestrie)
+    return save_pestrie(pestrie, rect_set.rects, path, compact=compact)
+
+
+def index_from_bytes(data: bytes, mode: str = "ptlist") -> PestrieIndex:
+    """Decode persistent-file bytes into a query index.
+
+    ``mode="segment"`` builds the low-memory segment-tree structure
+    instead of the per-column rectangle lists (see :class:`PestrieIndex`).
+    """
+    return PestrieIndex(decode_bytes(data), mode=mode)
+
+
+def load_index(path: str, mode: str = "ptlist") -> PestrieIndex:
+    """Load a persistent file from disk into a query index."""
+    return PestrieIndex(load_payload(path), mode=mode)
+
+
+def rectangles_for(
+    matrix: PointsToMatrix,
+    order: str = "hub",
+    seed: Optional[int] = None,
+    prune: bool = True,
+) -> RectangleSet:
+    """Expose the rectangle set for a matrix (ablation/benchmark hook)."""
+    pestrie = build_labeled_pestrie(matrix, order=order, seed=seed)
+    return generate_rectangles(pestrie, prune=prune)

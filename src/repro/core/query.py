@@ -1,0 +1,293 @@
+"""The Pestrie query structure (Section 4, step 2).
+
+From a decoded payload we build:
+
+* the origin-timestamp array (objects sorted by timestamp — this *is* the
+  construction object order), so each pointer's PES identifier is recovered
+  with one binary search;
+* ``ptList``: for every timestamp column ``x``, the rectangles whose
+  x-interval contains ``x``, sorted by ``Y1``.  Every rectangle is inserted
+  twice — once as stored and once mirrored — because aliasing is symmetric
+  and ``ListAliases`` needs both directions.  Mirrored copies are flagged so
+  ``ListPointsTo`` only follows the directed Case-1 facts.
+
+Query costs match the paper: ``is_alias`` is a PES-identifier comparison
+plus one binary search (rectangles sharing a column have disjoint
+y-intervals); ``list_aliases`` is output-linear; ``list_points_to`` /
+``list_pointed_by`` scan the relevant rectangle lists.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..matrix.points_to import PointsToMatrix
+from .decoder import PestriePayload
+
+
+@dataclass(frozen=True)
+class _Entry:
+    """One ptList element: a y-range plus provenance flags."""
+
+    y1: int
+    y2: int
+    #: Case-1 rectangles record that x-side pointers point to the object
+    #: whose timestamp is ``y1`` — only on forward (non-mirrored) copies.
+    case1: bool
+    mirrored: bool
+
+
+class PestrieIndex:
+    """In-memory query structure for one persistent Pestrie file.
+
+    Two structures are available (``mode``):
+
+    * ``"ptlist"`` (default, the paper's Section 4 structure): one
+      rectangle list per occupied timestamp column.  O(log R) ``is_alias``
+      and output-linear list queries, at O(Σ rectangle width) memory;
+    * ``"segment"``: a single segment tree over the stored rectangles.
+      O(log² n) ``is_alias`` and slower list queries, but memory linear in
+      the rectangle *count* — the trade the paper's query-memory column
+      (Table 7) is about.
+    """
+
+    def __init__(self, payload: PestriePayload, mode: str = "ptlist"):
+        if mode not in ("ptlist", "segment"):
+            raise ValueError("unknown query mode %r" % mode)
+        self.mode = mode
+        self.n_pointers = payload.n_pointers
+        self.n_objects = payload.n_objects
+        self.n_groups = payload.n_groups
+        self._pointer_ts = payload.pointer_ts
+
+        # Objects sorted by timestamp == the construction object order.
+        order = sorted(range(payload.n_objects), key=lambda obj: payload.object_ts[obj])
+        self._origin_ts = [payload.object_ts[obj] for obj in order]
+        self._origin_obj = order
+        self._object_ts = payload.object_ts
+
+        # PES identifier per pointer (an object id), by binary search.
+        self._pes_of_pointer: List[Optional[int]] = []
+        for ts in payload.pointer_ts:
+            if ts is None:
+                self._pes_of_pointer.append(None)
+            else:
+                rank = bisect_right(self._origin_ts, ts) - 1
+                self._pes_of_pointer.append(order[rank])
+
+        # Pointers sorted by timestamp, for range reporting.
+        tracked = [(ts, p) for p, ts in enumerate(payload.pointer_ts) if ts is not None]
+        tracked.sort()
+        self._sorted_ptr_ts = [ts for ts, _ in tracked]
+        self._sorted_ptr_id = [p for _, p in tracked]
+
+        # Objects indexed by timestamp (origin timestamps are unique).
+        self._object_at_ts: Dict[int, int] = {ts: obj for obj, ts in enumerate(payload.object_ts)}
+
+        # ptList: one rectangle list per occupied timestamp column.
+        self._pt_list: Dict[int, List[_Entry]] = {}
+        self._segment: Optional["SegmentTree"] = None
+        if mode == "ptlist":
+            for rect, case1 in payload.rects:
+                forward = _Entry(y1=rect.y1, y2=rect.y2, case1=case1, mirrored=False)
+                for x in range(rect.x1, rect.x2 + 1):
+                    self._pt_list.setdefault(x, []).append(forward)
+                mirror = _Entry(y1=rect.x1, y2=rect.x2, case1=case1, mirrored=True)
+                for x in range(rect.y1, rect.y2 + 1):
+                    self._pt_list.setdefault(x, []).append(mirror)
+            for entries in self._pt_list.values():
+                entries.sort(key=lambda entry: entry.y1)
+        else:
+            from .segment_tree import SegmentTree
+
+            self._segment = SegmentTree(payload.n_groups)
+            for rect, _case1 in payload.rects:
+                self._segment.insert(rect)
+
+        # Case-1 rectangles per pointed-to object, for ListPointedBy.
+        self._case1_by_object: Dict[int, List[tuple]] = {}
+        for rect, case1 in payload.rects:
+            if case1:
+                obj = self._object_at_ts[rect.y1]
+                self._case1_by_object.setdefault(obj, []).append((rect.x1, rect.x2))
+
+        # Raw rectangles, kept for bulk enumeration.
+        self._rects = list(payload.rects)
+
+    # ------------------------------------------------------------------
+    # Internal range helpers
+    # ------------------------------------------------------------------
+
+    def _pointers_in_range(self, lo: int, hi: int) -> List[int]:
+        """Pointer ids with timestamps in ``[lo, hi]``."""
+        start = bisect_left(self._sorted_ptr_ts, lo)
+        stop = bisect_right(self._sorted_ptr_ts, hi)
+        return self._sorted_ptr_id[start:stop]
+
+    def _pes_range(self, object_id: int) -> tuple:
+        """The timestamp block ``[I, next_I)`` of ``PES object_id``."""
+        ts = self._object_ts[object_id]
+        rank = bisect_left(self._origin_ts, ts)
+        if rank + 1 < len(self._origin_ts):
+            return ts, self._origin_ts[rank + 1] - 1
+        # The last PES extends to the end of the timestamp space.
+        return ts, self.n_groups - 1
+
+    def _check_pointer(self, pointer: int) -> None:
+        if not 0 <= pointer < self.n_pointers:
+            raise IndexError(
+                "pointer id %d out of range [0, %d)" % (pointer, self.n_pointers)
+            )
+
+    def _check_object(self, obj: int) -> None:
+        if not 0 <= obj < self.n_objects:
+            raise IndexError("object id %d out of range [0, %d)" % (obj, self.n_objects))
+
+    def pes_of(self, pointer: int) -> Optional[int]:
+        """The PES identifier (object id) of ``pointer``, if tracked."""
+        self._check_pointer(pointer)
+        return self._pes_of_pointer[pointer]
+
+    # ------------------------------------------------------------------
+    # Table 1 queries
+    # ------------------------------------------------------------------
+
+    def is_alias(self, p: int, q: int) -> bool:
+        """Decide whether pointers ``p`` and ``q`` may alias — O(log n)."""
+        self._check_pointer(p)
+        self._check_pointer(q)
+        ts_p = self._pointer_ts[p]
+        ts_q = self._pointer_ts[q]
+        if ts_p is None or ts_q is None:
+            return False
+        if p == q:
+            return True
+        if self._pes_of_pointer[p] == self._pes_of_pointer[q]:
+            return True  # internal pair
+        if self._segment is not None:
+            x, y = (ts_p, ts_q) if ts_p < ts_q else (ts_q, ts_p)
+            return self._segment.covers(x, y)
+        entries = self._pt_list.get(ts_p)
+        if not entries:
+            return False
+        index = bisect_right(entries, ts_q, key=lambda entry: entry.y1) - 1
+        return index >= 0 and entries[index].y2 >= ts_q
+
+    def list_aliases(self, p: int) -> List[int]:
+        """All pointers aliased to ``p`` — O(answer size)."""
+        self._check_pointer(p)
+        ts_p = self._pointer_ts[p]
+        if ts_p is None:
+            return []
+        result: List[int] = []
+        lo, hi = self._pes_range(self._pes_of_pointer[p])
+        for pointer in self._pointers_in_range(lo, hi):
+            if pointer != p:
+                result.append(pointer)
+        if self._segment is not None:
+            # Low-memory mode: scan the rectangle table (O(R + answer)).
+            for rect, _case1 in self._rects:
+                if rect.x1 <= ts_p <= rect.x2:
+                    result.extend(self._pointers_in_range(rect.y1, rect.y2))
+                elif rect.y1 <= ts_p <= rect.y2:
+                    result.extend(self._pointers_in_range(rect.x1, rect.x2))
+            return result
+        for entry in self._pt_list.get(ts_p, ()):
+            result.extend(self._pointers_in_range(entry.y1, entry.y2))
+        return result
+
+    def list_points_to(self, p: int) -> List[int]:
+        """The points-to set of ``p``."""
+        self._check_pointer(p)
+        ts_p = self._pointer_ts[p]
+        if ts_p is None:
+            return []
+        result = [self._pes_of_pointer[p]]
+        if self._segment is not None:
+            for rect, case1 in self._rects:
+                if case1 and rect.x1 <= ts_p <= rect.x2:
+                    result.append(self._object_at_ts[rect.y1])
+            return result
+        for entry in self._pt_list.get(ts_p, ()):
+            if entry.case1 and not entry.mirrored:
+                result.append(self._object_at_ts[entry.y1])
+        return result
+
+    def list_pointed_by(self, obj: int) -> List[int]:
+        """All pointers that may point to ``obj``."""
+        self._check_object(obj)
+        lo, hi = self._pes_range(obj)
+        result = list(self._pointers_in_range(lo, hi))
+        for x1, x2 in self._case1_by_object.get(obj, ()):
+            result.extend(self._pointers_in_range(x1, x2))
+        return result
+
+    def iter_alias_pairs(self):
+        """Yield every unordered alias pair ``(p, q)`` with ``p < q`` once.
+
+        Internal pairs come from PES blocks, cross pairs straight from the
+        stored rectangles (which are pairwise disjoint, so no pair repeats
+        across rectangles); within a rectangle the two timestamp ranges are
+        disjoint, so no pair repeats inside one either.  This is the bulk
+        route for whole-program clients — no per-pointer query loop.
+        """
+        # Internal pairs: every pointer pair inside one PES.
+        for obj in self._origin_obj:
+            lo, hi = self._pes_range(obj)
+            members = self._pointers_in_range(lo, hi)
+            for i in range(len(members)):
+                for j in range(i + 1, len(members)):
+                    p, q = members[i], members[j]
+                    yield (p, q) if p < q else (q, p)
+        # Cross pairs: the rectangle encoding, expanded.
+        for rect, _case1 in self._rects:
+            x_members = self._pointers_in_range(rect.x1, rect.x2)
+            y_members = self._pointers_in_range(rect.y1, rect.y2)
+            for p in x_members:
+                for q in y_members:
+                    yield (p, q) if p < q else (q, p)
+
+    # ------------------------------------------------------------------
+    # Bulk reconstruction
+    # ------------------------------------------------------------------
+
+    def materialize(self) -> PointsToMatrix:
+        """Recover the full points-to matrix ``PM`` from the index.
+
+        The paper suggests this as the fastest way to serve repeated
+        ``ListPointsTo`` queries; it is also the round-trip oracle used by
+        the tests.
+        """
+        matrix = PointsToMatrix(self.n_pointers, self.n_objects)
+        for pointer in range(self.n_pointers):
+            for obj in self.list_points_to(pointer):
+                matrix.add(pointer, obj)
+        return matrix
+
+    def memory_footprint(self) -> int:
+        """Rough query-structure size in bytes (Table 7's memory column)."""
+        import sys
+
+        total = sys.getsizeof(self._pt_list)
+        seen = set()
+        for entries in self._pt_list.values():
+            total += sys.getsizeof(entries)
+            for entry in entries:
+                if id(entry) not in seen:
+                    seen.add(id(entry))
+                    total += sys.getsizeof(entry)
+        if self._segment is not None:
+            # One Rect reference per stored rectangle plus tree nodes.
+            total += len(self._rects) * 96
+        for array in (
+            self._pointer_ts,
+            self._origin_ts,
+            self._origin_obj,
+            self._pes_of_pointer,
+            self._sorted_ptr_ts,
+            self._sorted_ptr_id,
+        ):
+            total += sys.getsizeof(array) + 28 * len(array)
+        return total

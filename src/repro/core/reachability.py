@@ -1,0 +1,74 @@
+"""ξ-reachability (Section 3.3) — the semantic core of Pestrie.
+
+Theorem 1: pointer ``p`` points to object ``o`` iff ``p`` is ξ-reachable
+from ``o``.  A ξ-path starts at an origin, takes one cross edge
+``o --ω--> y``, and may then descend tree edges ``y --ω'--> z --> ...``
+provided the *first* tree edge satisfies ``ω' ≥ ω`` (the ξ-condition: every
+tree edge on the path was created after the cross edge).  Within ``o``'s own
+PES no cross edge is involved and plain tree reachability from the origin
+applies.
+
+This module is the executable reference semantics: the rectangle encoder and
+the query index are both validated against it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Set
+
+from .structure import CrossEdge, Pestrie
+
+
+def tree_descendants(pestrie: Pestrie, group_id: int) -> Iterator[int]:
+    """All groups in the tree rooted at ``group_id`` (pre-order)."""
+    stack = [group_id]
+    while stack:
+        current = stack.pop()
+        yield current
+        stack.extend(reversed(pestrie.groups[current].children))
+
+
+def xi_subtree(pestrie: Pestrie, edge: CrossEdge) -> Iterator[int]:
+    """Groups ξ-reachable through ``edge``: the target plus the subtrees of
+    its children whose tree-edge label is ≥ the edge's ξ-value."""
+    target = pestrie.groups[edge.target]
+    yield target.id
+    for label, child in enumerate(target.children):
+        if label >= edge.xi:
+            yield from tree_descendants(pestrie, child)
+
+
+def xi_reachable_groups(pestrie: Pestrie, object_id: int) -> Set[int]:
+    """All groups whose pointers point to ``object_id`` (Theorem 1)."""
+    origin = pestrie.origin_of_pes(object_id)
+    reachable = set(tree_descendants(pestrie, origin.id))
+    for edge in pestrie.cross_edges:
+        if edge.source == origin.id:
+            reachable.update(xi_subtree(pestrie, edge))
+    return reachable
+
+
+def pointed_by(pestrie: Pestrie, object_id: int) -> List[int]:
+    """ListPointedBy computed directly on the trie (reference oracle)."""
+    pointers: List[int] = []
+    for group_id in xi_reachable_groups(pestrie, object_id):
+        pointers.extend(pestrie.groups[group_id].pointers)
+    return sorted(pointers)
+
+
+def points_to(pestrie: Pestrie, pointer: int) -> List[int]:
+    """ListPointsTo computed directly on the trie (reference oracle).
+
+    Quadratic in the trie size — use the rectangle index for real queries.
+    """
+    return sorted(
+        obj for obj in range(pestrie.n_objects) if pointer in set(pointed_by(pestrie, obj))
+    )
+
+
+def verify_theorem_1(pestrie: Pestrie, matrix) -> bool:
+    """Check Theorem 1 exhaustively against the source matrix."""
+    for obj in range(pestrie.n_objects):
+        if set(pointed_by(pestrie, obj)) != set(matrix.list_pointed_by(obj)):
+            return False
+    return True

@@ -1,0 +1,117 @@
+"""Rectangle generation and Theorem 2 pruning (Section 3.4.1, Table 6).
+
+Origins are visited in the construction object order.  For each origin we
+gather the timestamp intervals of the ξ-subtrees induced by its cross edges,
+plus the origin's own PES interval, and pair them:
+
+* **Case-1 rectangle** — a cross subtree × the PES interval.  Besides alias
+  pairs it records points-to facts: every pointer in the X-range points to
+  the origin object, whose timestamp is ``Y1``.  Case-1 rectangles are never
+  enclosed by earlier ones (the PES block is fresh timestamp territory), so
+  ``ListPointsTo`` stays complete after pruning; this is asserted.
+* **Case-2 rectangle** — two cross subtrees of the same origin lying in
+  *different* PESs (same-PES pairs are internal pairs, already answered by
+  PES-identifier equality, and are not encoded — cf. Figure 4, where the
+  pair {p3}×{p1} of origin o5 produces no rectangle).
+
+A candidate whose lower-left corner is covered by a stored rectangle is
+fully enclosed by it (Theorem 2) and discarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from .intervals import cross_edge_interval, group_interval
+from .segment_tree import Rect, SegmentTree
+from .structure import Pestrie
+
+
+@dataclass(frozen=True)
+class LabeledRect:
+    """A stored rectangle plus its Case-1/Case-2 classification.
+
+    For Case-1 rectangles ``object_id`` is the origin object the X-side
+    points to (its timestamp equals ``rect.y1``).
+    """
+
+    rect: Rect
+    case1: bool
+    object_id: int = -1
+
+
+@dataclass
+class RectangleSet:
+    """Output of rectangle generation, ready for the encoder."""
+
+    rects: List[LabeledRect] = field(default_factory=list)
+    #: Candidates pruned by the Theorem 2 corner test (kept for the
+    #: pruning ablation and for tests).
+    pruned: List[Rect] = field(default_factory=list)
+
+    def case1(self) -> List[LabeledRect]:
+        return [entry for entry in self.rects if entry.case1]
+
+    def case2(self) -> List[LabeledRect]:
+        return [entry for entry in self.rects if not entry.case1]
+
+
+def _ordered(first: Tuple[int, int], second: Tuple[int, int]) -> Rect:
+    """Combine two disjoint intervals into ``<X1,X2,Y1,Y2>`` with X < Y."""
+    if first[0] > second[0]:
+        first, second = second, first
+    if first[1] >= second[0]:
+        raise AssertionError(
+            "paired sub-tree intervals must be disjoint: %r vs %r" % (first, second)
+        )
+    return Rect(x1=first[0], x2=first[1], y1=second[0], y2=second[1])
+
+
+def generate_rectangles(pestrie: Pestrie, prune: bool = True) -> RectangleSet:
+    """Generate and deduplicate the rectangle encoding of all cross pairs.
+
+    ``prune=False`` disables the Theorem 2 corner test (used only by the
+    pruning ablation benchmark; the output is then redundant but still
+    correct for queries).
+    """
+    if not pestrie.pre_order:
+        raise ValueError("interval labels missing; run assign_intervals first")
+    by_source = pestrie.cross_edges_by_source()
+    storage = SegmentTree(len(pestrie.groups))
+    result = RectangleSet()
+
+    def emit(rect: Rect, case1: bool, object_id: int = -1) -> bool:
+        if prune and storage.covers(rect.x1, rect.y1):
+            result.pruned.append(rect)
+            return False
+        storage.insert(rect)
+        result.rects.append(LabeledRect(rect=rect, case1=case1, object_id=object_id))
+        return True
+
+    for obj in pestrie.object_order:
+        origin = pestrie.origin_of_pes(obj)
+        pes_interval = group_interval(pestrie, origin.id)
+        edges = by_source.get(origin.id, [])
+        subtrees = [
+            (cross_edge_interval(pestrie, edge), pestrie.groups[edge.target].pes)
+            for edge in edges
+        ]
+
+        # Case-1: every cross subtree pairs with the full PES block.  The
+        # PES block occupies the newest timestamps, so the corner test can
+        # never discard these — ListPointsTo completeness depends on it.
+        for interval, _pes in subtrees:
+            kept = emit(_ordered(interval, pes_interval), case1=True, object_id=obj)
+            assert kept or not prune, "Case-1 rectangle pruned; Theorem 2 reasoning violated"
+
+        # Case-2: cross subtrees of different PESs pair with each other.
+        for i in range(len(subtrees)):
+            interval_i, pes_i = subtrees[i]
+            for j in range(i + 1, len(subtrees)):
+                interval_j, pes_j = subtrees[j]
+                if pes_i == pes_j:
+                    continue  # internal pair: answered by PES identity
+                emit(_ordered(interval_i, interval_j), case1=False)
+
+    return result

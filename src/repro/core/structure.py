@@ -1,0 +1,158 @@
+"""The Pestrie structure: ES groups, PES trees, labelled edges (Section 3).
+
+A *group* (equivalent set, ES) holds pointers whose points-to sets are
+identical, plus at most one object (the *origin* of its PES).  Groups are
+linked by
+
+* **tree edges** — ``parent → child`` created when members are extracted
+  from ``parent``; the k-th tree edge of a node carries label ``k``; and
+* **cross edges** — ``origin → group`` created when an existing group's
+  members also point to the origin's object; each carries a ξ-value equal to
+  the target's tree-edge count at creation time.
+
+The groups connected by tree edges form a *partially equivalent set* (PES),
+a tree rooted at the unique origin group; the object of that origin is the
+PES identifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class Group:
+    """One Pestrie node: an equivalent set of pointers, maybe with an object."""
+
+    #: Dense group id in creation order.
+    id: int
+    #: The object contained in this group, or ``None`` for non-origin groups.
+    object_id: Optional[int] = None
+    #: Pointer members (current membership; final after construction).
+    pointers: List[int] = field(default_factory=list)
+    #: The PES this group belongs to, named by its origin's object id.
+    pes: int = -1
+    #: Parent group id via tree edge, or ``None`` for PES roots.
+    parent: Optional[int] = None
+    #: Label of the tree edge from ``parent`` to this group.
+    parent_label: int = -1
+    #: Child group ids in creation (label) order: child k is ``children[k]``.
+    children: List[int] = field(default_factory=list)
+
+    @property
+    def is_origin(self) -> bool:
+        return self.object_id is not None
+
+    def tree_edge_count(self) -> int:
+        return len(self.children)
+
+
+@dataclass(frozen=True)
+class CrossEdge:
+    """A cross edge ``origin_group --ξ--> target_group``."""
+
+    source: int
+    target: int
+    xi: int
+
+
+class Pestrie:
+    """The constructed Pestrie for one points-to matrix.
+
+    Holds the group forest, the cross edges grouped by source origin, the
+    per-pointer/per-object group assignment, and the object order used for
+    construction.  Interval labels are attached later by
+    :mod:`repro.core.intervals`.
+    """
+
+    def __init__(self, n_pointers: int, n_objects: int, object_order: List[int]):
+        self.n_pointers = n_pointers
+        self.n_objects = n_objects
+        #: Construction object order (a permutation of object ids).
+        self.object_order = object_order
+        self.groups: List[Group] = []
+        #: Cross edges in creation order.
+        self.cross_edges: List[CrossEdge] = []
+        #: Group id holding each pointer; ``None`` for pointers that point
+        #: to nothing (they never enter the trie).
+        self.group_of_pointer: List[Optional[int]] = [None] * n_pointers
+        #: Origin group id of each object (every object gets an origin).
+        self.group_of_object: List[int] = [-1] * n_objects
+        #: Interval labels ``[I, E]`` per group; filled by the DFS pass.
+        self.pre_order: List[int] = []
+        self.max_pre_order: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Construction helpers (used by the builder)
+    # ------------------------------------------------------------------
+
+    def new_group(self, object_id: Optional[int] = None) -> Group:
+        group = Group(id=len(self.groups), object_id=object_id)
+        self.groups.append(group)
+        return group
+
+    def add_tree_edge(self, parent: Group, child: Group) -> int:
+        """Link ``child`` under ``parent``; return the new edge's label."""
+        label = parent.tree_edge_count()
+        parent.children.append(child.id)
+        child.parent = parent.id
+        child.parent_label = label
+        child.pes = parent.pes
+        return label
+
+    def add_cross_edge(self, origin: Group, target: Group) -> CrossEdge:
+        """Add ``origin → target`` with ξ = target's current tree-edge count."""
+        edge = CrossEdge(source=origin.id, target=target.id, xi=target.tree_edge_count())
+        self.cross_edges.append(edge)
+        return edge
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def origin_of_pes(self, object_id: int) -> Group:
+        """The root group of ``PES object_id``."""
+        return self.groups[self.group_of_object[object_id]]
+
+    def pes_of_pointer(self, pointer: int) -> Optional[int]:
+        """The PES identifier (an object id) of ``pointer``, if any."""
+        group_id = self.group_of_pointer[pointer]
+        return self.groups[group_id].pes if group_id is not None else None
+
+    def cross_edges_by_source(self) -> Dict[int, List[CrossEdge]]:
+        """Cross edges grouped by source group id, creation order preserved."""
+        by_source: Dict[int, List[CrossEdge]] = {}
+        for edge in self.cross_edges:
+            by_source.setdefault(edge.source, []).append(edge)
+        return by_source
+
+    def group_members(self) -> List[Tuple[Optional[int], List[int]]]:
+        """``(object_id, pointers)`` per group, for debugging and tests."""
+        return [(group.object_id, list(group.pointers)) for group in self.groups]
+
+    def internal_pair_count(self) -> int:
+        """Number of unordered pointer pairs that share a PES (Section 5.1)."""
+        sizes: Dict[int, int] = {}
+        for group_id in self.group_of_pointer:
+            if group_id is None:
+                continue
+            pes = self.groups[group_id].pes
+            sizes[pes] = sizes.get(pes, 0) + 1
+        return sum(size * (size - 1) // 2 for size in sizes.values())
+
+    def stats(self) -> Dict[str, int]:
+        """Size statistics used by the heuristic experiments."""
+        return {
+            "groups": len(self.groups),
+            "cross_edges": len(self.cross_edges),
+            "internal_pairs": self.internal_pair_count(),
+        }
+
+    def __repr__(self) -> str:
+        return "Pestrie(%d groups, %d cross edges, %d pointers, %d objects)" % (
+            len(self.groups),
+            len(self.cross_edges),
+            self.n_pointers,
+            self.n_objects,
+        )

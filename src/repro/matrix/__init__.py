@@ -1,0 +1,21 @@
+"""Matrix substrate: sparse bitmaps, points-to matrices, equivalence classes."""
+
+from .bitmap import BITS_PER_BLOCK, SparseBitmap
+from .equivalence import (
+    EquivalencePartition,
+    object_equivalence,
+    partition_rows,
+    pointer_equivalence,
+)
+from .points_to import PointsToMatrix, dedup_rows
+
+__all__ = [
+    "BITS_PER_BLOCK",
+    "SparseBitmap",
+    "PointsToMatrix",
+    "dedup_rows",
+    "EquivalencePartition",
+    "partition_rows",
+    "pointer_equivalence",
+    "object_equivalence",
+]

@@ -1,0 +1,71 @@
+"""Equivalence-class detection over points-to matrices (Section 2.1).
+
+Two pointers are *equivalent* when their points-to sets are identical; two
+objects are equivalent when their pointed-by sets are identical.  The paper
+measures that, even for precise analyses, pointer classes average 18.5% of
+the pointer count and object classes 83% (Figure 1), and the BitP encoder
+exploits this by storing one representative row per class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .bitmap import SparseBitmap
+from .points_to import PointsToMatrix
+
+
+@dataclass
+class EquivalencePartition:
+    """A partition of ``0..n-1`` into classes of identical rows.
+
+    ``class_of[i]`` is the class id of row ``i``; ``members[c]`` lists the
+    rows in class ``c``; ``representative[c]`` is the smallest member, whose
+    row stands in for the whole class in merged encodings.
+    """
+
+    class_of: List[int]
+    members: List[List[int]] = field(repr=False)
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.members)
+
+    @property
+    def representative(self) -> List[int]:
+        return [group[0] for group in self.members]
+
+    def ratio(self) -> float:
+        """Classes as a fraction of rows — Figure 1's "non-equivalent" metric."""
+        return self.n_classes / len(self.class_of) if self.class_of else 0.0
+
+
+def partition_rows(matrix: PointsToMatrix) -> EquivalencePartition:
+    """Partition the matrix rows into identical-content classes.
+
+    Class ids are assigned in order of first appearance, so the partition is
+    deterministic for a given matrix.
+    """
+    index_of: Dict[SparseBitmap, int] = {}
+    class_of: List[int] = []
+    members: List[List[int]] = []
+    for row_id, row in enumerate(matrix.rows):
+        class_id = index_of.get(row)
+        if class_id is None:
+            class_id = len(members)
+            index_of[row] = class_id
+            members.append([])
+        class_of.append(class_id)
+        members[class_id].append(row_id)
+    return EquivalencePartition(class_of=class_of, members=members)
+
+
+def pointer_equivalence(matrix: PointsToMatrix) -> EquivalencePartition:
+    """Equivalent pointers: identical points-to sets."""
+    return partition_rows(matrix)
+
+
+def object_equivalence(matrix: PointsToMatrix) -> EquivalencePartition:
+    """Equivalent objects: identical pointed-by sets."""
+    return partition_rows(matrix.transpose())

@@ -1,0 +1,195 @@
+"""The normalised points-to matrix representation (Section 2 of the paper).
+
+Every pointer-analysis result handled by this library is first canonicalised
+into a boolean *points-to matrix* ``PM`` where ``PM[p][o] = 1`` means pointer
+``p`` may point to object ``o``.  Rows are sparse bitmaps.  The transpose
+``PMT`` (pointed-by matrix) and the alias matrix ``AM = PM · PMᵀ`` are derived
+on demand; ``AM[p][q] = 1`` iff the points-to sets of ``p`` and ``q``
+intersect.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .bitmap import SparseBitmap
+
+
+class PointsToMatrix:
+    """A pointers × objects boolean matrix with sparse bitmap rows.
+
+    Pointers and objects are dense integer ids ``0..n_pointers-1`` and
+    ``0..n_objects-1``.  Optional name tables keep the mapping back to
+    source-level entities (Section 6.2's variable correlation).
+    """
+
+    def __init__(
+        self,
+        n_pointers: int,
+        n_objects: int,
+        pointer_names: Optional[Sequence[str]] = None,
+        object_names: Optional[Sequence[str]] = None,
+    ):
+        if n_pointers < 0 or n_objects < 0:
+            raise ValueError("matrix dimensions must be non-negative")
+        if pointer_names is not None and len(pointer_names) != n_pointers:
+            raise ValueError("pointer name table does not match n_pointers")
+        if object_names is not None and len(object_names) != n_objects:
+            raise ValueError("object name table does not match n_objects")
+        self.n_pointers = n_pointers
+        self.n_objects = n_objects
+        self.rows: List[SparseBitmap] = [SparseBitmap() for _ in range(n_pointers)]
+        self.pointer_names = list(pointer_names) if pointer_names is not None else None
+        self.object_names = list(object_names) if object_names is not None else None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_pairs(
+        cls,
+        n_pointers: int,
+        n_objects: int,
+        pairs: Iterable[Tuple[int, int]],
+        pointer_names: Optional[Sequence[str]] = None,
+        object_names: Optional[Sequence[str]] = None,
+    ) -> "PointsToMatrix":
+        """Build a matrix from an iterable of ``(pointer, object)`` facts."""
+        matrix = cls(n_pointers, n_objects, pointer_names, object_names)
+        for pointer, obj in pairs:
+            matrix.add(pointer, obj)
+        return matrix
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Iterable[int]], n_objects: int) -> "PointsToMatrix":
+        """Build a matrix from per-pointer object id iterables."""
+        matrix = cls(len(rows), n_objects)
+        for pointer, objects in enumerate(rows):
+            for obj in objects:
+                matrix.add(pointer, obj)
+        return matrix
+
+    def add(self, pointer: int, obj: int) -> None:
+        """Record the fact *pointer may point to obj*."""
+        if not 0 <= pointer < self.n_pointers:
+            raise IndexError("pointer id %d out of range [0, %d)" % (pointer, self.n_pointers))
+        if not 0 <= obj < self.n_objects:
+            raise IndexError("object id %d out of range [0, %d)" % (obj, self.n_objects))
+        self.rows[pointer].add(obj)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def points_to(self, pointer: int) -> SparseBitmap:
+        """The points-to set ``PM[p]`` (the live bitmap, not a copy)."""
+        return self.rows[pointer]
+
+    def has(self, pointer: int, obj: int) -> bool:
+        return obj in self.rows[pointer]
+
+    def pairs(self) -> Iterator[Tuple[int, int]]:
+        """Iterate all ``(pointer, object)`` facts in row-major order."""
+        for pointer, row in enumerate(self.rows):
+            for obj in row:
+                yield pointer, obj
+
+    def fact_count(self) -> int:
+        """Total number of points-to facts (matrix population count)."""
+        return sum(len(row) for row in self.rows)
+
+    def density(self) -> float:
+        """Fraction of set cells; 0.0 for a degenerate empty matrix."""
+        cells = self.n_pointers * self.n_objects
+        return self.fact_count() / cells if cells else 0.0
+
+    # ------------------------------------------------------------------
+    # Derived matrices
+    # ------------------------------------------------------------------
+
+    def transpose(self) -> "PointsToMatrix":
+        """The pointed-by matrix ``PMT`` (objects × pointers)."""
+        transposed = PointsToMatrix(
+            self.n_objects,
+            self.n_pointers,
+            pointer_names=self.object_names,
+            object_names=self.pointer_names,
+        )
+        for pointer, row in enumerate(self.rows):
+            for obj in row:
+                transposed.rows[obj].add(pointer)
+        return transposed
+
+    def alias_matrix(self) -> "PointsToMatrix":
+        """The alias matrix ``AM = PM · PMᵀ`` (pointers × pointers).
+
+        Computed the way the paper's BitP encoder does (Section 7.1.2): the
+        alias set of ``p`` is the union of the pointed-by rows ``PMT[o]``
+        over all ``o`` that ``p`` points to.  Equivalent pointers share one
+        alias row (computed once and aliased into every member's slot).
+        """
+        transposed = self.transpose()
+        alias = PointsToMatrix(self.n_pointers, self.n_pointers)
+        by_content: Dict[SparseBitmap, SparseBitmap] = {}
+        for pointer, row in enumerate(self.rows):
+            alias_row = by_content.get(row)
+            if alias_row is None:
+                alias_row = SparseBitmap()
+                for obj in row:
+                    alias_row.union_update(transposed.rows[obj])
+                by_content[row] = alias_row
+            alias.rows[pointer] = alias_row
+        return alias
+
+    # ------------------------------------------------------------------
+    # Reference (oracle) query implementations
+    # ------------------------------------------------------------------
+
+    def is_alias(self, p: int, q: int) -> bool:
+        """Oracle IsAlias: points-to set intersection is non-empty."""
+        return self.rows[p].intersects(self.rows[q])
+
+    def list_points_to(self, p: int) -> List[int]:
+        """Oracle ListPointsTo."""
+        return list(self.rows[p])
+
+    def list_pointed_by(self, obj: int) -> List[int]:
+        """Oracle ListPointedBy (linear scan; the persistent index is fast)."""
+        return [p for p, row in enumerate(self.rows) if obj in row]
+
+    def list_aliases(self, p: int) -> List[int]:
+        """Oracle ListAliases: every q != p whose points-to set meets p's."""
+        mine = self.rows[p]
+        return [q for q in range(self.n_pointers) if q != p and mine.intersects(self.rows[q])]
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PointsToMatrix):
+            return NotImplemented
+        return (
+            self.n_pointers == other.n_pointers
+            and self.n_objects == other.n_objects
+            and self.rows == other.rows
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - matrices are not dict keys
+        raise TypeError("PointsToMatrix is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return "PointsToMatrix(%d pointers, %d objects, %d facts)" % (
+            self.n_pointers,
+            self.n_objects,
+            self.fact_count(),
+        )
+
+
+def dedup_rows(matrix: PointsToMatrix) -> Dict[SparseBitmap, List[int]]:
+    """Group row indices by identical row content (equivalence detection)."""
+    groups: Dict[SparseBitmap, List[int]] = {}
+    for index, row in enumerate(matrix.rows):
+        groups.setdefault(row, []).append(index)
+    return groups

@@ -1,0 +1,60 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.matrix.points_to import PointsToMatrix
+
+# ----------------------------------------------------------------------
+# The paper's worked example (Table 3): pointers p1..p7 -> ids 0..6,
+# objects o1..o5 -> ids 0..4.
+# ----------------------------------------------------------------------
+
+PAPER_ROWS = {
+    0: [0, 4],  # p1 -> o1, o5
+    1: [0],  # p2 -> o1
+    2: [0, 1, 2, 4],  # p3
+    3: [0, 1, 2, 3],  # p4
+    4: [3],  # p5
+    5: [1],  # p6
+    6: [2, 4],  # p7
+}
+
+
+@pytest.fixture
+def paper_matrix() -> PointsToMatrix:
+    return PointsToMatrix.from_rows([PAPER_ROWS[i] for i in range(7)], 5)
+
+
+def make_random_matrix(n_pointers: int, n_objects: int, density: float,
+                       seed: int) -> PointsToMatrix:
+    rng = random.Random(seed)
+    matrix = PointsToMatrix(n_pointers, n_objects)
+    for pointer in range(n_pointers):
+        for obj in range(n_objects):
+            if rng.random() < density:
+                matrix.add(pointer, obj)
+    return matrix
+
+
+# Hypothesis strategy: a small points-to matrix as (n_pointers, n_objects,
+# facts).  Kept small so exhaustive oracles stay fast.
+
+@st.composite
+def matrices(draw, max_pointers: int = 14, max_objects: int = 8):
+    n_pointers = draw(st.integers(min_value=1, max_value=max_pointers))
+    n_objects = draw(st.integers(min_value=1, max_value=max_objects))
+    facts = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n_pointers - 1),
+                st.integers(min_value=0, max_value=n_objects - 1),
+            ),
+            max_size=n_pointers * n_objects,
+        )
+    )
+    return PointsToMatrix.from_pairs(n_pointers, n_objects, facts)

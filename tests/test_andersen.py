@@ -1,0 +1,292 @@
+"""Andersen's analysis: handwritten cases plus a naive-solver oracle."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import andersen
+from repro.analysis.ir import (
+    Alloc,
+    Call,
+    Copy,
+    FieldLoad,
+    FieldStore,
+    FuncRef,
+    Function,
+    IndirectCall,
+    Load,
+    Program,
+    Return,
+    Store,
+    SymbolTable,
+)
+from repro.analysis.parser import parse_program
+from repro.bench.programs import ProgramSpec, generate_program
+
+
+def _naive_solve(program, symbols):
+    """Fixed-point iteration straight off the constraint definitions."""
+    var_pts = [set() for _ in range(symbols.n_variables)]
+    obj_pts = [set() for _ in range(symbols.n_sites)]
+    returns = {}
+    for function in program.functions.values():
+        for stmt in function.simple_statements():
+            if isinstance(stmt, Return) and stmt.value is not None:
+                returns.setdefault(function.name, []).append(
+                    symbols.variable(function.name, stmt.value)
+                )
+    changed = True
+    while changed:
+        changed = False
+
+        def merge(target_set, source_set):
+            nonlocal changed
+            before = len(target_set)
+            target_set.update(source_set)
+            if len(target_set) != before:
+                changed = True
+
+        for function in program.functions.values():
+            fname = function.name
+            for stmt in function.simple_statements():
+                if isinstance(stmt, Alloc):
+                    merge(
+                        var_pts[symbols.variable(fname, stmt.target)],
+                        {symbols.site(fname, stmt.site)},
+                    )
+                elif isinstance(stmt, Copy):
+                    merge(
+                        var_pts[symbols.variable(fname, stmt.target)],
+                        var_pts[symbols.variable(fname, stmt.source)],
+                    )
+                elif isinstance(stmt, (Load, FieldLoad)):
+                    target = symbols.variable(fname, stmt.target)
+                    for obj in list(var_pts[symbols.variable(fname, stmt.source)]):
+                        merge(var_pts[target], obj_pts[obj])
+                elif isinstance(stmt, (Store, FieldStore)):
+                    source = symbols.variable(fname, stmt.source)
+                    for obj in list(var_pts[symbols.variable(fname, stmt.target)]):
+                        merge(obj_pts[obj], var_pts[source])
+                elif isinstance(stmt, Call):
+                    callee = program.functions[stmt.callee]
+                    for param, arg in zip(callee.params, stmt.args):
+                        merge(
+                            var_pts[symbols.variable(stmt.callee, param)],
+                            var_pts[symbols.variable(fname, arg)],
+                        )
+                    if stmt.target is not None:
+                        target = symbols.variable(fname, stmt.target)
+                        for returned in returns.get(stmt.callee, ()):
+                            merge(var_pts[target], var_pts[returned])
+                elif isinstance(stmt, FuncRef):
+                    merge(
+                        var_pts[symbols.variable(fname, stmt.target)],
+                        {symbols.function_object(stmt.func)},
+                    )
+                elif isinstance(stmt, IndirectCall):
+                    fn_sites = symbols.function_object_sites()
+                    pointer = symbols.variable(fname, stmt.pointer)
+                    for site in list(var_pts[pointer]):
+                        callee_name = fn_sites.get(site)
+                        if callee_name is None:
+                            continue
+                        callee = program.functions[callee_name]
+                        for param, arg in zip(callee.params, stmt.args):
+                            merge(
+                                var_pts[symbols.variable(callee_name, param)],
+                                var_pts[symbols.variable(fname, arg)],
+                            )
+                        if stmt.target is not None:
+                            target = symbols.variable(fname, stmt.target)
+                            for returned in returns.get(callee_name, ()):
+                                merge(var_pts[target], var_pts[returned])
+    return var_pts, obj_pts
+
+
+class TestHandwritten:
+    def test_alloc_and_copy(self):
+        program = parse_program(
+            "func main() {\n  p = alloc A\n  q = p\n  return\n}\n"
+        )
+        result = andersen.analyze(program)
+        assert result.pts_of("main", "p") == result.pts_of("main", "q")
+        assert len(result.pts_of("main", "p")) == 1
+
+    def test_store_load_flow(self):
+        program = parse_program(
+            "func main() {\n"
+            "  p = alloc A\n"
+            "  q = alloc B\n"
+            "  *p = q\n"
+            "  r = *p\n"
+            "  return\n"
+            "}\n"
+        )
+        result = andersen.analyze(program)
+        assert result.pts_of("main", "r") == result.pts_of("main", "q")
+
+    def test_no_flow_between_unrelated_cells(self):
+        program = parse_program(
+            "func main() {\n"
+            "  p = alloc A\n"
+            "  x = alloc B\n"
+            "  q = alloc C\n"
+            "  *p = q\n"
+            "  r = *x\n"
+            "  return\n"
+            "}\n"
+        )
+        result = andersen.analyze(program)
+        assert result.pts_of("main", "r") == set()
+
+    def test_call_parameter_and_return(self):
+        program = parse_program(
+            "func id(x) {\n  return x\n}\n"
+            "func main() {\n  p = alloc A\n  q = call id(p)\n  return\n}\n"
+        )
+        result = andersen.analyze(program)
+        assert result.pts_of("main", "q") == result.pts_of("main", "p")
+
+    def test_context_insensitive_merging(self):
+        """Both call sites of id() receive the union of both arguments."""
+        program = parse_program(
+            "func id(x) {\n  return x\n}\n"
+            "func main() {\n"
+            "  a = alloc A\n"
+            "  b = alloc B\n"
+            "  p = call id(a)\n"
+            "  q = call id(b)\n"
+            "  return\n"
+            "}\n"
+        )
+        result = andersen.analyze(program)
+        assert len(result.pts_of("main", "p")) == 2
+        assert result.pts_of("main", "p") == result.pts_of("main", "q")
+
+    def test_globals_shared(self):
+        program = parse_program(
+            "global g\n"
+            "func writer() {\n  w = alloc W\n  g = w\n  return\n}\n"
+            "func main() {\n  call writer()\n  r = g\n  return\n}\n"
+        )
+        result = andersen.analyze(program)
+        assert result.pts_of("main", "r") == {result.symbols.site("writer", "W")}
+
+    def test_cyclic_copy_chain(self):
+        program = parse_program(
+            "func main() {\n"
+            "  a = alloc A\n"
+            "  b = a\n"
+            "  c = b\n"
+            "  a = c\n"
+            "  return\n"
+            "}\n"
+        )
+        result = andersen.analyze(program)
+        assert result.pts_of("main", "a") == result.pts_of("main", "c")
+
+    def test_to_matrix_names(self):
+        program = parse_program("func main() {\n  p = alloc A\n  return\n}\n")
+        matrix = andersen.analyze(program).to_matrix()
+        assert matrix.pointer_names is not None
+        assert "main::p" in matrix.pointer_names
+        assert matrix.object_names == ["main::A"]
+
+
+class TestAgainstNaiveSolver:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_matches_naive_fixpoint(self, seed):
+        spec = ProgramSpec(
+            name="t", n_functions=6, statements_per_function=10, n_types=3, seed=seed
+        )
+        program = generate_program(spec)
+        symbols = SymbolTable(program)
+        result = andersen.analyze(program, symbols)
+        naive_vars, naive_objs = _naive_solve(program, symbols)
+        for var in range(symbols.n_variables):
+            assert set(result.var_pts[var]) == naive_vars[var], symbols.variable_names()[var]
+        for obj in range(symbols.n_sites):
+            assert set(result.obj_pts[obj]) == naive_objs[obj]
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_matches_naive_with_indirect_calls(self, seed):
+        spec = ProgramSpec(
+            name="t", n_functions=6, statements_per_function=10, n_types=3,
+            seed=seed, indirect_call_prob=0.5,
+        )
+        program = generate_program(spec)
+        symbols = SymbolTable(program)
+        result = andersen.analyze(program, symbols)
+        naive_vars, naive_objs = _naive_solve(program, symbols)
+        for var in range(symbols.n_variables):
+            assert set(result.var_pts[var]) == naive_vars[var], symbols.variable_names()[var]
+        for obj in range(symbols.n_sites):
+            assert set(result.obj_pts[obj]) == naive_objs[obj]
+
+    def test_matches_naive_on_sample(self):
+        source = (
+            "global g\n"
+            "func make() {\n  m = alloc M\n  return m\n}\n"
+            "func main() {\n"
+            "  p = call make()\n"
+            "  q = call make()\n"
+            "  *p = q\n"
+            "  g = p\n"
+            "  r = *g\n"
+            "  return\n"
+            "}\n"
+        )
+        program = parse_program(source)
+        symbols = SymbolTable(program)
+        result = andersen.analyze(program, symbols)
+        naive_vars, _ = _naive_solve(program, symbols)
+        for var in range(symbols.n_variables):
+            assert set(result.var_pts[var]) == naive_vars[var]
+
+
+class TestSeeding:
+    def test_arbitrary_seeds_produce_superset(self):
+        """Seeds outside the natural fixpoint still solve soundly: the
+        result is the fixpoint of constraints + seeds, a superset."""
+        from repro.analysis.parser import parse_program
+
+        program = parse_program(
+            "func main() {\n  p = alloc A\n  q = p\n  return\n}\n"
+        )
+        from repro.analysis.ir import SymbolTable
+
+        symbols = SymbolTable(program)
+        plain = andersen.analyze(program, symbols)
+        bogus_site = symbols.site("main", "A")
+        r = symbols.variable("main", "q")
+        seeded = andersen.analyze(
+            program, SymbolTable(program),
+            seed_var_facts=[(r, bogus_site)],
+        )
+        for var in range(symbols.n_variables):
+            assert set(plain.var_pts[var]) <= set(seeded.var_pts[var])
+
+    def test_fixpoint_seeds_are_idempotent(self):
+        """Seeding with the final solution changes nothing."""
+        from repro.analysis.parser import parse_program
+        from repro.analysis.ir import SymbolTable
+
+        program = parse_program(
+            "func make() {\n  m = alloc M\n  return m\n}\n"
+            "func main() {\n  p = call make()\n  *p = p\n  r = *p\n  return\n}\n"
+        )
+        plain = andersen.analyze(program)
+        seeds = [
+            (var, site)
+            for var, pts in enumerate(plain.var_pts)
+            for site in pts
+        ]
+        obj_seeds = [
+            (cell, site)
+            for cell, pts in enumerate(plain.obj_pts)
+            for site in pts
+        ]
+        seeded = andersen.analyze(program, SymbolTable(program),
+                                  seed_var_facts=seeds, seed_obj_facts=obj_seeds)
+        assert seeded.to_matrix() == plain.to_matrix()

@@ -1,0 +1,173 @@
+"""BitP, bzip, and demand-driven baselines."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.bitmap_persist import BitmapIndex, BitmapPersistence
+from repro.baselines.bzip_persist import BzipPersistence
+from repro.baselines.demand import DemandDriven
+from repro.matrix.points_to import PointsToMatrix
+
+from conftest import make_random_matrix, matrices
+
+
+def _bitp_round_trip(matrix) -> BitmapIndex:
+    buffer = io.BytesIO()
+    BitmapPersistence.encode(matrix, buffer)
+    buffer.seek(0)
+    return BitmapPersistence.decode(buffer)
+
+
+class TestBitmapPersistence:
+    def test_queries_match_oracle(self, paper_matrix):
+        index = _bitp_round_trip(paper_matrix)
+        for p in range(7):
+            assert index.list_points_to(p) == paper_matrix.list_points_to(p)
+            assert index.list_aliases(p) == paper_matrix.list_aliases(p)
+            for q in range(7):
+                assert index.is_alias(p, q) == paper_matrix.is_alias(p, q)
+        for obj in range(5):
+            assert index.list_pointed_by(obj) == paper_matrix.list_pointed_by(obj)
+
+    @settings(max_examples=40)
+    @given(matrices())
+    def test_round_trip_any_matrix(self, matrix):
+        index = _bitp_round_trip(matrix)
+        for p in range(matrix.n_pointers):
+            assert index.list_points_to(p) == matrix.list_points_to(p)
+            assert index.list_aliases(p) == matrix.list_aliases(p)
+
+    def test_equivalent_rows_shared_after_decode(self):
+        matrix = PointsToMatrix.from_rows([[0], [0], [1]], 2)
+        index = _bitp_round_trip(matrix)
+        assert index.pm.rows[0] is index.pm.rows[1]
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="bad magic"):
+            BitmapPersistence.decode(io.BytesIO(b"WRONG!!!" + b"\x00" * 32))
+
+    def test_file_round_trip(self, paper_matrix, tmp_path):
+        path = str(tmp_path / "m.bitp")
+        size = BitmapPersistence.encode_to_file(paper_matrix, path)
+        assert size > 0
+        index = BitmapPersistence.decode_from_file(path)
+        assert index.list_points_to(2) == paper_matrix.list_points_to(2)
+
+    def test_memory_footprint_positive(self, paper_matrix):
+        assert _bitp_round_trip(paper_matrix).memory_footprint() > 0
+
+    def test_merging_shrinks_file(self):
+        """Equivalence merging: many identical rows ≈ one stored row."""
+        duplicated = PointsToMatrix.from_rows([[0, 1, 2]] * 50, 3)
+        distinct = PointsToMatrix.from_rows(
+            [[i % 3, 3 + (i % 7)] for i in range(50)], 10
+        )
+        buffer_dup, buffer_dis = io.BytesIO(), io.BytesIO()
+        BitmapPersistence.encode(duplicated, buffer_dup)
+        BitmapPersistence.encode(distinct, buffer_dis)
+        assert len(buffer_dup.getvalue()) < len(buffer_dis.getvalue())
+
+
+class TestBzipPersistence:
+    def test_round_trip(self, paper_matrix, tmp_path):
+        path = str(tmp_path / "m.bz")
+        BzipPersistence.encode_to_file(paper_matrix, path)
+        assert BzipPersistence.decode_from_file(path) == paper_matrix
+
+    @settings(max_examples=25)
+    @given(matrices())
+    def test_round_trip_any_matrix(self, matrix):
+        import os
+        import tempfile
+
+        handle, path = tempfile.mkstemp(suffix=".bz")
+        os.close(handle)
+        try:
+            BzipPersistence.encode_to_file(matrix, path)
+            assert BzipPersistence.decode_from_file(path) == matrix
+        finally:
+            os.unlink(path)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "junk.bz"
+        path.write_bytes(b"JUNKJUNK")
+        with pytest.raises(ValueError, match="not a bzip"):
+            BzipPersistence.decode_from_file(str(path))
+
+    def test_compression_level_changes_size(self, tmp_path):
+        matrix = make_random_matrix(200, 40, density=0.2, seed=1)
+        fast = BzipPersistence.encode_to_file(matrix, str(tmp_path / "f.bz"), level=1)
+        best = BzipPersistence.encode_to_file(matrix, str(tmp_path / "b.bz"), level=9)
+        assert fast > 0 and best > 0
+
+
+class TestDemandDriven:
+    def test_is_alias(self, paper_matrix):
+        demand = DemandDriven(paper_matrix)
+        for p in range(7):
+            for q in range(7):
+                assert demand.is_alias(p, q) == paper_matrix.is_alias(p, q)
+
+    def test_list_aliases_matches_oracle(self, paper_matrix):
+        demand = DemandDriven(paper_matrix)
+        for p in range(7):
+            assert demand.list_aliases(p) == paper_matrix.list_aliases(p)
+
+    def test_cache_hits_on_equivalent_pointers(self):
+        matrix = PointsToMatrix.from_rows([[0], [0], [1]], 2)
+        demand = DemandDriven(matrix)
+        demand.list_aliases(0)
+        assert demand.cache_misses == 1
+        demand.list_aliases(1)  # equivalent to pointer 0
+        assert demand.cache_hits == 1
+        demand.list_aliases(2)
+        assert demand.cache_misses == 2
+
+    def test_cached_answer_excludes_self(self):
+        matrix = PointsToMatrix.from_rows([[0], [0]], 1)
+        demand = DemandDriven(matrix)
+        assert demand.list_aliases(0) == [1]
+        assert demand.list_aliases(1) == [0]  # cache hit, self removed
+
+    def test_universe_restricts_candidates(self, paper_matrix):
+        demand = DemandDriven(paper_matrix, universe=[0, 1])
+        assert demand.list_aliases(0) == [1]
+
+    def test_list_pointed_by(self, paper_matrix):
+        demand = DemandDriven(paper_matrix)
+        for obj in range(5):
+            assert demand.list_pointed_by(obj) == paper_matrix.list_pointed_by(obj)
+
+
+class TestTruncationHandling:
+    def test_bitp_truncated(self, paper_matrix):
+        buffer = io.BytesIO()
+        BitmapPersistence.encode(paper_matrix, buffer)
+        data = buffer.getvalue()
+        for cut in range(8, len(data), 23):
+            with pytest.raises(ValueError):
+                BitmapPersistence.decode(io.BytesIO(data[:cut]))
+
+    def test_bdd_truncated(self, paper_matrix):
+        from repro.bdd import BddPersistence, encode_matrix
+
+        buffer = io.BytesIO()
+        BddPersistence.encode(encode_matrix(paper_matrix), buffer)
+        data = buffer.getvalue()
+        for cut in range(8, len(data) - 1, 37):
+            with pytest.raises(ValueError):
+                BddPersistence.decode(io.BytesIO(data[:cut]))
+
+    def test_bdd_forward_reference_rejected(self, paper_matrix):
+        from repro.bdd import BddPersistence, encode_matrix
+
+        buffer = io.BytesIO()
+        BddPersistence.encode(encode_matrix(paper_matrix), buffer)
+        data = bytearray(buffer.getvalue())
+        # Point the first node's low child at a not-yet-decoded id.
+        offset = 8 + 24 + 4  # magic + header + var field
+        data[offset : offset + 8] = (10**6).to_bytes(8, "little")
+        with pytest.raises(ValueError, match="later node|out of range"):
+            BddPersistence.decode(io.BytesIO(bytes(data)))

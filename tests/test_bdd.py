@@ -1,0 +1,259 @@
+"""The ROBDD engine and the BDD persistence baseline."""
+
+import io
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd.encode import encode_matrix
+from repro.bdd.manager import FALSE, TRUE, BddManager
+from repro.bdd.persist import BddPersistence
+from repro.matrix.points_to import PointsToMatrix
+
+from conftest import make_random_matrix, matrices
+
+
+def _truth_table(manager, node, n_vars):
+    rows = []
+    for bits in itertools.product((False, True), repeat=n_vars):
+        rows.append(manager.evaluate(node, dict(enumerate(bits))))
+    return tuple(rows)
+
+
+# A tiny expression language for property-testing against truth tables.
+
+@st.composite
+def expressions(draw, n_vars=4, depth=4):
+    if depth == 0 or draw(st.booleans()):
+        choice = draw(st.integers(0, n_vars + 1))
+        if choice == n_vars:
+            return ("const", False)
+        if choice == n_vars + 1:
+            return ("const", True)
+        return ("var", choice)
+    op = draw(st.sampled_from(["and", "or", "xor", "not", "ite"]))
+    if op == "not":
+        return ("not", draw(expressions(n_vars=n_vars, depth=depth - 1)))
+    if op == "ite":
+        return (
+            "ite",
+            draw(expressions(n_vars=n_vars, depth=depth - 1)),
+            draw(expressions(n_vars=n_vars, depth=depth - 1)),
+            draw(expressions(n_vars=n_vars, depth=depth - 1)),
+        )
+    return (
+        op,
+        draw(expressions(n_vars=n_vars, depth=depth - 1)),
+        draw(expressions(n_vars=n_vars, depth=depth - 1)),
+    )
+
+
+def _build(manager, expr):
+    kind = expr[0]
+    if kind == "const":
+        return TRUE if expr[1] else FALSE
+    if kind == "var":
+        return manager.variable(expr[1])
+    if kind == "not":
+        return manager.not_(_build(manager, expr[1]))
+    if kind == "ite":
+        return manager.ite(*(_build(manager, sub) for sub in expr[1:]))
+    return manager.apply(kind, _build(manager, expr[1]), _build(manager, expr[2]))
+
+
+def _eval_expr(expr, bits):
+    kind = expr[0]
+    if kind == "const":
+        return expr[1]
+    if kind == "var":
+        return bits[expr[1]]
+    if kind == "not":
+        return not _eval_expr(expr[1], bits)
+    if kind == "ite":
+        return (
+            _eval_expr(expr[2], bits)
+            if _eval_expr(expr[1], bits)
+            else _eval_expr(expr[3], bits)
+        )
+    a = _eval_expr(expr[1], bits)
+    b = _eval_expr(expr[2], bits)
+    if kind == "and":
+        return a and b
+    if kind == "or":
+        return a or b
+    return a != b  # xor
+
+
+class TestManager:
+    def test_terminals(self):
+        manager = BddManager(2)
+        assert manager.is_terminal(FALSE)
+        assert manager.is_terminal(TRUE)
+        assert manager.size() == 2
+
+    def test_mk_reduces_equal_children(self):
+        manager = BddManager(2)
+        assert manager.mk(0, TRUE, TRUE) == TRUE
+
+    def test_hash_consing(self):
+        manager = BddManager(2)
+        a = manager.mk(0, FALSE, TRUE)
+        b = manager.mk(0, FALSE, TRUE)
+        assert a == b
+        assert manager.size() == 3
+
+    def test_variable_bounds(self):
+        manager = BddManager(2)
+        with pytest.raises(IndexError):
+            manager.variable(2)
+
+    def test_unknown_operation(self):
+        manager = BddManager(1)
+        with pytest.raises(ValueError, match="unknown BDD operation"):
+            manager.apply("nand", TRUE, TRUE)
+
+    def test_basic_identities(self):
+        manager = BddManager(2)
+        x = manager.variable(0)
+        assert manager.and_(x, TRUE) == x
+        assert manager.and_(x, FALSE) == FALSE
+        assert manager.or_(x, FALSE) == x
+        assert manager.or_(x, TRUE) == TRUE
+        assert manager.not_(manager.not_(x)) == x
+        assert manager.apply("xor", x, x) == FALSE
+        assert manager.apply("diff", x, x) == FALSE
+
+    @settings(max_examples=120, deadline=None)
+    @given(expressions())
+    def test_semantics_vs_truth_table(self, expr):
+        manager = BddManager(4)
+        node = _build(manager, expr)
+        for bits in itertools.product((False, True), repeat=4):
+            assignment = dict(enumerate(bits))
+            assert manager.evaluate(node, assignment) == _eval_expr(expr, bits)
+
+    @settings(max_examples=80, deadline=None)
+    @given(expressions(), expressions())
+    def test_canonicity(self, left, right):
+        """Semantically equal functions get the same node id."""
+        manager = BddManager(4)
+        a = _build(manager, left)
+        b = _build(manager, right)
+        if _truth_table(manager, a, 4) == _truth_table(manager, b, 4):
+            assert a == b
+        else:
+            assert a != b
+
+    def test_restrict(self):
+        manager = BddManager(3)
+        x0, x1 = manager.variable(0), manager.variable(1)
+        f = manager.and_(x0, x1)
+        assert manager.restrict(f, {0: True}) == x1
+        assert manager.restrict(f, {0: False}) == FALSE
+        assert manager.restrict(f, {0: True, 1: True}) == TRUE
+
+    def test_cube(self):
+        manager = BddManager(3)
+        cube = manager.cube({0: True, 2: False})
+        assert manager.evaluate(cube, {0: True, 1: False, 2: False})
+        assert manager.evaluate(cube, {0: True, 1: True, 2: False})
+        assert not manager.evaluate(cube, {0: False, 1: True, 2: False})
+        assert not manager.evaluate(cube, {0: True, 1: True, 2: True})
+
+    def test_support(self):
+        manager = BddManager(3)
+        f = manager.or_(manager.variable(0), manager.variable(2))
+        assert manager.support(f) == {0, 2}
+        assert manager.support(TRUE) == set()
+
+    def test_satisfying_assignments_expand_dont_cares(self):
+        manager = BddManager(2)
+        x0 = manager.variable(0)
+        solutions = list(manager.satisfying_assignments(x0, [0, 1]))
+        assert len(solutions) == 2  # x1 is a don't-care, expanded both ways
+        assert all(solution[0] is True for solution in solutions)
+
+    def test_satisfying_assignments_require_support(self):
+        manager = BddManager(2)
+        x1 = manager.variable(1)
+        with pytest.raises(ValueError, match="support"):
+            list(manager.satisfying_assignments(x1, [0]))
+
+    def test_reachable_count(self):
+        manager = BddManager(2)
+        f = manager.and_(manager.variable(0), manager.variable(1))
+        assert manager.reachable_count(f) == 4  # two terminals + two nodes
+        assert manager.reachable_count(TRUE) == 2
+
+
+class TestPointsToBdd:
+    @settings(max_examples=40, deadline=None)
+    @given(matrices())
+    def test_round_trip(self, matrix):
+        assert encode_matrix(matrix).to_matrix() == matrix
+
+    def test_queries_match_oracle(self, paper_matrix):
+        encoded = encode_matrix(paper_matrix)
+        for p in range(7):
+            assert encoded.list_points_to(p) == paper_matrix.list_points_to(p)
+            assert encoded.list_aliases(p) == paper_matrix.list_aliases(p)
+            for q in range(7):
+                assert encoded.is_alias(p, q) == paper_matrix.is_alias(p, q)
+        for obj in range(5):
+            assert encoded.list_pointed_by(obj) == paper_matrix.list_pointed_by(obj)
+
+    def test_equivalent_rows_share_structure(self):
+        """The BDD merges duplicated rows: node count grows sublinearly."""
+        base = make_random_matrix(4, 8, density=0.4, seed=3)
+        duplicated = PointsToMatrix(64, 8)
+        for p in range(64):
+            for obj in base.rows[p % 4]:
+                duplicated.add(p, obj)
+        encoded = encode_matrix(duplicated)
+        distinct = encode_matrix(base)
+        assert encoded.node_count() < 16 * distinct.node_count()
+
+    def test_empty_matrix(self):
+        matrix = PointsToMatrix(3, 3)
+        encoded = encode_matrix(matrix)
+        assert encoded.root == FALSE
+        assert encoded.list_points_to(0) == []
+        assert encoded.to_matrix() == matrix
+
+
+class TestBddPersistence:
+    def test_round_trip(self, paper_matrix):
+        encoded = encode_matrix(paper_matrix)
+        buffer = io.BytesIO()
+        BddPersistence.encode(encoded, buffer)
+        buffer.seek(0)
+        decoded = BddPersistence.decode(buffer)
+        assert decoded.to_matrix() == paper_matrix
+
+    @settings(max_examples=25, deadline=None)
+    @given(matrices())
+    def test_round_trip_any_matrix(self, matrix):
+        buffer = io.BytesIO()
+        BddPersistence.encode(encode_matrix(matrix), buffer)
+        buffer.seek(0)
+        assert BddPersistence.decode(buffer).to_matrix() == matrix
+
+    def test_file_size_is_20_bytes_per_node(self, paper_matrix, tmp_path):
+        encoded = encode_matrix(paper_matrix)
+        path = str(tmp_path / "m.bdd")
+        size = BddPersistence.encode_to_file(encoded, path)
+        nodes = encoded.node_count() - 2  # terminals are implicit
+        assert size == 8 + 24 + 20 * nodes
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="bad magic"):
+            BddPersistence.decode(io.BytesIO(b"XXXXXXXX" + b"\x00" * 24))
+
+    def test_constant_root(self):
+        matrix = PointsToMatrix(2, 2)
+        buffer = io.BytesIO()
+        BddPersistence.encode(encode_matrix(matrix), buffer)
+        buffer.seek(0)
+        assert BddPersistence.decode(buffer).to_matrix() == matrix

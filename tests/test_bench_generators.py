@@ -1,0 +1,163 @@
+"""Benchmark substrate: program generator, synthetic matrices, metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.metrics import characterize
+from repro.bench.programs import ProgramSpec, generate_program
+from repro.bench.synthetic import SyntheticSpec, synthesize, synthesize_simple
+from repro.matrix.points_to import PointsToMatrix
+
+
+class TestProgramGenerator:
+    def test_deterministic(self):
+        spec = ProgramSpec(name="t", n_functions=8, statements_per_function=12, seed=5)
+        from repro.analysis.parser import format_program
+
+        first = format_program(generate_program(spec))
+        second = format_program(generate_program(spec))
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        from repro.analysis.parser import format_program
+
+        a = format_program(generate_program(ProgramSpec(name="t", seed=1)))
+        b = format_program(generate_program(ProgramSpec(name="t", seed=2)))
+        assert a != b
+
+    def test_validates(self):
+        program = generate_program(ProgramSpec(name="t", n_functions=10, seed=3))
+        program.validate()  # must not raise
+
+    def test_statement_budget_respected(self):
+        spec = ProgramSpec(name="t", n_functions=12, statements_per_function=30, seed=9,
+                           n_types=4)
+        program = generate_program(spec)
+        # Each body function: prologue (≤ types used) + budget + return.
+        for function in program.functions.values():
+            count = sum(1 for _ in function.simple_statements())
+            assert count <= 30 + 5 + 1 + 2  # budget + prologue + return + slack
+
+    def test_entry_is_main(self):
+        program = generate_program(ProgramSpec(name="t", seed=0))
+        assert program.entry == "main"
+        assert "main" in program.functions
+
+    def test_helpers_exist_per_type(self):
+        spec = ProgramSpec(name="t", n_types=5, seed=0)
+        program = generate_program(spec)
+        for type_id in range(5):
+            assert "make_t%d" % type_id in program.functions
+
+    def test_indirect_call_knob(self):
+        from repro.analysis import andersen
+        from repro.analysis.ir import FuncRef, IndirectCall
+
+        spec = ProgramSpec(name="t", n_functions=14, statements_per_function=16,
+                           n_types=5, seed=11, indirect_call_prob=0.5)
+        program = generate_program(spec)
+        icalls = sum(
+            1
+            for function in program.functions.values()
+            for stmt in function.simple_statements()
+            if isinstance(stmt, IndirectCall)
+        )
+        funcrefs = sum(
+            1
+            for function in program.functions.values()
+            for stmt in function.simple_statements()
+            if isinstance(stmt, FuncRef)
+        )
+        assert icalls > 0
+        assert funcrefs == icalls  # each icall gets its own fp binding
+        # Every generated indirect call resolves to exactly one callee.
+        targets = andersen.analyze(program).indirect_call_targets()
+        assert all(len(callees) == 1 for callees in targets.values())
+
+    def test_indirect_prob_zero_emits_none(self):
+        from repro.analysis.ir import IndirectCall
+
+        program = generate_program(ProgramSpec(name="t", seed=3))
+        assert not any(
+            isinstance(stmt, IndirectCall)
+            for function in program.functions.values()
+            for stmt in function.simple_statements()
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_parseable_round_trip(self, seed):
+        from repro.analysis.parser import format_program, parse_program
+
+        program = generate_program(
+            ProgramSpec(name="t", n_functions=6, statements_per_function=8, seed=seed)
+        )
+        rebuilt = parse_program(format_program(program))
+        assert rebuilt.statement_count() == program.statement_count()
+
+
+class TestSyntheticMatrices:
+    def test_deterministic(self):
+        spec = SyntheticSpec(n_pointers=200, n_objects=50, seed=4)
+        assert synthesize(spec) == synthesize(spec)
+
+    def test_dimensions(self):
+        matrix = synthesize(SyntheticSpec(n_pointers=120, n_objects=30, seed=1))
+        assert matrix.n_pointers == 120
+        assert matrix.n_objects == 30
+        assert matrix.fact_count() > 0
+
+    def test_every_pointer_nonempty(self):
+        matrix = synthesize(SyntheticSpec(n_pointers=100, n_objects=25, seed=2))
+        assert all(len(row) >= 1 for row in matrix.rows)
+
+    def test_equivalence_ratio_calibrated(self):
+        """The generator must land near the requested pointer-class ratio."""
+        spec = SyntheticSpec(n_pointers=1000, n_objects=150, seed=3,
+                             pointer_class_ratio=0.185)
+        stats = characterize(synthesize(spec))
+        assert 0.05 <= stats.pointer_class_ratio <= 0.30
+
+    def test_hub_mass_concentated(self):
+        """Zipf popularity puts far more than 10% of incidences on the top
+        decile of objects."""
+        spec = SyntheticSpec(n_pointers=1000, n_objects=200, seed=5)
+        stats = characterize(synthesize(spec))
+        assert stats.hub_mass_top_decile > 0.2
+
+    def test_uniform_control_has_no_hub_structure(self):
+        uniform = synthesize_simple(1000, 200, seed=6)
+        stats = characterize(uniform)
+        assert stats.hub_mass_top_decile < 0.2
+
+    def test_simple_density_parameter(self):
+        matrix = synthesize_simple(50, 20, seed=1, density=1.0)
+        assert matrix.fact_count() == 50 * 20
+
+
+class TestCharacterize:
+    def test_hand_computed(self):
+        matrix = PointsToMatrix.from_rows([[0], [0], [1]], 2)
+        stats = characterize(matrix)
+        assert stats.n_pointers == 3
+        assert stats.n_objects == 2
+        assert stats.facts == 3
+        assert stats.pointer_class_ratio == pytest.approx(2 / 3)
+        assert stats.object_class_ratio == pytest.approx(1.0)
+        assert stats.max_hub_degree > 0
+
+    def test_bucket_fractions_sum_to_one(self):
+        matrix = synthesize(SyntheticSpec(n_pointers=300, n_objects=60, seed=8))
+        stats = characterize(matrix)
+        assert sum(stats.hub_bucket_fractions) == pytest.approx(1.0)
+
+    def test_row_format(self):
+        stats = characterize(PointsToMatrix.from_rows([[0]], 1))
+        row = stats.row()
+        assert row["#Pointers"] == 1
+        assert "hub mass top-10% objs" in row
+
+    def test_empty_matrix(self):
+        stats = characterize(PointsToMatrix(0, 0))
+        assert stats.facts == 0

@@ -1,0 +1,223 @@
+"""Sparse bitmap: unit tests plus a property check against ``set[int]``."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matrix.bitmap import BITS_PER_BLOCK, SparseBitmap
+
+ELEMENTS = st.sets(st.integers(min_value=0, max_value=5 * BITS_PER_BLOCK), max_size=60)
+
+
+class TestPointOperations:
+    def test_empty(self):
+        bitmap = SparseBitmap()
+        assert len(bitmap) == 0
+        assert not bitmap
+        assert 0 not in bitmap
+        assert list(bitmap) == []
+
+    def test_add_and_contains(self):
+        bitmap = SparseBitmap()
+        bitmap.add(5)
+        assert 5 in bitmap
+        assert 4 not in bitmap
+        assert len(bitmap) == 1
+
+    def test_add_is_idempotent(self):
+        bitmap = SparseBitmap()
+        bitmap.add(7)
+        bitmap.add(7)
+        assert len(bitmap) == 1
+
+    def test_add_across_blocks(self):
+        bitmap = SparseBitmap([0, BITS_PER_BLOCK, 3 * BITS_PER_BLOCK + 1])
+        assert list(bitmap) == [0, BITS_PER_BLOCK, 3 * BITS_PER_BLOCK + 1]
+        assert bitmap.block_count() == 3
+
+    def test_add_descending_order(self):
+        bitmap = SparseBitmap()
+        for value in (1000, 500, 250, 10, 0):
+            bitmap.add(value)
+        assert list(bitmap) == [0, 10, 250, 500, 1000]
+
+    def test_negative_rejected(self):
+        bitmap = SparseBitmap()
+        with pytest.raises(ValueError):
+            bitmap.add(-1)
+
+    def test_negative_contains_false(self):
+        assert -3 not in SparseBitmap([1])
+
+    def test_discard(self):
+        bitmap = SparseBitmap([3, 4])
+        bitmap.discard(3)
+        assert list(bitmap) == [4]
+        bitmap.discard(3)  # absent: no-op
+        assert list(bitmap) == [4]
+
+    def test_discard_frees_empty_block(self):
+        bitmap = SparseBitmap([1])
+        bitmap.discard(1)
+        assert bitmap.block_count() == 0
+        assert not bitmap
+
+    def test_discard_negative_is_noop(self):
+        bitmap = SparseBitmap([1])
+        bitmap.discard(-5)
+        assert list(bitmap) == [1]
+
+    def test_cursor_sequential_probes(self):
+        bitmap = SparseBitmap(range(0, 2000, 7))
+        # Ascending probe sequence exercises the cursor fast path.
+        for value in range(0, 2000):
+            assert (value in bitmap) == (value % 7 == 0)
+
+    def test_iteration_sorted(self):
+        values = [900, 3, 77, 450, 129]
+        assert list(SparseBitmap(values)) == sorted(values)
+
+
+class TestSetOperations:
+    def test_union_update_reports_change(self):
+        a = SparseBitmap([1, 2])
+        b = SparseBitmap([2, 3])
+        assert a.union_update(b) is True
+        assert list(a) == [1, 2, 3]
+        assert a.union_update(b) is False
+
+    def test_union_with_empty(self):
+        a = SparseBitmap([1])
+        assert a.union_update(SparseBitmap()) is False
+        empty = SparseBitmap()
+        assert empty.union_update(a) is True
+        assert list(empty) == [1]
+
+    def test_intersection_update(self):
+        a = SparseBitmap([1, 2, 300])
+        b = SparseBitmap([2, 300, 400])
+        assert a.intersection_update(b) is True
+        assert list(a) == [2, 300]
+
+    def test_intersection_disjoint_blocks(self):
+        a = SparseBitmap([0])
+        b = SparseBitmap([BITS_PER_BLOCK * 2])
+        a.intersection_update(b)
+        assert not a
+        assert a.block_count() == 0
+
+    def test_difference_update(self):
+        a = SparseBitmap([1, 2, 3])
+        b = SparseBitmap([2])
+        assert a.difference_update(b) is True
+        assert list(a) == [1, 3]
+
+    def test_operators_do_not_mutate(self):
+        a = SparseBitmap([1, 2])
+        b = SparseBitmap([2, 3])
+        assert list(a | b) == [1, 2, 3]
+        assert list(a & b) == [2]
+        assert list(a - b) == [1]
+        assert list(a) == [1, 2]
+        assert list(b) == [2, 3]
+
+    def test_intersects(self):
+        assert SparseBitmap([1, 5]).intersects(SparseBitmap([5]))
+        assert not SparseBitmap([1]).intersects(SparseBitmap([2]))
+        assert not SparseBitmap().intersects(SparseBitmap([2]))
+
+    def test_intersects_same_block_different_bits(self):
+        assert not SparseBitmap([0]).intersects(SparseBitmap([1]))
+
+    def test_issubset(self):
+        assert SparseBitmap([1]).issubset(SparseBitmap([1, 2]))
+        assert SparseBitmap().issubset(SparseBitmap())
+        assert not SparseBitmap([3]).issubset(SparseBitmap([1, 2]))
+
+    def test_equality_and_hash(self):
+        a = SparseBitmap([1, 200])
+        b = SparseBitmap([200, 1])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != SparseBitmap([1])
+
+    def test_copy_is_independent(self):
+        a = SparseBitmap([1])
+        b = a.copy()
+        b.add(2)
+        assert list(a) == [1]
+        assert list(b) == [1, 2]
+
+
+class TestSerialisation:
+    def test_block_pairs_round_trip(self):
+        original = SparseBitmap([0, 5, BITS_PER_BLOCK + 1, 9 * BITS_PER_BLOCK])
+        rebuilt = SparseBitmap.from_block_pairs(original.to_block_pairs())
+        assert rebuilt == original
+
+    def test_from_block_pairs_rejects_disorder(self):
+        with pytest.raises(ValueError):
+            SparseBitmap.from_block_pairs([(3, 1), (1, 1)])
+
+    def test_from_block_pairs_skips_zero_payload(self):
+        bitmap = SparseBitmap.from_block_pairs([(0, 0), (2, 0b10)])
+        assert list(bitmap) == [2 * BITS_PER_BLOCK + 1]
+
+    def test_repr_small_and_large(self):
+        assert "1" in repr(SparseBitmap([1]))
+        big = SparseBitmap(range(20))
+        assert "elements" in repr(big)
+
+
+class TestAgainstPythonSet:
+    """The bitmap must behave exactly like set[int]."""
+
+    @settings(max_examples=150)
+    @given(ELEMENTS, ELEMENTS)
+    def test_union(self, a, b):
+        bitmap = SparseBitmap(a)
+        bitmap.union_update(SparseBitmap(b))
+        assert set(bitmap) == a | b
+
+    @settings(max_examples=150)
+    @given(ELEMENTS, ELEMENTS)
+    def test_intersection(self, a, b):
+        bitmap = SparseBitmap(a)
+        bitmap.intersection_update(SparseBitmap(b))
+        assert set(bitmap) == a & b
+
+    @settings(max_examples=150)
+    @given(ELEMENTS, ELEMENTS)
+    def test_difference(self, a, b):
+        bitmap = SparseBitmap(a)
+        bitmap.difference_update(SparseBitmap(b))
+        assert set(bitmap) == a - b
+
+    @settings(max_examples=150)
+    @given(ELEMENTS, ELEMENTS)
+    def test_intersects_matches_disjointness(self, a, b):
+        assert SparseBitmap(a).intersects(SparseBitmap(b)) == bool(a & b)
+
+    @settings(max_examples=150)
+    @given(ELEMENTS, ELEMENTS)
+    def test_issubset(self, a, b):
+        assert SparseBitmap(a).issubset(SparseBitmap(b)) == (a <= b)
+
+    @settings(max_examples=100)
+    @given(ELEMENTS)
+    def test_membership_and_length(self, a):
+        bitmap = SparseBitmap(a)
+        assert len(bitmap) == len(a)
+        for value in a:
+            assert value in bitmap
+        assert set(bitmap) == a
+
+    @settings(max_examples=100)
+    @given(ELEMENTS, ELEMENTS)
+    def test_change_flags_match_set_semantics(self, a, b):
+        bitmap = SparseBitmap(a)
+        assert bitmap.union_update(SparseBitmap(b)) == bool(b - a)
+        bitmap = SparseBitmap(a)
+        assert bitmap.intersection_update(SparseBitmap(b)) == bool(a - b)
+        bitmap = SparseBitmap(a)
+        assert bitmap.difference_update(SparseBitmap(b)) == bool(a & b)

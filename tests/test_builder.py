@@ -1,0 +1,160 @@
+"""Pestrie construction invariants (Section 3.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import build_pestrie, resolve_order
+from repro.matrix.points_to import PointsToMatrix
+
+from conftest import matrices
+
+
+class TestPaperExample:
+    """Table 4's partitioning, step by step (identity object order)."""
+
+    def test_final_groups(self, paper_matrix):
+        pestrie = build_pestrie(paper_matrix, order="identity")
+        members = {
+            (group.object_id, tuple(sorted(group.pointers)))
+            for group in pestrie.groups
+        }
+        # Final state after step 5 (pointer ids are paper ids minus one).
+        assert members == {
+            (0, (1,)),  # group-1: o1, p2
+            (1, (5,)),  # group-2: o2, p6
+            (None, (2,)),  # group-3: p3
+            (2, ()),  # group-4: o3
+            (3, (4,)),  # group-5: o4, p5
+            (None, (3,)),  # p4, extracted in step 4
+            (4, ()),  # o5's origin
+            (None, (0,)),  # p1, extracted in step 5
+            (None, (6,)),  # p7, extracted in step 5
+        }
+
+    def test_cross_edge_count_and_xi_values(self, paper_matrix):
+        pestrie = build_pestrie(paper_matrix, order="identity")
+        assert len(pestrie.cross_edges) == 6
+        # The cross edge o5 -> group(p3) was built after the tree edge
+        # group(p3) -> group(p4), so its ξ-value is 1 (Example 2).
+        o5_origin = pestrie.group_of_object[4]
+        p3_group = pestrie.group_of_pointer[2]
+        (edge,) = [
+            e for e in pestrie.cross_edges
+            if e.source == o5_origin and e.target == p3_group
+        ]
+        assert edge.xi == 1
+
+    def test_pes_identifiers(self, paper_matrix):
+        pestrie = build_pestrie(paper_matrix, order="identity")
+        # p2, p3, p4, p1 belong to PES o1; p6 to PES o2; p5 to PES o4.
+        assert pestrie.pes_of_pointer(1) == 0
+        assert pestrie.pes_of_pointer(2) == 0
+        assert pestrie.pes_of_pointer(3) == 0
+        assert pestrie.pes_of_pointer(0) == 0
+        assert pestrie.pes_of_pointer(5) == 1
+        assert pestrie.pes_of_pointer(4) == 3
+        assert pestrie.pes_of_pointer(6) == 2
+
+    def test_internal_pairs(self, paper_matrix):
+        pestrie = build_pestrie(paper_matrix, order="identity")
+        # PES o1 holds 4 pointers -> C(4,2) = 6 internal pairs.
+        assert pestrie.internal_pair_count() == 6
+
+    def test_stats_keys(self, paper_matrix):
+        stats = build_pestrie(paper_matrix, order="identity").stats()
+        assert stats == {"groups": 9, "cross_edges": 6, "internal_pairs": 6}
+
+
+class TestStructuralInvariants:
+    @settings(max_examples=80)
+    @given(matrices(), st.sampled_from(["hub", "identity", "simple", "random"]))
+    def test_invariants(self, matrix, order):
+        pestrie = build_pestrie(matrix, order=order, seed=7)
+
+        # Every object owns exactly one origin group containing it alone.
+        for obj in range(matrix.n_objects):
+            origin = pestrie.origin_of_pes(obj)
+            assert origin.object_id == obj
+            assert origin.pes == obj
+
+        # Groups partition the tracked pointers.
+        seen = {}
+        for group in pestrie.groups:
+            for pointer in group.pointers:
+                assert pointer not in seen
+                seen[pointer] = group.id
+        for pointer in range(matrix.n_pointers):
+            expected = seen.get(pointer)
+            assert pestrie.group_of_pointer[pointer] == expected
+            if matrix.rows[pointer]:
+                assert expected is not None, "non-empty pointer missing from trie"
+            else:
+                assert expected is None, "empty pointer must stay out of the trie"
+
+        # Pointers in one group have identical points-to sets (ES property).
+        for group in pestrie.groups:
+            if len(group.pointers) > 1:
+                first = matrix.rows[group.pointers[0]]
+                for other in group.pointers[1:]:
+                    assert matrix.rows[other] == first
+
+        # Tree-edge labels are creation-ordered; children know parents.
+        for group in pestrie.groups:
+            for label, child_id in enumerate(group.children):
+                child = pestrie.groups[child_id]
+                assert child.parent == group.id
+                assert child.parent_label == label
+                assert child.pes == group.pes
+
+        # Cross edges start at origins, end at non-origins, and ξ matches
+        # the target's tree-edge count at creation time (≤ current count).
+        for edge in pestrie.cross_edges:
+            assert pestrie.groups[edge.source].is_origin
+            assert not pestrie.groups[edge.target].is_origin
+            assert 0 <= edge.xi <= pestrie.groups[edge.target].tree_edge_count()
+
+    @settings(max_examples=40)
+    @given(matrices())
+    def test_pes_membership_implies_points_to_origin(self, matrix):
+        pestrie = build_pestrie(matrix, order="hub")
+        for pointer in range(matrix.n_pointers):
+            pes = pestrie.pes_of_pointer(pointer)
+            if pes is not None:
+                assert matrix.has(pointer, pes)
+
+    @settings(max_examples=40)
+    @given(matrices())
+    def test_complexity_bounds(self, matrix):
+        pestrie = build_pestrie(matrix)
+        n, m = matrix.n_pointers, matrix.n_objects
+        assert len(pestrie.groups) <= n + m
+        assert len(pestrie.cross_edges) <= matrix.fact_count()
+
+
+class TestOrderResolution:
+    def test_explicit_order_wins(self, paper_matrix):
+        pestrie = build_pestrie(paper_matrix, order="hub", explicit_order=[4, 3, 2, 1, 0])
+        assert pestrie.object_order == [4, 3, 2, 1, 0]
+
+    def test_unknown_order_rejected(self, paper_matrix):
+        with pytest.raises(ValueError, match="unknown object order"):
+            build_pestrie(paper_matrix, order="alphabetical")
+
+    def test_resolve_order_names(self, paper_matrix):
+        for name in ("hub", "simple", "random", "identity"):
+            order = resolve_order(paper_matrix, name, seed=3)
+            assert sorted(order) == [0, 1, 2, 3, 4]
+
+    def test_empty_matrix(self):
+        matrix = PointsToMatrix(0, 0)
+        pestrie = build_pestrie(matrix)
+        assert pestrie.groups == []
+        assert pestrie.cross_edges == []
+
+    def test_objects_without_pointers(self):
+        matrix = PointsToMatrix(2, 3)
+        matrix.add(0, 1)
+        pestrie = build_pestrie(matrix)
+        assert len(pestrie.groups) == 3  # one origin per object
+        assert pestrie.group_of_pointer[1] is None

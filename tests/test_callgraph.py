@@ -1,0 +1,100 @@
+"""Call graph construction, edge numbering, SCCs."""
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.parser import parse_program
+
+CHAIN = """
+func c() {
+  return
+}
+
+func b() {
+  call c()
+  return
+}
+
+func a() {
+  call b()
+  call c()
+  return
+}
+
+func main() {
+  call a()
+  return
+}
+
+func dead() {
+  call c()
+  return
+}
+"""
+
+MUTUAL = """
+func even(n) {
+  call odd(n)
+  return n
+}
+
+func odd(n) {
+  call even(n)
+  return n
+}
+
+func main() {
+  x = alloc A
+  call even(x)
+  return
+}
+"""
+
+
+class TestCallGraph:
+    def test_sites_and_ids(self):
+        graph = CallGraph(parse_program(CHAIN))
+        assert graph.edge_count() == 5
+        labels = {site.label for site in graph.sites}
+        assert "a@0->b" in labels
+        assert "a@1->c" in labels
+        # Ids are dense and unique.
+        assert sorted(graph.site_ids.values()) == list(range(5))
+
+    def test_callees_and_callers(self):
+        graph = CallGraph(parse_program(CHAIN))
+        assert graph.callees("a") == ["b", "c"]
+        assert sorted(graph.callers("c")) == ["a", "b", "dead"]
+        assert graph.callers("main") == []
+
+    def test_reachable(self):
+        graph = CallGraph(parse_program(CHAIN))
+        assert graph.reachable("main") == {"main", "a", "b", "c"}
+        assert "dead" not in graph.reachable("main")
+
+    def test_sccs_reverse_topological(self):
+        graph = CallGraph(parse_program(CHAIN))
+        components = graph.topological_sccs()
+        order = {frozenset(c): i for i, c in enumerate(components)}
+        # Callee components come before caller components.
+        assert order[frozenset(["c"])] < order[frozenset(["b"])]
+        assert order[frozenset(["b"])] < order[frozenset(["a"])]
+        assert order[frozenset(["a"])] < order[frozenset(["main"])]
+
+    def test_mutual_recursion_single_scc(self):
+        graph = CallGraph(parse_program(MUTUAL))
+        components = graph.topological_sccs()
+        assert ["even", "odd"] in [sorted(c) for c in components]
+
+    def test_self_recursion(self):
+        source = "func main() {\n  call main()\n  return\n}\n"
+        graph = CallGraph(parse_program(source))
+        assert graph.callees("main") == ["main"]
+        assert [sorted(c) for c in graph.topological_sccs()] == [["main"]]
+
+    def test_calls_inside_blocks_counted(self):
+        source = (
+            "func f() {\n  return\n}\n"
+            "func main() {\n  if {\n    call f()\n  }\n  while {\n    call f()\n  }\n  return\n}\n"
+        )
+        graph = CallGraph(parse_program(source))
+        assert len(graph.out_sites("main")) == 2
+        assert [site.index for site in graph.out_sites("main")] == [0, 1]

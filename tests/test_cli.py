@@ -1,0 +1,170 @@
+"""The repro-pestrie command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import load_matrix_file, main, save_matrix_file
+from repro.matrix.points_to import PointsToMatrix
+
+IR_SOURCE = """
+func make() {
+  m = alloc M
+  return m
+}
+
+func main() {
+  p = call make()
+  q = call make()
+  *p = q
+  r = *p
+  return
+}
+"""
+
+
+@pytest.fixture
+def ir_file(tmp_path):
+    path = tmp_path / "app.ir"
+    path.write_text(IR_SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def pm_file(tmp_path, paper_matrix):
+    path = tmp_path / "paper.pm"
+    save_matrix_file(paper_matrix, str(path))
+    return str(path)
+
+
+class TestMatrixFileFormat:
+    def test_round_trip(self, tmp_path, paper_matrix):
+        path = str(tmp_path / "m.pm")
+        save_matrix_file(paper_matrix, path)
+        assert load_matrix_file(path) == paper_matrix
+
+    def test_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "m.pm"
+        path.write_text("2 2\n# comment\n\n0 1\n")
+        matrix = load_matrix_file(str(path))
+        assert matrix.has(0, 1)
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "m.pm"
+        path.write_text("2\n")
+        with pytest.raises(ValueError, match="first line"):
+            load_matrix_file(str(path))
+
+    def test_bad_fact_line(self, tmp_path):
+        path = tmp_path / "m.pm"
+        path.write_text("2 2\n0 1 2\n")
+        with pytest.raises(ValueError, match="expected"):
+            load_matrix_file(str(path))
+
+
+class TestEncodeAndInfo:
+    def test_encode_from_ir(self, ir_file, tmp_path, capsys):
+        out = str(tmp_path / "app.pes")
+        assert main(["encode", ir_file, out]) == 0
+        assert os.path.exists(out)
+        assert "bytes" in capsys.readouterr().out
+
+    def test_encode_from_pm(self, pm_file, tmp_path, capsys):
+        out = str(tmp_path / "paper.pes")
+        assert main(["encode", pm_file, out]) == 0
+        captured = capsys.readouterr().out
+        assert "7 pointers, 5 objects, 15 facts" in captured
+
+    def test_encode_compact_smaller(self, pm_file, tmp_path):
+        raw = str(tmp_path / "raw.pes")
+        compact = str(tmp_path / "compact.pes")
+        main(["encode", pm_file, raw])
+        main(["encode", pm_file, compact, "--compact"])
+        assert os.path.getsize(compact) < os.path.getsize(raw)
+
+    def test_encode_analysis_choices(self, ir_file, tmp_path):
+        for analysis in ("steensgaard", "flow-sensitive", "1-callsite", "2-callsite"):
+            out = str(tmp_path / (analysis + ".pes"))
+            assert main(["encode", ir_file, out, "--analysis", analysis]) == 0
+
+    def test_info(self, pm_file, tmp_path, capsys):
+        out = str(tmp_path / "paper.pes")
+        main(["encode", pm_file, out, "--order", "identity"])
+        capsys.readouterr()
+        assert main(["info", out]) == 0
+        captured = capsys.readouterr().out
+        assert "pointers:     7 (7 tracked)" in captured
+        assert "groups (ES):  9" in captured
+        assert "rectangles:   7" in captured
+        assert "points:     5" in captured
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        assert main(["info", str(tmp_path / "nope.pes")]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestQuery:
+    @pytest.fixture
+    def pes_file(self, pm_file, tmp_path):
+        out = str(tmp_path / "paper.pes")
+        main(["encode", pm_file, out])
+        return out
+
+    def test_is_alias(self, pes_file, capsys):
+        assert main(["query", pes_file, "is_alias", "0", "6"]) == 0
+        assert capsys.readouterr().out.strip() == "true"
+        assert main(["query", pes_file, "is_alias", "4", "5"]) == 0
+        assert capsys.readouterr().out.strip() == "false"
+
+    def test_list_points_to(self, pes_file, capsys):
+        assert main(["query", pes_file, "list_points_to", "3"]) == 0
+        assert capsys.readouterr().out.strip() == "0 1 2 3"
+
+    def test_list_pointed_by(self, pes_file, capsys):
+        assert main(["query", pes_file, "list_pointed_by", "4"]) == 0
+        assert capsys.readouterr().out.strip() == "0 2 6"
+
+    def test_list_aliases(self, pes_file, capsys):
+        assert main(["query", pes_file, "list_aliases", "1"]) == 0
+        assert capsys.readouterr().out.strip() == "0 2 3"
+
+    def test_wrong_operand_count(self, pes_file, capsys):
+        assert main(["query", pes_file, "is_alias", "1"]) == 2
+        assert main(["query", pes_file, "list_points_to", "1", "2"]) == 2
+
+
+class TestAnalyzeAndBench:
+    def test_analyze_archive(self, ir_file, tmp_path, capsys):
+        out = str(tmp_path / "archive")
+        assert main(["analyze", ir_file, out]) == 0
+        assert sorted(os.listdir(out)) == [
+            "call_edges.json",
+            "points_to.pes",
+            "program.ir",
+            "variables.json",
+        ]
+
+    def test_bench_table(self, ir_file, capsys):
+        assert main(["bench", ir_file]) == 0
+        captured = capsys.readouterr().out
+        assert "pestrie" in captured
+        assert "bitmap (PM+AM)" in captured
+        assert "bdd (PM only)" in captured
+
+    def test_bench_bdd_limit(self, ir_file, capsys):
+        assert main(["bench", ir_file, "--bdd-limit", "0"]) == 0
+        assert "bdd" not in capsys.readouterr().out
+
+
+class TestQueryModes:
+    @pytest.fixture
+    def pes_file(self, pm_file, tmp_path):
+        out = str(tmp_path / "paper.pes")
+        main(["encode", pm_file, out])
+        return out
+
+    def test_segment_mode_agrees(self, pes_file, capsys):
+        assert main(["query", pes_file, "list_aliases", "1"]) == 0
+        ptlist_out = capsys.readouterr().out
+        assert main(["query", pes_file, "list_aliases", "1", "--mode", "segment"]) == 0
+        assert capsys.readouterr().out == ptlist_out

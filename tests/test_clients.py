@@ -1,0 +1,101 @@
+"""Race-detector and change-impact clients over every backend."""
+
+import pytest
+
+from repro.baselines.demand import DemandDriven
+from repro.clients.impact import direct_impact, transitive_impact
+from repro.clients.race import (
+    aliasing_pairs_bulk,
+    aliasing_pairs_by_is_alias,
+    aliasing_pairs_by_list_aliases,
+    conflict_report,
+)
+from repro.core.pipeline import encode, index_from_bytes
+
+from conftest import make_random_matrix
+
+
+@pytest.fixture
+def backends(paper_matrix):
+    pestrie = index_from_bytes(encode(paper_matrix, order="identity"))
+    demand = DemandDriven(paper_matrix)
+    return {"pestrie": pestrie, "demand": demand, "oracle": paper_matrix}
+
+
+class TestRaceClient:
+    def test_methods_agree_on_paper_example(self, backends, paper_matrix):
+        base = list(range(7))
+        expected = {
+            (p, q)
+            for p in base
+            for q in base
+            if p < q and paper_matrix.is_alias(p, q)
+        }
+        for name, backend in backends.items():
+            assert aliasing_pairs_by_is_alias(backend, base) == expected, name
+        # ListAliases route (not available on the raw-matrix oracle API in
+        # restricted form, but both real backends must agree).
+        assert aliasing_pairs_by_list_aliases(backends["pestrie"], base) == expected
+        assert aliasing_pairs_by_list_aliases(backends["demand"], base) == expected
+
+    def test_restricted_base_pointer_set(self, backends, paper_matrix):
+        base = [0, 4, 6]  # p1, p5, p7
+        expected = {(0, 6)}  # only p1/p7 alias (via o5)
+        assert aliasing_pairs_by_is_alias(backends["pestrie"], base) == expected
+        assert aliasing_pairs_by_list_aliases(backends["pestrie"], base) == expected
+
+    def test_methods_agree_on_random_matrices(self):
+        for seed in range(4):
+            matrix = make_random_matrix(40, 12, density=0.15, seed=seed)
+            index = index_from_bytes(encode(matrix))
+            base = list(range(0, 40, 3))
+            via_is_alias = aliasing_pairs_by_is_alias(index, base)
+            via_list = aliasing_pairs_by_list_aliases(index, base)
+            via_bulk = aliasing_pairs_bulk(index, base)
+            assert via_is_alias == via_list == via_bulk
+
+    def test_bulk_method_on_paper_example(self, backends, paper_matrix):
+        base = list(range(7))
+        expected = aliasing_pairs_by_is_alias(backends["pestrie"], base)
+        assert aliasing_pairs_bulk(backends["pestrie"], base) == expected
+        assert aliasing_pairs_bulk(backends["pestrie"], [0, 4, 6]) == {(0, 6)}
+
+    def test_conflict_report(self):
+        names = ["alpha", "beta", "gamma"]
+        report = conflict_report({(2, 0), (0, 1)}, names)
+        assert report == [
+            "may-race: alpha  <->  beta",
+            "may-race: alpha  <->  gamma",
+        ]
+
+    def test_empty_base_set(self, backends):
+        assert aliasing_pairs_by_is_alias(backends["pestrie"], []) == set()
+        assert aliasing_pairs_by_list_aliases(backends["pestrie"], []) == set()
+
+
+class TestImpactClient:
+    def test_direct_impact(self, backends, paper_matrix):
+        index = backends["pestrie"]
+        # Changing o5 impacts p1, p3, p7.
+        assert direct_impact(index, [4]) == {0, 2, 6}
+
+    def test_transitive_impact_widens(self, backends):
+        index = backends["pestrie"]
+        direct = direct_impact(index, [3])  # o4: p4, p5
+        widened = transitive_impact(index, [3], rounds=1)
+        assert direct <= widened
+        # p4 aliases p1/p2/p3/p7, which join the impact set.
+        assert {0, 1, 2, 6} <= widened
+
+    def test_zero_rounds_equals_direct(self, backends):
+        index = backends["pestrie"]
+        assert transitive_impact(index, [4], rounds=0) == direct_impact(index, [4])
+
+    def test_converges_early(self, backends):
+        index = backends["pestrie"]
+        assert transitive_impact(index, [0], rounds=50) == transitive_impact(
+            index, [0], rounds=3
+        )
+
+    def test_empty_change_set(self, backends):
+        assert transitive_impact(backends["pestrie"], []) == set()

@@ -1,0 +1,181 @@
+"""k-callsite cloning with heap cloning."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import andersen, context_sensitive
+from repro.analysis.parser import parse_program
+from repro.analysis.transform import context_sensitive_to_matrix
+from repro.bench.programs import ProgramSpec, generate_program
+
+FACTORY = """
+func make() {
+  m = alloc M
+  return m
+}
+
+func main() {
+  p = call make()
+  q = call make()
+  return
+}
+"""
+
+WRAPPED = """
+func make() {
+  m = alloc M
+  return m
+}
+
+func wrap() {
+  w = call make()
+  return w
+}
+
+func main() {
+  p = call wrap()
+  q = call wrap()
+  return
+}
+"""
+
+RECURSIVE = """
+func rec(x) {
+  y = call rec(x)
+  return x
+}
+
+func main() {
+  a = alloc A
+  r = call rec(a)
+  return
+}
+"""
+
+
+class TestHeapCloning:
+    def test_one_callsite_distinguishes_factory_calls(self):
+        result = context_sensitive.analyze(parse_program(FACTORY), k=1)
+        symbols = result.symbols
+
+        def pts(name):
+            return {
+                symbols.site_names()[o]
+                for o in result.andersen.var_pts[symbols.variable("main", name)]
+            }
+
+        p_objects = pts("p")
+        q_objects = pts("q")
+        assert len(p_objects) == 1
+        assert len(q_objects) == 1
+        assert p_objects != q_objects, "heap cloning must split the two calls"
+
+    def test_context_insensitive_merges_them(self):
+        result = andersen.analyze(parse_program(FACTORY))
+        assert result.pts_of("main", "p") == result.pts_of("main", "q")
+
+    def test_k1_insufficient_through_wrapper(self):
+        """With k=1, both wrap() calls share make()'s single context."""
+        result = context_sensitive.analyze(parse_program(WRAPPED), k=1)
+        symbols = result.symbols
+        p = set(result.andersen.var_pts[symbols.variable("main", "p")])
+        q = set(result.andersen.var_pts[symbols.variable("main", "q")])
+        assert p == q
+
+    def test_k2_distinguishes_through_wrapper(self):
+        result = context_sensitive.analyze(parse_program(WRAPPED), k=2)
+        symbols = result.symbols
+        p = set(result.andersen.var_pts[symbols.variable("main", "p")])
+        q = set(result.andersen.var_pts[symbols.variable("main", "q")])
+        assert p != q
+
+    def test_k0_equals_context_insensitive(self):
+        cs = context_sensitive.analyze(parse_program(FACTORY), k=0)
+        assert cs.clone_count() == 2  # no cloning at all
+
+    def test_recursion_k_limited(self):
+        """k-limiting keeps the clone set finite under recursion."""
+        result = context_sensitive.analyze(parse_program(RECURSIVE), k=2)
+        assert result.clone_count() < 10
+        # And the answer is still sound: r sees A.
+        symbols = result.symbols
+        r = set(result.andersen.var_pts[symbols.variable("main", "r")])
+        assert len(r) == 1
+
+    def test_negative_k_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            context_sensitive.explode(parse_program(FACTORY), k=-1)
+
+    def test_unreachable_functions_still_analyzed(self):
+        source = FACTORY + "\nfunc orphan() {\n  z = alloc Z\n  return z\n}\n"
+        result = context_sensitive.analyze(parse_program(source), k=1)
+        names = set(result.cloned.functions)
+        assert "orphan" in names
+
+    def test_contexts_of(self):
+        result = context_sensitive.analyze(parse_program(FACTORY), k=1)
+        contexts = result.contexts_of("make")
+        assert len(contexts) == 2
+
+
+class TestSoundness:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000), st.sampled_from([1, 2]))
+    def test_merged_result_covers_context_insensitive_precision(self, seed, k):
+        """Collapsing all contexts of the CS result must give back a matrix
+        within the CI result (CS refines CI) and covering every CI fact
+        that involves reachable code (CS is sound)."""
+        spec = ProgramSpec(
+            name="t", n_functions=5, statements_per_function=8, n_types=3, seed=seed,
+            call_fanout=2,
+        )
+        program = generate_program(spec)
+        ci = andersen.analyze(program)
+        cs = context_sensitive.analyze(program, k=k)
+
+        ci_names = ci.symbols.variable_names()
+        ci_sites = ci.symbols.site_names()
+        ci_facts = set()
+        for var, pts in enumerate(ci.var_pts):
+            for obj in pts:
+                ci_facts.add((ci_names[var], ci_sites[obj]))
+
+        def strip(name, info):
+            if "::" not in name:
+                return name
+            clone, _, bare = name.partition("::")
+            return "%s::%s" % (info[clone][0], bare)
+
+        cs_names = cs.symbols.variable_names()
+        cs_sites = cs.symbols.site_names()
+        cs_facts = set()
+        for var, pts in enumerate(cs.andersen.var_pts):
+            for obj in pts:
+                cs_facts.add(
+                    (strip(cs_names[var], cs.clone_info), strip(cs_sites[obj], cs.clone_info))
+                )
+        # Refinement: merging contexts never invents facts.
+        assert cs_facts <= ci_facts
+
+
+class TestTransform:
+    def test_merged_matrix_names(self):
+        result = context_sensitive.analyze(parse_program(FACTORY), k=1)
+        named = context_sensitive_to_matrix(result, merge_depth=1)
+        objects = set(named.object_index)
+        # Two cloned heap objects named by their merged (1-callsite) context.
+        cloned = {name for name in objects if name.startswith("make[")}
+        assert len(cloned) == 2
+
+    def test_merge_depth_zero_collapses_everything(self):
+        result = context_sensitive.analyze(parse_program(FACTORY), k=1)
+        named = context_sensitive_to_matrix(result, merge_depth=0)
+        assert set(named.object_index) == {"make::M"}
+
+    def test_globals_stay_context_free(self):
+        source = "global g\n" + FACTORY.replace("return\n}", "g = p\n  return\n}", 1)
+        result = context_sensitive.analyze(parse_program(source), k=1)
+        named = context_sensitive_to_matrix(result)
+        assert "g" in named.pointer_index

@@ -1,0 +1,101 @@
+"""Cross-run variable correlation (Section 6.2)."""
+
+from repro.analysis import andersen
+from repro.analysis.correlate import (
+    check_correlation,
+    load_archive,
+    registry_path,
+    save_archive,
+)
+from repro.analysis.parser import parse_program
+
+SOURCE = """
+global shared
+
+func make() {
+  m = alloc M
+  return m
+}
+
+func main() {
+  p = call make()
+  q = call make()
+  shared = p
+  r = shared
+  *p = q
+  s = *r
+  return
+}
+"""
+
+
+def _analyze_and_save(directory):
+    program = parse_program(SOURCE)
+    result = andersen.analyze(program)
+    matrix = result.to_matrix()
+    pointer_index = dict(result.symbols.variable_ids)
+    object_index = dict(result.symbols.site_ids)
+    save_archive(str(directory), program, matrix, pointer_index, object_index)
+    return program, result
+
+
+class TestArchive:
+    def test_save_creates_all_four_artefacts(self, tmp_path):
+        _analyze_and_save(tmp_path)
+        names = {child.name for child in tmp_path.iterdir()}
+        assert names == {"program.ir", "variables.json", "call_edges.json", "points_to.pes"}
+        assert registry_path(str(tmp_path)) is not None
+
+    def test_registry_path_on_non_archive(self, tmp_path):
+        assert registry_path(str(tmp_path / "nowhere")) is None
+
+    def test_load_answers_source_level_queries(self, tmp_path):
+        program, result = _analyze_and_save(tmp_path)
+        archive = load_archive(str(tmp_path))
+        # The reloaded index answers without re-running the analysis.
+        assert archive.list_points_to("main::p") == ["make::M"]
+        assert archive.is_alias("main::p", "shared")
+        assert archive.is_alias("main::p", "main::r")
+        assert "main::p" in archive.list_pointed_by("make::M")
+        assert "main::r" in archive.list_aliases("main::p")
+
+    def test_ir_round_trips(self, tmp_path):
+        program, _ = _analyze_and_save(tmp_path)
+        archive = load_archive(str(tmp_path))
+        assert archive.program.statement_count() == program.statement_count()
+        assert set(archive.program.functions) == set(program.functions)
+
+    def test_call_edges_persisted(self, tmp_path):
+        _analyze_and_save(tmp_path)
+        archive = load_archive(str(tmp_path))
+        assert "main@0->make" in archive.call_edge_ids
+        assert "main@1->make" in archive.call_edge_ids
+
+    def test_correlation_across_two_runs(self, tmp_path):
+        """Re-analysing the same source reproduces the same integer ids —
+        the invariant that makes the persisted file reusable."""
+        first_dir = tmp_path / "run1"
+        second_dir = tmp_path / "run2"
+        _analyze_and_save(first_dir)
+        _analyze_and_save(second_dir)
+        first = load_archive(str(first_dir))
+        second = load_archive(str(second_dir))
+        assert check_correlation(first, second)
+        assert first.pointer_index == second.pointer_index
+
+    def test_correlation_detects_mismatch(self, tmp_path):
+        first_dir = tmp_path / "run1"
+        _analyze_and_save(first_dir)
+        first = load_archive(str(first_dir))
+        second = load_archive(str(first_dir))
+        second.pointer_index = dict(first.pointer_index)
+        key = next(iter(second.pointer_index))
+        second.pointer_index[key] = 10_000
+        assert not check_correlation(first, second)
+
+    def test_matrix_queries_match_live_analysis(self, tmp_path):
+        program, result = _analyze_and_save(tmp_path)
+        archive = load_archive(str(tmp_path))
+        matrix = result.to_matrix()
+        for name, pointer in archive.pointer_index.items():
+            assert sorted(archive.index.list_points_to(pointer)) == matrix.list_points_to(pointer)

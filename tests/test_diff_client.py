@@ -1,0 +1,114 @@
+"""Snapshot differencing and bulk alias-pair enumeration."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clients.diff import diff_points_to, impacted_pointers, new_alias_pairs
+from repro.core.pipeline import encode, index_from_bytes
+from repro.matrix.points_to import PointsToMatrix
+
+from conftest import make_random_matrix, matrices
+
+
+def _index(matrix):
+    return index_from_bytes(encode(matrix))
+
+
+class TestIterAliasPairs:
+    def test_paper_example(self, paper_matrix):
+        index = _index(paper_matrix)
+        pairs = set(index.iter_alias_pairs())
+        expected = {
+            (p, q)
+            for p in range(7)
+            for q in range(p + 1, 7)
+            if paper_matrix.is_alias(p, q)
+        }
+        assert pairs == expected
+
+    def test_no_duplicates(self, paper_matrix):
+        index = _index(paper_matrix)
+        pairs = list(index.iter_alias_pairs())
+        assert len(pairs) == len(set(pairs))
+
+    @settings(max_examples=50)
+    @given(matrices())
+    def test_matches_oracle(self, matrix):
+        index = _index(matrix)
+        pairs = list(index.iter_alias_pairs())
+        assert len(pairs) == len(set(pairs)), "bulk enumeration must not repeat"
+        expected = {
+            (p, q)
+            for p in range(matrix.n_pointers)
+            for q in range(p + 1, matrix.n_pointers)
+            if matrix.is_alias(p, q)
+        }
+        assert set(pairs) == expected
+
+    def test_empty_matrix(self):
+        index = _index(PointsToMatrix(3, 2))
+        assert list(index.iter_alias_pairs()) == []
+
+
+class TestDiffPointsTo:
+    def test_identical_snapshots(self, paper_matrix):
+        old = _index(paper_matrix)
+        new = _index(paper_matrix)
+        diff = diff_points_to(old, new)
+        assert diff.unchanged
+
+    def test_added_and_removed_facts(self):
+        old_matrix = PointsToMatrix.from_rows([[0], [1]], 2)
+        new_matrix = PointsToMatrix.from_rows([[0, 1], []], 2)
+        diff = diff_points_to(_index(old_matrix), _index(new_matrix))
+        assert diff.added == [(0, 1)]
+        assert diff.removed == [(1, 1)]
+        assert not diff.unchanged
+
+    def test_grown_pointer_universe(self):
+        old_matrix = PointsToMatrix.from_rows([[0]], 1)
+        new_matrix = PointsToMatrix.from_rows([[0], [0]], 1)
+        diff = diff_points_to(_index(old_matrix), _index(new_matrix))
+        assert diff.added == [(1, 0)]
+        assert diff.removed == []
+
+    def test_impacted_pointers(self):
+        old_matrix = PointsToMatrix.from_rows([[0], [1], [0]], 2)
+        new_matrix = PointsToMatrix.from_rows([[0], [0], [0]], 2)
+        impacted = impacted_pointers(_index(old_matrix), _index(new_matrix))
+        assert impacted == {1}
+
+    @settings(max_examples=25)
+    @given(matrices(max_pointers=8, max_objects=5), matrices(max_pointers=8, max_objects=5))
+    def test_diff_is_exact(self, old_matrix, new_matrix):
+        diff = diff_points_to(_index(old_matrix), _index(new_matrix))
+        old_facts = set(old_matrix.pairs())
+        new_facts = set(new_matrix.pairs())
+        assert set(diff.added) == new_facts - old_facts
+        assert set(diff.removed) == old_facts - new_facts
+
+
+class TestNewAliasPairs:
+    def test_change_introduces_pairs(self):
+        old_matrix = PointsToMatrix.from_rows([[0], [1]], 2)
+        new_matrix = PointsToMatrix.from_rows([[0], [0]], 2)
+        fresh = new_alias_pairs(_index(old_matrix), _index(new_matrix))
+        assert fresh == {(0, 1)}
+
+    def test_no_change_no_pairs(self, paper_matrix):
+        assert new_alias_pairs(_index(paper_matrix), _index(paper_matrix)) == set()
+
+    def test_limit_respected(self):
+        old_matrix = PointsToMatrix(6, 1)
+        new_matrix = PointsToMatrix.from_rows([[0]] * 6, 1)
+        fresh = new_alias_pairs(_index(old_matrix), _index(new_matrix), limit=3)
+        assert len(fresh) == 3
+
+    def test_random_snapshots(self):
+        for seed in range(3):
+            old_matrix = make_random_matrix(20, 6, density=0.15, seed=seed)
+            new_matrix = make_random_matrix(20, 6, density=0.2, seed=seed + 100)
+            fresh = new_alias_pairs(_index(old_matrix), _index(new_matrix))
+            for p, q in fresh:
+                assert new_matrix.is_alias(p, q)
+                assert not old_matrix.is_alias(p, q)

@@ -1,0 +1,79 @@
+"""Documentation stays truthful: referenced names exist, examples run."""
+
+import importlib
+import pathlib
+import re
+import subprocess
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestPublicSurface:
+    def test_top_level_exports_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.matrix",
+            "repro.bdd",
+            "repro.baselines",
+            "repro.analysis",
+            "repro.bench",
+            "repro.clients",
+            "repro.cli",
+        ],
+    )
+    def test_subpackage_all_lists_real_names(self, module):
+        imported = importlib.import_module(module)
+        for name in getattr(imported, "__all__", ()):
+            assert hasattr(imported, name), "%s.%s missing" % (module, name)
+
+    def test_design_md_names_modules_that_exist(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        for match in re.finditer(r"`benchmarks/(bench_\w+\.py)`", text):
+            assert (ROOT / "benchmarks" / match.group(1)).exists(), match.group(1)
+
+    def test_experiments_md_names_result_files_produced_by_benches(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        bench_sources = "".join(
+            path.read_text() for path in (ROOT / "benchmarks").glob("bench_*.py")
+        )
+        for match in re.finditer(r"results/([\w.{},]+\.txt)", text):
+            name = match.group(1)
+            if "{" in name:  # brace-expanded shorthand in prose
+                prefix, _, rest = name.partition("{")
+                alternatives, _, suffix = rest.partition("}")
+                expanded = [prefix + alt + suffix for alt in alternatives.split(",")]
+            else:
+                expanded = [name]
+            for filename in expanded:
+                assert filename in bench_sources, filename
+
+    def test_readme_examples_exist(self):
+        text = (ROOT / "README.md").read_text()
+        for match in re.finditer(r"`(\w+\.py)` —", text):
+            assert (ROOT / "examples" / match.group(1)).exists(), match.group(1)
+
+
+@pytest.mark.parametrize(
+    "script",
+    sorted(path.name for path in (ROOT / "examples").glob("*.py")),
+)
+def test_examples_run_clean(script):
+    """Every example must exit 0 (they are part of the public contract)."""
+    completed = subprocess.run(
+        [sys.executable, str(ROOT / "examples" / script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples must narrate what they do"

@@ -1,0 +1,145 @@
+"""Persistent file format: byte layout, round trips, error handling."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import build_pestrie
+from repro.core.decoder import decode_bytes, load_payload
+from repro.core.encoder import (
+    ABSENT,
+    MAGIC_COMPACT,
+    MAGIC_RAW,
+    PestrieEncoder,
+    object_timestamps,
+    pointer_timestamps,
+    save_pestrie,
+)
+from repro.core.intervals import assign_intervals
+from repro.core.rectangles import generate_rectangles
+from repro.matrix.points_to import PointsToMatrix
+
+from conftest import matrices
+
+
+def _encode(matrix, order="identity", compact=False):
+    pestrie = build_pestrie(matrix, order=order)
+    assign_intervals(pestrie)
+    rect_set = generate_rectangles(pestrie)
+    return pestrie, rect_set, PestrieEncoder(pestrie, rect_set.rects, compact=compact).to_bytes()
+
+
+class TestTimestampTables:
+    def test_paper_example_tables(self, paper_matrix):
+        pestrie = build_pestrie(paper_matrix, order="identity")
+        assign_intervals(pestrie)
+        # Table 5, read back per pointer (p1..p7) and object (o1..o5).
+        assert pointer_timestamps(pestrie) == [3, 0, 1, 2, 7, 4, 6]
+        assert object_timestamps(pestrie) == [0, 4, 5, 7, 8]
+
+    def test_absent_pointer_sentinel(self):
+        matrix = PointsToMatrix(2, 1)
+        matrix.add(0, 0)
+        pestrie = build_pestrie(matrix)
+        assign_intervals(pestrie)
+        stamps = pointer_timestamps(pestrie)
+        assert stamps[1] == ABSENT
+
+
+class TestByteLayout:
+    def test_magic(self, paper_matrix):
+        _, _, raw = _encode(paper_matrix)
+        assert raw.startswith(MAGIC_RAW)
+        _, _, compact = _encode(paper_matrix, compact=True)
+        assert compact.startswith(MAGIC_COMPACT)
+
+    def test_header_counts(self, paper_matrix):
+        _, rect_set, raw = _encode(paper_matrix)
+        header = struct.unpack_from("<11I", raw, 8)
+        n_pointers, n_objects, n_groups = header[:3]
+        assert (n_pointers, n_objects, n_groups) == (7, 5, 9)
+        shape_counts = header[3:]
+        # Figure 4: 5 of 7 rectangles are points, 1 is a line, 1 is a rect.
+        assert sum(shape_counts) == 7
+        # point counts: case1 + case2
+        assert shape_counts[0] + shape_counts[1] == 5
+
+    def test_deterministic_output(self, paper_matrix):
+        _, _, first = _encode(paper_matrix)
+        _, _, second = _encode(paper_matrix)
+        assert first == second
+
+    def test_compact_smaller_than_raw(self):
+        matrix = PointsToMatrix.from_pairs(
+            60, 20, [(p, (p * 7 + o) % 20) for p in range(60) for o in range(4)]
+        )
+        _, _, raw = _encode(matrix)
+        _, _, compact = _encode(matrix, compact=True)
+        assert len(compact) < len(raw)
+
+    def test_raw_size_formula(self, paper_matrix):
+        """magic + 11 header ints + (7+5) timestamps + shape payloads."""
+        _, rect_set, raw = _encode(paper_matrix)
+        points = sum(1 for e in rect_set.rects
+                     if e.rect.x1 == e.rect.x2 and e.rect.y1 == e.rect.y2)
+        lines = sum(1 for e in rect_set.rects
+                    if (e.rect.x1 == e.rect.x2) != (e.rect.y1 == e.rect.y2))
+        full = len(rect_set.rects) - points - lines
+        expected = 8 + 4 * (11 + 12 + 2 * points + 3 * lines + 4 * full)
+        assert len(raw) == expected
+
+
+class TestDecoding:
+    def test_round_trip_payload(self, paper_matrix):
+        pestrie, rect_set, raw = _encode(paper_matrix)
+        payload = decode_bytes(raw)
+        assert payload.n_pointers == 7
+        assert payload.n_objects == 5
+        assert payload.n_groups == 9
+        assert payload.pointer_ts == [3, 0, 1, 2, 7, 4, 6]
+        assert payload.object_ts == [0, 4, 5, 7, 8]
+        decoded = sorted(rect.as_tuple() for rect, _ in payload.rects)
+        original = sorted(entry.rect.as_tuple() for entry in rect_set.rects)
+        assert decoded == original
+
+    def test_case_flags_survive(self, paper_matrix):
+        _, rect_set, raw = _encode(paper_matrix)
+        payload = decode_bytes(raw)
+        decoded_case1 = sorted(r.as_tuple() for r, case1 in payload.rects if case1)
+        original_case1 = sorted(e.rect.as_tuple() for e in rect_set.case1())
+        assert decoded_case1 == original_case1
+
+    @settings(max_examples=50)
+    @given(matrices(), st.booleans())
+    def test_round_trip_any_matrix(self, matrix, compact):
+        _, rect_set, data = _encode(matrix, order="hub", compact=compact)
+        payload = decode_bytes(data)
+        assert payload.n_pointers == matrix.n_pointers
+        decoded = sorted(rect.as_tuple() for rect, _ in payload.rects)
+        assert decoded == sorted(e.rect.as_tuple() for e in rect_set.rects)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="bad magic"):
+            decode_bytes(b"NOTAPES1" + b"\x00" * 64)
+
+    def test_file_round_trip(self, paper_matrix, tmp_path):
+        pestrie, rect_set, _ = _encode(paper_matrix)
+        path = str(tmp_path / "example.pes")
+        size = save_pestrie(pestrie, rect_set.rects, path)
+        assert size == (tmp_path / "example.pes").stat().st_size
+        payload = load_payload(path)
+        assert payload.n_groups == 9
+
+    def test_varint_multibyte_values(self):
+        """Timestamps above 127 exercise multi-byte varints: distinct rows
+        keep every pointer in its own group."""
+        matrix = PointsToMatrix.from_pairs(200, 200, [(p, p) for p in range(200)])
+        _, _, data = _encode(matrix, compact=True)
+        payload = decode_bytes(data)
+        assert payload.n_pointers == 200
+        assert max(ts for ts in payload.pointer_ts if ts is not None) >= 128
+        # And the raw format agrees on the decoded content.
+        _, _, raw = _encode(matrix, compact=False)
+        assert decode_bytes(raw).pointer_ts == payload.pointer_ts

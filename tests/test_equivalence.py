@@ -1,0 +1,76 @@
+"""Equivalence partitions (Section 2.1)."""
+
+from hypothesis import given, settings
+
+from repro.matrix.equivalence import object_equivalence, partition_rows, pointer_equivalence
+from repro.matrix.points_to import PointsToMatrix
+
+from conftest import matrices
+
+
+class TestPartitionRows:
+    def test_identical_rows_share_class(self):
+        matrix = PointsToMatrix.from_rows([[0, 1], [1], [0, 1]], 2)
+        partition = partition_rows(matrix)
+        assert partition.n_classes == 2
+        assert partition.class_of[0] == partition.class_of[2]
+        assert partition.class_of[0] != partition.class_of[1]
+
+    def test_class_ids_in_first_appearance_order(self):
+        matrix = PointsToMatrix.from_rows([[1], [0], [1]], 2)
+        partition = partition_rows(matrix)
+        assert partition.class_of == [0, 1, 0]
+
+    def test_members_and_representatives(self):
+        matrix = PointsToMatrix.from_rows([[0], [], [0], []], 1)
+        partition = partition_rows(matrix)
+        assert partition.members == [[0, 2], [1, 3]]
+        assert partition.representative == [0, 1]
+
+    def test_empty_rows_form_one_class(self):
+        matrix = PointsToMatrix(3, 2)
+        partition = partition_rows(matrix)
+        assert partition.n_classes == 1
+
+    def test_ratio(self):
+        matrix = PointsToMatrix.from_rows([[0], [0], [1], [1]], 2)
+        assert partition_rows(matrix).ratio() == 0.5
+        assert partition_rows(PointsToMatrix(0, 0)).ratio() == 0.0
+
+
+class TestPointerAndObjectEquivalence:
+    def test_paper_matrix(self, paper_matrix):
+        # All seven pointer rows in Table 3 are distinct.
+        assert pointer_equivalence(paper_matrix).n_classes == 7
+        # All five object columns are distinct too.
+        assert object_equivalence(paper_matrix).n_classes == 5
+
+    def test_object_equivalence_detects_duplicates(self):
+        # Objects 0 and 1 are pointed by exactly {0}.
+        matrix = PointsToMatrix.from_rows([[0, 1], [2]], 3)
+        partition = object_equivalence(matrix)
+        assert partition.class_of[0] == partition.class_of[1]
+        assert partition.class_of[0] != partition.class_of[2]
+
+    @settings(max_examples=60)
+    @given(matrices())
+    def test_partition_is_sound_and_complete(self, matrix):
+        partition = pointer_equivalence(matrix)
+        for group in partition.members:
+            first = matrix.rows[group[0]]
+            for member in group[1:]:
+                assert matrix.rows[member] == first
+        # Different classes have different rows.
+        reps = partition.representative
+        rows = [matrix.rows[rep] for rep in reps]
+        for i in range(len(rows)):
+            for j in range(i + 1, len(rows)):
+                assert rows[i] != rows[j]
+
+    @settings(max_examples=60)
+    @given(matrices())
+    def test_class_of_covers_every_row(self, matrix):
+        partition = pointer_equivalence(matrix)
+        assert len(partition.class_of) == matrix.n_pointers
+        seen = sorted({c for c in partition.class_of})
+        assert seen == list(range(partition.n_classes))

@@ -1,0 +1,112 @@
+"""Escape-analysis client over persisted pointer information."""
+
+import pytest
+
+from repro.analysis import andersen
+from repro.analysis.parser import parse_program
+from repro.clients.escape import (
+    classify_sites,
+    escape_summary,
+    owner_of_pointer,
+    owner_of_site,
+)
+from repro.core.pipeline import encode, index_from_bytes
+
+SOURCE = """
+global shared
+
+func local_only() {
+  scratch = alloc Scratch
+  tmp = scratch
+  return
+}
+
+func escapes_via_return() {
+  box = alloc Box
+  return box
+}
+
+func escapes_via_global() {
+  node = alloc Node
+  shared = node
+  return
+}
+
+func main() {
+  got = call escapes_via_return()
+  call local_only()
+  call escapes_via_global()
+  mine = alloc Mine
+  return
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def setup():
+    program = parse_program(SOURCE)
+    result = andersen.analyze(program)
+    matrix = result.to_matrix()
+    index = index_from_bytes(encode(matrix))
+    return result.symbols, index, matrix
+
+
+class TestOwners:
+    def test_owner_of_site(self):
+        assert owner_of_site("local_only::Scratch") == "local_only"
+        assert owner_of_site("fn:handler") == ""
+
+    def test_owner_of_pointer(self):
+        assert owner_of_pointer("main::got") == "main"
+        assert owner_of_pointer("shared") == ""
+
+
+class TestClassification:
+    def test_verdicts(self, setup):
+        symbols, index, _ = setup
+        reports = {
+            report.site_name: report
+            for report in classify_sites(
+                index, symbols.site_names(), symbols.variable_names()
+            )
+        }
+        assert not reports["local_only::Scratch"].escapes
+        assert not reports["main::Mine"].escapes
+        assert reports["escapes_via_return::Box"].escapes
+        assert reports["escapes_via_global::Node"].escapes
+
+    def test_witnesses_are_outside_pointers(self, setup):
+        symbols, index, _ = setup
+        reports = {
+            report.site_name: report
+            for report in classify_sites(
+                index, symbols.site_names(), symbols.variable_names()
+            )
+        }
+        assert "main::got" in reports["escapes_via_return::Box"].witnesses
+        assert "shared" in reports["escapes_via_global::Node"].witnesses
+        assert reports["local_only::Scratch"].witnesses == ()
+
+    def test_site_subset(self, setup):
+        symbols, index, _ = setup
+        target = symbols.site("main", "Mine")
+        reports = classify_sites(
+            index, symbols.site_names(), symbols.variable_names(), sites=[target]
+        )
+        assert len(reports) == 1
+        assert reports[0].site == target
+
+    def test_summary(self, setup):
+        symbols, index, _ = setup
+        reports = classify_sites(index, symbols.site_names(), symbols.variable_names())
+        summary = escape_summary(reports)
+        assert summary["sites"] == 4
+        assert summary["escaping"] == 2
+        assert summary["local"] == 2
+
+    def test_works_against_raw_matrix_backend(self, setup):
+        """Any Table 1 backend serves the client — here the oracle matrix."""
+        symbols, index, matrix = setup
+        via_index = classify_sites(index, symbols.site_names(), symbols.variable_names())
+        via_matrix = classify_sites(matrix, symbols.site_names(), symbols.variable_names())
+        assert [r.escapes for r in via_index] == [r.escapes for r in via_matrix]

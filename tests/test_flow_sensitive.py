@@ -1,0 +1,182 @@
+"""Flow-sensitive analysis: strong updates, joins, Andersen bound."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import andersen, flow_sensitive
+from repro.analysis.parser import parse_program
+from repro.bench.programs import ProgramSpec, generate_program
+
+
+def _facts_by_name(result):
+    names = result.symbols.variable_names()
+    sites = result.symbols.site_names()
+    table = {}
+    for fact in result.facts:
+        key = (names[fact.variable], fact.label)
+        table[key] = {sites[obj] for obj in fact.objects}
+    return table
+
+
+class TestStrongUpdates:
+    def test_variable_redefinition_kills(self):
+        """p is redefined: the second definition does not contain A."""
+        program = parse_program(
+            "func main() {\n"
+            "  p = alloc A\n"
+            "  p = alloc B\n"
+            "  return p\n"
+            "}\n"
+        )
+        result = flow_sensitive.analyze(program)
+        facts = _facts_by_name(result)
+        assert facts[("main::p", 0)] == {"main::A"}
+        assert facts[("main::p", 1)] == {"main::B"}
+        # Andersen, by contrast, sees both.
+        a = andersen.analyze(program)
+        assert a.pts_of("main", "p") == {
+            a.symbols.site("main", "A"),
+            a.symbols.site("main", "B"),
+        }
+
+    def test_strong_update_through_store(self):
+        """*p = b kills the earlier cell contents for a unique cell."""
+        program = parse_program(
+            "func main() {\n"
+            "  p = alloc A\n"
+            "  a = alloc X\n"
+            "  b = alloc Y\n"
+            "  *p = a\n"
+            "  *p = b\n"
+            "  r = *p\n"
+            "  return r\n"
+            "}\n"
+        )
+        result = flow_sensitive.analyze(program)
+        facts = _facts_by_name(result)
+        assert facts[("main::r", 5)] == {"main::Y"}
+
+    def test_no_strong_update_in_loop(self):
+        """A cell allocated inside a loop is not unique: weak update."""
+        program = parse_program(
+            "func main() {\n"
+            "  a = alloc X\n"
+            "  b = alloc Y\n"
+            "  p = alloc A\n"
+            "  while {\n"
+            "    p = alloc B\n"
+            "    *p = a\n"
+            "    *p = b\n"
+            "  }\n"
+            "  r = *p\n"
+            "  return r\n"
+            "}\n"
+        )
+        result = flow_sensitive.analyze(program)
+        facts = _facts_by_name(result)
+        # B cells are summarised: both stores accumulate.
+        assert facts[("main::r", 6)] >= {"main::Y"}
+
+    def test_no_strong_update_when_base_not_singleton(self):
+        program = parse_program(
+            "func main() {\n"
+            "  a = alloc X\n"
+            "  b = alloc Y\n"
+            "  p = alloc A\n"
+            "  if {\n"
+            "    p = alloc B\n"
+            "  }\n"
+            "  *p = a\n"
+            "  *p = b\n"
+            "  r = *p\n"
+            "  return r\n"
+            "}\n"
+        )
+        result = flow_sensitive.analyze(program)
+        facts = _facts_by_name(result)
+        # p may point to A or B: the second store cannot kill.
+        assert facts[("main::r", 6)] == {"main::X", "main::Y"}
+
+    def test_branch_join_unions(self):
+        program = parse_program(
+            "func main() {\n"
+            "  if {\n"
+            "    p = alloc A\n"
+            "  }\n"
+            "  else {\n"
+            "    p = alloc B\n"
+            "  }\n"
+            "  q = p\n"
+            "  return q\n"
+            "}\n"
+        )
+        result = flow_sensitive.analyze(program)
+        facts = _facts_by_name(result)
+        assert facts[("main::q", 2)] == {"main::A", "main::B"}
+
+    def test_loop_zero_iterations_joined(self):
+        program = parse_program(
+            "func main() {\n"
+            "  p = alloc A\n"
+            "  while {\n"
+            "    p = alloc B\n"
+            "  }\n"
+            "  q = p\n"
+            "  return q\n"
+            "}\n"
+        )
+        result = flow_sensitive.analyze(program)
+        facts = _facts_by_name(result)
+        assert facts[("main::q", 2)] == {"main::A", "main::B"}
+
+    def test_call_havocs_globals(self):
+        program = parse_program(
+            "global g\n"
+            "func toucher() {\n  t = alloc T\n  g = t\n  return\n}\n"
+            "func main() {\n"
+            "  a = alloc A\n"
+            "  g = a\n"
+            "  call toucher()\n"
+            "  r = g\n"
+            "  return r\n"
+            "}\n"
+        )
+        result = flow_sensitive.analyze(program)
+        facts = _facts_by_name(result)
+        # After the call, g may hold T as well.
+        assert facts[("main::r", 3)] == {"main::A", "toucher::T"}
+
+
+class TestAndersenBound:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_every_fact_within_andersen(self, seed):
+        spec = ProgramSpec(
+            name="t", n_functions=6, statements_per_function=12, n_types=4, seed=seed
+        )
+        program = generate_program(spec)
+        result = flow_sensitive.analyze(program)
+        for fact in result.facts:
+            ceiling = set(result.andersen.var_pts[fact.variable])
+            assert fact.objects <= ceiling
+        for _, variable, objects in result.entry_facts:
+            assert objects <= set(result.andersen.var_pts[variable])
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_final_definitions_cover_andersen_reads(self, seed):
+        """Soundness smoke check: the union of a variable's definition
+        facts plus its entry fact covers everything Andersen says it may
+        hold at some point it is actually read or defined."""
+        spec = ProgramSpec(
+            name="t", n_functions=5, statements_per_function=10, n_types=3, seed=seed
+        )
+        program = generate_program(spec)
+        result = flow_sensitive.analyze(program)
+        defined = {}
+        for fact in result.facts:
+            defined.setdefault(fact.variable, set()).update(fact.objects)
+        # A variable that is never defined nor a param/global carries no
+        # facts; defined variables must stay within the Andersen ceiling.
+        for variable, objects in defined.items():
+            assert objects <= set(result.andersen.var_pts[variable])

@@ -1,0 +1,103 @@
+"""Persistent-format robustness: truncation, corruption, fuzzing.
+
+A decoder fed hostile bytes must fail with ``CorruptFileError`` (a
+``ValueError``), never with an uncontrolled ``IndexError``/``struct.error``
+or — worse — a silently wrong payload that passes validation with absurd
+values.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decoder import CorruptFileError, decode_bytes
+from repro.core.pipeline import encode, index_from_bytes
+
+from conftest import make_random_matrix, matrices
+
+
+def _sample_file(compact=False):
+    matrix = make_random_matrix(30, 10, density=0.25, seed=5)
+    return encode(matrix, compact=compact)
+
+
+class TestTruncation:
+    @pytest.mark.parametrize("compact", [False, True])
+    def test_every_prefix_rejected_cleanly(self, compact):
+        data = _sample_file(compact=compact)
+        for cut in range(8, len(data), 7):
+            with pytest.raises(ValueError):
+                decode_bytes(data[:cut])
+
+    def test_empty_and_magic_only(self):
+        with pytest.raises(ValueError):
+            decode_bytes(b"")
+        with pytest.raises(ValueError):
+            decode_bytes(b"PESTRIE1")
+
+
+class TestCorruption:
+    def test_bad_object_timestamp(self):
+        data = bytearray(_sample_file())
+        # Header: magic(8) + 3 u32 + 8 counts; pointer ts section follows,
+        # then object ts.  Poke an object timestamp to a huge value.
+        n_pointers = 30
+        object_ts_offset = 8 + 11 * 4 + n_pointers * 4
+        data[object_ts_offset : object_ts_offset + 4] = (10**6).to_bytes(4, "little")
+        with pytest.raises(CorruptFileError, match="timestamp"):
+            decode_bytes(bytes(data))
+
+    def test_malformed_rectangle_rejected(self):
+        data = bytearray(_sample_file())
+        # Flip the last four bytes (part of some rectangle) to a huge value.
+        data[-4:] = (0xFFFFFF).to_bytes(4, "little")
+        with pytest.raises(CorruptFileError):
+            decode_bytes(bytes(data))
+
+    def test_overlong_varint(self):
+        data = bytearray(_sample_file(compact=True))
+        # Continuation bits forever right after the header.
+        start = 8 + 11 * 4
+        data[start : start + 8] = b"\xff" * 8
+        with pytest.raises(ValueError):
+            decode_bytes(bytes(data))
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_mutations_never_crash_uncontrolled(self, seed):
+        rng = random.Random(seed)
+        data = bytearray(_sample_file(compact=rng.random() < 0.5))
+        for _ in range(rng.randrange(1, 6)):
+            position = rng.randrange(8, len(data))
+            data[position] = rng.randrange(256)
+        try:
+            payload = decode_bytes(bytes(data))
+        except ValueError:
+            return  # controlled rejection
+        # If it decoded, the payload must at least be internally sane.
+        for rect, _ in payload.rects:
+            assert rect.x1 <= rect.x2 < rect.y1 <= rect.y2 < payload.n_groups
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(min_size=0, max_size=200))
+    def test_arbitrary_bytes(self, blob):
+        try:
+            decode_bytes(b"PESTRIE1" + blob)
+        except ValueError:
+            pass
+        try:
+            decode_bytes(b"PESTRIE2" + blob)
+        except ValueError:
+            pass
+
+
+class TestRoundTripUnderFuzz:
+    @settings(max_examples=40)
+    @given(matrices())
+    def test_clean_files_always_decode(self, matrix):
+        for compact in (False, True):
+            data = encode(matrix, compact=compact)
+            index = index_from_bytes(data)
+            assert index.materialize() == matrix

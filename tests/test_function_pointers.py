@@ -1,0 +1,204 @@
+"""Function pointers and indirect calls across the whole substrate."""
+
+import pytest
+
+from repro.analysis import andersen, context_sensitive, flow_sensitive, steensgaard
+from repro.analysis.parser import format_program, parse_program
+from repro.analysis.transform import flow_sensitive_to_matrix
+
+DISPATCH = """
+func handler_a() {
+  a = alloc A
+  return a
+}
+
+func handler_b() {
+  b = alloc B
+  return b
+}
+
+func main() {
+  fp = &handler_a
+  if {
+    fp = &handler_b
+  }
+  r = icall fp()
+  return
+}
+"""
+
+CALLBACK = """
+func apply(f, x) {
+  y = icall f(x)
+  return y
+}
+
+func wrap(v) {
+  w = alloc Wrapper
+  *w = v
+  return w
+}
+
+func main() {
+  fp = &wrap
+  payload = alloc Payload
+  out = call apply(fp, payload)
+  inner = *out
+  return
+}
+"""
+
+
+class TestParser:
+    def test_funcref_and_icall_parse(self):
+        program = parse_program(DISPATCH)
+        main = program.functions["main"]
+        kinds = [type(stmt).__name__ for stmt in main.simple_statements()]
+        assert kinds == ["FuncRef", "FuncRef", "IndirectCall", "Return"]
+
+    def test_format_round_trip(self):
+        program = parse_program(CALLBACK)
+        rebuilt = parse_program(format_program(program))
+        assert format_program(rebuilt) == format_program(program)
+
+    def test_unknown_funcref_rejected(self):
+        with pytest.raises(ValueError, match="unknown function"):
+            parse_program("func main() {\n  p = &ghost\n  return\n}\n")
+
+    def test_function_object_sites_interned(self):
+        from repro.analysis.ir import SymbolTable
+
+        symbols = SymbolTable(parse_program(DISPATCH))
+        assert "fn:handler_a" in symbols.site_ids
+        assert "fn:handler_b" in symbols.site_ids
+        assert symbols.function_object_sites() == {
+            symbols.function_object("handler_a"): "handler_a",
+            symbols.function_object("handler_b"): "handler_b",
+        }
+
+
+class TestAndersen:
+    def test_dispatch_resolves_both_targets(self):
+        program = parse_program(DISPATCH)
+        result = andersen.analyze(program)
+        symbols = result.symbols
+        r = result.pts_of("main", "r")
+        assert r == {symbols.site("handler_a", "A"), symbols.site("handler_b", "B")}
+
+    def test_callback_argument_flow(self):
+        program = parse_program(CALLBACK)
+        result = andersen.analyze(program)
+        symbols = result.symbols
+        # payload flows through the indirect call into wrap's cell.
+        assert result.pts_of("main", "inner") == {symbols.site("main", "Payload")}
+        assert result.pts_of("main", "out") == {symbols.site("wrap", "Wrapper")}
+
+    def test_induced_call_graph(self):
+        program = parse_program(DISPATCH)
+        result = andersen.analyze(program)
+        targets = result.indirect_call_targets()
+        assert targets == {("main", 0): {"handler_a", "handler_b"}}
+
+    def test_unresolvable_icall_is_empty(self):
+        source = "func main() {\n  r = icall fp()\n  q = r\n  return\n}\n"
+        result = andersen.analyze(parse_program(source))
+        assert result.pts_of("main", "r") == set()
+        assert result.indirect_call_targets() == {("main", 0): set()}
+
+    def test_optimize_matches_plain(self):
+        for source in (DISPATCH, CALLBACK):
+            program = parse_program(source)
+            plain = andersen.analyze(program, optimize=False)
+            fast = andersen.analyze(program, optimize=True)
+            assert plain.to_matrix() == fast.to_matrix()
+
+    def test_function_pointer_through_heap(self):
+        source = (
+            "func f() {\n  x = alloc X\n  return x\n}\n"
+            "func main() {\n"
+            "  cell = alloc Cell\n"
+            "  fp = &f\n"
+            "  *cell = fp\n"
+            "  got = *cell\n"
+            "  r = icall got()\n"
+            "  return\n"
+            "}\n"
+        )
+        result = andersen.analyze(parse_program(source))
+        assert result.pts_of("main", "r") == {result.symbols.site("f", "X")}
+
+
+class TestSteensgaard:
+    def test_dispatch_sound(self):
+        program = parse_program(DISPATCH)
+        s_matrix = steensgaard.analyze(program).to_matrix()
+        a_result = andersen.analyze(program)
+        a_matrix = a_result.to_matrix()
+        for var in range(a_result.symbols.n_variables):
+            assert set(a_matrix.rows[var]) <= set(s_matrix.rows[var])
+
+    def test_callback_sound(self):
+        program = parse_program(CALLBACK)
+        s_matrix = steensgaard.analyze(program).to_matrix()
+        a_result = andersen.analyze(program)
+        a_matrix = a_result.to_matrix()
+        for var in range(a_result.symbols.n_variables):
+            assert set(a_matrix.rows[var]) <= set(s_matrix.rows[var]), (
+                a_result.symbols.variable_names()[var]
+            )
+
+    def test_icall_before_funcref_order_independent(self):
+        """The placeholder signature unifies with the real one later."""
+        source = (
+            "func use(fp2, v) {\n  r = icall fp2(v)\n  return r\n}\n"
+            "func id(x) {\n  return x\n}\n"
+            "func main() {\n"
+            "  p = alloc P\n"
+            "  g = &id\n"
+            "  out = call use(g, p)\n"
+            "  return\n"
+            "}\n"
+        )
+        program = parse_program(source)
+        s_matrix = steensgaard.analyze(program).to_matrix()
+        a_result = andersen.analyze(program)
+        assert a_result.pts_of("main", "out") == {a_result.symbols.site("main", "P")}
+        out = a_result.symbols.variable("main", "out")
+        assert set(a_result.to_matrix().rows[out]) <= set(s_matrix.rows[out])
+
+
+class TestFlowSensitiveAndContexts:
+    def test_flow_sensitive_handles_dispatch(self):
+        program = parse_program(DISPATCH)
+        result = flow_sensitive.analyze(program)
+        named = flow_sensitive_to_matrix(result)
+        # fp's two definitions carry the two function objects.
+        fp_rows = [name for name in named.pointer_index if name.startswith("main::fp@")]
+        assert len(fp_rows) == 2
+        objects = set()
+        for name in fp_rows:
+            objects.update(named.matrix.rows[named.pointer_index[name]])
+        assert len(objects) == 2
+
+    def test_no_strong_updates_in_address_taken_functions(self):
+        """wrap() is address-taken: its Wrapper cell must be weak-updated
+        (it can execute many times through the pointer)."""
+        program = parse_program(CALLBACK)
+        result = flow_sensitive.analyze(program)
+        facts = {}
+        names = result.symbols.variable_names()
+        for fact in result.facts:
+            facts.setdefault(names[fact.variable], set()).update(fact.objects)
+        inner = facts.get("main::inner", set())
+        assert result.symbols.site_ids["main::Payload"] in inner
+
+    def test_context_sensitive_with_funcrefs(self):
+        program = parse_program(CALLBACK)
+        result = context_sensitive.analyze(program, k=1)
+        result.cloned.validate()
+        # The base (context-free) clone of wrap exists for the funcref.
+        assert "wrap" in result.cloned.functions
+        symbols = result.symbols
+        out = symbols.variable("main", "out")
+        names = {symbols.site_names()[o] for o in result.andersen.var_pts[out]}
+        assert any("Wrapper" in name for name in names)

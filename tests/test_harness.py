@@ -1,0 +1,86 @@
+"""Measurement harness utilities."""
+
+import pytest
+
+from repro.bench.harness import (
+    Table,
+    geometric_mean,
+    human_bytes,
+    sample_pairs,
+    timed,
+    traced_memory,
+)
+
+
+class TestTimed:
+    def test_returns_result_and_positive_time(self):
+        measurement = timed(lambda: 42)
+        assert measurement.result == 42
+        assert measurement.seconds >= 0
+
+
+class TestTracedMemory:
+    def test_records_peak(self):
+        with traced_memory() as stats:
+            _ = [0] * 100_000
+        assert stats["peak_bytes"] > 100_000
+
+
+class TestTable:
+    def test_render_contains_rows_and_title(self):
+        table = Table(title="Demo", columns=("Program", "Time (s)"))
+        table.add(**{"Program": "antlr", "Time (s)": 1.5})
+        table.add(**{"Program": "fop", "Time (s)": 0.001})
+        text = table.render()
+        assert "== Demo ==" in text
+        assert "antlr" in text
+        assert "1.500" in text
+
+    def test_missing_cells_blank(self):
+        table = Table(title="T", columns=("A", "B"))
+        table.add(A="x")
+        assert "x" in table.render()
+
+    def test_note_appended(self):
+        table = Table(title="T", columns=("A",), note="scaled 100x")
+        assert "scaled 100x" in table.render()
+
+    def test_small_floats_scientific(self):
+        table = Table(title="T", columns=("A",))
+        table.add(A=0.000002)
+        assert "e-06" in table.render()
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+        assert geometric_mean([5]) == pytest.approx(5.0)
+
+    def test_ignores_nonpositive(self):
+        assert geometric_mean([2, 0, 8]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+
+
+class TestHumanBytes:
+    def test_units(self):
+        assert human_bytes(512) == "512.0B"
+        assert human_bytes(2048) == "2.0KB"
+        assert human_bytes(3 * 1024 * 1024) == "3.0MB"
+
+
+class TestSamplePairs:
+    def test_all_pairs_when_small(self):
+        pairs = sample_pairs([1, 2, 3], limit=100)
+        assert pairs == [(1, 2), (1, 3), (2, 3)]
+
+    def test_capped_when_large(self):
+        items = list(range(100))
+        pairs = sample_pairs(items, limit=50)
+        assert len(pairs) <= 50
+        assert len(set(pairs)) == len(pairs)
+        for p, q in pairs:
+            assert p in items and q in items and p < q
+
+    def test_deterministic(self):
+        items = list(range(60))
+        assert sample_pairs(items, 40) == sample_pairs(items, 40)

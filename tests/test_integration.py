@@ -1,0 +1,130 @@
+"""End-to-end integration: program → analysis → persistence → queries.
+
+Every backend (Pestrie, BitP, BDD, bzip+demand) must answer identically on
+the same analysed program, through real files on disk.
+"""
+
+import pytest
+
+from repro.analysis import andersen, flow_sensitive
+from repro.analysis.parser import parse_program
+from repro.analysis.transform import flow_sensitive_to_matrix
+from repro.baselines.bitmap_persist import BitmapPersistence
+from repro.baselines.bzip_persist import BzipPersistence
+from repro.baselines.demand import DemandDriven
+from repro.bdd.encode import encode_matrix
+from repro.bdd.persist import BddPersistence
+from repro.bench.programs import ProgramSpec, generate_program
+from repro.core.pipeline import load_index, persist
+
+SOURCE = """
+global cache
+
+func box(v) {
+  b = alloc Box
+  *b = v
+  return b
+}
+
+func main() {
+  x = alloc X
+  y = alloc Y
+  bx = call box(x)
+  by = call box(y)
+  cache = bx
+  z = *bx
+  w = *cache
+  return
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def analysed():
+    program = parse_program(SOURCE)
+    result = andersen.analyze(program)
+    return program, result, result.to_matrix()
+
+
+@pytest.fixture(scope="module")
+def generated_matrix():
+    spec = ProgramSpec(name="int", n_functions=12, statements_per_function=14,
+                       n_types=5, seed=77)
+    program = generate_program(spec)
+    named = flow_sensitive_to_matrix(flow_sensitive.analyze(program))
+    return named.matrix
+
+
+class TestBackendsAgree:
+    def test_all_backends_on_handwritten_program(self, analysed, tmp_path):
+        _, result, matrix = analysed
+
+        pes_path = str(tmp_path / "a.pes")
+        persist(matrix, pes_path)
+        pestrie = load_index(pes_path)
+
+        bitp_path = str(tmp_path / "a.bitp")
+        BitmapPersistence.encode_to_file(matrix, bitp_path)
+        bitp = BitmapPersistence.decode_from_file(bitp_path)
+
+        bdd_path = str(tmp_path / "a.bdd")
+        BddPersistence.encode_to_file(encode_matrix(matrix), bdd_path)
+        bdd = BddPersistence.decode_from_file(bdd_path)
+
+        bz_path = str(tmp_path / "a.bz")
+        BzipPersistence.encode_to_file(matrix, bz_path)
+        demand = DemandDriven(BzipPersistence.decode_from_file(bz_path))
+
+        for p in range(matrix.n_pointers):
+            expected_pts = matrix.list_points_to(p)
+            assert sorted(pestrie.list_points_to(p)) == expected_pts
+            assert bitp.list_points_to(p) == expected_pts
+            assert bdd.list_points_to(p) == expected_pts
+            assert demand.list_points_to(p) == expected_pts
+
+            expected_aliases = matrix.list_aliases(p)
+            assert sorted(pestrie.list_aliases(p)) == expected_aliases
+            assert bitp.list_aliases(p) == expected_aliases
+            assert bdd.list_aliases(p) == expected_aliases
+            assert demand.list_aliases(p) == expected_aliases
+
+        for obj in range(matrix.n_objects):
+            expected = matrix.list_pointed_by(obj)
+            assert sorted(pestrie.list_pointed_by(obj)) == expected
+            assert bitp.list_pointed_by(obj) == expected
+            assert bdd.list_pointed_by(obj) == expected
+
+    def test_semantic_spot_checks(self, analysed):
+        _, result, matrix = analysed
+        symbols = result.symbols
+        bx = symbols.variable("main", "bx")
+        by = symbols.variable("main", "by")
+        cache = symbols.variable(None, "cache")
+        z = symbols.variable("main", "z")
+        x = symbols.variable("main", "x")
+        # Context-insensitive box(): bx and by both get Box; cache aliases bx.
+        assert matrix.is_alias(bx, by)
+        assert matrix.is_alias(bx, cache)
+        # z = *bx sees both X and Y (merged cells), hence aliases x.
+        assert matrix.is_alias(z, x)
+
+    def test_pestrie_on_flow_sensitive_output(self, generated_matrix, tmp_path):
+        matrix = generated_matrix
+        path = str(tmp_path / "fs.pes")
+        size = persist(matrix, path)
+        assert size > 0
+        index = load_index(path)
+        assert index.materialize() == matrix
+
+    def test_compact_and_raw_agree(self, generated_matrix, tmp_path):
+        matrix = generated_matrix
+        raw_path = str(tmp_path / "m.pes")
+        compact_path = str(tmp_path / "m.pesz")
+        raw_size = persist(matrix, raw_path, compact=False)
+        compact_size = persist(matrix, compact_path, compact=True)
+        assert compact_size < raw_size
+        raw_index = load_index(raw_path)
+        compact_index = load_index(compact_path)
+        for p in range(0, matrix.n_pointers, 37):
+            assert raw_index.list_points_to(p) == compact_index.list_points_to(p)
+            assert raw_index.list_aliases(p) == compact_index.list_aliases(p)

@@ -1,0 +1,103 @@
+"""Interval labelling (Section 3.4.1, Table 5)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import build_pestrie
+from repro.core.intervals import assign_intervals, contains, cross_edge_interval, group_interval
+from repro.core.reachability import tree_descendants, xi_subtree
+
+from conftest import matrices
+
+
+def _labeled(matrix, order="identity", seed=0):
+    pestrie = build_pestrie(matrix, order=order, seed=seed)
+    assign_intervals(pestrie)
+    return pestrie
+
+
+class TestPaperTable5:
+    def test_exact_timestamps(self, paper_matrix):
+        """Reproduce Table 5's I and E rows exactly."""
+        pestrie = _labeled(paper_matrix)
+        # Node order in Table 5: (o1,p2) p3 p4 p1 (o2,p6) o3 p7 (o4,p5) o5.
+        def ts_of_pointer(p):
+            return pestrie.pre_order[pestrie.group_of_pointer[p]]
+
+        def ts_of_object(o):
+            return pestrie.pre_order[pestrie.group_of_object[o]]
+
+        assert ts_of_object(0) == 0 and ts_of_pointer(1) == 0
+        assert ts_of_pointer(2) == 1
+        assert ts_of_pointer(3) == 2
+        assert ts_of_pointer(0) == 3
+        assert ts_of_object(1) == 4 and ts_of_pointer(5) == 4
+        assert ts_of_object(2) == 5
+        assert ts_of_pointer(6) == 6
+        assert ts_of_object(3) == 7 and ts_of_pointer(4) == 7
+        assert ts_of_object(4) == 8
+
+        expected_e = {0: 3, 1: 2, 2: 2, 3: 3, 4: 4, 5: 6, 6: 6, 7: 7, 8: 8}
+        for group in pestrie.groups:
+            i = pestrie.pre_order[group.id]
+            assert pestrie.max_pre_order[group.id] == expected_e[i]
+
+    def test_cross_edge_intervals(self, paper_matrix):
+        pestrie = _labeled(paper_matrix)
+        intervals = sorted(
+            cross_edge_interval(pestrie, edge) for edge in pestrie.cross_edges
+        )
+        # Sub-trees from Table 6: [1,2] (×2 for o2 and o3), [2,2], and the
+        # three singletons [1,1], [3,3], [6,6] from o5.
+        assert intervals == [(1, 1), (1, 2), (1, 2), (2, 2), (3, 3), (6, 6)]
+
+
+class TestLabelProperties:
+    @settings(max_examples=60)
+    @given(matrices(), st.sampled_from(["hub", "identity", "random"]))
+    def test_timestamps_are_a_permutation(self, matrix, order):
+        pestrie = _labeled(matrix, order=order, seed=5)
+        assert sorted(pestrie.pre_order) == list(range(len(pestrie.groups)))
+        for group in pestrie.groups:
+            assert pestrie.max_pre_order[group.id] >= pestrie.pre_order[group.id]
+
+    @settings(max_examples=60)
+    @given(matrices(), st.sampled_from(["hub", "identity", "random"]))
+    def test_containment_equals_tree_reachability(self, matrix, order):
+        pestrie = _labeled(matrix, order=order, seed=5)
+        for group in pestrie.groups:
+            descendants = set(tree_descendants(pestrie, group.id))
+            outer = group_interval(pestrie, group.id)
+            for other in pestrie.groups:
+                inner = group_interval(pestrie, other.id)
+                assert contains(outer, inner) == (other.id in descendants)
+
+    @settings(max_examples=60)
+    @given(matrices(), st.sampled_from(["hub", "identity", "random"]))
+    def test_xi_subtree_is_contiguous_range(self, matrix, order):
+        """The ξ-reachable nodes of every cross edge form exactly the
+        timestamp interval the encoder assigns to it."""
+        pestrie = _labeled(matrix, order=order, seed=5)
+        for edge in pestrie.cross_edges:
+            lo, hi = cross_edge_interval(pestrie, edge)
+            expected = {pestrie.pre_order[g] for g in xi_subtree(pestrie, edge)}
+            assert expected == set(range(lo, hi + 1))
+
+    @settings(max_examples=40)
+    @given(matrices())
+    def test_pes_blocks_follow_object_order(self, matrix):
+        """PESs occupy consecutive timestamp blocks in object order."""
+        pestrie = _labeled(matrix, order="hub")
+        previous_end = -1
+        for obj in pestrie.object_order:
+            origin = pestrie.origin_of_pes(obj)
+            lo, hi = group_interval(pestrie, origin.id)
+            assert lo == previous_end + 1
+            previous_end = hi
+        assert previous_end == len(pestrie.groups) - 1
+
+    def test_group_members_share_group_timestamp(self, paper_matrix):
+        pestrie = _labeled(paper_matrix)
+        for group in pestrie.groups:
+            for pointer in group.pointers:
+                assert pestrie.group_of_pointer[pointer] == group.id

@@ -1,0 +1,191 @@
+"""IR model, symbol table, and the frontend parser."""
+
+import pytest
+
+from repro.analysis.ir import (
+    Alloc,
+    Call,
+    Copy,
+    Function,
+    If,
+    Load,
+    Program,
+    Return,
+    Store,
+    SymbolTable,
+    While,
+)
+from repro.analysis.parser import ParseError, format_program, parse_program
+
+SAMPLE = """
+global g
+
+func id(x) {
+  return x
+}
+
+func main() {
+  p = alloc A        // allocation
+  q = p
+  *p = q
+  r = *p
+  if {
+    s = call id(p)
+  }
+  else {
+    s = alloc B
+  }
+  while {
+    t = *s
+  }
+  g = q
+  return r
+}
+"""
+
+
+class TestParser:
+    def test_parse_shapes(self):
+        program = parse_program(SAMPLE)
+        assert program.globals == ["g"]
+        assert set(program.functions) == {"id", "main"}
+        main = program.functions["main"]
+        kinds = [type(stmt).__name__ for stmt in main.body]
+        assert kinds == ["Alloc", "Copy", "Store", "Load", "If", "While", "Copy", "Return"]
+
+    def test_if_else_bodies(self):
+        program = parse_program(SAMPLE)
+        branch = program.functions["main"].body[4]
+        assert isinstance(branch, If)
+        assert isinstance(branch.then_body[0], Call)
+        assert isinstance(branch.else_body[0], Alloc)
+
+    def test_if_without_else(self):
+        program = parse_program(
+            "func main() {\n  p = alloc A\n  if {\n    q = p\n  }\n  return p\n}\n"
+        )
+        branch = program.functions["main"].body[1]
+        assert isinstance(branch, If)
+        assert branch.else_body == []
+
+    def test_comments_and_blanks_ignored(self):
+        program = parse_program("// leading comment\n\nfunc main() {\n  return\n}\n")
+        assert "main" in program.functions
+
+    def test_call_without_target(self):
+        program = parse_program(
+            "func f(a) {\n  return a\n}\nfunc main() {\n  p = alloc A\n  call f(p)\n  return\n}\n"
+        )
+        call = program.functions["main"].body[1]
+        assert isinstance(call, Call)
+        assert call.target is None
+
+    def test_errors_carry_line_numbers(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("func main() {\n  p = = q\n}\n")
+        assert excinfo.value.line_number == 2
+
+    def test_unknown_callee_rejected_by_validate(self):
+        with pytest.raises(ValueError, match="unknown function"):
+            parse_program("func main() {\n  p = call nope()\n  return\n}\n")
+
+    def test_arity_mismatch_rejected(self):
+        source = (
+            "func f(a, b) {\n  return a\n}\n"
+            "func main() {\n  p = alloc A\n  q = call f(p)\n  return\n}\n"
+        )
+        with pytest.raises(ValueError, match="expected 2"):
+            parse_program(source)
+
+    def test_missing_entry_rejected(self):
+        with pytest.raises(ValueError, match="entry function"):
+            parse_program("func helper() {\n  return\n}\n")
+
+    def test_duplicate_global_rejected(self):
+        with pytest.raises(ParseError, match="duplicate global"):
+            parse_program("global g\nglobal g\nfunc main() {\n  return\n}\n")
+
+    def test_duplicate_function_rejected(self):
+        source = "func main() {\n  return\n}\nfunc main() {\n  return\n}\n"
+        with pytest.raises(ValueError, match="duplicate function"):
+            parse_program(source)
+
+    def test_unclosed_function(self):
+        with pytest.raises(ParseError, match="end of file"):
+            parse_program("func main() {\n  p = alloc A\n")
+
+    def test_keyword_as_copy_source_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("func main() {\n  p = alloc\n  return\n}\n")
+
+    def test_format_parse_round_trip(self):
+        program = parse_program(SAMPLE)
+        rebuilt = parse_program(format_program(program))
+        assert format_program(rebuilt) == format_program(program)
+        assert rebuilt.statement_count() == program.statement_count()
+
+
+class TestIr:
+    def test_statement_count_descends_blocks(self):
+        program = parse_program(SAMPLE)
+        # 9 simple statements in main (counting into if/while) + 1 in id.
+        assert program.statement_count() == 10
+
+    def test_variables_params_first(self):
+        function = Function(
+            name="f",
+            params=("a",),
+            body=[Copy(target="x", source="a"), Return(value="x")],
+        )
+        assert function.variables() == ["a", "x"]
+
+    def test_simple_statements_order(self):
+        program = parse_program(SAMPLE)
+        kinds = [type(s).__name__ for s in program.functions["main"].simple_statements()]
+        assert kinds == [
+            "Alloc", "Copy", "Store", "Load",  # straight-line prefix
+            "Call", "Alloc",  # then/else bodies
+            "Load",  # loop body
+            "Copy", "Return",
+        ]
+
+    def test_validate_entry_configurable(self):
+        program = Program(entry="start")
+        program.add_function(Function(name="start", params=(), body=[Return(value=None)]))
+        program.validate()
+
+
+class TestSymbolTable:
+    def test_ids_dense_and_stable(self):
+        program = parse_program(SAMPLE)
+        symbols = SymbolTable(program)
+        names = symbols.variable_names()
+        assert len(names) == symbols.n_variables
+        assert len(set(names)) == len(names)
+        assert symbols.variable(None, "g") == symbols.variable("main", "g")
+
+    def test_globals_not_qualified(self):
+        program = parse_program(SAMPLE)
+        symbols = SymbolTable(program)
+        assert "g" in symbols.variable_ids
+        assert "main::g" not in symbols.variable_ids
+
+    def test_sites_qualified_by_function(self):
+        program = parse_program(SAMPLE)
+        symbols = SymbolTable(program)
+        assert "main::A" in symbols.site_ids
+        assert "main::B" in symbols.site_ids
+        assert symbols.n_sites == 2
+        assert symbols.site_names()[symbols.site("main", "A")] == "main::A"
+
+    def test_unknown_global_lookup(self):
+        program = parse_program(SAMPLE)
+        symbols = SymbolTable(program)
+        with pytest.raises(KeyError):
+            symbols.variable(None, "not_a_global")
+
+    def test_while_and_if_variables_collected(self):
+        program = parse_program(SAMPLE)
+        symbols = SymbolTable(program)
+        assert "main::t" in symbols.variable_ids
+        assert "main::s" in symbols.variable_ids

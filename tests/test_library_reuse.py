@@ -1,0 +1,183 @@
+"""Library pre-analysis and seeded client analysis (the paper's future work)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import andersen
+from repro.analysis.library import (
+    analyze_client,
+    analyze_library,
+    load_library,
+    merge_programs,
+    save_library,
+)
+from repro.analysis.parser import parse_program
+
+LIBRARY = """
+global lib_registry
+
+func lib_list_new() {
+  l = alloc ListHeader
+  cells = alloc ListCells
+  *l = cells
+  return l
+}
+
+func lib_list_add(lst, value) {
+  cells = *lst
+  *cells = value
+  return
+}
+
+func lib_list_get(lst) {
+  cells = *lst
+  value = *cells
+  return value
+}
+
+func lib_register(component) {
+  *lib_registry = component
+  return
+}
+"""
+
+CLIENT = """
+func main() {
+  l = call lib_list_new()
+  item = alloc Item
+  call lib_list_add(l, item)
+  got = call lib_list_get(l)
+  reg = alloc Registry
+  lib_registry = reg
+  call lib_register(got)
+  return
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def library_program():
+    # The library alone has no 'main'; give the parser a benign entry so
+    # validation passes, then drop it.
+    program = parse_program(LIBRARY + "\nfunc main() {\n  return\n}\n")
+    del program.functions["main"]
+    program.entry = "lib_list_new"
+    return program
+
+
+@pytest.fixture(scope="module")
+def client_program():
+    return parse_program(CLIENT, validate=False)
+
+
+class TestAnalyzeLibrary:
+    def test_library_facts_found(self, library_program):
+        summary = analyze_library(library_program)
+        assert "lib_list_new::l" in summary.var_facts
+        assert summary.var_facts["lib_list_new::l"] == frozenset(
+            {"lib_list_new::ListHeader"}
+        )
+        # The header cell holds the cells object.
+        assert summary.obj_facts["lib_list_new::ListHeader"] == frozenset(
+            {"lib_list_new::ListCells"}
+        )
+
+    def test_fact_count(self, library_program):
+        summary = analyze_library(library_program)
+        assert summary.fact_count() > 0
+
+
+class TestMergePrograms:
+    def test_merge_shares_globals(self, library_program, client_program):
+        merged = merge_programs(client_program, library_program)
+        assert merged.globals.count("lib_registry") == 1
+        assert set(merged.functions) == set(library_program.functions) | {"main"}
+        assert merged.entry == "main"
+
+    def test_redefinition_rejected(self, library_program):
+        clash = parse_program(
+            "func lib_list_new() {\n  return\n}\nfunc main() {\n  return\n}\n"
+        )
+        with pytest.raises(ValueError, match="redefines"):
+            merge_programs(clash, library_program)
+
+
+class TestSeededClientAnalysis:
+    def test_equals_from_scratch(self, library_program, client_program):
+        summary = analyze_library(library_program)
+        seeded = analyze_client(client_program, summary)
+        scratch = andersen.analyze(seeded.merged)
+        assert seeded.result.to_matrix() == scratch.to_matrix()
+        assert seeded.seeded_facts > 0
+
+    def test_client_facts_resolved(self, library_program, client_program):
+        summary = analyze_library(library_program)
+        seeded = analyze_client(client_program, summary)
+        symbols = seeded.result.symbols
+        got = seeded.result.pts_of("main", "got")
+        assert symbols.site("main", "Item") in got
+
+    def test_seeding_reduces_iterations(self, library_program, client_program):
+        summary = analyze_library(library_program)
+        seeded = analyze_client(client_program, summary)
+        scratch = andersen.analyze(seeded.merged)
+        assert seeded.result.iterations <= scratch.iterations
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_seeded_equals_scratch_on_generated_split(self, seed):
+        """Split a generated program into 'library' (the helpers plus the
+        back half of functions) and 'client' (the rest): seeding must not
+        change the merged solution."""
+        from repro.bench.programs import ProgramSpec, generate_program
+
+        program = generate_program(
+            ProgramSpec(name="t", n_functions=8, statements_per_function=10,
+                        n_types=3, seed=seed)
+        )
+        # The generator emits helpers first, then body functions from the
+        # deepest up to main; calls only go "forward" (to already-emitted
+        # functions), so any dict-order *prefix* is call-closed: use it as
+        # the library and the rest (which includes main) as the client.
+        names = list(program.functions)
+        split = len(names) // 2
+        library_names = set(names[:split])
+        from repro.analysis.ir import Program
+
+        library = Program(entry=names[0])
+        client = Program(entry="main")
+        for name, function in program.functions.items():
+            if name in library_names:
+                library.functions[name] = function
+            else:
+                client.functions[name] = function
+        library.globals = list(program.globals)
+        client.globals = list(program.globals)
+        # Clients may call into the library: only merge-validate.
+        summary = analyze_library(library)
+        seeded = analyze_client(client, summary)
+        scratch = andersen.analyze(seeded.merged)
+        assert seeded.result.to_matrix() == scratch.to_matrix()
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, library_program, tmp_path):
+        summary = analyze_library(library_program)
+        directory = str(tmp_path / "stdlib")
+        save_library(summary, directory)
+        reloaded = load_library(directory)
+        assert reloaded.var_facts == summary.var_facts
+        assert reloaded.obj_facts == summary.obj_facts
+        assert set(reloaded.program.functions) == set(library_program.functions)
+
+    def test_reloaded_summary_seeds_identically(self, library_program,
+                                                client_program, tmp_path):
+        summary = analyze_library(library_program)
+        directory = str(tmp_path / "stdlib")
+        save_library(summary, directory)
+        reloaded = load_library(directory)
+        first = analyze_client(client_program, summary)
+        second = analyze_client(client_program, reloaded)
+        assert first.result.to_matrix() == second.result.to_matrix()
+        assert first.seeded_facts == second.seeded_facts

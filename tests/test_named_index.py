@@ -1,0 +1,108 @@
+"""NamedIndex: source-level and stem-level queries."""
+
+import pytest
+
+from repro.analysis import context_sensitive, flow_sensitive
+from repro.analysis.parser import parse_program
+from repro.analysis.transform import (
+    context_sensitive_to_matrix,
+    flow_sensitive_to_matrix,
+)
+from repro.core.named import NamedIndex, stem_of
+from repro.core.pipeline import encode, index_from_bytes
+
+SOURCE = """
+func make() {
+  m = alloc M
+  return m
+}
+
+func main() {
+  p = call make()
+  q = call make()
+  r = p
+  r = q
+  return
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def fs_named_index():
+    program = parse_program(SOURCE)
+    named = flow_sensitive_to_matrix(flow_sensitive.analyze(program))
+    index = index_from_bytes(encode(named.matrix))
+    return NamedIndex.over(named, index)
+
+
+@pytest.fixture(scope="module")
+def cs_named_index():
+    program = parse_program(SOURCE)
+    named = context_sensitive_to_matrix(context_sensitive.analyze(program, k=1))
+    index = index_from_bytes(encode(named.matrix))
+    return NamedIndex.over(named, index)
+
+
+class TestStemOf:
+    def test_flow_labels(self):
+        assert stem_of("main::r@L2") == "main::r"
+        assert stem_of("use::x@entry(use)") == "use::x"
+
+    def test_context_brackets(self):
+        assert stem_of("make[3]::m") == "make::m"
+        assert stem_of("make[3,7]::m") == "make::m"
+
+    def test_path_predicates(self):
+        assert stem_of("p|l1") == "p"
+        assert stem_of("main::p|l2") == "main::p"
+
+    def test_plain_names(self):
+        assert stem_of("g0") == "g0"
+        assert stem_of("main::p") == "main::p"
+
+
+class TestExactQueries:
+    def test_flow_sensitive_versions(self, fs_named_index):
+        versions = fs_named_index.versions_of("main::r")
+        assert len(versions) == 2  # r defined twice
+
+    def test_list_points_to_by_name(self, fs_named_index):
+        first, second = fs_named_index.versions_of("main::r")
+        assert fs_named_index.list_points_to(first) == ["make::M"]
+
+    def test_context_query(self, cs_named_index):
+        """ListPointsTo(c, p): ask about one context's clone directly."""
+        names = cs_named_index.versions_of("make::m")
+        assert len(names) == 2
+        answers = {tuple(cs_named_index.list_points_to(name)) for name in names}
+        assert len(answers) == 2  # the two contexts see different clones
+
+    def test_is_alias_by_name(self, cs_named_index):
+        assert not cs_named_index.is_alias("main::p", "main::q")
+        assert cs_named_index.is_alias("main::p", "main::r")
+
+    def test_list_pointed_by(self, cs_named_index):
+        pointers = cs_named_index.list_pointed_by("make[0]::M")
+        assert any(stem_of(name) == "main::p" or stem_of(name) == "main::q"
+                   for name in pointers)
+
+    def test_unknown_name_raises(self, fs_named_index):
+        with pytest.raises(KeyError):
+            fs_named_index.list_points_to("main::nonexistent")
+
+
+class TestStemQueries:
+    def test_stem_points_to_unions_versions(self, cs_named_index):
+        # r = p then r = q: the stem projection sees both clone objects.
+        objects = cs_named_index.stem_points_to("main::r")
+        assert len(objects) == 2
+
+    def test_stem_may_alias(self, cs_named_index):
+        assert cs_named_index.stem_may_alias("main::r", "main::p")
+        assert cs_named_index.stem_may_alias("main::r", "main::q")
+        assert not cs_named_index.stem_may_alias("main::p", "main::q")
+
+    def test_unknown_stem_is_empty(self, cs_named_index):
+        assert cs_named_index.versions_of("nope::x") == []
+        assert cs_named_index.stem_points_to("nope::x") == []
+        assert not cs_named_index.stem_may_alias("nope::x", "main::p")

@@ -1,0 +1,139 @@
+"""On-demand points-to queries vs the exhaustive solver."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import andersen
+from repro.analysis.ondemand import OnDemandAndersen
+from repro.analysis.parser import parse_program
+from repro.bench.programs import ProgramSpec, generate_program
+
+
+class TestHandwritten:
+    def test_simple_chain(self):
+        program = parse_program(
+            "func main() {\n  a = alloc A\n  b = a\n  c = b\n  return\n}\n"
+        )
+        demand = OnDemandAndersen(program)
+        full = andersen.analyze(program)
+        c = full.symbols.variable("main", "c")
+        assert demand.query(c) == set(full.var_pts[c])
+
+    def test_store_load_dependency(self):
+        program = parse_program(
+            "func main() {\n"
+            "  p = alloc Cell\n"
+            "  v = alloc V\n"
+            "  *p = v\n"
+            "  r = *p\n"
+            "  return\n"
+            "}\n"
+        )
+        demand = OnDemandAndersen(program)
+        assert demand.query_named("main", "r") == {"main::V"}
+
+    def test_query_skips_unrelated_code(self):
+        """The support set must stay a fraction of the program."""
+        source_parts = ["func main() {\n  t = alloc T\n  u = t\n  return\n}\n"]
+        for index in range(30):
+            source_parts.append(
+                "func noise%d() {\n  x = alloc N%d\n  y = x\n  return y\n}\n"
+                % (index, index)
+            )
+        program = parse_program("".join(source_parts))
+        demand = OnDemandAndersen(program)
+        assert demand.query_named("main", "u") == {"main::T"}
+        assert demand.support_size() < program.statement_count() / 3
+
+    def test_memoised_across_queries(self):
+        program = parse_program(
+            "func main() {\n  a = alloc A\n  b = a\n  c = b\n  return\n}\n"
+        )
+        demand = OnDemandAndersen(program)
+        first = demand.query_named("main", "c")
+        rounds = demand.solve_rounds
+        second = demand.query_named("main", "c")
+        assert first == second
+        assert demand.solve_rounds <= rounds + 2  # cached support, cheap re-check
+
+    def test_call_flow(self):
+        program = parse_program(
+            "func id(x) {\n  return x\n}\n"
+            "func main() {\n  p = alloc A\n  q = call id(p)\n  return\n}\n"
+        )
+        demand = OnDemandAndersen(program)
+        assert demand.query_named("main", "q") == {"main::A"}
+
+    def test_indirect_call_return_flow(self):
+        program = parse_program(
+            "func make() {\n  m = alloc M\n  return m\n}\n"
+            "func main() {\n  fp = &make\n  r = icall fp()\n  return\n}\n"
+        )
+        demand = OnDemandAndersen(program)
+        assert demand.query_named("main", "r") == {"make::M"}
+
+    def test_indirect_call_argument_flow(self):
+        program = parse_program(
+            "func sink(v) {\n  keep = v\n  return\n}\n"
+            "func main() {\n"
+            "  fp = &sink\n"
+            "  payload = alloc P\n"
+            "  icall fp(payload)\n"
+            "  return\n"
+            "}\n"
+        )
+        demand = OnDemandAndersen(program)
+        assert demand.query_named("sink", "keep") == {"main::P"}
+
+    def test_bad_variable_id(self):
+        program = parse_program("func main() {\n  return\n}\n")
+        demand = OnDemandAndersen(program)
+        import pytest
+
+        with pytest.raises(IndexError):
+            demand.query(10_000)
+
+
+class TestAgainstExhaustive:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_every_variable_matches(self, seed):
+        spec = ProgramSpec(
+            name="t", n_functions=6, statements_per_function=10, n_types=3, seed=seed
+        )
+        program = generate_program(spec)
+        full = andersen.analyze(program)
+        demand = OnDemandAndersen(program)
+        for var in range(0, full.symbols.n_variables, 3):
+            assert demand.query(var) == set(full.var_pts[var]), (
+                full.symbols.variable_names()[var]
+            )
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_matches_with_indirect_calls(self, seed):
+        spec = ProgramSpec(
+            name="t", n_functions=6, statements_per_function=10, n_types=3,
+            seed=seed, indirect_call_prob=0.4,
+        )
+        program = generate_program(spec)
+        full = andersen.analyze(program)
+        demand = OnDemandAndersen(program)
+        for var in range(0, full.symbols.n_variables, 4):
+            assert demand.query(var) == set(full.var_pts[var]), (
+                full.symbols.variable_names()[var]
+            )
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_single_query_visits_subset(self, seed):
+        spec = ProgramSpec(
+            name="t", n_functions=12, statements_per_function=14, n_types=5, seed=seed
+        )
+        program = generate_program(spec)
+        full = andersen.analyze(program)
+        # Query one main-local; the support should not be the whole program.
+        target = full.symbols.variable("main", "v0")
+        demand = OnDemandAndersen(program)
+        assert demand.query(target) == set(full.var_pts[target])
+        assert demand.support_size() <= full.symbols.n_variables

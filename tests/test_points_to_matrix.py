@@ -1,0 +1,133 @@
+"""Points-to matrix: construction, derived matrices, oracle queries."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.matrix.points_to import PointsToMatrix, dedup_rows
+
+from conftest import matrices
+
+
+class TestConstruction:
+    def test_from_pairs(self):
+        matrix = PointsToMatrix.from_pairs(3, 2, [(0, 0), (2, 1), (0, 0)])
+        assert matrix.fact_count() == 2
+        assert matrix.has(0, 0)
+        assert matrix.has(2, 1)
+        assert not matrix.has(1, 0)
+
+    def test_from_rows(self):
+        matrix = PointsToMatrix.from_rows([[0, 1], [], [1]], 2)
+        assert matrix.list_points_to(0) == [0, 1]
+        assert matrix.list_points_to(1) == []
+
+    def test_bounds_checked(self):
+        matrix = PointsToMatrix(2, 2)
+        with pytest.raises(IndexError):
+            matrix.add(2, 0)
+        with pytest.raises(IndexError):
+            matrix.add(0, 2)
+        with pytest.raises(IndexError):
+            matrix.add(-1, 0)
+
+    def test_negative_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            PointsToMatrix(-1, 3)
+
+    def test_name_tables_validated(self):
+        with pytest.raises(ValueError):
+            PointsToMatrix(2, 1, pointer_names=["only-one"])
+        with pytest.raises(ValueError):
+            PointsToMatrix(1, 2, object_names=["only-one"])
+
+    def test_density(self):
+        matrix = PointsToMatrix.from_pairs(2, 2, [(0, 0)])
+        assert matrix.density() == 0.25
+        assert PointsToMatrix(0, 0).density() == 0.0
+
+    def test_pairs_iteration(self):
+        matrix = PointsToMatrix.from_pairs(2, 2, [(1, 0), (0, 1)])
+        assert sorted(matrix.pairs()) == [(0, 1), (1, 0)]
+
+    def test_equality(self):
+        a = PointsToMatrix.from_pairs(2, 2, [(0, 1)])
+        b = PointsToMatrix.from_pairs(2, 2, [(0, 1)])
+        c = PointsToMatrix.from_pairs(2, 2, [(1, 1)])
+        assert a == b
+        assert a != c
+        assert a != "not a matrix"
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(PointsToMatrix(1, 1))
+
+    def test_repr(self):
+        assert "2 pointers" in repr(PointsToMatrix(2, 3))
+
+
+class TestDerivedMatrices:
+    def test_transpose(self, paper_matrix):
+        transposed = paper_matrix.transpose()
+        assert transposed.n_pointers == paper_matrix.n_objects
+        assert transposed.n_objects == paper_matrix.n_pointers
+        # Table 3's PMT row for o1: pointers p1..p4 (ids 0..3).
+        assert transposed.list_points_to(0) == [0, 1, 2, 3]
+        assert transposed.list_points_to(4) == [0, 2, 6]
+
+    def test_transpose_involution(self, paper_matrix):
+        assert paper_matrix.transpose().transpose() == paper_matrix
+
+    def test_alias_matrix_is_pm_times_pmt(self, paper_matrix):
+        alias = paper_matrix.alias_matrix()
+        for p in range(7):
+            for q in range(7):
+                expected = paper_matrix.is_alias(p, q)
+                assert alias.has(p, q) == expected, (p, q)
+
+    def test_alias_matrix_shares_class_rows(self):
+        matrix = PointsToMatrix.from_rows([[0], [0], [1]], 2)
+        alias = matrix.alias_matrix()
+        assert alias.rows[0] is alias.rows[1]
+        assert alias.rows[0] is not alias.rows[2]
+
+    @settings(max_examples=60)
+    @given(matrices())
+    def test_alias_matrix_symmetric(self, matrix):
+        alias = matrix.alias_matrix()
+        for p, q in alias.pairs():
+            assert alias.has(q, p)
+
+    @settings(max_examples=60)
+    @given(matrices())
+    def test_alias_diagonal_iff_nonempty(self, matrix):
+        alias = matrix.alias_matrix()
+        for p in range(matrix.n_pointers):
+            assert alias.has(p, p) == bool(matrix.rows[p])
+
+
+class TestOracleQueries:
+    def test_is_alias(self, paper_matrix):
+        assert paper_matrix.is_alias(0, 1)  # p1, p2 share o1
+        assert paper_matrix.is_alias(0, 6)  # p1, p7 share o5
+        assert not paper_matrix.is_alias(4, 5)  # p5 -> o4, p6 -> o2
+
+    def test_list_aliases_excludes_self(self, paper_matrix):
+        assert 2 not in paper_matrix.list_aliases(2)
+
+    def test_list_pointed_by(self, paper_matrix):
+        assert paper_matrix.list_pointed_by(4) == [0, 2, 6]
+        assert paper_matrix.list_pointed_by(3) == [3, 4]
+
+    def test_empty_pointer(self):
+        matrix = PointsToMatrix(2, 2)
+        assert matrix.list_points_to(0) == []
+        assert matrix.list_aliases(0) == []
+        assert not matrix.is_alias(0, 1)
+
+
+class TestDedupRows:
+    def test_groups_identical_rows(self):
+        matrix = PointsToMatrix.from_rows([[0], [1], [0], []], 2)
+        groups = dedup_rows(matrix)
+        members = sorted(sorted(ids) for ids in groups.values())
+        assert members == [[0, 2], [1], [3]]

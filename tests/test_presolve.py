@@ -1,0 +1,101 @@
+"""Offline copy-cycle collapsing (Andersen presolve)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import andersen
+from repro.analysis.parser import parse_program
+from repro.analysis.presolve import collapse_statistics, copy_graph_sccs
+from repro.bench.programs import ProgramSpec, generate_program
+
+
+class TestCopyGraphSccs:
+    def test_no_cycles(self):
+        rep = copy_graph_sccs(4, [(0, 1), (1, 2)])
+        assert rep == [0, 1, 2, 3]
+
+    def test_two_cycle(self):
+        rep = copy_graph_sccs(3, [(0, 1), (1, 0)])
+        assert rep[0] == rep[1] == 0
+        assert rep[2] == 2
+
+    def test_long_cycle_with_tail(self):
+        # 0 -> 1 -> 2 -> 0 plus 2 -> 3
+        rep = copy_graph_sccs(4, [(0, 1), (1, 2), (2, 0), (2, 3)])
+        assert rep[0] == rep[1] == rep[2] == 0
+        assert rep[3] == 3
+
+    def test_two_separate_cycles(self):
+        rep = copy_graph_sccs(5, [(0, 1), (1, 0), (2, 3), (3, 2)])
+        assert rep[0] == rep[1]
+        assert rep[2] == rep[3]
+        assert rep[0] != rep[2]
+
+    def test_self_loop_ignored(self):
+        rep = copy_graph_sccs(2, [(0, 0)])
+        assert rep == [0, 1]
+
+    def test_statistics(self):
+        rep = copy_graph_sccs(4, [(0, 1), (1, 0)])
+        stats = collapse_statistics(rep)
+        assert stats == {"variables": 4, "representatives": 3, "collapsed": 1}
+
+
+class TestOptimizedAnalyze:
+    CYCLE_SOURCE = (
+        "func main() {\n"
+        "  a = alloc A\n"
+        "  b = a\n"
+        "  c = b\n"
+        "  a = c\n"
+        "  d = alloc D\n"
+        "  b = d\n"
+        "  return\n"
+        "}\n"
+    )
+
+    def test_collapsed_cycle_shares_rows(self):
+        program = parse_program(self.CYCLE_SOURCE)
+        result = andersen.analyze(program, optimize=True)
+        symbols = result.symbols
+        a = symbols.variable("main", "a")
+        b = symbols.variable("main", "b")
+        c = symbols.variable("main", "c")
+        # a, b, c form a copy cycle: same (shared) solution object.
+        assert result.var_pts[a] is result.var_pts[b] is result.var_pts[c]
+        assert result.pts_of("main", "a") == {
+            symbols.site("main", "A"),
+            symbols.site("main", "D"),
+        }
+
+    def test_same_answer_with_and_without(self):
+        program = parse_program(self.CYCLE_SOURCE)
+        plain = andersen.analyze(program, optimize=False)
+        fast = andersen.analyze(program, optimize=True)
+        assert plain.to_matrix() == fast.to_matrix()
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_equivalence_on_generated_programs(self, seed):
+        spec = ProgramSpec(
+            name="t", n_functions=6, statements_per_function=12, n_types=3, seed=seed
+        )
+        program = generate_program(spec)
+        plain = andersen.analyze(program, optimize=False)
+        fast = andersen.analyze(program, optimize=True)
+        assert plain.to_matrix() == fast.to_matrix()
+        for obj in range(plain.symbols.n_sites):
+            assert set(plain.obj_pts[obj]) == set(fast.obj_pts[obj])
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_never_more_iterations(self, seed):
+        spec = ProgramSpec(
+            name="t", n_functions=8, statements_per_function=14, n_types=3, seed=seed
+        )
+        program = generate_program(spec)
+        plain = andersen.analyze(program, optimize=False)
+        fast = andersen.analyze(program, optimize=True)
+        # Collapsing removes worklist nodes; allow a little scheduling slack
+        # so the property is about the trend, not the exact worklist order.
+        assert fast.iterations <= plain.iterations * 1.2 + 10

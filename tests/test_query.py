@@ -1,0 +1,131 @@
+"""The PestrieIndex query structure vs the matrix oracle (Section 4)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import encode, index_from_bytes
+from repro.matrix.points_to import PointsToMatrix
+
+from conftest import make_random_matrix, matrices
+
+
+def _index(matrix, order="hub", seed=0):
+    return index_from_bytes(encode(matrix, order=order, seed=seed))
+
+
+class TestIsAlias:
+    def test_paper_example(self, paper_matrix):
+        index = _index(paper_matrix, order="identity")
+        for p in range(7):
+            for q in range(7):
+                assert index.is_alias(p, q) == paper_matrix.is_alias(p, q), (p, q)
+
+    def test_self_alias(self, paper_matrix):
+        index = _index(paper_matrix)
+        assert index.is_alias(0, 0)
+
+    def test_empty_pointer_never_aliases(self):
+        matrix = PointsToMatrix(3, 2)
+        matrix.add(0, 0)
+        index = _index(matrix)
+        assert not index.is_alias(0, 1)
+        assert not index.is_alias(1, 1)
+        assert not index.is_alias(1, 2)
+
+    def test_symmetry(self, paper_matrix):
+        index = _index(paper_matrix)
+        for p in range(7):
+            for q in range(7):
+                assert index.is_alias(p, q) == index.is_alias(q, p)
+
+    @settings(max_examples=80)
+    @given(matrices(), st.sampled_from(["hub", "identity", "simple", "random"]))
+    def test_matches_oracle(self, matrix, order):
+        index = _index(matrix, order=order, seed=21)
+        for p in range(matrix.n_pointers):
+            for q in range(matrix.n_pointers):
+                assert index.is_alias(p, q) == matrix.is_alias(p, q), (p, q)
+
+
+class TestListQueries:
+    @settings(max_examples=60)
+    @given(matrices(), st.sampled_from(["hub", "identity", "random"]))
+    def test_list_points_to(self, matrix, order):
+        index = _index(matrix, order=order, seed=4)
+        for p in range(matrix.n_pointers):
+            assert sorted(index.list_points_to(p)) == matrix.list_points_to(p)
+
+    @settings(max_examples=60)
+    @given(matrices(), st.sampled_from(["hub", "identity", "random"]))
+    def test_list_pointed_by(self, matrix, order):
+        index = _index(matrix, order=order, seed=4)
+        for obj in range(matrix.n_objects):
+            assert sorted(index.list_pointed_by(obj)) == matrix.list_pointed_by(obj)
+
+    @settings(max_examples=60)
+    @given(matrices(), st.sampled_from(["hub", "identity", "random"]))
+    def test_list_aliases(self, matrix, order):
+        index = _index(matrix, order=order, seed=4)
+        for p in range(matrix.n_pointers):
+            answer = index.list_aliases(p)
+            assert sorted(answer) == matrix.list_aliases(p)
+            assert len(answer) == len(set(answer)), "duplicate aliases emitted"
+
+    def test_list_aliases_no_duplicates_paper(self, paper_matrix):
+        index = _index(paper_matrix, order="identity")
+        for p in range(7):
+            answer = index.list_aliases(p)
+            assert len(answer) == len(set(answer))
+
+    def test_queries_on_empty_pointer(self):
+        matrix = PointsToMatrix(2, 2)
+        matrix.add(1, 1)
+        index = _index(matrix)
+        assert index.list_points_to(0) == []
+        assert index.list_aliases(0) == []
+
+    def test_unpointed_object(self):
+        matrix = PointsToMatrix(2, 3)
+        matrix.add(0, 0)
+        index = _index(matrix)
+        assert index.list_pointed_by(2) == []
+
+
+class TestPesRecovery:
+    def test_pes_identifiers_recovered(self, paper_matrix):
+        """Section 4 step 1: binary search reassigns construction PES ids."""
+        from repro.core.builder import build_pestrie
+
+        pestrie = build_pestrie(paper_matrix, order="identity")
+        index = _index(paper_matrix, order="identity")
+        for pointer in range(7):
+            assert index.pes_of(pointer) == pestrie.pes_of_pointer(pointer)
+
+    @settings(max_examples=40)
+    @given(matrices())
+    def test_pes_identifiers_any_matrix(self, matrix):
+        from repro.core.builder import build_pestrie
+        from repro.core.intervals import assign_intervals
+
+        pestrie = build_pestrie(matrix, order="hub")
+        assign_intervals(pestrie)
+        index = _index(matrix, order="hub")
+        for pointer in range(matrix.n_pointers):
+            assert index.pes_of(pointer) == pestrie.pes_of_pointer(pointer)
+
+
+class TestMaterialize:
+    @settings(max_examples=60)
+    @given(matrices(), st.sampled_from(["hub", "identity", "simple", "random"]))
+    def test_round_trip(self, matrix, order):
+        index = _index(matrix, order=order, seed=77)
+        assert index.materialize() == matrix
+
+    def test_larger_random_matrices(self):
+        for seed in range(6):
+            matrix = make_random_matrix(80, 25, density=0.12, seed=seed)
+            assert _index(matrix).materialize() == matrix
+
+    def test_memory_footprint_positive(self, paper_matrix):
+        index = _index(paper_matrix)
+        assert index.memory_footprint() > 0

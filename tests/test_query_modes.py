@@ -1,0 +1,59 @@
+"""The two query-structure modes must answer identically."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.synthetic import SyntheticSpec, synthesize
+from repro.core.pipeline import encode, index_from_bytes
+
+from conftest import matrices
+
+
+class TestSegmentMode:
+    def test_unknown_mode_rejected(self, paper_matrix):
+        with pytest.raises(ValueError, match="unknown query mode"):
+            index_from_bytes(encode(paper_matrix), mode="btree")
+
+    def test_paper_example_agrees(self, paper_matrix):
+        data = encode(paper_matrix, order="identity")
+        ptlist = index_from_bytes(data, mode="ptlist")
+        segment = index_from_bytes(data, mode="segment")
+        for p in range(7):
+            assert sorted(segment.list_points_to(p)) == sorted(ptlist.list_points_to(p))
+            assert sorted(segment.list_aliases(p)) == sorted(ptlist.list_aliases(p))
+            for q in range(7):
+                assert segment.is_alias(p, q) == ptlist.is_alias(p, q)
+        for obj in range(5):
+            assert sorted(segment.list_pointed_by(obj)) == sorted(
+                ptlist.list_pointed_by(obj)
+            )
+
+    @settings(max_examples=60)
+    @given(matrices(), st.sampled_from(["hub", "identity", "random"]))
+    def test_modes_agree_on_any_matrix(self, matrix, order):
+        data = encode(matrix, order=order, seed=3)
+        ptlist = index_from_bytes(data, mode="ptlist")
+        segment = index_from_bytes(data, mode="segment")
+        assert segment.materialize() == ptlist.materialize() == matrix
+        for p in range(matrix.n_pointers):
+            assert sorted(segment.list_aliases(p)) == sorted(ptlist.list_aliases(p))
+            for q in range(matrix.n_pointers):
+                assert segment.is_alias(p, q) == ptlist.is_alias(p, q)
+
+    def test_memory_trade_on_synthetic(self):
+        """Segment mode must not use more memory than the column lists on a
+        hub-structured matrix (whose rectangles are wide)."""
+        matrix = synthesize(SyntheticSpec(n_pointers=600, n_objects=150, seed=21))
+        data = encode(matrix)
+        ptlist = index_from_bytes(data, mode="ptlist")
+        segment = index_from_bytes(data, mode="segment")
+        assert segment.memory_footprint() <= ptlist.memory_footprint()
+        # And both answer a sample identically.
+        for p in range(0, 600, 37):
+            assert sorted(segment.list_aliases(p)) == sorted(ptlist.list_aliases(p))
+
+    def test_segment_mode_guards(self, paper_matrix):
+        segment = index_from_bytes(encode(paper_matrix), mode="segment")
+        with pytest.raises(IndexError):
+            segment.is_alias(0, 99)

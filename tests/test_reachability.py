@@ -1,0 +1,80 @@
+"""ξ-reachability and Theorem 1 (Section 3.3)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import build_pestrie
+from repro.core.reachability import (
+    pointed_by,
+    points_to,
+    verify_theorem_1,
+    xi_reachable_groups,
+    xi_subtree,
+)
+
+from conftest import matrices
+
+
+class TestPaperExample:
+    def test_example_2_p4_does_not_point_to_o5(self, paper_matrix):
+        """The ξ-condition must reject the path o5 --1--> p3 --0--> p4."""
+        pestrie = build_pestrie(paper_matrix, order="identity")
+        assert 3 not in pointed_by(pestrie, 4)  # p4 must not point to o5
+        assert 2 in pointed_by(pestrie, 4)  # but p3 does
+        assert pointed_by(pestrie, 4) == [0, 2, 6]  # p1, p3, p7
+
+    def test_xi_subtree_respects_labels(self, paper_matrix):
+        pestrie = build_pestrie(paper_matrix, order="identity")
+        o5_origin = pestrie.group_of_object[4]
+        p3_group = pestrie.group_of_pointer[2]
+        (edge,) = [
+            e for e in pestrie.cross_edges
+            if e.source == o5_origin and e.target == p3_group
+        ]
+        # ξ = 1 excludes the label-0 child holding p4.
+        assert list(xi_subtree(pestrie, edge)) == [p3_group]
+
+    def test_points_to_oracle(self, paper_matrix):
+        pestrie = build_pestrie(paper_matrix, order="identity")
+        for pointer in range(7):
+            assert points_to(pestrie, pointer) == paper_matrix.list_points_to(pointer)
+
+    def test_own_pes_reachable_without_cross_edges(self, paper_matrix):
+        pestrie = build_pestrie(paper_matrix, order="identity")
+        groups = xi_reachable_groups(pestrie, 0)
+        # All four PES-o1 groups are reachable from the o1 origin.
+        pes_members = {g.id for g in pestrie.groups if g.pes == 0}
+        assert pes_members <= groups
+
+
+class TestTheorem1:
+    """p points to o  ⟺  p is ξ-reachable from o, for any object order."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(matrices(), st.sampled_from(["hub", "identity", "simple", "random"]))
+    def test_theorem_1(self, matrix, order):
+        pestrie = build_pestrie(matrix, order=order, seed=13)
+        assert verify_theorem_1(pestrie, matrix)
+
+    @settings(max_examples=30, deadline=None)
+    @given(matrices(max_pointers=10, max_objects=6), st.integers(0, 999))
+    def test_theorem_1_random_orders(self, matrix, seed):
+        pestrie = build_pestrie(matrix, order="random", seed=seed)
+        assert verify_theorem_1(pestrie, matrix)
+
+    def test_dense_matrix(self):
+        from repro.matrix.points_to import PointsToMatrix
+
+        matrix = PointsToMatrix.from_pairs(
+            4, 3, [(p, o) for p in range(4) for o in range(3)]
+        )
+        pestrie = build_pestrie(matrix)
+        assert verify_theorem_1(pestrie, matrix)
+
+    def test_diagonal_matrix(self):
+        from repro.matrix.points_to import PointsToMatrix
+
+        matrix = PointsToMatrix.from_pairs(5, 5, [(i, i) for i in range(5)])
+        pestrie = build_pestrie(matrix)
+        assert verify_theorem_1(pestrie, matrix)
+        assert len(pestrie.cross_edges) == 0  # no sharing at all

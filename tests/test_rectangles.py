@@ -1,0 +1,150 @@
+"""Rectangle generation and Theorem 2 pruning (Section 3.4.1, Figure 4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import build_pestrie
+from repro.core.intervals import assign_intervals
+from repro.core.rectangles import generate_rectangles
+
+from conftest import matrices
+
+
+def _pipeline(matrix, order="identity", seed=0, prune=True):
+    pestrie = build_pestrie(matrix, order=order, seed=seed)
+    assign_intervals(pestrie)
+    return pestrie, generate_rectangles(pestrie, prune=prune)
+
+
+class TestFigure4:
+    def test_exact_rectangles(self, paper_matrix):
+        _, rect_set = _pipeline(paper_matrix)
+        kept = sorted(entry.rect.as_tuple() for entry in rect_set.rects)
+        assert kept == [
+            (1, 1, 8, 8),
+            (1, 2, 4, 4),
+            (1, 2, 5, 6),
+            (2, 2, 7, 7),
+            (3, 3, 6, 6),
+            (3, 3, 8, 8),
+            (6, 6, 8, 8),
+        ]
+
+    def test_pruned_rectangle(self, paper_matrix):
+        """<1,1,6,6> ({p3} × {p7} via o5) is inside <1,2,5,6> and dropped."""
+        _, rect_set = _pipeline(paper_matrix)
+        assert [r.as_tuple() for r in rect_set.pruned] == [(1, 1, 6, 6)]
+
+    def test_case1_classification(self, paper_matrix):
+        _, rect_set = _pipeline(paper_matrix)
+        case1 = sorted(entry.rect.as_tuple() for entry in rect_set.case1())
+        # Every origin's cross subtrees pair with its PES block: o2, o3,
+        # o4, and o5's three.
+        assert case1 == [
+            (1, 1, 8, 8),
+            (1, 2, 4, 4),
+            (1, 2, 5, 6),
+            (2, 2, 7, 7),
+            (3, 3, 8, 8),
+            (6, 6, 8, 8),
+        ]
+        case2 = sorted(entry.rect.as_tuple() for entry in rect_set.case2())
+        assert case2 == [(3, 3, 6, 6)]
+
+    def test_case1_object_ids(self, paper_matrix):
+        _, rect_set = _pipeline(paper_matrix)
+        for entry in rect_set.case1():
+            assert entry.object_id >= 0
+        by_tuple = {e.rect.as_tuple(): e.object_id for e in rect_set.case1()}
+        assert by_tuple[(1, 2, 5, 6)] == 2  # {p3,p4} point to o3
+        assert by_tuple[(1, 1, 8, 8)] == 4  # {p3} points to o5
+
+    def test_same_pes_pair_not_encoded(self, paper_matrix):
+        """{p3} × {p1} of origin o5 is an internal pair: no rectangle."""
+        _, rect_set = _pipeline(paper_matrix)
+        tuples = {entry.rect.as_tuple() for entry in rect_set.rects}
+        assert (1, 1, 3, 3) not in tuples
+        assert not any(r.as_tuple() == (1, 1, 3, 3) for r in rect_set.pruned)
+
+
+class TestTheorem2:
+    @settings(max_examples=60, deadline=None)
+    @given(matrices(), st.sampled_from(["hub", "identity", "random"]))
+    def test_kept_rectangles_pairwise_disjoint(self, matrix, order):
+        _, rect_set = _pipeline(matrix, order=order, seed=3)
+        rects = [entry.rect for entry in rect_set.rects]
+        for i in range(len(rects)):
+            for j in range(i + 1, len(rects)):
+                a, b = rects[i], rects[j]
+                x_overlap = not (a.x2 < b.x1 or b.x2 < a.x1)
+                y_overlap = not (a.y2 < b.y1 or b.y2 < a.y1)
+                assert not (x_overlap and y_overlap), (a, b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(matrices(), st.sampled_from(["hub", "identity", "random"]))
+    def test_pruned_rectangles_fully_enclosed(self, matrix, order):
+        _, rect_set = _pipeline(matrix, order=order, seed=3)
+        for pruned in rect_set.pruned:
+            assert any(entry.rect.encloses(pruned) for entry in rect_set.rects), pruned
+
+    @settings(max_examples=60, deadline=None)
+    @given(matrices(), st.sampled_from(["hub", "identity", "random"]))
+    def test_case1_never_pruned(self, matrix, order):
+        """ListPointsTo completeness rests on this (see rectangles.py)."""
+        pestrie, rect_set = _pipeline(matrix, order=order, seed=3)
+        # Count expected Case-1 rectangles: one per cross edge.
+        assert len(rect_set.case1()) == len(pestrie.cross_edges)
+
+    @settings(max_examples=40, deadline=None)
+    @given(matrices())
+    def test_pruning_only_removes_redundancy(self, matrix):
+        """Pruned and unpruned rectangle sets cover the same point set."""
+        _, with_pruning = _pipeline(matrix, prune=True)
+        _, without = _pipeline(matrix, prune=False)
+
+        def covered(rect_set):
+            points = set()
+            for entry in rect_set.rects:
+                rect = entry.rect
+                for x in range(rect.x1, rect.x2 + 1):
+                    for y in range(rect.y1, rect.y2 + 1):
+                        points.add((x, y))
+            return points
+
+        assert covered(with_pruning) == covered(without)
+
+
+class TestRectangleSemantics:
+    @settings(max_examples=50, deadline=None)
+    @given(matrices(), st.sampled_from(["hub", "identity", "random"]))
+    def test_rectangles_encode_exactly_the_cross_pairs(self, matrix, order):
+        """(ts_p, ts_q) is covered ⟺ p, q alias across different PESs."""
+        pestrie, rect_set = _pipeline(matrix, order=order, seed=9)
+        rects = [entry.rect for entry in rect_set.rects]
+
+        def covered(x, y):
+            if x > y:
+                x, y = y, x
+            return any(r.covers(x, y) for r in rects)
+
+        for p in range(matrix.n_pointers):
+            gp = pestrie.group_of_pointer[p]
+            if gp is None:
+                continue
+            for q in range(matrix.n_pointers):
+                gq = pestrie.group_of_pointer[q]
+                if gq is None or q <= p:
+                    continue
+                same_pes = pestrie.groups[gp].pes == pestrie.groups[gq].pes
+                is_alias = matrix.is_alias(p, q)
+                ts_p = pestrie.pre_order[gp]
+                ts_q = pestrie.pre_order[gq]
+                if same_pes:
+                    continue  # internal pairs are not rectangle-encoded
+                assert covered(ts_p, ts_q) == is_alias, (p, q)
+
+    def test_requires_interval_labels(self, paper_matrix):
+        pestrie = build_pestrie(paper_matrix, order="identity")
+        with pytest.raises(ValueError, match="interval labels"):
+            generate_rectangles(pestrie)

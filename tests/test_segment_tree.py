@@ -1,0 +1,105 @@
+"""Segment-tree point enclosure against a brute-force oracle."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.segment_tree import Rect, SegmentTree
+
+
+def _disjoint_rects(rng: random.Random, size: int, count: int):
+    """Generate pairwise-disjoint rectangles inside [0, size)²."""
+    rects = []
+    attempts = 0
+    while len(rects) < count and attempts < count * 50:
+        attempts += 1
+        x1 = rng.randrange(size)
+        x2 = rng.randrange(x1, min(size, x1 + 6))
+        y1 = rng.randrange(size)
+        y2 = rng.randrange(y1, min(size, y1 + 6))
+        candidate = Rect(x1=x1, x2=x2, y1=y1, y2=y2)
+        overlap = any(
+            not (candidate.x2 < r.x1 or r.x2 < candidate.x1
+                 or candidate.y2 < r.y1 or r.y2 < candidate.y1)
+            for r in rects
+        )
+        if not overlap:
+            rects.append(candidate)
+    return rects
+
+
+class TestRect:
+    def test_covers(self):
+        rect = Rect(x1=1, x2=3, y1=5, y2=7)
+        assert rect.covers(1, 5)
+        assert rect.covers(3, 7)
+        assert rect.covers(2, 6)
+        assert not rect.covers(0, 6)
+        assert not rect.covers(2, 8)
+
+    def test_encloses(self):
+        outer = Rect(x1=0, x2=10, y1=0, y2=10)
+        inner = Rect(x1=2, x2=3, y1=4, y2=5)
+        assert outer.encloses(inner)
+        assert not inner.encloses(outer)
+        assert outer.encloses(outer)
+
+    def test_as_tuple_is_paper_order(self):
+        assert Rect(x1=1, x2=2, y1=5, y2=6).as_tuple() == (1, 2, 5, 6)
+
+
+class TestSegmentTree:
+    def test_empty(self):
+        tree = SegmentTree(16)
+        assert len(tree) == 0
+        assert tree.find_covering(3, 3) is None
+        assert not tree.covers(0, 0)
+
+    def test_single_rect(self):
+        tree = SegmentTree(16)
+        rect = Rect(x1=2, x2=5, y1=7, y2=9)
+        tree.insert(rect)
+        assert len(tree) == 1
+        assert tree.find_covering(2, 7) == rect
+        assert tree.find_covering(5, 9) == rect
+        assert tree.find_covering(6, 8) is None
+        assert tree.find_covering(3, 6) is None
+
+    def test_point_rectangle(self):
+        tree = SegmentTree(4)
+        tree.insert(Rect(x1=1, x2=1, y1=2, y2=2))
+        assert tree.covers(1, 2)
+        assert not tree.covers(1, 3)
+        assert not tree.covers(2, 2)
+
+    def test_degenerate_size(self):
+        tree = SegmentTree(0)
+        tree.insert(Rect(x1=0, x2=0, y1=0, y2=0))
+        assert tree.covers(0, 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_against_brute_force(self, seed):
+        rng = random.Random(seed)
+        size = rng.randrange(4, 40)
+        rects = _disjoint_rects(rng, size, rng.randrange(1, 12))
+        tree = SegmentTree(size)
+        for rect in rects:
+            tree.insert(rect)
+        for _ in range(100):
+            x = rng.randrange(size)
+            y = rng.randrange(size)
+            expected = next((r for r in rects if r.covers(x, y)), None)
+            assert tree.find_covering(x, y) == expected
+
+    def test_many_rects_on_same_column(self):
+        """Stacked rectangles crossing the same midline exercise the
+        Y1-sorted predecessor search."""
+        tree = SegmentTree(8)
+        rects = [Rect(x1=0, x2=7, y1=10 * i, y2=10 * i + 4) for i in range(20)]
+        for rect in rects:
+            tree.insert(rect)
+        for i, rect in enumerate(rects):
+            assert tree.find_covering(3, 10 * i + 2) == rect
+            assert tree.find_covering(3, 10 * i + 7) is None

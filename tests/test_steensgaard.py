@@ -1,0 +1,118 @@
+"""Steensgaard's unification-based analysis."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import andersen, steensgaard
+from repro.analysis.parser import parse_program
+from repro.bench.programs import ProgramSpec, generate_program
+
+
+class TestHandwritten:
+    def test_copy_unifies_pointees(self):
+        program = parse_program(
+            "func main() {\n"
+            "  p = alloc A\n"
+            "  q = alloc B\n"
+            "  p = q\n"
+            "  return\n"
+            "}\n"
+        )
+        matrix = steensgaard.analyze(program).to_matrix()
+        symbols = steensgaard.analyze(program).symbols
+        p = symbols.variable("main", "p")
+        q = symbols.variable("main", "q")
+        # Unification merges A and B into one class: both pointers see both.
+        assert set(matrix.rows[p]) == set(matrix.rows[q])
+        assert len(set(matrix.rows[p])) == 2
+
+    def test_andersen_keeps_them_apart(self):
+        """The same program under Andersen: q never sees A (directional)."""
+        program = parse_program(
+            "func main() {\n"
+            "  p = alloc A\n"
+            "  q = alloc B\n"
+            "  p = q\n"
+            "  return\n"
+            "}\n"
+        )
+        result = andersen.analyze(program)
+        assert result.pts_of("main", "q") == {result.symbols.site("main", "B")}
+
+    def test_store_and_load(self):
+        program = parse_program(
+            "func main() {\n"
+            "  p = alloc A\n"
+            "  q = alloc B\n"
+            "  *p = q\n"
+            "  r = *p\n"
+            "  return\n"
+            "}\n"
+        )
+        matrix = steensgaard.analyze(program).to_matrix()
+        symbols = steensgaard.analyze(program).symbols
+        r = symbols.variable("main", "r")
+        assert symbols.site("main", "B") in set(matrix.rows[r])
+
+    def test_load_from_unallocated(self):
+        program = parse_program(
+            "func main() {\n  r = *p\n  q = r\n  return\n}\n"
+        )
+        matrix = steensgaard.analyze(program).to_matrix()
+        assert matrix.fact_count() == 0
+
+    def test_calls_unify_arguments(self):
+        program = parse_program(
+            "func id(x) {\n  return x\n}\n"
+            "func main() {\n"
+            "  a = alloc A\n"
+            "  b = alloc B\n"
+            "  p = call id(a)\n"
+            "  q = call id(b)\n"
+            "  return\n"
+            "}\n"
+        )
+        result = steensgaard.analyze(program)
+        matrix = result.to_matrix()
+        p = result.symbols.variable("main", "p")
+        assert len(set(matrix.rows[p])) == 2
+
+
+class TestSoundnessOrdering:
+    """Steensgaard over-approximates Andersen on every variable."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_superset_of_andersen(self, seed):
+        spec = ProgramSpec(
+            name="t", n_functions=6, statements_per_function=12, n_types=3, seed=seed
+        )
+        program = generate_program(spec)
+        a_result = andersen.analyze(program)
+        s_result = steensgaard.analyze(program, a_result.symbols)
+        a_matrix = a_result.to_matrix()
+        s_matrix = s_result.to_matrix()
+        for var in range(a_result.symbols.n_variables):
+            a_set = set(a_matrix.rows[var])
+            s_set = set(s_matrix.rows[var])
+            assert a_set <= s_set, a_result.symbols.variable_names()[var]
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_unified_variables_share_rows(self, seed):
+        """Variables in one union-find class read the same pointee class,
+        so their matrix rows are identical — the equivalence property at
+        its most extreme (Section 2.1's coarse end)."""
+        spec = ProgramSpec(
+            name="t", n_functions=5, statements_per_function=10, n_types=3, seed=seed
+        )
+        program = generate_program(spec)
+        result = steensgaard.analyze(program)
+        matrix = result.to_matrix()
+        by_class = {}
+        for var in range(result.symbols.n_variables):
+            by_class.setdefault(result.var_class[var], []).append(var)
+        for members in by_class.values():
+            first = set(matrix.rows[members[0]])
+            for member in members[1:]:
+                assert set(matrix.rows[member]) == first

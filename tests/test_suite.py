@@ -1,0 +1,82 @@
+"""The evaluation suite (Table 2 stand-ins)."""
+
+import pytest
+
+from repro.bench.suite import (
+    BDD_SUBJECTS,
+    SUBJECT_NAMES,
+    SUITE,
+    _stem_of,
+    build_subject,
+    get_subject,
+    suite_table,
+)
+
+
+class TestSuiteDefinition:
+    def test_twelve_subjects_in_paper_order(self):
+        assert len(SUITE) == 12
+        assert SUBJECT_NAMES[:4] == ("samba", "gs", "php", "postgreSQL")
+        assert SUBJECT_NAMES[4:8] == ("antlr", "luindex", "bloat", "chart")
+        assert SUBJECT_NAMES[8:] == ("batik", "sunflow", "tomcat", "fop")
+
+    def test_language_groups(self):
+        for spec in SUITE[:4]:
+            assert spec.language == "C"
+            assert spec.analysis == "flow-sensitive"
+        for spec in SUITE[4:]:
+            assert spec.language == "Java"
+
+    def test_bdd_subjects_are_the_paddle_group(self):
+        assert BDD_SUBJECTS == ("antlr", "luindex", "bloat", "chart")
+
+    def test_unknown_subject(self):
+        with pytest.raises(KeyError):
+            get_subject("doom")
+
+
+class TestStemOf:
+    def test_flow_sensitive_names(self):
+        assert _stem_of("main::p@L7") == "main::p"
+        assert _stem_of("use::x@entry(use)") == "use::x"
+
+    def test_context_names(self):
+        assert _stem_of("f3[12]::v2") == "f3::v2"
+        assert _stem_of("f3[12,9]::v2") == "f3::v2"
+        assert _stem_of("f3::v2") == "f3::v2"
+
+    def test_global_names(self):
+        assert _stem_of("g4") == "g4"
+
+
+class TestBuiltSubjects:
+    """Build the two smallest subjects (one per analysis family)."""
+
+    def test_flow_sensitive_subject(self):
+        subject = build_subject(SUITE[3])  # postgreSQL, smallest C subject
+        assert subject.loc > 1000
+        assert subject.matrix.n_pointers > 1000
+        assert subject.base_pointers, "load/store base pointers must exist"
+        assert all(
+            0 <= p < subject.matrix.n_pointers for p in subject.base_pointers
+        )
+        assert subject.base_pointers == sorted(set(subject.base_pointers))
+
+    def test_context_sensitive_subject(self):
+        subject = build_subject(SUITE[5])  # luindex, smallest Java subject
+        assert subject.matrix.n_pointers > 300
+        # Heap cloning produced context-qualified object names.
+        assert any("[" in name for name in subject.named.object_index)
+
+    def test_get_subject_cached(self):
+        first = get_subject("luindex")
+        second = get_subject("luindex")
+        assert first is second
+
+    def test_suite_table_shape(self):
+        rows = suite_table()
+        assert len(rows) == 12
+        assert rows[0]["Program"] == "samba"
+        for row in rows:
+            assert row["#Pointers"] > 0
+            assert row["#Objects"] > 0

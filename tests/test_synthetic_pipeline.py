@@ -1,0 +1,90 @@
+"""Heavier cross-cutting properties on calibrated synthetic matrices.
+
+These run the full pipeline (hub order → build → label → rectangles →
+encode → decode → query) on medium-sized matrices with realistic structure
+and compare sampled queries against the oracle and the other backends.
+"""
+
+import pytest
+
+from repro.baselines.bitmap_persist import BitmapPersistence
+from repro.baselines.demand import DemandDriven
+from repro.bench.synthetic import SyntheticSpec, synthesize, synthesize_simple
+from repro.core.pipeline import encode, index_from_bytes
+
+import io
+
+
+SPECS = [
+    SyntheticSpec(n_pointers=400, n_objects=120, seed=1),
+    SyntheticSpec(n_pointers=400, n_objects=120, seed=2, mean_points_to=20.0),
+    SyntheticSpec(n_pointers=250, n_objects=40, seed=3, pointer_class_ratio=0.05),
+    SyntheticSpec(n_pointers=300, n_objects=200, seed=4, object_zipf=1.4),
+]
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=lambda s: "seed%d" % s.seed)
+def test_pipeline_on_calibrated_matrices(spec):
+    matrix = synthesize(spec)
+    index = index_from_bytes(encode(matrix))
+
+    buffer = io.BytesIO()
+    BitmapPersistence.encode(matrix, buffer)
+    buffer.seek(0)
+    bitp = BitmapPersistence.decode(buffer)
+    demand = DemandDriven(matrix)
+
+    stride = max(1, matrix.n_pointers // 60)
+    sample = range(0, matrix.n_pointers, stride)
+    for p in sample:
+        expected_pts = matrix.list_points_to(p)
+        assert sorted(index.list_points_to(p)) == expected_pts
+        assert bitp.list_points_to(p) == expected_pts
+        expected_aliases = matrix.list_aliases(p)
+        assert sorted(index.list_aliases(p)) == expected_aliases
+        assert bitp.list_aliases(p) == expected_aliases
+        assert demand.list_aliases(p) == expected_aliases
+    for p in sample:
+        for q in sample:
+            expected = matrix.is_alias(p, q)
+            assert index.is_alias(p, q) == expected
+            assert bitp.is_alias(p, q) == expected
+    for obj in range(0, matrix.n_objects, max(1, matrix.n_objects // 40)):
+        assert sorted(index.list_pointed_by(obj)) == matrix.list_pointed_by(obj)
+
+
+@pytest.mark.parametrize("order", ["hub", "simple", "identity", "random"])
+def test_orders_agree_on_synthetic(order):
+    matrix = synthesize(SyntheticSpec(n_pointers=200, n_objects=60, seed=9))
+    index = index_from_bytes(encode(matrix, order=order, seed=5))
+    assert index.materialize() == matrix
+
+
+def test_uniform_control_round_trips():
+    matrix = synthesize_simple(300, 80, seed=7)
+    index = index_from_bytes(encode(matrix))
+    assert index.materialize() == matrix
+
+
+def test_compact_and_raw_equal_on_synthetic():
+    matrix = synthesize(SyntheticSpec(n_pointers=350, n_objects=90, seed=11))
+    raw = index_from_bytes(encode(matrix, compact=False))
+    compact = index_from_bytes(encode(matrix, compact=True))
+    assert raw.materialize() == compact.materialize() == matrix
+
+
+def test_index_guards():
+    matrix = synthesize(SyntheticSpec(n_pointers=50, n_objects=10, seed=13))
+    index = index_from_bytes(encode(matrix))
+    with pytest.raises(IndexError):
+        index.is_alias(-1, 0)
+    with pytest.raises(IndexError):
+        index.is_alias(0, 50)
+    with pytest.raises(IndexError):
+        index.list_points_to(50)
+    with pytest.raises(IndexError):
+        index.list_aliases(-2)
+    with pytest.raises(IndexError):
+        index.list_pointed_by(10)
+    with pytest.raises(IndexError):
+        index.pes_of(99)

@@ -1,0 +1,97 @@
+"""Section 6.1 canonicalisation transforms."""
+
+import pytest
+
+from repro.analysis import flow_sensitive
+from repro.analysis.parser import parse_program
+from repro.analysis.transform import (
+    PathFact,
+    flow_sensitive_to_matrix,
+    merge_context,
+    path_sensitive_to_matrix,
+)
+
+
+class TestFlowSensitiveTransform:
+    def test_each_definition_becomes_a_row(self):
+        program = parse_program(
+            "func main() {\n"
+            "  p = alloc A\n"
+            "  p = alloc B\n"
+            "  return p\n"
+            "}\n"
+        )
+        named = flow_sensitive_to_matrix(flow_sensitive.analyze(program))
+        assert "main::p@L0" in named.pointer_index
+        assert "main::p@L1" in named.pointer_index
+        row0 = named.matrix.rows[named.pointer_id("main::p@L0")]
+        row1 = named.matrix.rows[named.pointer_id("main::p@L1")]
+        assert list(row0) != list(row1)
+
+    def test_entry_facts_for_parameters(self):
+        program = parse_program(
+            "func use(x) {\n  return x\n}\n"
+            "func main() {\n  p = alloc A\n  q = call use(p)\n  return\n}\n"
+        )
+        named = flow_sensitive_to_matrix(flow_sensitive.analyze(program))
+        assert "use::x@entry(use)" in named.pointer_index
+
+    def test_precision_is_visible_in_the_matrix(self):
+        """The killed definition must not alias the live one's objects."""
+        program = parse_program(
+            "func main() {\n"
+            "  p = alloc A\n"
+            "  p = alloc B\n"
+            "  return p\n"
+            "}\n"
+        )
+        named = flow_sensitive_to_matrix(flow_sensitive.analyze(program))
+        matrix = named.matrix
+        first = named.pointer_id("main::p@L0")
+        second = named.pointer_id("main::p@L1")
+        assert not matrix.is_alias(first, second)
+
+
+class TestMergeContext:
+    def test_keeps_innermost_sites(self):
+        assert merge_context((3, 7, 9), 1) == (9,)
+        assert merge_context((3, 7, 9), 2) == (7, 9)
+        assert merge_context((3,), 2) == (3,)
+        assert merge_context((), 1) == ()
+
+    def test_depth_zero(self):
+        assert merge_context((1, 2), 0) == ()
+
+
+class TestPathSensitiveTransform:
+    def test_splits_disjunction_over_basis(self):
+        facts = [
+            PathFact(pointer="p", obj="A", predicates=frozenset({"l1", "l2"})),
+            PathFact(pointer="q", obj="B", predicates=frozenset({"l1"})),
+        ]
+        named = path_sensitive_to_matrix(facts, basis=["l1", "l2", "l3"])
+        assert set(named.pointer_index) == {"p|l1", "p|l2", "q|l1"}
+        assert named.matrix.fact_count() == 3
+        # p under either predicate points to A.
+        for name in ("p|l1", "p|l2"):
+            row = named.matrix.rows[named.pointer_id(name)]
+            assert list(row) == [named.object_id("A")]
+
+    def test_condition_sharing_creates_aliases(self):
+        facts = [
+            PathFact(pointer="p", obj="A", predicates=frozenset({"l1"})),
+            PathFact(pointer="q", obj="A", predicates=frozenset({"l2"})),
+        ]
+        named = path_sensitive_to_matrix(facts, basis=["l1", "l2"])
+        matrix = named.matrix
+        assert matrix.is_alias(named.pointer_id("p|l1"), named.pointer_id("q|l2"))
+
+    def test_unknown_predicate_rejected(self):
+        facts = [PathFact(pointer="p", obj="A", predicates=frozenset({"mystery"}))]
+        with pytest.raises(ValueError, match="not in the basis"):
+            path_sensitive_to_matrix(facts, basis=["l1"])
+
+    def test_empty_condition_rejected(self):
+        facts = [PathFact(pointer="p", obj="A", predicates=frozenset())]
+        with pytest.raises(ValueError, match="unsatisfiable"):
+            path_sensitive_to_matrix(facts, basis=["l1"])

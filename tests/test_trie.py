@@ -1,0 +1,71 @@
+"""The Appendix A standard trie and the Lemma 3 correspondence."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import build_pestrie
+from repro.core.trie import StandardTrie, lemma_3_holds
+from repro.matrix.points_to import PointsToMatrix
+
+from conftest import matrices
+
+
+class TestStandardTrie:
+    def test_paper_example_trace(self, paper_matrix):
+        """Figure 8 walks the first four rows; the node counts must line up
+        with the Pestrie cross-edge counts per Lemma 3 (|T| - j)."""
+        trie = StandardTrie(paper_matrix).process_all()
+        # Full build: 6 cross edges in the Pestrie, 5 rows -> 11 nodes.
+        assert trie.size_trace[-1] == 11
+        assert trie.node_count() == 11
+
+    def test_trace_is_monotone(self, paper_matrix):
+        trie = StandardTrie(paper_matrix).process_all()
+        assert trie.size_trace == sorted(trie.size_trace)
+        # Each row inserts at least one node (the object's own tail edge).
+        previous = 0
+        for value in trie.size_trace:
+            assert value > previous
+            previous = value
+
+    def test_empty_matrix(self):
+        trie = StandardTrie(PointsToMatrix(0, 0)).process_all()
+        assert trie.node_count() == 0
+        assert trie.size_trace == []
+
+    def test_object_only_rows(self):
+        """Objects nobody points to still add their own tail node."""
+        matrix = PointsToMatrix(2, 3)
+        trie = StandardTrie(matrix).process_all()
+        assert trie.node_count() == 3
+
+    def test_shared_prefixes_share_nodes(self):
+        # Two pointers with identical rows walk the same path.
+        matrix = PointsToMatrix.from_rows([[0, 1], [0, 1]], 2)
+        trie = StandardTrie(matrix).process_all()
+        # Nodes: shared path of length 2 for both pointers + o1 tail + o2
+        # tail chain.
+        distinct = PointsToMatrix.from_rows([[0], [1]], 2)
+        assert trie.node_count() <= StandardTrie(distinct).process_all().node_count() + 2
+
+
+class TestLemma3:
+    def test_paper_example_all_orders(self, paper_matrix):
+        assert lemma_3_holds(paper_matrix)
+        assert lemma_3_holds(paper_matrix, [4, 3, 2, 1, 0])
+        assert lemma_3_holds(paper_matrix, [2, 0, 4, 1, 3])
+
+    @settings(max_examples=30, deadline=None)
+    @given(matrices(max_pointers=8, max_objects=5), st.integers(0, 100))
+    def test_lemma_3_random(self, matrix, seed):
+        import random
+
+        order = list(range(matrix.n_objects))
+        random.Random(seed).shuffle(order)
+        assert lemma_3_holds(matrix, order)
+
+    def test_final_counts_directly(self, paper_matrix):
+        """Cross edges == trie nodes − m, without the prefix machinery."""
+        pestrie = build_pestrie(paper_matrix, order="identity")
+        trie = StandardTrie(paper_matrix).process_all()
+        assert len(pestrie.cross_edges) == trie.node_count() - paper_matrix.n_objects

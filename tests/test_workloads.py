@@ -1,0 +1,100 @@
+"""Query-trace generation and replay."""
+
+import pytest
+
+from repro.baselines.demand import DemandDriven
+from repro.bench.workloads import (
+    IS_ALIAS,
+    KINDS,
+    TraceSpec,
+    generate_trace,
+    replay,
+)
+from repro.core.pipeline import encode, index_from_bytes
+
+
+@pytest.fixture
+def universe(paper_matrix):
+    return list(range(7)), list(range(5))
+
+
+class TestGeneration:
+    def test_deterministic(self, universe):
+        pointers, objects = universe
+        spec = TraceSpec(length=200, seed=9)
+        first = generate_trace(spec, pointers, objects)
+        second = generate_trace(spec, pointers, objects)
+        assert first.operations == second.operations
+
+    def test_length_and_mix(self, universe):
+        pointers, objects = universe
+        trace = generate_trace(TraceSpec(length=2000, seed=1), pointers, objects)
+        assert len(trace) == 2000
+        counts = trace.kind_counts()
+        assert set(counts) == set(KINDS)
+        # The default mix is IsAlias-dominated.
+        assert counts[IS_ALIAS] > 1000
+
+    def test_pure_mix(self, universe):
+        pointers, objects = universe
+        trace = generate_trace(
+            TraceSpec(length=50, mix=(1.0, 0.0, 0.0, 0.0), seed=2), pointers, objects
+        )
+        assert trace.kind_counts()[IS_ALIAS] == 50
+
+    def test_operands_in_universe(self, universe):
+        pointers, objects = universe
+        trace = generate_trace(TraceSpec(length=500, seed=3), [2, 4], [1])
+        for kind, operands in trace.operations:
+            if kind == "list_pointed_by":
+                assert operands == (1,)
+            else:
+                assert all(op in (2, 4) for op in operands)
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            generate_trace(TraceSpec(length=5), [], [0])
+
+    def test_bad_mix_rejected(self, universe):
+        pointers, objects = universe
+        with pytest.raises(ValueError, match="mix"):
+            generate_trace(TraceSpec(length=5, mix=(0, 0, 0, 0)), pointers, objects)
+
+    def test_locality_biases_sampling(self, universe):
+        pointers, objects = universe
+        hot = generate_trace(
+            TraceSpec(length=3000, locality=3.0, seed=4), list(range(100)), [0]
+        )
+        uniform = generate_trace(
+            TraceSpec(length=3000, locality=0.0, seed=4), list(range(100)), [0]
+        )
+
+        def top_share(trace):
+            from collections import Counter
+
+            counts = Counter()
+            for _, operands in trace.operations:
+                for op in operands:
+                    counts[op] += 1
+            total = sum(counts.values())
+            return sum(c for _, c in counts.most_common(10)) / total
+
+        assert top_share(hot) > top_share(uniform)
+
+
+class TestReplay:
+    def test_backends_agree_on_checksum(self, paper_matrix, universe):
+        pointers, objects = universe
+        trace = generate_trace(TraceSpec(length=400, seed=6), pointers, objects)
+        pestrie = index_from_bytes(encode(paper_matrix))
+        demand = DemandDriven(paper_matrix)  # full universe: comparable
+        assert replay(trace, pestrie) == replay(trace, demand)
+
+    def test_checksum_sensitive_to_answers(self, paper_matrix, universe):
+        pointers, objects = universe
+        trace = generate_trace(TraceSpec(length=400, seed=8), pointers, objects)
+        pestrie = index_from_bytes(encode(paper_matrix))
+        from repro.matrix.points_to import PointsToMatrix
+
+        empty = index_from_bytes(encode(PointsToMatrix(7, 5)))
+        assert replay(trace, pestrie) != replay(trace, empty)
