@@ -1,14 +1,21 @@
 # Canonical targets for the Pestrie reproduction.
 
 PYTHON ?= python3
+RUN = PYTHONPATH=src:$$PYTHONPATH $(PYTHON)
 
-.PHONY: install test bench examples results clean
+.PHONY: install test fuzz bench examples results clean
 
 install:
 	pip install -e . --no-build-isolation
 
+# The default test run includes a fast fuzz smoke pass; `make fuzz` is the
+# full bounded sweep (still seeded and deterministic).
 test:
-	$(PYTHON) -m pytest tests/
+	$(RUN) -m pytest tests/
+	$(RUN) -m repro.core.fuzz --iterations 100 --quiet
+
+fuzz:
+	$(RUN) -m repro.core.fuzz --iterations 600
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -20,7 +27,7 @@ results: bench
 examples:
 	@for script in examples/*.py; do \
 		echo "=== $$script ==="; \
-		$(PYTHON) $$script || exit 1; \
+		$(RUN) $$script || exit 1; \
 	done
 
 clean:

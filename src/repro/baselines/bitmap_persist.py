@@ -16,14 +16,21 @@ with Pestrie's ``O(log n)``.
 
 from __future__ import annotations
 
+import io
+import os
 import struct
 from typing import BinaryIO, List
 
+from ..core.ioutil import atomic_write, crc32
 from ..matrix.bitmap import SparseBitmap
 from ..matrix.equivalence import partition_rows
 from ..matrix.points_to import PointsToMatrix
 
-MAGIC = b"BITP\x00\x01\x00\x00"
+#: Version 1: bare sections.  Version 2 (written by :meth:`encode`) appends
+#: a CRC32 trailer over everything before it, mirroring ``PESTRIE3`` so the
+#: paper's size comparison (Table 8) stays integrity-for-integrity fair.
+MAGIC_V1 = b"BITP\x00\x01\x00\x00"
+MAGIC = b"BITP\x00\x02\x00\x00"
 
 _U32 = struct.Struct("<I")
 _BLOCK = struct.Struct("<IQQ")  # block index + 128-bit payload as two u64
@@ -130,25 +137,43 @@ class BitmapPersistence:
 
     @staticmethod
     def encode(matrix: PointsToMatrix, stream: BinaryIO) -> None:
-        stream.write(MAGIC)
-        _write_merged_matrix(stream, matrix)
-        _write_merged_matrix(stream, matrix.alias_matrix())
+        body = io.BytesIO()
+        body.write(MAGIC)
+        _write_merged_matrix(body, matrix)
+        _write_merged_matrix(body, matrix.alias_matrix())
+        payload = body.getvalue()
+        stream.write(payload)
+        stream.write(_U32.pack(crc32(payload)))
 
     @staticmethod
     def encode_to_file(matrix: PointsToMatrix, path: str) -> int:
-        with open(path, "wb") as stream:
-            BitmapPersistence.encode(matrix, stream)
-        import os
-
+        body = io.BytesIO()
+        BitmapPersistence.encode(matrix, body)
+        atomic_write(path, body.getvalue())
         return os.path.getsize(path)
 
     @staticmethod
     def decode(stream: BinaryIO) -> BitmapIndex:
-        magic = stream.read(8)
-        if magic != MAGIC:
+        data = stream.read()
+        magic = data[:8]
+        if magic == MAGIC:
+            if len(data) < 12:
+                raise ValueError("truncated BitP file (no checksum trailer)")
+            stored = _U32.unpack_from(data, len(data) - 4)[0]
+            actual = crc32(data[:-4])
+            if stored != actual:
+                raise ValueError("BitP checksum mismatch (stored %08x, computed %08x)"
+                                 % (stored, actual))
+            body = io.BytesIO(data[8:-4])
+        elif magic == MAGIC_V1:
+            body = io.BytesIO(data[8:])
+        else:
             raise ValueError("not a BitP file (bad magic %r)" % magic)
-        pm = _read_merged_matrix(stream)
-        am = _read_merged_matrix(stream)
+        pm = _read_merged_matrix(body)
+        am = _read_merged_matrix(body)
+        trailing = len(body.read())
+        if trailing:
+            raise ValueError("%d trailing bytes after the BitP sections" % trailing)
         return BitmapIndex(pm, am)
 
     @staticmethod

@@ -14,9 +14,13 @@ import os
 import struct
 from typing import List
 
+from ..core.ioutil import atomic_write, crc32
 from ..matrix.points_to import PointsToMatrix
 
-MAGIC = b"BZPM\x00\x01\x00\x00"
+#: Version 1: magic + bz2 stream.  Version 2 (what we write) appends a
+#: CRC32 trailer over everything before it, matching ``PESTRIE3``/BitP.
+MAGIC_V1 = b"BZPM\x00\x01\x00\x00"
+MAGIC = b"BZPM\x00\x02\x00\x00"
 
 _U32 = struct.Struct("<I")
 
@@ -31,18 +35,23 @@ def _serialize(matrix: PointsToMatrix) -> bytes:
 
 
 def _deserialize(data: bytes) -> PointsToMatrix:
-    offset = 0
-    n_pointers = _U32.unpack_from(data, offset)[0]
-    offset += 4
-    n_objects = _U32.unpack_from(data, offset)[0]
-    offset += 4
-    matrix = PointsToMatrix(n_pointers, n_objects)
-    for pointer in range(n_pointers):
-        count = _U32.unpack_from(data, offset)[0]
+    try:
+        offset = 0
+        n_pointers = _U32.unpack_from(data, offset)[0]
         offset += 4
-        for _ in range(count):
-            matrix.add(pointer, _U32.unpack_from(data, offset)[0])
+        n_objects = _U32.unpack_from(data, offset)[0]
+        offset += 4
+        matrix = PointsToMatrix(n_pointers, n_objects)
+        for pointer in range(n_pointers):
+            count = _U32.unpack_from(data, offset)[0]
             offset += 4
+            for _ in range(count):
+                matrix.add(pointer, _U32.unpack_from(data, offset)[0])
+                offset += 4
+    except struct.error:
+        raise ValueError("truncated bzip-PM payload at offset %d" % offset)
+    if offset != len(data):
+        raise ValueError("%d trailing bytes after the bzip-PM payload" % (len(data) - offset))
     return matrix
 
 
@@ -51,15 +60,30 @@ class BzipPersistence:
 
     @staticmethod
     def encode_to_file(matrix: PointsToMatrix, path: str, level: int = 9) -> int:
-        payload = MAGIC + bz2.compress(_serialize(matrix), compresslevel=level)
-        with open(path, "wb") as stream:
-            stream.write(payload)
+        body = MAGIC + bz2.compress(_serialize(matrix), compresslevel=level)
+        atomic_write(path, body + _U32.pack(crc32(body)))
         return os.path.getsize(path)
 
     @staticmethod
     def decode_from_file(path: str) -> PointsToMatrix:
         with open(path, "rb") as stream:
             data = stream.read()
-        if data[:8] != MAGIC:
-            raise ValueError("not a bzip-PM file")
-        return _deserialize(bz2.decompress(data[8:]))
+        magic = data[:8]
+        if magic == MAGIC:
+            if len(data) < 12:
+                raise ValueError("truncated bzip-PM file (no checksum trailer)")
+            stored = _U32.unpack_from(data, len(data) - 4)[0]
+            actual = crc32(data[:-4])
+            if stored != actual:
+                raise ValueError("bzip-PM checksum mismatch (stored %08x, computed %08x)"
+                                 % (stored, actual))
+            compressed = data[8:-4]
+        elif magic == MAGIC_V1:
+            compressed = data[8:]
+        else:
+            raise ValueError("not a bzip-PM file (bad magic %r)" % magic)
+        try:
+            raw = bz2.decompress(compressed)
+        except OSError as error:
+            raise ValueError("corrupt bz2 stream in bzip-PM file: %s" % error)
+        return _deserialize(raw)

@@ -6,6 +6,7 @@ Mirrors the workflow of the paper's released C++ artefact (a pair of
     repro-pestrie analyze  app.ir out/            # IR -> archive directory
     repro-pestrie encode   app.ir app.pes         # IR -> persistent file
     repro-pestrie info     app.pes                # header & section stats
+    repro-pestrie verify   app.pes                # integrity check (CRC etc.)
     repro-pestrie query    app.pes is_alias 3 7
     repro-pestrie query    app.pes list_points_to 3
     repro-pestrie bench    app.ir                 # size comparison table
@@ -26,8 +27,9 @@ from .analysis.correlate import save_archive
 from .analysis.transform import context_sensitive_to_matrix, flow_sensitive_to_matrix
 from .baselines.bitmap_persist import BitmapPersistence
 from .baselines.bzip_persist import BzipPersistence
-from .core.decoder import load_payload
+from .core.decoder import CorruptFileError, decode_bytes, detect_format
 from .core.pipeline import load_index, persist
+from .core.query import PestrieIndex
 from .matrix.points_to import PointsToMatrix
 
 ANALYSES = ("andersen", "steensgaard", "flow-sensitive", "1-callsite", "2-callsite")
@@ -80,7 +82,8 @@ def _matrix_from_source(path: str, analysis: str) -> PointsToMatrix:
 
 def cmd_encode(args: argparse.Namespace) -> int:
     matrix = _matrix_from_source(args.source, args.analysis)
-    size = persist(matrix, args.output, order=args.order, compact=args.compact)
+    size = persist(matrix, args.output, order=args.order, compact=args.compact,
+                   version=args.format_version)
     print("%s: %d pointers, %d objects, %d facts -> %d bytes"
           % (args.output, matrix.n_pointers, matrix.n_objects,
              matrix.fact_count(), size))
@@ -105,7 +108,11 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def cmd_info(args: argparse.Namespace) -> int:
-    payload = load_payload(args.file)
+    with open(args.file, "rb") as stream:
+        data = stream.read()
+    version, compact = detect_format(data)
+    payload = decode_bytes(data)
+    print("format:       PESTRIE%d (%s ints)" % (version, "varint" if compact else "raw"))
     tracked = sum(1 for ts in payload.pointer_ts if ts is not None)
     case1 = sum(1 for _, flag in payload.rects if flag)
     points = sum(1 for rect, _ in payload.rects
@@ -121,6 +128,25 @@ def cmd_info(args: argparse.Namespace) -> int:
     print("  lines:      %d" % lines)
     print("  full rects: %d" % (len(payload.rects) - points - lines))
     print("file size:    %d bytes" % os.path.getsize(args.file))
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Decode a persistent file end-to-end and report whether it is intact."""
+    try:
+        with open(args.file, "rb") as stream:
+            data = stream.read()
+        version, _compact = detect_format(data)
+        payload = decode_bytes(data)
+        # Building the query structure exercises the cross-consistency the
+        # clients rely on, not just the byte-level checks.
+        PestrieIndex(payload)
+    except CorruptFileError as error:
+        print("%s: CORRUPT — %s" % (args.file, error), file=sys.stderr)
+        return 1
+    print("%s: OK (PESTRIE%d, %d pointers, %d objects, %d groups, %d rectangles)"
+          % (args.file, version, payload.n_pointers, payload.n_objects,
+             payload.n_groups, len(payload.rects)))
     return 0
 
 
@@ -186,7 +212,10 @@ def build_parser() -> argparse.ArgumentParser:
     encode.add_argument("--order", default="hub",
                         choices=("hub", "simple", "identity", "random"))
     encode.add_argument("--compact", action="store_true",
-                        help="varint/delta-compressed format")
+                        help="varint/delta-compressed integer coding")
+    encode.add_argument("--format-version", type=int, choices=(1, 2, 3), default=3,
+                        help="on-disk format version (3 = checksummed PESTRIE3, "
+                             "the default; 1/2 = legacy uncheck-summed formats)")
     encode.set_defaults(handler=cmd_encode)
 
     analyze = sub.add_parser("analyze", help="analyse IR into a reusable archive dir")
@@ -198,6 +227,12 @@ def build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="show persistent-file statistics")
     info.add_argument("file")
     info.set_defaults(handler=cmd_info)
+
+    verify = sub.add_parser(
+        "verify", help="check a .pes file's integrity (checksum, bounds, invariants)"
+    )
+    verify.add_argument("file")
+    verify.set_defaults(handler=cmd_verify)
 
     query = sub.add_parser("query", help="run one query against a .pes file")
     query.add_argument("file")

@@ -1,8 +1,9 @@
 """Pestrie core: construction, labelling, rectangles, persistence, queries."""
 
 from .builder import ORDER_CHOICES, build_pestrie, resolve_order
-from .decoder import PestriePayload, decode_bytes, load_payload
-from .encoder import ABSENT, PestrieEncoder, save_pestrie
+from .decoder import CorruptFileError, PestriePayload, decode_bytes, detect_format, load_payload
+from .encoder import ABSENT, DEFAULT_VERSION, PestrieEncoder, save_pestrie
+from .ioutil import atomic_write
 from .hub import (
     hub_degrees,
     hub_order,
@@ -31,7 +32,9 @@ from .structure import CrossEdge, Group, Pestrie
 
 __all__ = [
     "ABSENT",
+    "DEFAULT_VERSION",
     "ORDER_CHOICES",
+    "CorruptFileError",
     "CrossEdge",
     "Group",
     "LabeledRect",
@@ -45,11 +48,13 @@ __all__ = [
     "RectangleSet",
     "SegmentTree",
     "assign_intervals",
+    "atomic_write",
     "build_labeled_pestrie",
     "build_pestrie",
     "contains",
     "cross_edge_interval",
     "decode_bytes",
+    "detect_format",
     "encode",
     "generate_rectangles",
     "group_interval",

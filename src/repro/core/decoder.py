@@ -5,6 +5,15 @@ PES identifiers — deliberately dropped by the encoder to keep the file small
 — are recovered by sorting the objects by timestamp (which *is* the
 construction object order) and binary-searching each pointer's timestamp
 into the origin-timestamp array.
+
+The reader accepts all three format versions (see ``docs/FORMAT.md``) and
+treats every input as hostile: each count is validated against the bytes
+actually present *before* anything is allocated, every varint is capped to
+the uint32 domain, trailing bytes after the last section are rejected, and
+``PESTRIE3`` files additionally carry a CRC32 that is verified before the
+header is even parsed.  Malformed input always raises
+:class:`CorruptFileError`; it never hangs, crashes with an uncontrolled
+exception, or yields a payload that violates the format invariants.
 """
 
 from __future__ import annotations
@@ -13,13 +22,19 @@ import struct
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from .encoder import ABSENT, MAGIC_COMPACT, MAGIC_RAW
+from .encoder import ABSENT, FLAG_COMPACT, MAGIC_COMPACT, MAGIC_RAW, MAGIC_V3
+from .ioutil import crc32
 from .segment_tree import Rect
 
 _U32 = struct.Struct("<I")
 
 _SHAPES = ("point", "vline", "hline", "rect")
 _SHAPE_ARITY = {"point": 2, "vline": 3, "hline": 3, "rect": 4}
+
+#: Fixed-size ``PESTRIE3`` prefix: magic, flags byte, 11-int header and ten
+#: per-section byte lengths; the file ends with a 4-byte CRC32 trailer.
+_V3_HEADER_END = 8 + 1 + 11 * 4 + 10 * 4
+_V3_MIN_SIZE = _V3_HEADER_END + 4
 
 
 @dataclass
@@ -42,13 +57,16 @@ class CorruptFileError(ValueError):
 
 
 class _Reader:
-    def __init__(self, data: bytes, compact: bool):
+    """Bounded integer reader over ``data[offset:end)``."""
+
+    def __init__(self, data: bytes, compact: bool, offset: int = 8, end: Optional[int] = None):
         self.data = data
-        self.offset = 8  # past the magic
+        self.offset = offset
+        self.end = len(data) if end is None else end
         self.compact = compact
 
     def read_u32(self) -> int:
-        if self.offset + 4 > len(self.data):
+        if self.offset + 4 > self.end:
             raise CorruptFileError("truncated file at offset %d" % self.offset)
         value = _U32.unpack_from(self.data, self.offset)[0]
         self.offset += 4
@@ -60,18 +78,39 @@ class _Reader:
         shift = 0
         value = 0
         while True:
-            if self.offset >= len(self.data):
+            if self.offset >= self.end:
                 raise CorruptFileError("truncated varint at offset %d" % self.offset)
-            if shift > 35:
+            # uint32 needs at most five varint bytes (shifts 0..28); a sixth
+            # continuation byte can only encode values the raw format cannot.
+            if shift > 28:
                 raise CorruptFileError("overlong varint at offset %d" % self.offset)
             byte = self.data[self.offset]
             self.offset += 1
             value |= (byte & 0x7F) << shift
             if not byte & 0x80:
+                if value > 0xFFFFFFFF:
+                    raise CorruptFileError(
+                        "varint exceeds uint32 range at offset %d" % self.offset
+                    )
                 return value
             shift += 7
 
+    def require(self, count: int) -> None:
+        """Fail fast unless ``count`` integers can still fit in the input.
+
+        Called before any bulk read: a corrupted 4-byte count would
+        otherwise drive a list allocation of up to 2^32 entries before the
+        first truncated-read error fires.
+        """
+        min_bytes = count if self.compact else 4 * count
+        if self.offset + min_bytes > self.end:
+            raise CorruptFileError(
+                "count %d needs %d bytes but only %d remain at offset %d"
+                % (count, min_bytes, self.end - self.offset, self.offset)
+            )
+
     def read_ints(self, count: int) -> List[int]:
+        self.require(count)
         return [self.read_int() for _ in range(count)]
 
 
@@ -89,64 +128,186 @@ def _inflate(shape: str, values: List[int]) -> Rect:
     return Rect(x1=x1, x2=x2, y1=y1, y2=y2)
 
 
-def decode_bytes(data: bytes) -> PestriePayload:
-    """Parse a persistent file image into a :class:`PestriePayload`."""
-    magic = data[:8]
-    if magic == MAGIC_RAW:
-        compact = False
-    elif magic == MAGIC_COMPACT:
-        compact = True
-    else:
-        raise ValueError("not a Pestrie persistent file (bad magic %r)" % magic)
+def _decode_rect_section(shape: str, case1: bool, values: List[int], compact: bool,
+                         rects: List[Tuple[Rect, bool]]) -> None:
+    """Turn one flat integer section into inflated ``(rect, case1)`` pairs."""
+    arity = _SHAPE_ARITY[shape]
+    previous_lead = 0
+    for start in range(0, len(values), arity):
+        entry = values[start : start + arity]
+        if compact:
+            lead = previous_lead + entry[0]
+            entry = [lead] + [lead + v for v in entry[1:]]
+            previous_lead = lead
+        rects.append((_inflate(shape, entry), case1))
 
-    reader = _Reader(data, compact)
-    # The header is raw uint32 in both formats.
-    n_pointers = reader.read_u32()
-    n_objects = reader.read_u32()
-    n_groups = reader.read_u32()
-    counts: List[int] = [reader.read_u32() for _ in range(8)]
 
-    raw_pointer_ts = reader.read_ints(n_pointers)
+def _validate(payload: PestriePayload) -> PestriePayload:
+    """Enforce the structural invariants of a well-formed payload.
+
+    Beyond the range checks, cross-consistency matters: the query structure
+    recovers PES identifiers by binary search into the origin timestamps and
+    maps every Case-1 rectangle's ``Y1`` back to an object, so a payload
+    violating those assumptions would crash (or silently mis-answer) at
+    query-build time instead of failing cleanly here.
+    """
+    n_groups = payload.n_groups
+    seen_origin = set()
+    for ts in payload.object_ts:
+        if not 0 <= ts < n_groups:
+            raise CorruptFileError("object timestamp %d outside group range" % ts)
+        if ts in seen_origin:
+            raise CorruptFileError("duplicate object origin timestamp %d" % ts)
+        seen_origin.add(ts)
+    min_origin = min(payload.object_ts) if payload.object_ts else None
+    for ts in payload.pointer_ts:
+        if ts is None:
+            continue
+        if not 0 <= ts < n_groups:
+            raise CorruptFileError("pointer timestamp %d outside group range" % ts)
+        if min_origin is None or ts < min_origin:
+            raise CorruptFileError(
+                "pointer timestamp %d precedes every object origin" % ts
+            )
+    for rect, case1 in payload.rects:
+        if not (0 <= rect.x1 <= rect.x2 < rect.y1 <= rect.y2 < n_groups):
+            raise CorruptFileError("malformed rectangle %r" % (rect.as_tuple(),))
+        if case1 and rect.y1 not in seen_origin:
+            raise CorruptFileError(
+                "case-1 rectangle y1=%d is not an object origin timestamp" % rect.y1
+            )
+    return payload
+
+
+def _assemble(header: List[int], sections: List[List[int]], compact: bool) -> PestriePayload:
+    """Build and validate a payload from the 11 header ints + 10 sections."""
+    n_pointers, n_objects, n_groups = header[:3]
+    counts = header[3:]
+    raw_pointer_ts = sections[0]
     pointer_ts: List[Optional[int]] = [None if ts == ABSENT else ts for ts in raw_pointer_ts]
-    object_ts = reader.read_ints(n_objects)
+    object_ts = sections[1]
 
     rects: List[Tuple[Rect, bool]] = []
     # Header count order: per shape, (case1, case2).  Section order on disk:
     # all case1 sections (by shape), then all case2 sections (by shape).
-    per_shape = {shape: (counts[2 * i], counts[2 * i + 1]) for i, shape in enumerate(_SHAPES)}
     for case_index, case1 in ((0, True), (1, False)):
-        for shape in _SHAPES:
-            arity = _SHAPE_ARITY[shape]
-            section_count = per_shape[shape][case_index]
-            previous_lead = 0
-            for _ in range(section_count):
-                values = reader.read_ints(arity)
-                if compact:
-                    lead = previous_lead + values[0]
-                    values = [lead] + [lead + v for v in values[1:]]
-                    previous_lead = lead
-                rects.append((_inflate(shape, values), case1))
+        for shape_index, shape in enumerate(_SHAPES):
+            section = sections[2 + case_index * 4 + shape_index]
+            _decode_rect_section(shape, case1, section, compact, rects)
 
-    # Structural validation: timestamps must name real groups and every
-    # rectangle must be well-formed (X before Y, within the group range).
-    for ts in object_ts:
-        if not 0 <= ts < n_groups:
-            raise CorruptFileError("object timestamp %d outside group range" % ts)
-    for ts in pointer_ts:
-        if ts is not None and not 0 <= ts < n_groups:
-            raise CorruptFileError("pointer timestamp %d outside group range" % ts)
-    for rect, _ in rects:
-        if not (0 <= rect.x1 <= rect.x2 < rect.y1 <= rect.y2 < n_groups):
-            raise CorruptFileError("malformed rectangle %r" % (rect.as_tuple(),))
-
-    return PestriePayload(
-        n_pointers=n_pointers,
-        n_objects=n_objects,
-        n_groups=n_groups,
-        pointer_ts=pointer_ts,
-        object_ts=object_ts,
-        rects=rects,
+    return _validate(
+        PestriePayload(
+            n_pointers=n_pointers,
+            n_objects=n_objects,
+            n_groups=n_groups,
+            pointer_ts=pointer_ts,
+            object_ts=object_ts,
+            rects=rects,
+        )
     )
+
+
+def _section_value_counts(header: List[int]) -> List[int]:
+    """Integers stored per section, in on-disk section order."""
+    n_pointers, n_objects = header[0], header[1]
+    counts = header[3:]
+    per_section = [n_pointers, n_objects]
+    for case_index in (0, 1):
+        for shape_index, shape in enumerate(_SHAPES):
+            entries = counts[2 * shape_index + case_index]
+            per_section.append(entries * _SHAPE_ARITY[shape])
+    return per_section
+
+
+def _decode_legacy(data: bytes, compact: bool) -> PestriePayload:
+    reader = _Reader(data, compact)
+    # The header is raw uint32 in both legacy formats.
+    header = [reader.read_u32() for _ in range(11)]
+    sections: List[List[int]] = []
+    for n_values in _section_value_counts(header):
+        sections.append(reader.read_ints(n_values))
+    if reader.offset != len(data):
+        raise CorruptFileError(
+            "%d trailing bytes after the last section" % (len(data) - reader.offset)
+        )
+    return _assemble(header, sections, compact)
+
+
+def _decode_v3(data: bytes) -> PestriePayload:
+    if len(data) < _V3_MIN_SIZE:
+        raise CorruptFileError(
+            "truncated file (%d bytes, PESTRIE3 minimum is %d)" % (len(data), _V3_MIN_SIZE)
+        )
+    stored = _U32.unpack_from(data, len(data) - 4)[0]
+    actual = crc32(data[:-4])
+    if stored != actual:
+        raise CorruptFileError(
+            "checksum mismatch (stored %08x, computed %08x)" % (stored, actual)
+        )
+    flags = data[8]
+    if flags & ~FLAG_COMPACT:
+        raise CorruptFileError("unsupported format flags 0x%02x" % flags)
+    compact = bool(flags & FLAG_COMPACT)
+
+    header = list(struct.unpack_from("<11I", data, 9))
+    lengths = list(struct.unpack_from("<10I", data, 9 + 11 * 4))
+    expected_size = _V3_HEADER_END + sum(lengths) + 4
+    if expected_size != len(data):
+        raise CorruptFileError(
+            "section lengths add up to %d bytes but the file has %d"
+            % (expected_size, len(data))
+        )
+
+    sections: List[List[int]] = []
+    offset = _V3_HEADER_END
+    for n_values, length in zip(_section_value_counts(header), lengths):
+        # Validate the count against the declared section length before any
+        # allocation: raw sections are exactly 4 bytes per value, compact
+        # sections are 1..5 bytes per value.
+        if not compact and length != 4 * n_values:
+            raise CorruptFileError(
+                "section declares %d bytes for %d uint32 values" % (length, n_values)
+            )
+        if compact and not n_values <= length <= 5 * n_values:
+            raise CorruptFileError(
+                "section declares %d bytes for %d varint values" % (length, n_values)
+            )
+        reader = _Reader(data, compact, offset=offset, end=offset + length)
+        sections.append(reader.read_ints(n_values))
+        if reader.offset != offset + length:
+            raise CorruptFileError(
+                "section has %d unread trailing bytes" % (offset + length - reader.offset)
+            )
+        offset += length
+    return _assemble(header, sections, compact)
+
+
+def detect_format(data: bytes) -> Tuple[int, bool]:
+    """The ``(version, compact)`` pair a file image claims to be.
+
+    Raises :class:`CorruptFileError` on a short file or unknown magic; the
+    claim is *not* otherwise verified — use :func:`decode_bytes` for that.
+    """
+    if len(data) < 8:
+        raise CorruptFileError("truncated file (%d bytes, magic needs 8)" % len(data))
+    magic = bytes(data[:8])
+    if magic == MAGIC_RAW:
+        return 1, False
+    if magic == MAGIC_COMPACT:
+        return 2, True
+    if magic == MAGIC_V3:
+        if len(data) < 9:
+            raise CorruptFileError("truncated file (PESTRIE3 flags byte missing)")
+        return 3, bool(data[8] & FLAG_COMPACT)
+    raise CorruptFileError("not a Pestrie persistent file (bad magic %r)" % magic)
+
+
+def decode_bytes(data: bytes) -> PestriePayload:
+    """Parse a persistent file image into a :class:`PestriePayload`."""
+    version, compact = detect_format(data)
+    if version == 3:
+        return _decode_v3(data)
+    return _decode_legacy(data, compact)
 
 
 def load_payload(path: str) -> PestriePayload:

@@ -1,9 +1,16 @@
 """Pestrie persistent-file writer (Section 3.4.2, Figure 5).
 
-Layout (all integers little-endian):
+Three format versions share one logical layout (all integers little-endian):
 
-* 8-byte magic ``PESTRIE1`` (raw uint32 payload) or ``PESTRIE2``
-  (varint/delta-compressed payload, an extension of ours);
+* ``PESTRIE1`` — raw uint32 payload;
+* ``PESTRIE2`` — varint/delta-compressed payload (an extension of ours);
+* ``PESTRIE3`` — the hardened production format: a flags byte selecting the
+  integer coding, per-section byte lengths in the header (so a reader can
+  bounds-check every count before allocating) and a CRC32 trailer over the
+  whole file.
+
+The shared logical layout is:
+
 * header: ``n_pointers``, ``n_objects``, ``n_groups`` and eight shape
   counts — Case-1/Case-2 quantities of points, vertical lines, horizontal
   lines, and full rectangles;
@@ -20,12 +27,20 @@ from __future__ import annotations
 import struct
 from typing import BinaryIO, List, Sequence, Tuple
 
+from .ioutil import atomic_write, crc32
 from .rectangles import LabeledRect
 from .segment_tree import Rect
 from .structure import Pestrie
 
 MAGIC_RAW = b"PESTRIE1"
 MAGIC_COMPACT = b"PESTRIE2"
+MAGIC_V3 = b"PESTRIE3"
+
+#: The format version new files are written in.
+DEFAULT_VERSION = 3
+
+#: ``PESTRIE3`` flags byte: bit 0 selects varint/delta integer coding.
+FLAG_COMPACT = 0x01
 
 #: Timestamp sentinel for pointers outside the trie (empty points-to set).
 ABSENT = 0xFFFFFFFF
@@ -69,7 +84,13 @@ _SHAPE_FIELDS = {
 
 
 def _write_varint(out: bytearray, value: int) -> None:
-    """LEB128 unsigned varint."""
+    """LEB128 unsigned varint; the domain is exactly ``uint32``."""
+    if value < 0:
+        # ``value >>= 7`` never reaches 0 for Python's arbitrary-precision
+        # negatives, so this would loop forever instead of failing.
+        raise ValueError("varint value must be non-negative, got %d" % value)
+    if value > 0xFFFFFFFF:
+        raise ValueError("varint value %d exceeds uint32 range" % value)
     while True:
         byte = value & 0x7F
         value >>= 7
@@ -90,12 +111,32 @@ def _encode_ints(values: Sequence[int], compact: bool) -> bytes:
 
 
 class PestrieEncoder:
-    """Serialises a labelled Pestrie plus its rectangle set to bytes."""
+    """Serialises a labelled Pestrie plus its rectangle set to bytes.
 
-    def __init__(self, pestrie: Pestrie, rects: Sequence[LabeledRect], compact: bool = False):
+    ``version`` selects the on-disk format: 1 (raw uint32), 2 (varint/delta,
+    implies ``compact``) or 3 (the default: checksummed header with
+    per-section lengths; ``compact`` selects the integer coding).
+    """
+
+    def __init__(
+        self,
+        pestrie: Pestrie,
+        rects: Sequence[LabeledRect],
+        compact: bool = False,
+        version: int = DEFAULT_VERSION,
+    ):
+        if version not in (1, 2, 3):
+            raise ValueError("unknown Pestrie format version %r" % version)
+        if version == 1 and compact:
+            raise ValueError(
+                "format version 1 stores raw uint32s; use version 2 or 3 for compact coding"
+            )
+        if version == 2:
+            compact = True
         self.pestrie = pestrie
         self.rects = list(rects)
         self.compact = compact
+        self.version = version
 
     def _sections(self) -> Tuple[dict, dict]:
         """Bucket rectangles into ``(case1, case2)`` shape dictionaries."""
@@ -111,7 +152,12 @@ class PestrieEncoder:
                 buckets[shape].sort(key=Rect.as_tuple)
         return case1, case2
 
-    def to_bytes(self) -> bytes:
+    def _section_payloads(self) -> Tuple[List[int], List[bytes]]:
+        """The header integers and the ten encoded section payloads.
+
+        Section order on disk: pointer timestamps, object timestamps, then
+        the eight rectangle sections (all Case-1 shapes, then all Case-2).
+        """
         pestrie = self.pestrie
         case1, case2 = self._sections()
 
@@ -120,10 +166,10 @@ class PestrieEncoder:
             header.append(len(case1[shape]))
             header.append(len(case2[shape]))
 
-        chunks = [MAGIC_COMPACT if self.compact else MAGIC_RAW]
-        chunks.append(b"".join(_U32.pack(v) for v in header))
-        chunks.append(_encode_ints(pointer_timestamps(pestrie), self.compact))
-        chunks.append(_encode_ints(object_timestamps(pestrie), self.compact))
+        sections = [
+            _encode_ints(pointer_timestamps(pestrie), self.compact),
+            _encode_ints(object_timestamps(pestrie), self.compact),
+        ]
         for buckets in (case1, case2):
             for shape in _SHAPES:
                 fields = _SHAPE_FIELDS[shape]
@@ -140,8 +186,25 @@ class PestrieEncoder:
                         flat.extend(encoded)
                     else:
                         flat.extend(values)
-                chunks.append(_encode_ints(flat, self.compact))
-        return b"".join(chunks)
+                sections.append(_encode_ints(flat, self.compact))
+        return header, sections
+
+    def to_bytes(self) -> bytes:
+        header, sections = self._section_payloads()
+        header_bytes = b"".join(_U32.pack(v) for v in header)
+        if self.version < 3:
+            magic = MAGIC_COMPACT if self.compact else MAGIC_RAW
+            return b"".join([magic, header_bytes] + sections)
+        body = b"".join(
+            [
+                MAGIC_V3,
+                bytes([FLAG_COMPACT if self.compact else 0]),
+                header_bytes,
+                b"".join(_U32.pack(len(section)) for section in sections),
+            ]
+            + sections
+        )
+        return body + _U32.pack(crc32(body))
 
     def write(self, stream: BinaryIO) -> int:
         payload = self.to_bytes()
@@ -154,8 +217,15 @@ def save_pestrie(
     rects: Sequence[LabeledRect],
     path: str,
     compact: bool = False,
+    version: int = DEFAULT_VERSION,
 ) -> int:
-    """Write the persistent file; return its size in bytes."""
-    encoder = PestrieEncoder(pestrie, rects, compact=compact)
-    with open(path, "wb") as stream:
-        return encoder.write(stream)
+    """Write the persistent file atomically; return its size in bytes.
+
+    The bytes land in a temporary file in the target directory which is
+    fsynced and renamed over ``path``, so a crash mid-write never leaves a
+    torn persistent file behind.
+    """
+    encoder = PestrieEncoder(pestrie, rects, compact=compact, version=version)
+    payload = encoder.to_bytes()
+    atomic_write(path, payload)
+    return len(payload)

@@ -1,0 +1,41 @@
+"""Durable file I/O shared by every persistence backend.
+
+A persistent points-to file is computed once and read for years (the
+paper's whole premise), so a crash mid-write must never leave a torn file
+at the destination path.  :func:`atomic_write` stages the bytes in a
+temporary file in the *same directory* (so the rename cannot cross a
+filesystem boundary), fsyncs it, and publishes it with ``os.replace`` —
+readers observe either the old file or the complete new one, never a
+prefix.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import zlib
+
+
+def atomic_write(path: str, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` via a fsynced temp-file + rename."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, staging = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as stream:
+            stream.write(payload)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(staging, path)
+    except BaseException:
+        try:
+            os.unlink(staging)
+        except OSError:
+            pass
+        raise
+
+
+def crc32(data: bytes) -> int:
+    """The CRC32 checksum as an unsigned 32-bit integer."""
+    return zlib.crc32(data) & 0xFFFFFFFF

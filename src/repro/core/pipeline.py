@@ -13,7 +13,7 @@ from typing import Optional, Sequence
 from ..matrix.points_to import PointsToMatrix
 from .builder import build_pestrie
 from .decoder import decode_bytes, load_payload
-from .encoder import PestrieEncoder, save_pestrie
+from .encoder import DEFAULT_VERSION, PestrieEncoder, save_pestrie
 from .intervals import assign_intervals
 from .query import PestrieIndex
 from .rectangles import RectangleSet, generate_rectangles
@@ -38,11 +38,12 @@ def encode(
     seed: Optional[int] = None,
     compact: bool = False,
     explicit_order: Optional[Sequence[int]] = None,
+    version: int = DEFAULT_VERSION,
 ) -> bytes:
     """Encode a matrix straight to persistent-file bytes."""
     pestrie = build_labeled_pestrie(matrix, order=order, seed=seed, explicit_order=explicit_order)
     rect_set = generate_rectangles(pestrie)
-    return PestrieEncoder(pestrie, rect_set.rects, compact=compact).to_bytes()
+    return PestrieEncoder(pestrie, rect_set.rects, compact=compact, version=version).to_bytes()
 
 
 def persist(
@@ -51,11 +52,12 @@ def persist(
     order: str = "hub",
     seed: Optional[int] = None,
     compact: bool = False,
+    version: int = DEFAULT_VERSION,
 ) -> int:
     """Encode ``matrix`` and write the persistent file; return its size."""
     pestrie = build_labeled_pestrie(matrix, order=order, seed=seed)
     rect_set = generate_rectangles(pestrie)
-    return save_pestrie(pestrie, rect_set.rects, path, compact=compact)
+    return save_pestrie(pestrie, rect_set.rects, path, compact=compact, version=version)
 
 
 def index_from_bytes(data: bytes, mode: str = "ptlist") -> PestrieIndex:

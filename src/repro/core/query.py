@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..matrix.points_to import PointsToMatrix
-from .decoder import PestriePayload
+from .decoder import CorruptFileError, PestriePayload
 
 
 @dataclass(frozen=True)
@@ -68,13 +68,20 @@ class PestrieIndex:
         self._origin_obj = order
         self._object_ts = payload.object_ts
 
-        # PES identifier per pointer (an object id), by binary search.
+        # PES identifier per pointer (an object id), by binary search.  The
+        # decoder validates file images, but payloads can also be built by
+        # hand — guard the search so a timestamp below every origin raises
+        # cleanly instead of silently wrapping to the last PES.
         self._pes_of_pointer: List[Optional[int]] = []
         for ts in payload.pointer_ts:
             if ts is None:
                 self._pes_of_pointer.append(None)
             else:
                 rank = bisect_right(self._origin_ts, ts) - 1
+                if rank < 0:
+                    raise CorruptFileError(
+                        "pointer timestamp %d precedes every object origin" % ts
+                    )
                 self._pes_of_pointer.append(order[rank])
 
         # Pointers sorted by timestamp, for range reporting.
@@ -110,7 +117,11 @@ class PestrieIndex:
         self._case1_by_object: Dict[int, List[tuple]] = {}
         for rect, case1 in payload.rects:
             if case1:
-                obj = self._object_at_ts[rect.y1]
+                obj = self._object_at_ts.get(rect.y1)
+                if obj is None:
+                    raise CorruptFileError(
+                        "case-1 rectangle y1=%d is not an object origin timestamp" % rect.y1
+                    )
                 self._case1_by_object.setdefault(obj, []).append((rect.x1, rect.x2))
 
         # Raw rectangles, kept for bulk enumeration.

@@ -70,6 +70,42 @@ class TestBitmapPersistence:
         assert len(buffer_dup.getvalue()) < len(buffer_dis.getvalue())
 
 
+class TestBitmapIntegrity:
+    def test_checksum_catches_bit_flip(self, paper_matrix, tmp_path):
+        path = tmp_path / "m.bitp"
+        BitmapPersistence.encode_to_file(paper_matrix, str(path))
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0x10
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ValueError, match="checksum"):
+            BitmapPersistence.decode_from_file(str(path))
+
+    def test_v1_files_still_decode(self, paper_matrix):
+        """Pre-checksum BitP files (old magic, no trailer) remain readable."""
+        from repro.baselines.bitmap_persist import MAGIC, MAGIC_V1
+
+        buffer = io.BytesIO()
+        BitmapPersistence.encode(paper_matrix, buffer)
+        data = buffer.getvalue()
+        assert data[:8] == MAGIC
+        legacy = MAGIC_V1 + data[8:-4]  # old magic, trailer stripped
+        index = BitmapPersistence.decode(io.BytesIO(legacy))
+        assert index.list_points_to(2) == paper_matrix.list_points_to(2)
+
+    def test_trailing_garbage_rejected(self, paper_matrix):
+        from repro.baselines.bitmap_persist import MAGIC_V1
+
+        buffer = io.BytesIO()
+        BitmapPersistence.encode(paper_matrix, buffer)
+        legacy = MAGIC_V1 + buffer.getvalue()[8:-4] + b"\x00\x01\x02"
+        with pytest.raises(ValueError, match="trailing"):
+            BitmapPersistence.decode(io.BytesIO(legacy))
+
+    def test_no_temp_files_left_behind(self, paper_matrix, tmp_path):
+        BitmapPersistence.encode_to_file(paper_matrix, str(tmp_path / "m.bitp"))
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["m.bitp"]
+
+
 class TestBzipPersistence:
     def test_round_trip(self, paper_matrix, tmp_path):
         path = str(tmp_path / "m.bz")
@@ -101,6 +137,27 @@ class TestBzipPersistence:
         fast = BzipPersistence.encode_to_file(matrix, str(tmp_path / "f.bz"), level=1)
         best = BzipPersistence.encode_to_file(matrix, str(tmp_path / "b.bz"), level=9)
         assert fast > 0 and best > 0
+
+    def test_checksum_catches_bit_flip(self, paper_matrix, tmp_path):
+        path = tmp_path / "m.bz"
+        BzipPersistence.encode_to_file(paper_matrix, str(path))
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0x04
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ValueError):
+            BzipPersistence.decode_from_file(str(path))
+
+    def test_v1_files_still_decode(self, paper_matrix, tmp_path):
+        """Pre-checksum bzip-PM files (old magic, no trailer) remain readable."""
+        from repro.baselines.bzip_persist import MAGIC, MAGIC_V1
+
+        path = tmp_path / "m.bz"
+        BzipPersistence.encode_to_file(paper_matrix, str(path))
+        data = path.read_bytes()
+        assert data[:8] == MAGIC
+        legacy = tmp_path / "legacy.bz"
+        legacy.write_bytes(MAGIC_V1 + data[8:-4])
+        assert BzipPersistence.decode_from_file(str(legacy)) == paper_matrix
 
 
 class TestDemandDriven:

@@ -133,6 +133,66 @@ class TestQuery:
         assert main(["query", pes_file, "list_points_to", "1", "2"]) == 2
 
 
+class TestFormatVersionFlag:
+    def test_default_writes_pestrie3(self, pm_file, tmp_path):
+        out = tmp_path / "v3.pes"
+        assert main(["encode", pm_file, str(out)]) == 0
+        assert out.read_bytes()[:8] == b"PESTRIE3"
+
+    def test_legacy_versions_selectable(self, pm_file, tmp_path):
+        for version, magic in ((1, b"PESTRIE1"), (2, b"PESTRIE2")):
+            out = tmp_path / ("v%d.pes" % version)
+            assert main(["encode", pm_file, str(out),
+                         "--format-version", str(version)]) == 0
+            assert out.read_bytes()[:8] == magic
+
+    def test_version1_refuses_compact(self, pm_file, tmp_path, capsys):
+        out = str(tmp_path / "bad.pes")
+        assert main(["encode", pm_file, out, "--format-version", "1", "--compact"]) == 1
+        assert "compact" in capsys.readouterr().err
+
+    def test_info_reports_format(self, pm_file, tmp_path, capsys):
+        out = str(tmp_path / "v3.pes")
+        main(["encode", pm_file, out])
+        capsys.readouterr()
+        assert main(["info", out]) == 0
+        assert "PESTRIE3" in capsys.readouterr().out
+
+
+class TestVerify:
+    def test_intact_file(self, pm_file, tmp_path, capsys):
+        out = str(tmp_path / "ok.pes")
+        main(["encode", pm_file, out])
+        capsys.readouterr()
+        assert main(["verify", out]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_intact_legacy_file(self, pm_file, tmp_path, capsys):
+        out = str(tmp_path / "ok1.pes")
+        main(["encode", pm_file, out, "--format-version", "1"])
+        capsys.readouterr()
+        assert main(["verify", out]) == 0
+        assert "PESTRIE1" in capsys.readouterr().out
+
+    def test_corrupt_file(self, pm_file, tmp_path, capsys):
+        out = tmp_path / "bad.pes"
+        main(["encode", pm_file, str(out)])
+        blob = bytearray(out.read_bytes())
+        blob[len(blob) // 2] ^= 0x40
+        out.write_bytes(bytes(blob))
+        capsys.readouterr()
+        assert main(["verify", str(out)]) == 1
+        assert "CORRUPT" in capsys.readouterr().err
+
+    def test_truncated_file(self, pm_file, tmp_path, capsys):
+        out = tmp_path / "cut.pes"
+        main(["encode", pm_file, str(out)])
+        out.write_bytes(out.read_bytes()[:20])
+        capsys.readouterr()
+        assert main(["verify", str(out)]) == 1
+        assert "CORRUPT" in capsys.readouterr().err
+
+
 class TestAnalyzeAndBench:
     def test_analyze_archive(self, ir_file, tmp_path, capsys):
         out = str(tmp_path / "archive")

@@ -6,13 +6,18 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import zlib
+
 from repro.core.builder import build_pestrie
-from repro.core.decoder import decode_bytes, load_payload
+from repro.core.decoder import CorruptFileError, decode_bytes, detect_format, load_payload
 from repro.core.encoder import (
     ABSENT,
+    FLAG_COMPACT,
     MAGIC_COMPACT,
     MAGIC_RAW,
+    MAGIC_V3,
     PestrieEncoder,
+    _write_varint,
     object_timestamps,
     pointer_timestamps,
     save_pestrie,
@@ -24,11 +29,12 @@ from repro.matrix.points_to import PointsToMatrix
 from conftest import matrices
 
 
-def _encode(matrix, order="identity", compact=False):
+def _encode(matrix, order="identity", compact=False, version=3):
     pestrie = build_pestrie(matrix, order=order)
     assign_intervals(pestrie)
     rect_set = generate_rectangles(pestrie)
-    return pestrie, rect_set, PestrieEncoder(pestrie, rect_set.rects, compact=compact).to_bytes()
+    encoder = PestrieEncoder(pestrie, rect_set.rects, compact=compact, version=version)
+    return pestrie, rect_set, encoder.to_bytes()
 
 
 class TestTimestampTables:
@@ -50,13 +56,15 @@ class TestTimestampTables:
 
 class TestByteLayout:
     def test_magic(self, paper_matrix):
-        _, _, raw = _encode(paper_matrix)
+        _, _, raw = _encode(paper_matrix, version=1)
         assert raw.startswith(MAGIC_RAW)
-        _, _, compact = _encode(paper_matrix, compact=True)
+        _, _, compact = _encode(paper_matrix, compact=True, version=2)
         assert compact.startswith(MAGIC_COMPACT)
+        _, _, v3 = _encode(paper_matrix, version=3)
+        assert v3.startswith(MAGIC_V3)
 
     def test_header_counts(self, paper_matrix):
-        _, rect_set, raw = _encode(paper_matrix)
+        _, rect_set, raw = _encode(paper_matrix, version=1)
         header = struct.unpack_from("<11I", raw, 8)
         n_pointers, n_objects, n_groups = header[:3]
         assert (n_pointers, n_objects, n_groups) == (7, 5, 9)
@@ -67,21 +75,24 @@ class TestByteLayout:
         assert shape_counts[0] + shape_counts[1] == 5
 
     def test_deterministic_output(self, paper_matrix):
-        _, _, first = _encode(paper_matrix)
-        _, _, second = _encode(paper_matrix)
-        assert first == second
+        for version in (1, 3):
+            _, _, first = _encode(paper_matrix, version=version)
+            _, _, second = _encode(paper_matrix, version=version)
+            assert first == second
 
     def test_compact_smaller_than_raw(self):
         matrix = PointsToMatrix.from_pairs(
             60, 20, [(p, (p * 7 + o) % 20) for p in range(60) for o in range(4)]
         )
-        _, _, raw = _encode(matrix)
-        _, _, compact = _encode(matrix, compact=True)
-        assert len(compact) < len(raw)
+        for version in (None, 3):
+            kwargs = {} if version is None else {"version": version}
+            _, _, raw = _encode(matrix, **kwargs)
+            _, _, compact = _encode(matrix, compact=True, **kwargs)
+            assert len(compact) < len(raw)
 
     def test_raw_size_formula(self, paper_matrix):
         """magic + 11 header ints + (7+5) timestamps + shape payloads."""
-        _, rect_set, raw = _encode(paper_matrix)
+        _, rect_set, raw = _encode(paper_matrix, version=1)
         points = sum(1 for e in rect_set.rects
                      if e.rect.x1 == e.rect.x2 and e.rect.y1 == e.rect.y2)
         lines = sum(1 for e in rect_set.rects
@@ -89,6 +100,69 @@ class TestByteLayout:
         full = len(rect_set.rects) - points - lines
         expected = 8 + 4 * (11 + 12 + 2 * points + 3 * lines + 4 * full)
         assert len(raw) == expected
+
+
+class TestV3Layout:
+    def test_structure(self, paper_matrix):
+        """magic, flags, header, 10 section lengths, payload, CRC trailer."""
+        _, _, data = _encode(paper_matrix, version=3)
+        assert data[:8] == MAGIC_V3
+        assert data[8] == 0  # raw coding, no flags
+        header = struct.unpack_from("<11I", data, 9)
+        assert header[:3] == (7, 5, 9)
+        lengths = struct.unpack_from("<10I", data, 9 + 11 * 4)
+        payload_start = 8 + 1 + 11 * 4 + 10 * 4
+        assert payload_start + sum(lengths) + 4 == len(data)
+        # Raw sections are exactly 4 bytes per stored integer.
+        assert lengths[0] == 4 * header[0]
+        assert lengths[1] == 4 * header[1]
+
+    def test_compact_flag(self, paper_matrix):
+        _, _, data = _encode(paper_matrix, compact=True, version=3)
+        assert data[8] == FLAG_COMPACT
+        assert detect_format(data) == (3, True)
+
+    def test_crc_trailer(self, paper_matrix):
+        _, _, data = _encode(paper_matrix, version=3)
+        stored = struct.unpack_from("<I", data, len(data) - 4)[0]
+        assert stored == (zlib.crc32(data[:-4]) & 0xFFFFFFFF)
+
+    def test_same_payload_as_legacy(self, paper_matrix):
+        """All three versions decode to the identical payload."""
+        _, _, v1 = _encode(paper_matrix, version=1)
+        _, _, v2 = _encode(paper_matrix, compact=True, version=2)
+        _, _, v3 = _encode(paper_matrix, version=3)
+        _, _, v3c = _encode(paper_matrix, compact=True, version=3)
+        reference = decode_bytes(v1)
+        assert decode_bytes(v2) == reference
+        assert decode_bytes(v3) == reference
+        assert decode_bytes(v3c) == reference
+
+    def test_bad_version_arguments(self, paper_matrix):
+        pestrie = build_pestrie(paper_matrix, order="identity")
+        assign_intervals(pestrie)
+        rects = generate_rectangles(pestrie).rects
+        with pytest.raises(ValueError, match="version"):
+            PestrieEncoder(pestrie, rects, version=4)
+        with pytest.raises(ValueError, match="compact"):
+            PestrieEncoder(pestrie, rects, compact=True, version=1)
+
+
+class TestVarintGuards:
+    def test_negative_value_raises_instead_of_hanging(self):
+        out = bytearray()
+        with pytest.raises(ValueError, match="non-negative"):
+            _write_varint(out, -1)
+
+    def test_value_above_u32_rejected(self):
+        out = bytearray()
+        with pytest.raises(ValueError, match="uint32"):
+            _write_varint(out, 0x1_0000_0000)
+
+    def test_u32_boundary_round_trips(self):
+        out = bytearray()
+        _write_varint(out, 0xFFFFFFFF)
+        assert bytes(out) == b"\xff\xff\xff\xff\x0f"
 
 
 class TestDecoding:
@@ -121,8 +195,15 @@ class TestDecoding:
         assert decoded == sorted(e.rect.as_tuple() for e in rect_set.rects)
 
     def test_bad_magic_rejected(self):
-        with pytest.raises(ValueError, match="bad magic"):
+        # CorruptFileError so callers can catch one exception type for any
+        # hostile input; still a ValueError for older call sites.
+        with pytest.raises(CorruptFileError, match="bad magic"):
             decode_bytes(b"NOTAPES1" + b"\x00" * 64)
+
+    def test_short_input_is_truncation_not_bad_magic(self):
+        for blob in (b"", b"PES", b"PESTRIE"):
+            with pytest.raises(CorruptFileError, match="truncated"):
+                decode_bytes(blob)
 
     def test_file_round_trip(self, paper_matrix, tmp_path):
         pestrie, rect_set, _ = _encode(paper_matrix)
@@ -131,6 +212,24 @@ class TestDecoding:
         assert size == (tmp_path / "example.pes").stat().st_size
         payload = load_payload(path)
         assert payload.n_groups == 9
+
+    def test_save_is_atomic_and_leaves_no_staging_files(self, paper_matrix, tmp_path):
+        pestrie, rect_set, _ = _encode(paper_matrix)
+        target = tmp_path / "example.pes"
+        # Replace an existing (corrupt) file in place: readers must only
+        # ever observe the old content or the complete new file.
+        target.write_bytes(b"garbage from a torn write")
+        save_pestrie(pestrie, rect_set.rects, str(target))
+        assert decode_bytes(target.read_bytes()).n_groups == 9
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["example.pes"]
+
+    def test_save_legacy_versions(self, paper_matrix, tmp_path):
+        pestrie, rect_set, _ = _encode(paper_matrix)
+        for version, magic in ((1, MAGIC_RAW), (2, MAGIC_COMPACT), (3, MAGIC_V3)):
+            path = tmp_path / ("v%d.pes" % version)
+            save_pestrie(pestrie, rect_set.rects, str(path), version=version)
+            assert path.read_bytes()[:8] == magic
+            assert load_payload(str(path)).n_groups == 9
 
     def test_varint_multibyte_values(self):
         """Timestamps above 127 exercise multi-byte varints: distinct rows

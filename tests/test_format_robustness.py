@@ -3,10 +3,14 @@
 A decoder fed hostile bytes must fail with ``CorruptFileError`` (a
 ``ValueError``), never with an uncontrolled ``IndexError``/``struct.error``
 or — worse — a silently wrong payload that passes validation with absurd
-values.
+values.  The corpus covers all three format versions: bit flips in header
+counts, truncation at every section boundary, trailing garbage, spliced
+counts, and checksum attacks on ``PESTRIE3``.
 """
 
 import random
+import struct
+import zlib
 
 import pytest
 from hypothesis import given, settings
@@ -17,30 +21,132 @@ from repro.core.pipeline import encode, index_from_bytes
 
 from conftest import make_random_matrix, matrices
 
+#: Every on-disk variant: (version, compact).
+VERSIONS = [(1, False), (2, True), (3, False), (3, True)]
+VERSION_IDS = ["v1", "v2", "v3-raw", "v3-compact"]
 
-def _sample_file(compact=False):
+
+def _sample_file(compact=False, version=3):
     matrix = make_random_matrix(30, 10, density=0.25, seed=5)
-    return encode(matrix, compact=compact)
+    return encode(matrix, compact=compact, version=version)
+
+
+def _refresh_crc(data: bytes) -> bytes:
+    """Recompute a PESTRIE3 trailer after a deliberate payload mutation."""
+    body = bytes(data[:-4])
+    return body + struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+
+
+def _v1_section_boundaries(data: bytes):
+    """Byte offsets at which each v1 section ends."""
+    header = struct.unpack_from("<11I", data, 8)
+    n_pointers, n_objects = header[0], header[1]
+    counts = header[3:]
+    arity = (2, 3, 3, 4)
+    offset = 8 + 11 * 4
+    boundaries = []
+    for size in (n_pointers, n_objects):
+        offset += 4 * size
+        boundaries.append(offset)
+    for case_index in (0, 1):
+        for shape_index in range(4):
+            offset += 4 * arity[shape_index] * counts[2 * shape_index + case_index]
+            boundaries.append(offset)
+    assert offset == len(data)
+    return boundaries
+
+
+def _v3_section_boundaries(data: bytes):
+    """Byte offsets at which each PESTRIE3 section ends."""
+    lengths = struct.unpack_from("<10I", data, 9 + 11 * 4)
+    offset = 8 + 1 + 11 * 4 + 10 * 4
+    boundaries = []
+    for length in lengths:
+        offset += length
+        boundaries.append(offset)
+    assert offset + 4 == len(data)
+    return boundaries
 
 
 class TestTruncation:
-    @pytest.mark.parametrize("compact", [False, True])
-    def test_every_prefix_rejected_cleanly(self, compact):
-        data = _sample_file(compact=compact)
-        for cut in range(8, len(data), 7):
-            with pytest.raises(ValueError):
+    @pytest.mark.parametrize(("version", "compact"), VERSIONS, ids=VERSION_IDS)
+    def test_every_prefix_rejected_cleanly(self, version, compact):
+        data = _sample_file(compact=compact, version=version)
+        for cut in range(0, len(data), 7):
+            with pytest.raises(CorruptFileError):
                 decode_bytes(data[:cut])
 
+    @pytest.mark.parametrize(("version", "compact"), VERSIONS, ids=VERSION_IDS)
+    def test_truncation_at_every_section_boundary(self, version, compact):
+        data = _sample_file(compact=compact, version=version)
+        boundaries = (_v3_section_boundaries(data) if version == 3
+                      else _v1_section_boundaries(data) if not compact
+                      else None)
+        if boundaries is None:
+            # v2 boundaries are data-dependent varint sums; approximate by
+            # cutting at every offset instead.
+            boundaries = range(8, len(data))
+        for boundary in boundaries:
+            if boundary >= len(data):
+                continue
+            with pytest.raises(CorruptFileError):
+                decode_bytes(data[:boundary])
+
     def test_empty_and_magic_only(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(CorruptFileError, match="truncated"):
             decode_bytes(b"")
-        with pytest.raises(ValueError):
+        with pytest.raises(CorruptFileError):
             decode_bytes(b"PESTRIE1")
+        with pytest.raises(CorruptFileError):
+            decode_bytes(b"PESTRIE3")
+
+
+class TestTrailingGarbage:
+    @pytest.mark.parametrize(("version", "compact"), VERSIONS, ids=VERSION_IDS)
+    def test_appended_bytes_rejected(self, version, compact):
+        data = _sample_file(compact=compact, version=version)
+        for garbage in (b"\x00", b"\xff" * 7, b"PESTRIE1"):
+            with pytest.raises(CorruptFileError):
+                decode_bytes(data + garbage)
+
+
+class TestHeaderCountCorruption:
+    """Bit flips / splices in header counts must fail fast, pre-allocation."""
+
+    # Header word 2 is n_groups, which only *bounds* timestamps — inflating
+    # it loosens validation rather than breaking the layout, so it is not a
+    # count in the allocation sense.  Every other word drives a read size.
+    COUNT_WORDS = [0, 1] + list(range(3, 11))
+
+    @pytest.mark.parametrize(("version", "compact"), VERSIONS, ids=VERSION_IDS)
+    @pytest.mark.parametrize("word", COUNT_WORDS)
+    def test_huge_count_rejected_without_allocation(self, version, compact, word):
+        data = bytearray(_sample_file(compact=compact, version=version))
+        header_offset = 9 if version == 3 else 8
+        position = header_offset + 4 * word
+        data[position : position + 4] = (0xFFFFFFF0).to_bytes(4, "little")
+        blob = _refresh_crc(bytes(data)) if version == 3 else bytes(data)
+        with pytest.raises(CorruptFileError):
+            decode_bytes(blob)
+
+    def test_single_bit_flips_in_v1_header(self):
+        data = _sample_file(version=1)
+        for position in range(8, 8 + 11 * 4):
+            for bit in range(8):
+                blob = bytearray(data)
+                blob[position] ^= 1 << bit
+                try:
+                    payload = decode_bytes(bytes(blob))
+                except CorruptFileError:
+                    continue
+                # Accepted flips must still satisfy every invariant.
+                for rect, _ in payload.rects:
+                    assert rect.x1 <= rect.x2 < rect.y1 <= rect.y2 < payload.n_groups
 
 
 class TestCorruption:
-    def test_bad_object_timestamp(self):
-        data = bytearray(_sample_file())
+    def test_bad_object_timestamp_v1(self):
+        data = bytearray(_sample_file(version=1))
         # Header: magic(8) + 3 u32 + 8 counts; pointer ts section follows,
         # then object ts.  Poke an object timestamp to a huge value.
         n_pointers = 30
@@ -49,32 +155,76 @@ class TestCorruption:
         with pytest.raises(CorruptFileError, match="timestamp"):
             decode_bytes(bytes(data))
 
+    def test_bad_object_timestamp_v3_behind_valid_crc(self):
+        """Structural validation still runs when the checksum is 'correct'."""
+        data = bytearray(_sample_file(version=3))
+        n_pointers = 30
+        object_ts_offset = 8 + 1 + 11 * 4 + 10 * 4 + n_pointers * 4
+        data[object_ts_offset : object_ts_offset + 4] = (10**6).to_bytes(4, "little")
+        with pytest.raises(CorruptFileError, match="timestamp"):
+            decode_bytes(_refresh_crc(bytes(data)))
+
+    def test_v3_detects_any_payload_flip(self):
+        data = _sample_file(version=3)
+        rng = random.Random(7)
+        for _ in range(300):
+            blob = bytearray(data)
+            position = rng.randrange(len(blob))
+            blob[position] ^= 1 << rng.randrange(8)
+            with pytest.raises(CorruptFileError):
+                decode_bytes(bytes(blob))
+
     def test_malformed_rectangle_rejected(self):
-        data = bytearray(_sample_file())
+        data = bytearray(_sample_file(version=1))
         # Flip the last four bytes (part of some rectangle) to a huge value.
         data[-4:] = (0xFFFFFF).to_bytes(4, "little")
         with pytest.raises(CorruptFileError):
             decode_bytes(bytes(data))
 
     def test_overlong_varint(self):
-        data = bytearray(_sample_file(compact=True))
+        data = bytearray(_sample_file(compact=True, version=2))
         # Continuation bits forever right after the header.
         start = 8 + 11 * 4
         data[start : start + 8] = b"\xff" * 8
-        with pytest.raises(ValueError):
+        with pytest.raises(CorruptFileError):
             decode_bytes(bytes(data))
+
+    def test_varint_above_u32_rejected(self):
+        """Raw and compact formats must accept the same value domain."""
+        header = struct.pack("<11I", 1, 1, 1, *([0] * 8))
+        # 2^33 - 1 fits in five LEB128 bytes but exceeds uint32.
+        oversized = b"\xff\xff\xff\xff\x1f"
+        blob = b"PESTRIE2" + header + oversized + b"\x00"
+        with pytest.raises(CorruptFileError, match="uint32"):
+            decode_bytes(blob)
+
+    def test_varint_absent_sentinel_still_accepted(self):
+        """0xFFFFFFFF is exactly the ABSENT sentinel, not an overflow."""
+        header = struct.pack("<11I", 1, 1, 1, *([0] * 8))
+        absent = b"\xff\xff\xff\xff\x0f"
+        blob = b"PESTRIE2" + header + absent + b"\x00"
+        payload = decode_bytes(blob)
+        assert payload.pointer_ts == [None]
+        assert payload.object_ts == [0]
+
+    def test_unknown_v3_flags_rejected(self):
+        data = bytearray(_sample_file(version=3))
+        data[8] |= 0x80
+        with pytest.raises(CorruptFileError, match="flags"):
+            decode_bytes(_refresh_crc(bytes(data)))
 
     @settings(max_examples=60, deadline=None)
     @given(st.integers(0, 10_000))
     def test_random_mutations_never_crash_uncontrolled(self, seed):
         rng = random.Random(seed)
-        data = bytearray(_sample_file(compact=rng.random() < 0.5))
+        version, compact = VERSIONS[rng.randrange(len(VERSIONS))]
+        data = bytearray(_sample_file(compact=compact, version=version))
         for _ in range(rng.randrange(1, 6)):
             position = rng.randrange(8, len(data))
             data[position] = rng.randrange(256)
         try:
             payload = decode_bytes(bytes(data))
-        except ValueError:
+        except CorruptFileError:
             return  # controlled rejection
         # If it decoded, the payload must at least be internally sane.
         for rect, _ in payload.rects:
@@ -83,21 +233,25 @@ class TestCorruption:
     @settings(max_examples=40, deadline=None)
     @given(st.binary(min_size=0, max_size=200))
     def test_arbitrary_bytes(self, blob):
-        try:
-            decode_bytes(b"PESTRIE1" + blob)
-        except ValueError:
-            pass
-        try:
-            decode_bytes(b"PESTRIE2" + blob)
-        except ValueError:
-            pass
+        for magic in (b"PESTRIE1", b"PESTRIE2", b"PESTRIE3"):
+            try:
+                decode_bytes(magic + blob)
+            except CorruptFileError:
+                pass
 
 
 class TestRoundTripUnderFuzz:
     @settings(max_examples=40)
     @given(matrices())
     def test_clean_files_always_decode(self, matrix):
-        for compact in (False, True):
-            data = encode(matrix, compact=compact)
+        for version, compact in VERSIONS:
+            data = encode(matrix, compact=compact, version=version)
             index = index_from_bytes(data)
             assert index.materialize() == matrix
+
+    @settings(max_examples=25)
+    @given(matrices())
+    def test_versions_agree_on_payload(self, matrix):
+        payloads = [decode_bytes(encode(matrix, compact=compact, version=version))
+                    for version, compact in VERSIONS]
+        assert all(payload == payloads[0] for payload in payloads[1:])

@@ -1,0 +1,52 @@
+"""The seeded fuzz harness (``repro.core.fuzz``) as a fast smoke test.
+
+``make fuzz`` runs the full bounded sweep; this keeps a smaller sweep in
+the default test run so a decode regression is caught before it ships.
+"""
+
+from repro.core.fuzz import FuzzReport, corrupt, random_matrix, run_fuzz
+
+import random
+
+
+class TestHarness:
+    def test_smoke_sweep_honours_contract(self):
+        report = run_fuzz(iterations=120, seed=1234)
+        assert report.ok, "\n".join(str(failure) for failure in report.failures)
+        # Every clean input round-tripped byte-exactly.
+        assert report.clean_round_trips == report.cases == 120
+        assert report.corruptions > 300
+        assert report.rejected > 0
+
+    def test_deterministic_given_seed(self):
+        first = run_fuzz(iterations=15, seed=7)
+        second = run_fuzz(iterations=15, seed=7)
+        assert (first.cases, first.corruptions, first.rejected, first.survived) == (
+            second.cases, second.corruptions, second.rejected, second.survived)
+
+    def test_corrupt_produces_known_mutations(self):
+        rng = random.Random(3)
+        data = bytes(range(64))
+        seen = set()
+        for _ in range(200):
+            kind, mutated = corrupt(rng, data)
+            seen.add(kind)
+            assert isinstance(mutated, bytes)
+        assert seen == {"bit_flip", "byte_set", "truncate", "extend", "splice_count"}
+
+    def test_random_matrix_shapes(self):
+        rng = random.Random(11)
+        for _ in range(20):
+            matrix = random_matrix(rng)
+            assert 1 <= matrix.n_pointers <= 24
+            assert 1 <= matrix.n_objects <= 10
+
+    def test_report_summary_mentions_failures(self):
+        report = FuzzReport(cases=1)
+        assert "0 failures" in report.summary()
+
+
+def test_cli_entry_point_exit_status():
+    from repro.core.fuzz import main
+
+    assert main(["--iterations", "10", "--quiet"]) == 0
