@@ -3,7 +3,7 @@
 PYTHON ?= python3
 RUN = PYTHONPATH=src:$$PYTHONPATH $(PYTHON)
 
-.PHONY: install test fuzz bench examples results clean
+.PHONY: install test fuzz bench bench-smoke examples results clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -19,6 +19,11 @@ fuzz:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Tiny-workload run of the service throughput benchmark — a CI guard that
+# keeps the serve layer and its batch-beats-single invariant from rotting.
+bench-smoke:
+	BENCH_SMOKE=1 $(RUN) -m pytest benchmarks/bench_service_throughput.py -q
 
 # Regenerate every paper-style table into benchmarks/results/.
 results: bench

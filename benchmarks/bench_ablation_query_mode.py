@@ -1,11 +1,11 @@
-"""Ablation — query-structure choice: per-column lists vs segment tree.
+"""Ablation — query-structure choice: ptList slabs vs segment tree.
 
-Section 4 builds per-column rectangle lists (``ptList``), trading memory
-(every rectangle appears once per covered column) for O(log R) point
-queries; the construction-time segment tree could serve queries instead at
-O(log² n) with memory linear in the rectangle count.  The paper keeps the
-lists and reports the memory in Table 7; this ablation measures both sides
-of that trade on our subjects.
+Section 4 builds per-column rectangle lists (``ptList``) — realised here
+as event-sweep slabs sharing one entry list per run of columns — trading
+some memory for O(log R) point queries; the construction-time segment
+tree could serve queries instead at O(log² n) with strictly O(R) memory.
+The paper keeps the lists and reports the memory in Table 7; this
+ablation measures both sides of that trade on our subjects.
 """
 
 from repro.bench.harness import Table, geometric_mean, sample_pairs, timed
@@ -22,7 +22,7 @@ def test_query_mode_trade(encoded_suite, benchmark):
         columns=("Program", "mem ptList (MB)", "mem segment (MB)",
                  "IsAlias ptList (s)", "IsAlias segment (s)",
                  "decode ptList (s)", "decode segment (s)"),
-        note="ptList: O(log R) queries, O(sum width) memory; segment: O(log^2 n), O(R).",
+        note="ptList: O(log R) queries, slab-shared memory; segment: O(log^2 n), O(R).",
     )
     memory_ratios = []
     time_ratios = []

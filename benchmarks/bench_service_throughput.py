@@ -1,0 +1,149 @@
+"""Extension — AliasService throughput: single calls vs threads vs batches.
+
+The serve layer exists so heavy query traffic amortises: the batch APIs
+deduplicate repeated queries, sort the remainder by ptList column, and pay
+locking/instrumentation once per call.  This bench replays one mixed trace
+against the same service configuration three ways — a one-at-a-time loop,
+four worker threads issuing single queries, and the batch APIs — and
+reports queries/second for each.  All three must return identical answers.
+
+Runs with a tiny workload when ``BENCH_SMOKE`` is set (the ``make
+bench-smoke`` CI guard); the batched path must beat the one-at-a-time loop
+in both configurations.
+"""
+
+import os
+import threading
+
+from repro.bench.harness import Table, timed
+from repro.bench.synthetic import SyntheticSpec, synthesize
+from repro.bench.workloads import IS_ALIAS, TraceSpec, generate_trace
+from repro.core.pipeline import encode, index_from_bytes
+from repro.serve import AliasService
+
+from conftest import write_result
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+N_POINTERS = 300 if SMOKE else 1200
+N_OBJECTS = 80 if SMOKE else 300
+TRACE_LENGTH = 4_000 if SMOKE else 24_000
+BATCH = 256
+THREADS = 4
+
+
+def _service(data, cache_size=4096):
+    return AliasService.from_index(index_from_bytes(data), cache_size=cache_size)
+
+
+def _replay_single(service, trace):
+    checksum = 0
+    for kind, operands in trace.operations:
+        if kind == IS_ALIAS:
+            checksum += 1 if service.is_alias(*operands) else 0
+        else:
+            checksum += len(getattr(service, kind)(*operands))
+    return checksum
+
+
+def _replay_threaded(service, trace, workers=THREADS):
+    operations = trace.operations
+    chunk = (len(operations) + workers - 1) // workers
+    sums = [0] * workers
+
+    def run(slot):
+        total = 0
+        for kind, operands in operations[slot * chunk:(slot + 1) * chunk]:
+            if kind == IS_ALIAS:
+                total += 1 if service.is_alias(*operands) else 0
+            else:
+                total += len(getattr(service, kind)(*operands))
+        sums[slot] = total
+
+    threads = [threading.Thread(target=run, args=(slot,)) for slot in range(workers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return sum(sums)
+
+
+def _replay_batched(service, trace, batch=BATCH):
+    """The same trace through the batch APIs, preserving kind order per chunk."""
+    checksum = 0
+    pending = {}
+    dispatch = {
+        IS_ALIAS: service.is_alias_batch,
+        "list_aliases": service.list_aliases_many,
+        "list_points_to": service.points_to_batch,
+        "list_pointed_by": service.pointed_by_batch,
+    }
+
+    def flush(kind):
+        operands = pending.pop(kind, None)
+        if not operands:
+            return 0
+        answers = dispatch[kind](operands)
+        if kind == IS_ALIAS:
+            return sum(1 for answer in answers if answer)
+        return sum(len(answer) for answer in answers)
+
+    for kind, operands in trace.operations:
+        queue = pending.setdefault(kind, [])
+        queue.append(operands if kind == IS_ALIAS else operands[0])
+        if len(queue) >= batch:
+            checksum += flush(kind)
+    for kind in list(pending):
+        checksum += flush(kind)
+    return checksum
+
+
+def test_service_throughput(benchmark):
+    matrix = synthesize(SyntheticSpec(n_pointers=N_POINTERS, n_objects=N_OBJECTS,
+                                      seed=11))
+    data = encode(matrix)
+    trace = generate_trace(
+        TraceSpec(length=TRACE_LENGTH, seed=3),
+        pointers=list(range(matrix.n_pointers)),
+        objects=list(range(matrix.n_objects)),
+    )
+
+    table = Table(
+        title="Extension — AliasService throughput (queries/second)",
+        columns=("Scenario", "queries", "seconds", "q/s", "cache hit %"),
+        note="Same mixed trace (70/15/5/10 race-detector profile), fresh "
+             "service per scenario; %d-thread and %d-wide batch variants."
+             % (THREADS, BATCH),
+    )
+
+    rows = []
+    for label, runner in (
+        ("single-threaded", _replay_single),
+        ("%d threads" % THREADS, _replay_threaded),
+        ("batched", _replay_batched),
+    ):
+        service = _service(data)
+        run = timed(lambda: runner(service, trace))
+        snapshot = service.stats()
+        assert snapshot.total_queries == len(trace)
+        rows.append((label, run.result, run.seconds))
+        table.add(
+            Scenario=label,
+            queries=len(trace),
+            seconds=run.seconds,
+            **{"q/s": len(trace) / max(run.seconds, 1e-9),
+               "cache hit %": 100.0 * snapshot.cache_hit_rate},
+        )
+
+    # Every scenario answers the same workload identically.
+    checksums = {checksum for _, checksum, _ in rows}
+    assert len(checksums) == 1, rows
+
+    timings = {label: seconds for label, _, seconds in rows}
+    write_result("service_throughput.txt", table.render())
+
+    # The whole point of the batch APIs: they beat the one-at-a-time loop.
+    assert timings["batched"] < timings["single-threaded"], timings
+
+    service = _service(data)
+    pairs = [operands for kind, operands in trace.operations if kind == IS_ALIAS]
+    benchmark(lambda: service.is_alias_batch(pairs[:BATCH]))

@@ -29,12 +29,15 @@ from .matrix import (
     object_equivalence,
     pointer_equivalence,
 )
+from .serve import AliasService, ShardedIndex
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AliasService",
     "PestrieIndex",
     "PointsToMatrix",
+    "ShardedIndex",
     "SparseBitmap",
     "build_labeled_pestrie",
     "build_pestrie",

@@ -12,6 +12,7 @@ survives downscaling.
 
 from __future__ import annotations
 
+import statistics
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
@@ -73,8 +74,7 @@ def characterize(matrix: PointsToMatrix) -> Characteristics:
     total_incidences = sum(pointed_by) or 1
     top_mass = sum(pointed_by[obj] for obj in top)
 
-    sorted_degrees = sorted(degrees)
-    median = sorted_degrees[len(sorted_degrees) // 2] if sorted_degrees else 0.0
+    median = statistics.median(degrees) if degrees else 0.0
 
     return Characteristics(
         n_pointers=matrix.n_pointers,

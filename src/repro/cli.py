@@ -10,6 +10,7 @@ Mirrors the workflow of the paper's released C++ artefact (a pair of
     repro-pestrie query    app.pes is_alias 3 7
     repro-pestrie query    app.pes list_points_to 3
     repro-pestrie bench    app.ir                 # size comparison table
+    repro-pestrie serve-stats app.pes lib.pes     # service throughput/stats
 
 Matrices can also be given directly as ``.pm`` text files: first line
 ``<n_pointers> <n_objects>``, then one ``<pointer> <object>`` fact per line.
@@ -198,6 +199,49 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_stats(args: argparse.Namespace) -> int:
+    """Load files into an AliasService, replay a mixed workload, print stats."""
+    import time
+
+    from .bench.workloads import IS_ALIAS, TraceSpec, generate_trace
+    from .serve import AliasService
+
+    service = AliasService.from_files(args.files, mode=args.mode,
+                                      cache_size=args.cache_size)
+    trace = generate_trace(
+        TraceSpec(length=args.queries, seed=args.seed),
+        pointers=list(range(service.n_pointers)),
+        objects=list(range(service.n_objects)),
+    )
+    start = time.perf_counter()
+    if args.batch_size > 1:
+        # Serve like a real batching front-end: coalesce runs of IsAlias
+        # into one batch call, everything else through the single-query API.
+        pending = []
+        for kind, operands in trace.operations:
+            if kind == IS_ALIAS:
+                pending.append(operands)
+                if len(pending) >= args.batch_size:
+                    service.is_alias_batch(pending)
+                    pending = []
+            else:
+                getattr(service, kind)(*operands)
+        if pending:
+            service.is_alias_batch(pending)
+    else:
+        for kind, operands in trace.operations:
+            getattr(service, kind)(*operands)
+    elapsed = time.perf_counter() - start
+
+    shards = getattr(service.backend, "shard_count", 1)
+    print("%d file(s), %d shard(s), %d pointers, %d objects"
+          % (len(args.files), shards, service.n_pointers, service.n_objects))
+    print("replayed %d queries in %.3fs (%.0f queries/s, batch size %d)"
+          % (len(trace), elapsed, len(trace) / max(elapsed, 1e-9), args.batch_size))
+    print(service.stats().render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-pestrie",
@@ -244,6 +288,25 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--mode", default="ptlist", choices=("ptlist", "segment"),
                        help="query structure: per-column lists or low-memory segment tree")
     query.set_defaults(handler=cmd_query)
+
+    serve_stats = sub.add_parser(
+        "serve-stats",
+        help="replay a mixed query workload through the AliasService and "
+             "report throughput, cache hit rate, and latency quantiles",
+    )
+    serve_stats.add_argument("files", nargs="+",
+                             help=".pes shard files (pointer-id ranges stack "
+                                  "in argument order)")
+    serve_stats.add_argument("--queries", type=int, default=10_000,
+                             help="workload length (default 10000)")
+    serve_stats.add_argument("--seed", type=int, default=0)
+    serve_stats.add_argument("--mode", default="ptlist",
+                             choices=("ptlist", "segment"))
+    serve_stats.add_argument("--batch-size", type=int, default=64,
+                             help="IsAlias batching window; 1 disables batching")
+    serve_stats.add_argument("--cache-size", type=int, default=4096,
+                             help="LRU result-cache capacity; 0 disables caching")
+    serve_stats.set_defaults(handler=cmd_serve_stats)
 
     bench = sub.add_parser("bench", help="compare encoding sizes on one input")
     bench.add_argument("source")

@@ -52,10 +52,11 @@ def persist(
     order: str = "hub",
     seed: Optional[int] = None,
     compact: bool = False,
+    explicit_order: Optional[Sequence[int]] = None,
     version: int = DEFAULT_VERSION,
 ) -> int:
     """Encode ``matrix`` and write the persistent file; return its size."""
-    pestrie = build_labeled_pestrie(matrix, order=order, seed=seed)
+    pestrie = build_labeled_pestrie(matrix, order=order, seed=seed, explicit_order=explicit_order)
     rect_set = generate_rectangles(pestrie)
     return save_pestrie(pestrie, rect_set.rects, path, compact=compact, version=version)
 

@@ -11,6 +11,16 @@ From a decoded payload we build:
   and ``ListAliases`` needs both directions.  Mirrored copies are flagged so
   ``ListPointsTo`` only follows the directed Case-1 facts.
 
+The ptList is *not* materialised column by column (a single wide rectangle
+would cost its full width in time and memory).  Instead the build is an
+event sweep over the rectangle x-interval endpoints: the 2R start/end
+events are sorted once, and one shared entry list is stored per *slab* —
+a maximal column range between consecutive events over which the set of
+stabbing rectangles is constant.  A column lookup is a binary search into
+the slab boundaries, so construction is O(R log R + S) for S total slab
+entries (linear in the rectangle count in the common case, never more than
+the overlap structure demands) while ``is_alias`` stays O(log n).
+
 Query costs match the paper: ``is_alias`` is a PES-identifier comparison
 plus one binary search (rectangles sharing a column have disjoint
 y-intervals); ``list_aliases`` is output-linear; ``list_points_to`` /
@@ -21,7 +31,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..matrix.points_to import PointsToMatrix
 from .decoder import CorruptFileError, PestriePayload
@@ -39,18 +49,90 @@ class _Entry:
     mirrored: bool
 
 
+class _ColumnSweep:
+    """Interval stabbing over entry x-intervals, built by one event sweep.
+
+    Given ``(x1, x2, entry)`` spans, sorts the ``2·R`` start/end events and
+    records, for every *slab* (maximal column range between consecutive
+    events), the entries stabbing it, sorted by ``y1``.  Lookup is a binary
+    search over the slab boundaries; consecutive columns with the same
+    active set share one tuple.  Entries sharing a slab are guaranteed by
+    the Pestrie disjointness invariant to have pairwise-disjoint (hence
+    uniquely-ordered) y-intervals, which is what the predecessor search in
+    ``is_alias`` relies on.
+    """
+
+    __slots__ = ("_breaks", "_slabs")
+
+    def __init__(self, spans: Sequence[Tuple[int, int, _Entry]]):
+        events: List[Tuple[int, int, int, _Entry]] = []
+        for serial, (x1, x2, entry) in enumerate(spans):
+            events.append((x1, 0, serial, entry))
+            events.append((x2 + 1, 1, serial, entry))
+        events.sort(key=lambda event: event[0])
+
+        breaks: List[int] = []
+        slabs: List[Tuple[_Entry, ...]] = []
+        #: Active entries as parallel sorted lists; the ``(y1, serial)`` key
+        #: is unique, so removal finds the exact inserted slot.
+        active_keys: List[Tuple[int, int]] = []
+        active: List[_Entry] = []
+        index, count = 0, len(events)
+        while index < count:
+            coordinate = events[index][0]
+            while index < count and events[index][0] == coordinate:
+                _, is_end, serial, entry = events[index]
+                key = (entry.y1, serial)
+                if is_end:
+                    position = bisect_left(active_keys, key)
+                    del active_keys[position]
+                    del active[position]
+                else:
+                    position = bisect_left(active_keys, key)
+                    active_keys.insert(position, key)
+                    active.insert(position, entry)
+                index += 1
+            breaks.append(coordinate)
+            slabs.append(tuple(active))
+        self._breaks = breaks
+        self._slabs = slabs
+
+    def entries_at(self, x: int) -> Tuple[_Entry, ...]:
+        """The entries whose x-interval contains column ``x``."""
+        index = bisect_right(self._breaks, x) - 1
+        if index < 0:
+            return ()
+        return self._slabs[index]
+
+    def slab_count(self) -> int:
+        return len(self._slabs)
+
+    def memory_footprint(self) -> int:
+        """Bytes held by the slab arrays (entries counted by the caller)."""
+        import sys
+
+        total = sys.getsizeof(self._breaks) + sys.getsizeof(self._slabs)
+        total += 28 * len(self._breaks)  # one int per slab boundary
+        for slab in self._slabs:
+            total += sys.getsizeof(slab)
+        return total
+
+
 class PestrieIndex:
     """In-memory query structure for one persistent Pestrie file.
 
     Two structures are available (``mode``):
 
-    * ``"ptlist"`` (default, the paper's Section 4 structure): one
-      rectangle list per occupied timestamp column.  O(log R) ``is_alias``
-      and output-linear list queries, at O(Σ rectangle width) memory;
+    * ``"ptlist"`` (default, the paper's Section 4 structure): per-column
+      rectangle lists, realised as event-sweep slabs that share one entry
+      list per run of columns with identical stabbing sets.  O(log R)
+      ``is_alias`` and output-linear list queries; construction is
+      O(R log R) and memory follows the rectangle count, not the summed
+      rectangle widths;
     * ``"segment"``: a single segment tree over the stored rectangles.
-      O(log² n) ``is_alias`` and slower list queries, but memory linear in
-      the rectangle *count* — the trade the paper's query-memory column
-      (Table 7) is about.
+      O(log² n) ``is_alias`` and slower list queries, with strictly O(R)
+      memory — the trade the paper's query-memory column (Table 7) is
+      about.
     """
 
     def __init__(self, payload: PestriePayload, mode: str = "ptlist"):
@@ -93,19 +175,18 @@ class PestrieIndex:
         # Objects indexed by timestamp (origin timestamps are unique).
         self._object_at_ts: Dict[int, int] = {ts: obj for obj, ts in enumerate(payload.object_ts)}
 
-        # ptList: one rectangle list per occupied timestamp column.
-        self._pt_list: Dict[int, List[_Entry]] = {}
+        # ptList: shared slab entry lists from one event sweep — never a
+        # per-column expansion of the rectangle x-intervals.
+        self._sweep: Optional[_ColumnSweep] = None
         self._segment: Optional["SegmentTree"] = None
         if mode == "ptlist":
+            spans: List[Tuple[int, int, _Entry]] = []
             for rect, case1 in payload.rects:
                 forward = _Entry(y1=rect.y1, y2=rect.y2, case1=case1, mirrored=False)
-                for x in range(rect.x1, rect.x2 + 1):
-                    self._pt_list.setdefault(x, []).append(forward)
+                spans.append((rect.x1, rect.x2, forward))
                 mirror = _Entry(y1=rect.x1, y2=rect.x2, case1=case1, mirrored=True)
-                for x in range(rect.y1, rect.y2 + 1):
-                    self._pt_list.setdefault(x, []).append(mirror)
-            for entries in self._pt_list.values():
-                entries.sort(key=lambda entry: entry.y1)
+                spans.append((rect.y1, rect.y2, mirror))
+            self._sweep = _ColumnSweep(spans)
         else:
             from .segment_tree import SegmentTree
 
@@ -180,11 +261,53 @@ class PestrieIndex:
         if self._segment is not None:
             x, y = (ts_p, ts_q) if ts_p < ts_q else (ts_q, ts_p)
             return self._segment.covers(x, y)
-        entries = self._pt_list.get(ts_p)
+        entries = self._sweep.entries_at(ts_p)
         if not entries:
             return False
         index = bisect_right(entries, ts_q, key=lambda entry: entry.y1) - 1
         return index >= 0 and entries[index].y2 >= ts_q
+
+    def is_alias_batch(self, pairs: Sequence[Tuple[int, int]]) -> List[bool]:
+        """Answer many IsAlias queries, amortising the column lookups.
+
+        Queries are sorted by their ptList column so every run of pairs
+        sharing a column pays for one slab lookup; beyond that each pair
+        costs the same predecessor search as :meth:`is_alias`.
+        """
+        results = [False] * len(pairs)
+        jobs: List[Tuple[int, int, int]] = []
+        for position, (p, q) in enumerate(pairs):
+            self._check_pointer(p)
+            self._check_pointer(q)
+            ts_p = self._pointer_ts[p]
+            ts_q = self._pointer_ts[q]
+            if ts_p is None or ts_q is None:
+                continue
+            if p == q or self._pes_of_pointer[p] == self._pes_of_pointer[q]:
+                results[position] = True
+                continue
+            x, y = (ts_p, ts_q) if ts_p < ts_q else (ts_q, ts_p)
+            jobs.append((x, y, position))
+        if self._segment is not None:
+            for x, y, position in jobs:
+                results[position] = self._segment.covers(x, y)
+            return results
+        jobs.sort()
+        column, entries = -1, ()
+        for x, y, position in jobs:
+            if x != column:
+                entries = self._sweep.entries_at(x)
+                column = x
+            if not entries:
+                continue
+            index = bisect_right(entries, y, key=lambda entry: entry.y1) - 1
+            results[position] = index >= 0 and entries[index].y2 >= y
+        return results
+
+    def column_of(self, pointer: int) -> Optional[int]:
+        """The ptList column (pre-order timestamp) of ``pointer``."""
+        self._check_pointer(pointer)
+        return self._pointer_ts[pointer]
 
     def list_aliases(self, p: int) -> List[int]:
         """All pointers aliased to ``p`` — O(answer size)."""
@@ -205,7 +328,7 @@ class PestrieIndex:
                 elif rect.y1 <= ts_p <= rect.y2:
                     result.extend(self._pointers_in_range(rect.x1, rect.x2))
             return result
-        for entry in self._pt_list.get(ts_p, ()):
+        for entry in self._sweep.entries_at(ts_p):
             result.extend(self._pointers_in_range(entry.y1, entry.y2))
         return result
 
@@ -221,7 +344,7 @@ class PestrieIndex:
                 if case1 and rect.x1 <= ts_p <= rect.x2:
                     result.append(self._object_at_ts[rect.y1])
             return result
-        for entry in self._pt_list.get(ts_p, ()):
+        for entry in self._sweep.entries_at(ts_p):
             if entry.case1 and not entry.mirrored:
                 result.append(self._object_at_ts[entry.y1])
         return result
@@ -278,20 +401,32 @@ class PestrieIndex:
         return matrix
 
     def memory_footprint(self) -> int:
-        """Rough query-structure size in bytes (Table 7's memory column)."""
+        """Measured query-structure size in bytes (Table 7's memory column).
+
+        Every live structure is accounted for: the slab sweep (or the
+        segment tree, walked node by node), the timestamp/id arrays, the
+        ``_object_at_ts`` map, the Case-1 per-object table, and the raw
+        rectangle list.  Objects referenced from several places (slab
+        entries, stored ``Rect`` instances) are counted once.
+        """
         import sys
 
-        total = sys.getsizeof(self._pt_list)
         seen = set()
-        for entries in self._pt_list.values():
-            total += sys.getsizeof(entries)
-            for entry in entries:
-                if id(entry) not in seen:
-                    seen.add(id(entry))
-                    total += sys.getsizeof(entry)
+
+        def sized(obj) -> int:
+            if id(obj) in seen:
+                return 0
+            seen.add(id(obj))
+            return sys.getsizeof(obj)
+
+        total = 0
+        if self._sweep is not None:
+            total += self._sweep.memory_footprint()
+            for slab in self._sweep._slabs:
+                for entry in slab:
+                    total += sized(entry)
         if self._segment is not None:
-            # One Rect reference per stored rectangle plus tree nodes.
-            total += len(self._rects) * 96
+            total += self._segment.memory_footprint()
         for array in (
             self._pointer_ts,
             self._origin_ts,
@@ -300,5 +435,18 @@ class PestrieIndex:
             self._sorted_ptr_ts,
             self._sorted_ptr_id,
         ):
-            total += sys.getsizeof(array) + 28 * len(array)
+            total += sized(array) + 28 * len(array)
+        # Timestamp -> object map: one boxed int pair per object.
+        total += sized(self._object_at_ts) + 2 * 28 * len(self._object_at_ts)
+        # Case-1 spans per pointed-to object.
+        total += sized(self._case1_by_object)
+        for spans in self._case1_by_object.values():
+            total += sized(spans)
+            for span in spans:
+                total += sized(span) + 2 * 28
+        # The raw rectangle table: (Rect, case1) tuples; the Rect objects
+        # are shared with the segment-tree node lists and counted once.
+        total += sized(self._rects)
+        for pair in self._rects:
+            total += sized(pair) + sized(pair[0])
         return total

@@ -120,3 +120,24 @@ class SegmentTree:
 
     def covers(self, x: int, y: int) -> bool:
         return self.find_covering(x, y) is not None
+
+    def memory_footprint(self) -> int:
+        """Measured tree size in bytes: nodes plus their key/rect arrays.
+
+        The stored :class:`Rect` objects themselves are not counted — the
+        caller owns (and typically shares) them and counts them once.
+        """
+        import sys
+
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            total += sys.getsizeof(node)
+            total += sys.getsizeof(node.keys) + 28 * len(node.keys)
+            total += sys.getsizeof(node.rects)
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+        return total

@@ -1,0 +1,71 @@
+"""A bounded, thread-safe LRU result cache for the alias service.
+
+Pestrie query structures are immutable after decode, so every cached
+answer stays valid for the life of the service; the only eviction policy
+needed is recency.  Values are stored as immutable objects (booleans or
+tuples) so a hit can be handed to concurrent callers without copying.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+
+class LRUCache:
+    """Least-recently-used mapping with a fixed capacity.
+
+    All operations take the internal lock, so one instance can be shared
+    by every worker thread of a service.  A ``capacity`` of zero disables
+    caching entirely (every ``get`` misses, ``put`` is a no-op).
+    """
+
+    __slots__ = ("_capacity", "_data", "_lock", "hits", "misses")
+
+    _MISS = object()
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 0:
+            raise ValueError("cache capacity must be non-negative")
+        self._capacity = capacity
+        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def get(self, key: Hashable, default: Optional[object] = None) -> object:
+        """Return the cached value (refreshing its recency) or ``default``."""
+        with self._lock:
+            value = self._data.get(key, self._MISS)
+            if value is self._MISS:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert or refresh a value, evicting the oldest entry if full."""
+        if self._capacity == 0:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            if len(self._data) > self._capacity:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0

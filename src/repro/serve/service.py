@@ -1,0 +1,216 @@
+"""The alias query service: a thread-safe, instrumented query front-end.
+
+:class:`AliasService` fronts one or more loaded query indexes and is what
+a long-running process (an IDE daemon, a CI bot, an analysis server)
+should talk to instead of a raw :class:`PestrieIndex`:
+
+* **thread safety** — the underlying query structures are immutable after
+  decode, and the service's own mutable state (result cache, statistics)
+  is individually locked, so any number of worker threads may query one
+  service concurrently;
+* **batch APIs** — ``is_alias_batch`` / ``list_aliases_many`` /
+  ``points_to_batch`` deduplicate repeated queries, sort the remainder by
+  ptList column so consecutive lookups share slab searches, and pay the
+  instrumentation cost once per call instead of once per query;
+* **caching** — a bounded LRU holds recent answers (valid forever, since
+  the indexes never change);
+* **instrumentation** — per-query-type counters, cache hit rate, and
+  p50/p95 latencies, surfaced through :meth:`stats` and the
+  ``repro-pestrie serve-stats`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.query import PestrieIndex
+from .cache import LRUCache
+from .sharding import ShardedIndex
+from .stats import DEFAULT_WINDOW, ServiceStats, StatsSnapshot
+
+_MISS = object()
+
+
+class AliasService:
+    """Serve Table 1 queries from one or more decoded Pestrie indexes.
+
+    ``backend`` is anything speaking the Table 1 protocol — a
+    :class:`PestrieIndex`, a :class:`ShardedIndex`, or a compatible object
+    (its optional ``is_alias_batch`` / ``column_of`` methods are used when
+    present).  Use the classmethods to build one from indexes or files.
+    """
+
+    def __init__(self, backend, cache_size: int = 4096,
+                 stats_window: int = DEFAULT_WINDOW):
+        self._backend = backend
+        self._cache = LRUCache(cache_size)
+        self._stats = ServiceStats(window=stats_window)
+        self._column_of = getattr(backend, "column_of", None)
+
+    @classmethod
+    def from_index(cls, index: PestrieIndex, **options) -> "AliasService":
+        return cls(index, **options)
+
+    @classmethod
+    def from_indexes(cls, indexes: Sequence[PestrieIndex], **options) -> "AliasService":
+        """Front several indexes, sharded by pointer-id range (stacked in order)."""
+        if len(indexes) == 1:
+            return cls(indexes[0], **options)
+        return cls(ShardedIndex(indexes), **options)
+
+    @classmethod
+    def from_files(cls, paths: Sequence[str], mode: str = "ptlist",
+                   **options) -> "AliasService":
+        from ..core.pipeline import load_index
+
+        return cls.from_indexes([load_index(path, mode=mode) for path in paths],
+                                **options)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def backend(self):
+        return self._backend
+
+    @property
+    def n_pointers(self) -> int:
+        return self._backend.n_pointers
+
+    @property
+    def n_objects(self) -> int:
+        return self._backend.n_objects
+
+    def stats(self) -> StatsSnapshot:
+        return self._stats.snapshot()
+
+    def reset_stats(self) -> None:
+        self._stats.reset()
+
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Single-query API
+    # ------------------------------------------------------------------
+
+    def is_alias(self, p: int, q: int) -> bool:
+        start = time.perf_counter()
+        key = ("is_alias", (p, q) if p <= q else (q, p))
+        value = self._cache.get(key, _MISS)
+        if value is _MISS:
+            self._stats.record_cache(0, 1)
+            value = self._backend.is_alias(p, q)
+            self._cache.put(key, value)
+        else:
+            self._stats.record_cache(1, 0)
+        self._stats.record("is_alias", time.perf_counter() - start)
+        return value
+
+    def list_aliases(self, p: int) -> List[int]:
+        return list(self._list_query("list_aliases", p))
+
+    def list_points_to(self, p: int) -> List[int]:
+        return list(self._list_query("list_points_to", p))
+
+    def list_pointed_by(self, obj: int) -> List[int]:
+        return list(self._list_query("list_pointed_by", obj))
+
+    def _list_query(self, kind: str, operand: int) -> Tuple[int, ...]:
+        start = time.perf_counter()
+        key = (kind, operand)
+        value = self._cache.get(key, _MISS)
+        if value is _MISS:
+            self._stats.record_cache(0, 1)
+            value = tuple(getattr(self._backend, kind)(operand))
+            self._cache.put(key, value)
+        else:
+            self._stats.record_cache(1, 0)
+        self._stats.record(kind, time.perf_counter() - start)
+        return value
+
+    # ------------------------------------------------------------------
+    # Batch API
+    # ------------------------------------------------------------------
+
+    def is_alias_batch(self, pairs: Sequence[Tuple[int, int]]) -> List[bool]:
+        """Answer many IsAlias queries in one call.
+
+        Repeated pairs (in the batch or the cache) are answered once; the
+        remainder goes through the backend's column-sorted batch path.
+        """
+        start = time.perf_counter()
+        results: List[bool] = [False] * len(pairs)
+        pending: Dict[Tuple[int, int], List[int]] = {}
+        hits = 0
+        for position, (p, q) in enumerate(pairs):
+            norm = (p, q) if p <= q else (q, p)
+            value = self._cache.get(("is_alias", norm), _MISS)
+            if value is _MISS:
+                pending.setdefault(norm, []).append(position)
+            else:
+                hits += 1
+                results[position] = value
+        if pending:
+            unique = list(pending)
+            batch = getattr(self._backend, "is_alias_batch", None)
+            if batch is not None:
+                answers = batch(unique)
+            else:
+                answers = [self._backend.is_alias(p, q) for p, q in unique]
+            for norm, answer in zip(unique, answers):
+                self._cache.put(("is_alias", norm), answer)
+                for position in pending[norm]:
+                    results[position] = answer
+        self._stats.record_cache(hits, len(pairs) - hits)
+        self._stats.record("is_alias", time.perf_counter() - start,
+                           queries=len(pairs), batched=True)
+        return results
+
+    def list_aliases_many(self, pointers: Sequence[int]) -> List[List[int]]:
+        return self._list_batch("list_aliases", pointers)
+
+    def points_to_batch(self, pointers: Sequence[int]) -> List[List[int]]:
+        return self._list_batch("list_points_to", pointers)
+
+    def pointed_by_batch(self, objects: Sequence[int]) -> List[List[int]]:
+        return self._list_batch("list_pointed_by", objects)
+
+    def _list_batch(self, kind: str, operands: Sequence[int]) -> List[List[int]]:
+        start = time.perf_counter()
+        results: List[Optional[Tuple[int, ...]]] = [None] * len(operands)
+        pending: Dict[int, List[int]] = {}
+        hits = 0
+        for position, operand in enumerate(operands):
+            value = self._cache.get((kind, operand), _MISS)
+            if value is _MISS:
+                pending.setdefault(operand, []).append(position)
+            else:
+                hits += 1
+                results[position] = value
+        if pending:
+            unique = list(pending)
+            if kind != "list_pointed_by" and self._column_of is not None:
+                # Column-sorted resolution: consecutive misses touch
+                # neighbouring slabs, keeping the lookups cache-friendly.
+                unique.sort(key=lambda operand: _column_key(self._column_of, operand))
+            query = getattr(self._backend, kind)
+            for operand in unique:
+                value = tuple(query(operand))
+                self._cache.put((kind, operand), value)
+                for position in pending[operand]:
+                    results[position] = value
+        self._stats.record_cache(hits, len(operands) - hits)
+        self._stats.record(kind, time.perf_counter() - start,
+                           queries=len(operands), batched=True)
+        return [list(value) for value in results]
+
+
+def _column_key(column_of, operand: int):
+    column = column_of(operand)
+    return (column is None, column)

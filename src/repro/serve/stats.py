@@ -1,0 +1,143 @@
+"""Service instrumentation: query counters, cache hit rate, latencies.
+
+Kept deliberately lightweight — one lock, integer counters, and a bounded
+ring buffer of recent latency samples per query kind — so instrumenting
+the hot path costs nanoseconds, not a measurable fraction of a query.
+Batch calls record one sample covering the whole call, weighted down to a
+per-query figure, so the quantiles stay comparable between the single and
+batched entry points.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+#: The Table 1 query kinds, in the order every report lists them.
+QUERY_KINDS = ("is_alias", "list_aliases", "list_points_to", "list_pointed_by")
+
+#: Ring-buffer capacity of the per-kind latency reservoirs.
+DEFAULT_WINDOW = 2048
+
+
+def quantile(samples: List[float], q: float) -> float:
+    """The ``q``-quantile (nearest-rank) of ``samples``; 0.0 when empty."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    return ordered[rank]
+
+
+class _Reservoir:
+    """Fixed-size ring buffer of the most recent latency samples."""
+
+    __slots__ = ("_samples", "_capacity", "_next")
+
+    def __init__(self, capacity: int):
+        self._samples: List[float] = []
+        self._capacity = capacity
+        self._next = 0
+
+    def record(self, seconds: float) -> None:
+        if len(self._samples) < self._capacity:
+            self._samples.append(seconds)
+        else:
+            self._samples[self._next] = seconds
+            self._next = (self._next + 1) % self._capacity
+
+    def snapshot(self) -> List[float]:
+        return list(self._samples)
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """An immutable picture of a service's counters at one instant."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+    batched: Dict[str, int] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Per-kind nearest-rank quantiles over the recent-latency window, in
+    #: seconds per query (batch calls contribute their per-query average).
+    latency_p50: Dict[str, float] = field(default_factory=dict)
+    latency_p95: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_queries(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def cache_hit_rate(self) -> float:
+        probes = self.cache_hits + self.cache_misses
+        return self.cache_hits / probes if probes else 0.0
+
+    def render(self) -> str:
+        """A human-readable multi-line report (the serve-stats output)."""
+        lines = ["%-16s %10s %10s %12s %12s" % ("query", "count", "batched",
+                                                "p50 (us)", "p95 (us)")]
+        for kind in QUERY_KINDS:
+            lines.append("%-16s %10d %10d %12.1f %12.1f" % (
+                kind,
+                self.counts.get(kind, 0),
+                self.batched.get(kind, 0),
+                1e6 * self.latency_p50.get(kind, 0.0),
+                1e6 * self.latency_p95.get(kind, 0.0),
+            ))
+        lines.append("total queries:  %d" % self.total_queries)
+        lines.append("cache:          %.1f%% hit rate (%d hits / %d misses)" % (
+            100.0 * self.cache_hit_rate, self.cache_hits, self.cache_misses))
+        return "\n".join(lines)
+
+
+class ServiceStats:
+    """Thread-safe accumulator behind :class:`StatsSnapshot`."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW):
+        if window <= 0:
+            raise ValueError("latency window must be positive")
+        self._lock = threading.Lock()
+        self._window = window
+        self._reset_locked()
+
+    def _reset_locked(self) -> None:
+        self._counts = {kind: 0 for kind in QUERY_KINDS}
+        self._batched = {kind: 0 for kind in QUERY_KINDS}
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._reservoirs = {kind: _Reservoir(self._window) for kind in QUERY_KINDS}
+
+    def record(self, kind: str, seconds: float, queries: int = 1,
+               batched: bool = False) -> None:
+        """Count ``queries`` served in ``seconds`` (one call's wall time)."""
+        if kind not in self._counts:
+            raise ValueError("unknown query kind %r" % kind)
+        if queries <= 0:
+            return
+        with self._lock:
+            self._counts[kind] += queries
+            if batched:
+                self._batched[kind] += queries
+            self._reservoirs[kind].record(seconds / queries)
+
+    def record_cache(self, hits: int, misses: int) -> None:
+        with self._lock:
+            self._cache_hits += hits
+            self._cache_misses += misses
+
+    def reset(self) -> None:
+        with self._lock:
+            self._reset_locked()
+
+    def snapshot(self) -> StatsSnapshot:
+        with self._lock:
+            samples = {kind: res.snapshot() for kind, res in self._reservoirs.items()}
+            return StatsSnapshot(
+                counts=dict(self._counts),
+                batched=dict(self._batched),
+                cache_hits=self._cache_hits,
+                cache_misses=self._cache_misses,
+                latency_p50={k: quantile(v, 0.50) for k, v in samples.items()},
+                latency_p95={k: quantile(v, 0.95) for k, v in samples.items()},
+            )

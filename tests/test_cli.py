@@ -133,6 +133,39 @@ class TestQuery:
         assert main(["query", pes_file, "list_points_to", "1", "2"]) == 2
 
 
+class TestServeStats:
+    @pytest.fixture
+    def pes_file(self, pm_file, tmp_path):
+        out = str(tmp_path / "paper.pes")
+        main(["encode", pm_file, out])
+        return out
+
+    def test_single_file(self, pes_file, capsys):
+        assert main(["serve-stats", pes_file, "--queries", "500"]) == 0
+        captured = capsys.readouterr().out
+        assert "1 shard(s), 7 pointers, 5 objects" in captured
+        assert "replayed 500 queries" in captured
+        assert "hit rate" in captured
+        assert "is_alias" in captured
+
+    def test_sharded_and_unbatched(self, pes_file, capsys):
+        assert main(["serve-stats", pes_file, pes_file,
+                     "--queries", "200", "--batch-size", "1",
+                     "--cache-size", "0"]) == 0
+        captured = capsys.readouterr().out
+        assert "2 shard(s), 14 pointers, 5 objects" in captured
+        assert "0.0% hit rate" in captured
+
+    def test_segment_mode(self, pes_file, capsys):
+        assert main(["serve-stats", pes_file, "--queries", "100",
+                     "--mode", "segment"]) == 0
+        assert "replayed 100 queries" in capsys.readouterr().out
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        assert main(["serve-stats", str(tmp_path / "nope.pes")]) == 1
+        assert "error" in capsys.readouterr().err
+
+
 class TestFormatVersionFlag:
     def test_default_writes_pestrie3(self, pm_file, tmp_path):
         out = tmp_path / "v3.pes"

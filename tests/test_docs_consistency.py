@@ -28,6 +28,7 @@ class TestPublicSurface:
             "repro.analysis",
             "repro.bench",
             "repro.clients",
+            "repro.serve",
             "repro.cli",
         ],
     )

@@ -1,0 +1,51 @@
+"""The Figure 1 / Table 2 characteristics measurement."""
+
+import statistics
+
+from repro.bench.metrics import characterize
+from repro.matrix.points_to import PointsToMatrix
+
+
+def _matrix_with_degrees(rows):
+    n_objects = max((obj for row in rows for obj in row), default=-1) + 1
+    return PointsToMatrix.from_rows(rows, max(n_objects, 1))
+
+
+class TestMedianHubDegree:
+    def test_odd_length(self):
+        # Three objects with clearly different hub degrees.
+        matrix = _matrix_with_degrees([[0], [0], [0], [1], [2], [2]])
+        from repro.core.hub import hub_degrees
+
+        degrees = hub_degrees(matrix)
+        assert characterize(matrix).median_hub_degree == statistics.median(degrees)
+
+    def test_even_length_averages_middle_pair(self):
+        # Two objects: degrees differ, so the median is their midpoint —
+        # the upper-middle element (what sorted[len//2] used to return)
+        # would be wrong here.
+        matrix = _matrix_with_degrees([[0], [0], [0], [1]])
+        from repro.core.hub import hub_degrees
+
+        degrees = sorted(hub_degrees(matrix))
+        assert len(degrees) == 2
+        expected = (degrees[0] + degrees[1]) / 2
+        result = characterize(matrix).median_hub_degree
+        assert result == expected
+        assert result != degrees[1]
+
+    def test_empty_matrix(self):
+        matrix = PointsToMatrix(0, 0)
+        assert characterize(matrix).median_hub_degree == 0.0
+
+
+class TestCharacteristics:
+    def test_counts_and_ratios(self, paper_matrix):
+        stats = characterize(paper_matrix)
+        assert stats.n_pointers == 7
+        assert stats.n_objects == 5
+        assert stats.facts == paper_matrix.fact_count()
+        assert 0.0 < stats.pointer_class_ratio <= 1.0
+        assert 0.0 < stats.object_class_ratio <= 1.0
+        assert abs(sum(stats.hub_bucket_fractions) - 1.0) < 1e-9
+        assert 0.0 <= stats.hub_mass_top_decile <= 1.0

@@ -3,7 +3,10 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.decoder import PestriePayload
 from repro.core.pipeline import encode, index_from_bytes
+from repro.core.query import PestrieIndex
+from repro.core.segment_tree import Rect
 from repro.matrix.points_to import PointsToMatrix
 
 from conftest import make_random_matrix, matrices
@@ -112,6 +115,65 @@ class TestPesRecovery:
         index = _index(matrix, order="hub")
         for pointer in range(matrix.n_pointers):
             assert index.pes_of(pointer) == pestrie.pes_of_pointer(pointer)
+
+
+class TestEventSweepBuild:
+    """The ptList build must never expand rectangles column by column."""
+
+    WIDTH = 10_000_000
+
+    def _wide_payload(self):
+        """Two PESs and one rectangle spanning millions of columns."""
+        half = self.WIDTH // 2
+        return PestriePayload(
+            n_pointers=4,
+            n_objects=2,
+            n_groups=self.WIDTH,
+            pointer_ts=[0, half - 1, half, None],
+            object_ts=[0, half],
+            rects=[(Rect(x1=0, x2=half - 1, y1=half, y2=self.WIDTH - 1), True)],
+        )
+
+    def test_wide_rectangle_loads_without_blowup(self):
+        """O(R log R) construction: a 10M-column rectangle must build a
+        handful of shared slabs, not one list per covered column."""
+        index = PestrieIndex(self._wide_payload())
+        # One rectangle -> forward + mirror spans -> at most 5 slabs; the
+        # old per-column expansion would have made 10M entries here.
+        assert index._sweep.slab_count() <= 5
+        # Footprint stays in the kilobytes, nowhere near per-column scale.
+        assert index.memory_footprint() < 100_000
+
+    def test_wide_rectangle_answers(self):
+        index = PestrieIndex(self._wide_payload())
+        # Pointers 0/1 share PES 0; pointer 2 is PES 1; the rectangle
+        # aliases the two PESs and records that PES-0 pointers point to
+        # object 1 (Case 1).
+        assert index.is_alias(0, 1)
+        assert index.is_alias(0, 2)
+        assert index.is_alias(1, 2)
+        assert not index.is_alias(0, 3)
+        assert sorted(index.list_points_to(0)) == [0, 1]
+        assert sorted(index.list_points_to(2)) == [1]
+        assert sorted(index.list_aliases(2)) == [0, 1]
+        assert sorted(index.list_pointed_by(1)) == [0, 1, 2]
+
+    def test_wide_rectangle_batch(self):
+        index = PestrieIndex(self._wide_payload())
+        pairs = [(0, 1), (0, 2), (0, 3), (3, 3), (2, 1)]
+        assert index.is_alias_batch(pairs) == [
+            index.is_alias(p, q) for p, q in pairs
+        ]
+
+    @settings(max_examples=40)
+    @given(matrices(), st.sampled_from(["hub", "identity", "random"]))
+    def test_batch_matches_single(self, matrix, order):
+        index = _index(matrix, order=order, seed=13)
+        pairs = [(p, q) for p in range(matrix.n_pointers)
+                 for q in range(matrix.n_pointers)]
+        assert index.is_alias_batch(pairs) == [
+            matrix.is_alias(p, q) for p, q in pairs
+        ]
 
 
 class TestMaterialize:

@@ -1,0 +1,277 @@
+"""The serve layer: AliasService, sharding, caching, stats, concurrency."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import encode, index_from_bytes
+from repro.matrix.points_to import PointsToMatrix
+from repro.serve import AliasService, LRUCache, ShardedIndex
+from repro.serve.stats import QUERY_KINDS, quantile
+
+from conftest import make_random_matrix, matrices
+
+
+def _shard_matrices(matrix, cuts):
+    """Split a matrix into row-slice shards at the given cut points."""
+    shards = []
+    bounds = [0] + list(cuts) + [matrix.n_pointers]
+    for lo, hi in zip(bounds, bounds[1:]):
+        sub = PointsToMatrix(hi - lo, matrix.n_objects)
+        for p in range(lo, hi):
+            for obj in matrix.rows[p]:
+                sub.add(p - lo, obj)
+        shards.append(sub)
+    return shards
+
+
+class TestModeParity:
+    """All query structures answer all four Table 1 queries identically."""
+
+    @settings(max_examples=50)
+    @given(matrices(), st.sampled_from(["hub", "identity", "random"]))
+    def test_all_queries_agree_pointwise(self, matrix, order):
+        data = encode(matrix, order=order, seed=5)
+        ptlist = index_from_bytes(data, mode="ptlist")  # event-sweep build
+        segment = index_from_bytes(data, mode="segment")
+        for p in range(matrix.n_pointers):
+            expected_points = matrix.list_points_to(p)
+            expected_aliases = matrix.list_aliases(p)
+            for backend in (ptlist, segment):
+                assert sorted(backend.list_points_to(p)) == expected_points
+                assert sorted(backend.list_aliases(p)) == expected_aliases
+            for q in range(matrix.n_pointers):
+                expected = matrix.is_alias(p, q)
+                assert ptlist.is_alias(p, q) == expected
+                assert segment.is_alias(p, q) == expected
+        for obj in range(matrix.n_objects):
+            expected = matrix.list_pointed_by(obj)
+            assert sorted(ptlist.list_pointed_by(obj)) == expected
+            assert sorted(segment.list_pointed_by(obj)) == expected
+
+
+class TestLRUCache:
+    def test_put_get_and_eviction(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes "a"
+        cache.put("c", 3)  # evicts "b", the least recent
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert len(cache) == 2
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+
+class TestQuantile:
+    def test_empty(self):
+        assert quantile([], 0.5) == 0.0
+
+    def test_basic(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert quantile(samples, 0.0) == 1.0
+        assert quantile(samples, 0.95) == 4.0
+
+
+class TestAliasService:
+    @pytest.fixture
+    def matrix(self):
+        return make_random_matrix(50, 15, density=0.15, seed=3)
+
+    @pytest.fixture
+    def service(self, matrix):
+        return AliasService.from_index(index_from_bytes(encode(matrix)))
+
+    def test_single_queries_match_oracle(self, matrix, service):
+        for p in range(matrix.n_pointers):
+            assert sorted(service.list_aliases(p)) == matrix.list_aliases(p)
+            assert sorted(service.list_points_to(p)) == matrix.list_points_to(p)
+            for q in range(matrix.n_pointers):
+                assert service.is_alias(p, q) == matrix.is_alias(p, q)
+        for obj in range(matrix.n_objects):
+            assert sorted(service.list_pointed_by(obj)) == matrix.list_pointed_by(obj)
+
+    def test_batch_matches_single(self, matrix, service):
+        pairs = [(p, q) for p in range(matrix.n_pointers)
+                 for q in range(0, matrix.n_pointers, 3)]
+        assert service.is_alias_batch(pairs) == [
+            matrix.is_alias(p, q) for p, q in pairs
+        ]
+        pointers = list(range(matrix.n_pointers)) * 2
+        many = service.list_aliases_many(pointers)
+        assert [sorted(row) for row in many] == [
+            matrix.list_aliases(p) for p in pointers
+        ]
+        points = service.points_to_batch(pointers)
+        assert [sorted(row) for row in points] == [
+            matrix.list_points_to(p) for p in pointers
+        ]
+        objects = list(range(matrix.n_objects))
+        pointed = service.pointed_by_batch(objects)
+        assert [sorted(row) for row in pointed] == [
+            matrix.list_pointed_by(obj) for obj in objects
+        ]
+
+    def test_cache_hits_on_repeats(self, service):
+        assert service.is_alias(0, 1) == service.is_alias(1, 0)
+        snapshot = service.stats()
+        assert snapshot.cache_hits == 1  # symmetric pair normalised to one key
+        assert snapshot.cache_misses == 1
+        assert 0.0 < snapshot.cache_hit_rate < 1.0
+
+    def test_cache_disabled(self, matrix):
+        service = AliasService.from_index(index_from_bytes(encode(matrix)),
+                                          cache_size=0)
+        service.is_alias(0, 1)
+        service.is_alias(0, 1)
+        snapshot = service.stats()
+        assert snapshot.cache_hits == 0
+        assert snapshot.cache_misses == 2
+        assert service.cache_size() == 0
+
+    def test_stats_counters_and_reset(self, service):
+        service.is_alias(0, 1)
+        service.list_aliases(2)
+        service.is_alias_batch([(0, 1), (2, 3)])
+        snapshot = service.stats()
+        assert snapshot.counts["is_alias"] == 3
+        assert snapshot.batched["is_alias"] == 2
+        assert snapshot.counts["list_aliases"] == 1
+        assert snapshot.total_queries == 4
+        assert set(snapshot.latency_p50) == set(QUERY_KINDS)
+        assert snapshot.latency_p95["is_alias"] >= 0.0
+        rendered = snapshot.render()
+        assert "is_alias" in rendered and "hit rate" in rendered
+        service.reset_stats()
+        assert service.stats().total_queries == 0
+
+    def test_clear_cache(self, service):
+        service.is_alias(0, 1)
+        assert service.cache_size() == 1
+        service.clear_cache()
+        assert service.cache_size() == 0
+
+
+class TestShardedIndex:
+    @pytest.fixture
+    def matrix(self):
+        return make_random_matrix(60, 18, density=0.12, seed=11)
+
+    @pytest.fixture
+    def sharded(self, matrix):
+        slices = _shard_matrices(matrix, cuts=(20, 45))
+        return ShardedIndex([index_from_bytes(encode(sub)) for sub in slices])
+
+    def test_needs_a_shard(self):
+        with pytest.raises(ValueError):
+            ShardedIndex([])
+
+    def test_routing(self, sharded):
+        assert sharded.shard_count == 3
+        assert sharded.n_pointers == 60
+        assert sharded.shard_of(0) == (0, 0)
+        assert sharded.shard_of(20) == (1, 0)
+        assert sharded.shard_of(59) == (2, 14)
+        with pytest.raises(IndexError):
+            sharded.shard_of(60)
+        with pytest.raises(IndexError):
+            sharded.list_pointed_by(sharded.n_objects)
+
+    def test_queries_match_oracle(self, matrix, sharded):
+        for p in range(matrix.n_pointers):
+            assert sorted(sharded.list_points_to(p)) == matrix.list_points_to(p)
+            assert sorted(sharded.list_aliases(p)) == matrix.list_aliases(p), p
+            for q in range(0, matrix.n_pointers, 2):
+                assert sharded.is_alias(p, q) == matrix.is_alias(p, q), (p, q)
+        for obj in range(matrix.n_objects):
+            assert sorted(sharded.list_pointed_by(obj)) == matrix.list_pointed_by(obj)
+
+    def test_batch_matches_oracle(self, matrix, sharded):
+        pairs = [(p, q) for p in range(0, 60, 3) for q in range(0, 60, 4)]
+        assert sharded.is_alias_batch(pairs) == [
+            matrix.is_alias(p, q) for p, q in pairs
+        ]
+
+    def test_sharded_service_from_files(self, matrix, tmp_path):
+        from repro.core.pipeline import persist
+
+        paths = []
+        for number, sub in enumerate(_shard_matrices(matrix, cuts=(30,))):
+            path = str(tmp_path / ("shard%d.pes" % number))
+            persist(sub, path)
+            paths.append(path)
+        service = AliasService.from_files(paths)
+        assert isinstance(service.backend, ShardedIndex)
+        assert service.n_pointers == matrix.n_pointers
+        for p in range(0, matrix.n_pointers, 5):
+            assert sorted(service.list_aliases(p)) == matrix.list_aliases(p)
+
+
+class TestConcurrency:
+    """The service must be safe to hammer from many threads."""
+
+    THREADS = 6
+    ROUNDS = 3
+
+    def test_threads_agree_with_sequential_oracle(self):
+        matrix = make_random_matrix(40, 12, density=0.18, seed=7)
+        slices = _shard_matrices(matrix, cuts=(18,))
+        service = AliasService.from_indexes(
+            [index_from_bytes(encode(sub)) for sub in slices], cache_size=64
+        )
+        pair_oracle = {
+            (p, q): matrix.is_alias(p, q)
+            for p in range(matrix.n_pointers)
+            for q in range(matrix.n_pointers)
+        }
+        alias_oracle = {p: matrix.list_aliases(p) for p in range(matrix.n_pointers)}
+        points_oracle = {p: matrix.list_points_to(p) for p in range(matrix.n_pointers)}
+
+        failures = []
+        barrier = threading.Barrier(self.THREADS)
+
+        def worker(slot):
+            try:
+                barrier.wait()
+                for _ in range(self.ROUNDS):
+                    for p in range(matrix.n_pointers):
+                        q = (p * 7 + slot) % matrix.n_pointers
+                        if service.is_alias(p, q) != pair_oracle[(p, q)]:
+                            failures.append(("is_alias", p, q))
+                        if sorted(service.list_aliases(p)) != alias_oracle[p]:
+                            failures.append(("list_aliases", p))
+                    pairs = [(p, (p + slot) % matrix.n_pointers)
+                             for p in range(matrix.n_pointers)]
+                    for (p, q), answer in zip(pairs, service.is_alias_batch(pairs)):
+                        if answer != pair_oracle[(p, q)]:
+                            failures.append(("is_alias_batch", p, q))
+                    pointers = list(range(matrix.n_pointers))
+                    for p, row in zip(pointers, service.points_to_batch(pointers)):
+                        if sorted(row) != points_oracle[p]:
+                            failures.append(("points_to_batch", p))
+            except Exception as error:  # pragma: no cover - debugging aid
+                failures.append(("exception", slot, repr(error)))
+
+        threads = [threading.Thread(target=worker, args=(slot,))
+                   for slot in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not failures, failures[:10]
+        # Every issued query was counted, none lost to races.
+        per_thread = self.ROUNDS * matrix.n_pointers * 4
+        assert service.stats().total_queries == self.THREADS * per_thread
