@@ -1,0 +1,115 @@
+"""Extension — incremental update latency: DELTA append vs full re-encode.
+
+The reason the delta subsystem exists: a single new points-to fact should
+not cost a full Pestrie rebuild (object ordering + trie construction +
+rectangle generation + encode).  This bench applies single-fact edits to a
+medium synthetic workload three ways — full re-encode to disk, durable
+DELTA append (read, verify, append, atomic rewrite), and pure in-memory
+overlay extension — and reports per-update latency for each.
+
+The acceptance gate: the durable append path must be at least 10× faster
+than the rebuild path (2× under ``BENCH_SMOKE``, where the base is small
+enough that fixed per-call costs dominate).
+"""
+
+import os
+import random
+
+from repro.bench.harness import Table, timed
+from repro.bench.synthetic import SyntheticSpec, synthesize
+from repro.core.pipeline import persist
+from repro.delta import DeltaLog, append_delta, compact_file, load_overlay
+
+from conftest import write_result
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+N_POINTERS = 300 if SMOKE else 1500
+N_OBJECTS = 80 if SMOKE else 300
+UPDATES = 8 if SMOKE else 20
+MIN_SPEEDUP = 2.0 if SMOKE else 10.0
+
+
+def _absent_fact(rng, matrix):
+    while True:
+        pointer = rng.randrange(matrix.n_pointers)
+        obj = rng.randrange(matrix.n_objects)
+        if obj not in matrix.rows[pointer]:
+            return pointer, obj
+
+
+def test_delta_update_latency(benchmark, tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("delta-bench"))
+    matrix = synthesize(SyntheticSpec(n_pointers=N_POINTERS, n_objects=N_OBJECTS,
+                                      seed=21))
+    path = os.path.join(directory, "base.pes")
+    build = timed(lambda: persist(matrix, path))
+    rng = random.Random(21)
+
+    # Baseline: one inserted fact, full re-encode to disk.
+    rebuild_path = os.path.join(directory, "rebuild.pes")
+    rebuild_seconds = []
+    for _ in range(UPDATES):
+        pointer, obj = _absent_fact(rng, matrix)
+        matrix.add(pointer, obj)
+        rebuild_seconds.append(timed(lambda: persist(matrix, rebuild_path)).seconds)
+        matrix.rows[pointer].discard(obj)
+
+    # Durable path: verify base + chain, append one checksummed record.
+    applied = []
+    append_seconds = []
+    for _ in range(UPDATES):
+        pointer, obj = _absent_fact(rng, matrix)
+        log = DeltaLog().insert(pointer, obj)
+        append_seconds.append(timed(lambda: append_delta(path, log)).seconds)
+        applied.append((pointer, obj))
+        matrix.add(pointer, obj)  # track the evolving ground truth
+
+    # The appended answers must be the real answers.
+    overlay = load_overlay(path)
+    assert overlay.materialize() == matrix
+    for pointer, obj in applied:
+        assert overlay.points_to_contains(pointer, obj)
+
+    # In-memory path: extend a live overlay, no disk at all.
+    extend_seconds = []
+    for _ in range(UPDATES):
+        pointer, obj = _absent_fact(rng, matrix)
+        log = DeltaLog().insert(pointer, obj)
+        run = timed(lambda: overlay.extend(log))
+        extend_seconds.append(run.seconds)
+
+    compaction = timed(lambda: compact_file(path))
+    assert load_overlay(path).materialize() == matrix
+
+    mean_rebuild = sum(rebuild_seconds) / len(rebuild_seconds)
+    mean_append = sum(append_seconds) / len(append_seconds)
+    mean_extend = sum(extend_seconds) / len(extend_seconds)
+
+    table = Table(
+        title="Extension — single-fact update latency (%d pointers, %d objects, "
+              "%d facts)" % (N_POINTERS, N_OBJECTS, matrix.fact_count()),
+        columns=("Path", "mean ms/update", "vs rebuild"),
+        note="Mean of %d single-fact inserts.  Initial build %.1f ms; "
+             "compacting the %d-record chain back to a clean base took %.1f ms."
+             % (UPDATES, 1e3 * build.seconds, UPDATES, 1e3 * compaction.seconds),
+    )
+    for label, seconds in (
+        ("full re-encode", mean_rebuild),
+        ("durable DELTA append", mean_append),
+        ("in-memory overlay extend", mean_extend),
+    ):
+        table.add(
+            Path=label,
+            **{"mean ms/update": 1e3 * seconds,
+               "vs rebuild": "%.0fx" % (mean_rebuild / max(seconds, 1e-9))},
+        )
+    write_result("delta_update.txt", table.render())
+
+    assert mean_append * MIN_SPEEDUP <= mean_rebuild, (
+        "durable append %.3f ms is not %.0fx faster than rebuild %.3f ms"
+        % (1e3 * mean_append, MIN_SPEEDUP, 1e3 * mean_rebuild)
+    )
+    assert mean_extend <= mean_append
+
+    pointer, obj = _absent_fact(rng, matrix)
+    benchmark(lambda: append_delta(path, DeltaLog().insert(pointer, obj)))

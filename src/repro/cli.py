@@ -9,6 +9,8 @@ Mirrors the workflow of the paper's released C++ artefact (a pair of
     repro-pestrie verify   app.pes                # integrity check (CRC etc.)
     repro-pestrie query    app.pes is_alias 3 7
     repro-pestrie query    app.pes list_points_to 3
+    repro-pestrie delta-append app.pes --insert 3:1 --delete 0:2
+    repro-pestrie compact  app.pes                # fold DELTA records back in
     repro-pestrie bench    app.ir                 # size comparison table
     repro-pestrie serve-stats app.pes lib.pes     # service throughput/stats
 
@@ -109,10 +111,13 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def cmd_info(args: argparse.Namespace) -> int:
+    from .delta import decode_records, split_image
+
     with open(args.file, "rb") as stream:
         data = stream.read()
     version, compact = detect_format(data)
-    payload = decode_bytes(data)
+    base, tail = split_image(data)
+    payload = decode_bytes(base)
     print("format:       PESTRIE%d (%s ints)" % (version, "varint" if compact else "raw"))
     tracked = sum(1 for ts in payload.pointer_ts if ts is not None)
     case1 = sum(1 for _, flag in payload.rects if flag)
@@ -128,31 +133,45 @@ def cmd_info(args: argparse.Namespace) -> int:
     print("  points:     %d" % points)
     print("  lines:      %d" % lines)
     print("  full rects: %d" % (len(payload.rects) - points - lines))
+    if tail:
+        records = decode_records(data, len(base), payload.n_pointers, payload.n_objects)
+        inserts = sum(len(record.inserts) for record in records)
+        deletes = sum(len(record.deletes) for record in records)
+        print("delta:        %d record(s), +%d/-%d facts, %d bytes"
+              % (len(records), inserts, deletes, len(tail)))
     print("file size:    %d bytes" % os.path.getsize(args.file))
     return 0
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
     """Decode a persistent file end-to-end and report whether it is intact."""
+    from .delta import decode_records, split_image
+
     try:
         with open(args.file, "rb") as stream:
             data = stream.read()
         version, _compact = detect_format(data)
-        payload = decode_bytes(data)
+        base, tail = split_image(data)
+        payload = decode_bytes(base)
         # Building the query structure exercises the cross-consistency the
         # clients rely on, not just the byte-level checks.
         PestrieIndex(payload)
+        records = []
+        if tail:
+            records = decode_records(data, len(base), payload.n_pointers,
+                                     payload.n_objects)
     except CorruptFileError as error:
         print("%s: CORRUPT — %s" % (args.file, error), file=sys.stderr)
         return 1
-    print("%s: OK (PESTRIE%d, %d pointers, %d objects, %d groups, %d rectangles)"
+    delta_note = ", %d delta record(s)" % len(records) if records else ""
+    print("%s: OK (PESTRIE%d, %d pointers, %d objects, %d groups, %d rectangles%s)"
           % (args.file, version, payload.n_pointers, payload.n_objects,
-             payload.n_groups, len(payload.rects)))
+             payload.n_groups, len(payload.rects), delta_note))
     return 0
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    index = load_index(args.file, mode=args.mode)
+    index = _load_queryable(args.file, args.mode)
     operands = [int(value) for value in args.operands]
     if args.kind == "is_alias":
         if len(operands) != 2:
@@ -170,6 +189,87 @@ def cmd_query(args: argparse.Namespace) -> int:
     else:
         answer = index.list_aliases(operands[0])
     print(" ".join(str(value) for value in sorted(answer)))
+    return 0
+
+
+def _load_queryable(path: str, mode: str):
+    """Load a file into a query structure, delta-aware for PESTRIE3."""
+    with open(path, "rb") as stream:
+        data = stream.read()
+    if detect_format(data)[0] == 3:
+        from .delta import overlay_from_bytes
+
+        return overlay_from_bytes(data, mode=mode)
+    return load_index(path, mode=mode)
+
+
+def _parse_fact(text: str) -> tuple:
+    fields = text.split(":")
+    if len(fields) != 2:
+        raise ValueError("fact %r must be '<pointer>:<object>'" % text)
+    return int(fields[0]), int(fields[1])
+
+
+def _log_from_args(args: argparse.Namespace):
+    """Build the edit script: --edits file lines first, then --insert/--delete."""
+    from .delta import DeltaLog
+
+    log = DeltaLog()
+    if args.edits:
+        with open(args.edits) as stream:
+            for line_number, line in enumerate(stream, start=1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                fields = line.split()
+                if len(fields) != 3 or fields[0] not in ("+", "-"):
+                    raise ValueError("%s:%d: expected '+ <pointer> <object>' or "
+                                     "'- <pointer> <object>'" % (args.edits, line_number))
+                if fields[0] == "+":
+                    log.insert(int(fields[1]), int(fields[2]))
+                else:
+                    log.delete(int(fields[1]), int(fields[2]))
+    for fact in args.insert or ():
+        log.insert(*_parse_fact(fact))
+    for fact in args.delete or ():
+        log.delete(*_parse_fact(fact))
+    return log
+
+
+def cmd_delta_append(args: argparse.Namespace) -> int:
+    """Append an edit script to a .pes file as a checksummed DELTA record."""
+    from .delta import append_delta
+
+    log = _log_from_args(args)
+    if log.is_no_op():
+        print("no edits given; %s unchanged" % args.file, file=sys.stderr)
+        return 2
+    try:
+        result = append_delta(args.file, log, auto_compact_ratio=args.auto_compact)
+    except CorruptFileError as error:
+        print("%s: CORRUPT — %s" % (args.file, error), file=sys.stderr)
+        return 1
+    if result.compacted:
+        print("%s: delta ratio exceeded %.2f — compacted to %d bytes"
+              % (args.file, args.auto_compact, result.file_size))
+    else:
+        print("%s: appended %d bytes (%d record(s), %d ops) -> %d bytes"
+              % (args.file, result.bytes_appended, result.record_count,
+                 len(log), result.file_size))
+    return 0
+
+
+def cmd_compact(args: argparse.Namespace) -> int:
+    """Fold a file's DELTA records into a fresh base image."""
+    from .delta import compact_file
+
+    out = args.output or args.file
+    try:
+        size = compact_file(args.file, out=args.output, order=args.order)
+    except CorruptFileError as error:
+        print("%s: CORRUPT — %s" % (args.file, error), file=sys.stderr)
+        return 1
+    print("%s: compacted -> %s (%d bytes)" % (args.file, out, size))
     return 0
 
 
@@ -288,6 +388,36 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--mode", default="ptlist", choices=("ptlist", "segment"),
                        help="query structure: per-column lists or low-memory segment tree")
     query.set_defaults(handler=cmd_query)
+
+    delta_append = sub.add_parser(
+        "delta-append",
+        help="append points-to fact edits to a .pes file without re-encoding",
+    )
+    delta_append.add_argument("file")
+    delta_append.add_argument("--insert", action="append", metavar="P:O",
+                              help="insert the fact 'pointer P points to object O' "
+                                   "(repeatable)")
+    delta_append.add_argument("--delete", action="append", metavar="P:O",
+                              help="retract the fact 'pointer P points to object O' "
+                                   "(repeatable)")
+    delta_append.add_argument("--edits", metavar="FILE",
+                              help="edit-script file: one '+ P O' or '- P O' per "
+                                   "line, applied before --insert/--delete")
+    delta_append.add_argument("--auto-compact", type=float, default=None,
+                              metavar="RATIO",
+                              help="re-encode in place once |delta|/facts exceeds "
+                                   "RATIO (e.g. 0.2)")
+    delta_append.set_defaults(handler=cmd_delta_append)
+
+    compact = sub.add_parser(
+        "compact", help="fold a .pes file's DELTA records into a fresh base image"
+    )
+    compact.add_argument("file")
+    compact.add_argument("-o", "--output", default=None,
+                         help="write the compacted file here (default: in place)")
+    compact.add_argument("--order", default="hub",
+                         choices=("hub", "simple", "identity", "random"))
+    compact.set_defaults(handler=cmd_compact)
 
     serve_stats = sub.add_parser(
         "serve-stats",

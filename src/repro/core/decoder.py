@@ -22,7 +22,7 @@ import struct
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from .encoder import ABSENT, FLAG_COMPACT, MAGIC_COMPACT, MAGIC_RAW, MAGIC_V3
+from .encoder import ABSENT, FLAG_COMPACT, MAGIC_COMPACT, MAGIC_DELTA, MAGIC_RAW, MAGIC_V3
 from .ioutil import crc32
 from .segment_tree import Rect
 
@@ -282,6 +282,33 @@ def _decode_v3(data: bytes) -> PestriePayload:
     return _assemble(header, sections, compact)
 
 
+def base_image_size(data: bytes) -> int:
+    """Byte length of the leading persistent image inside ``data``.
+
+    ``PESTRIE3`` headers carry per-section byte lengths, so the size of a
+    complete image is computable from its fixed-width prefix without
+    trusting anything behind it — which is what lets DELTA records (see
+    ``repro.delta``) be appended after the CRC trailer.  Legacy formats are
+    never followed by appended records, so their base is the whole input.
+    The size is bounds-checked against the bytes actually present; the
+    image content is *not* otherwise verified.
+    """
+    version, _compact = detect_format(data)
+    if version != 3:
+        return len(data)
+    if len(data) < _V3_MIN_SIZE:
+        raise CorruptFileError(
+            "truncated file (%d bytes, PESTRIE3 minimum is %d)" % (len(data), _V3_MIN_SIZE)
+        )
+    lengths = struct.unpack_from("<10I", data, 9 + 11 * 4)
+    size = _V3_HEADER_END + sum(lengths) + 4
+    if size > len(data):
+        raise CorruptFileError(
+            "section lengths add up to %d bytes but the file has %d" % (size, len(data))
+        )
+    return size
+
+
 def detect_format(data: bytes) -> Tuple[int, bool]:
     """The ``(version, compact)`` pair a file image claims to be.
 
@@ -303,9 +330,21 @@ def detect_format(data: bytes) -> Tuple[int, bool]:
 
 
 def decode_bytes(data: bytes) -> PestriePayload:
-    """Parse a persistent file image into a :class:`PestriePayload`."""
+    """Parse a persistent file image into a :class:`PestriePayload`.
+
+    The image must be exactly one persistent file: a ``PESTRIE3`` image
+    followed by appended DELTA records is rejected here with a pointer at
+    the delta-aware loader (``repro.delta.load_overlay``), because silently
+    ignoring the records would serve pre-update answers.
+    """
     version, compact = detect_format(data)
     if version == 3:
+        base = base_image_size(data)
+        if base != len(data) and data[base : base + 8] == MAGIC_DELTA:
+            raise CorruptFileError(
+                "file carries appended DELTA records; decode it with "
+                "repro.delta.load_overlay / overlay_from_bytes"
+            )
         return _decode_v3(data)
     return _decode_legacy(data, compact)
 

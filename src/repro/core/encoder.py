@@ -36,6 +36,12 @@ MAGIC_RAW = b"PESTRIE1"
 MAGIC_COMPACT = b"PESTRIE2"
 MAGIC_V3 = b"PESTRIE3"
 
+#: Magic of a DELTA record appended after a complete ``PESTRIE3`` image
+#: (see ``repro.delta``).  Lives here with the other magics so the decoder
+#: can tell "trailing garbage" from "delta records you must decode with the
+#: delta-aware loader".
+MAGIC_DELTA = b"PESDELT1"
+
 #: The format version new files are written in.
 DEFAULT_VERSION = 3
 

@@ -14,6 +14,16 @@ The persistence contract has exactly two legal outcomes for any input:
 For ``PESTRIE3`` the contract is strictly stronger: the CRC32 trailer means
 *any* effective mutation must be rejected.
 
+Delta-bearing images (a ``PESTRIE3`` base followed by appended DELTA
+records, see :mod:`repro.delta`) are fuzzed too.  Their clean contract:
+the overlay decode reproduces the edited matrix, and every record
+re-encodes byte-exactly.  Their corruption contract: a mutated image
+either raises :class:`~repro.core.decoder.CorruptFileError` or decodes to
+the result of applying a *prefix* of the record chain — the one legal
+survival, since truncating exactly at a record boundary is
+indistinguishable from a shorter (valid) chain.  A decode to anything
+else is a wrong answer, and a failure.
+
 Run it as a module::
 
     python -m repro.core.fuzz --iterations 500 --seed 0
@@ -64,6 +74,7 @@ class FuzzReport:
 
     cases: int = 0
     clean_round_trips: int = 0
+    delta_round_trips: int = 0
     corruptions: int = 0
     rejected: int = 0
     survived: int = 0
@@ -75,10 +86,10 @@ class FuzzReport:
 
     def summary(self) -> str:
         return (
-            "%d cases: %d clean round-trips, %d corruptions "
-            "(%d rejected, %d survived legacy validation), %d failures"
-            % (self.cases, self.clean_round_trips, self.corruptions,
-               self.rejected, self.survived, len(self.failures))
+            "%d cases: %d clean round-trips (+%d delta-chain round-trips), "
+            "%d corruptions (%d rejected, %d survived validation), %d failures"
+            % (self.cases, self.clean_round_trips, self.delta_round_trips,
+               self.corruptions, self.rejected, self.survived, len(self.failures))
         )
 
 
@@ -95,25 +106,36 @@ def random_matrix(rng: random.Random, max_pointers: int = 24, max_objects: int =
     return matrix
 
 
-def corrupt(rng: random.Random, data: bytes) -> tuple:
-    """One random mutation of ``data``; returns ``(kind, mutated_bytes)``."""
+def corrupt(rng: random.Random, data: bytes, delta_offset: Optional[int] = None) -> tuple:
+    """One random mutation of ``data``; returns ``(kind, mutated_bytes)``.
+
+    With ``delta_offset`` given (the byte where appended DELTA records
+    start), mutations target the record tail: flips and sets land inside
+    it, truncation cuts within it (keeping the base image intact — the
+    hardest case for the decoder, since the base alone is valid), and
+    count splices hit a record's ``n_insert``/``n_delete``/length words.
+    """
     kind = rng.choice(MUTATIONS)
+    low = 0 if delta_offset is None else delta_offset
     blob = bytearray(data)
     if kind == "bit_flip":
-        position = rng.randrange(len(blob))
+        position = rng.randrange(low, len(blob))
         blob[position] ^= 1 << rng.randrange(8)
     elif kind == "byte_set":
-        position = rng.randrange(len(blob))
+        position = rng.randrange(low, len(blob))
         blob[position] = rng.randrange(256)
     elif kind == "truncate":
-        blob = blob[: rng.randrange(len(blob))]
+        blob = blob[: rng.randrange(low, len(blob))]
     elif kind == "extend":
         blob += bytes(rng.randrange(256) for _ in range(rng.randint(1, 12)))
     else:  # splice_count: overwrite a header word with a huge count
-        position = 8 + 4 * rng.randrange(11)
+        position = low + 8 + 1 + 4 * rng.randrange(3) if delta_offset is not None \
+            else 8 + 4 * rng.randrange(11)
         if position + 4 <= len(blob):
             value = rng.choice((0xFFFFFFFF, 0x7FFFFFFF, 0x10000, len(blob) * 8))
             blob[position : position + 4] = value.to_bytes(4, "little")
+    if delta_offset is not None:
+        kind = "delta_" + kind
     return kind, bytes(blob)
 
 
@@ -170,6 +192,103 @@ def _check_mutant(case: int, version: int, kind: str, mutated: bytes,
                                            "index build crashed: %r" % (error,)))
 
 
+def _random_edits(rng: random.Random, matrix: PointsToMatrix):
+    """A random edit script over ``matrix``'s id space, plus the edited matrix."""
+    import copy
+
+    from ..delta import DeltaLog
+
+    log = DeltaLog()
+    edited = copy.deepcopy(matrix)
+    for _ in range(rng.randint(1, 8)):
+        pointer = rng.randrange(matrix.n_pointers)
+        obj = rng.randrange(matrix.n_objects)
+        members = list(edited.rows[pointer])
+        if members and rng.random() < 0.4:
+            obj = rng.choice(members)  # bias deletions towards present facts
+            log.delete(pointer, obj)
+            edited.rows[pointer].discard(obj)
+        elif rng.random() < 0.6:
+            log.insert(pointer, obj)
+            edited.add(pointer, obj)
+        else:
+            log.delete(pointer, obj)
+            edited.rows[pointer].discard(obj)
+    return log, edited
+
+
+def _delta_chain(rng: random.Random, matrix: PointsToMatrix, data: bytes):
+    """Append 1–2 random DELTA records to ``data``.
+
+    Returns ``(image, prefix_matrices)`` where ``prefix_matrices[i]`` is
+    the matrix after applying the first ``i`` records — the full set of
+    answers a (possibly boundary-truncated) decode may legally produce.
+    """
+    from ..delta import encode_record
+
+    image = data
+    prefixes = [matrix]
+    current = matrix
+    for _ in range(rng.randint(1, 2)):
+        log, current = _random_edits(rng, current)
+        inserts, deletes = log.net()
+        image += encode_record(inserts, deletes, compact=rng.random() < 0.5)
+        prefixes.append(current)
+    return image, prefixes
+
+
+def _check_delta_clean(case: int, image: bytes, final: PointsToMatrix,
+                       report: FuzzReport) -> None:
+    from ..delta import decode_records, encode_record, overlay_from_bytes, split_image
+
+    try:
+        overlay = overlay_from_bytes(image)
+        recovered = overlay.materialize()
+    except Exception as error:  # noqa: BLE001 — any exception here is a bug
+        report.failures.append(FuzzFailure(case, 3, None,
+                                           "clean delta image failed to decode: %r" % (error,)))
+        return
+    if recovered != final:
+        report.failures.append(FuzzFailure(case, 3, None,
+                                           "overlay matrix differs from the edited input"))
+        return
+    base, tail = split_image(image)
+    records = decode_records(image, len(base), overlay.n_pointers, overlay.n_objects)
+    rebuilt = b"".join(
+        encode_record(record.inserts, record.deletes, compact=record.compact)
+        for record in records
+    )
+    if rebuilt != tail:
+        report.failures.append(FuzzFailure(case, 3, None,
+                                           "delta record re-encoding is not byte-exact"))
+        return
+    report.delta_round_trips += 1
+
+
+def _check_delta_mutant(case: int, kind: str, mutated: bytes,
+                        prefixes: Sequence[PointsToMatrix], report: FuzzReport) -> None:
+    from ..delta import overlay_from_bytes
+
+    report.corruptions += 1
+    try:
+        recovered = overlay_from_bytes(mutated).materialize()
+    except CorruptFileError:
+        report.rejected += 1
+        return
+    except Exception as error:  # noqa: BLE001 — uncontrolled escape
+        report.failures.append(FuzzFailure(case, 3, kind,
+                                           "uncontrolled exception %r" % (error,)))
+        return
+    # Per-record CRCs leave exactly one legal survival: a truncation at a
+    # record boundary, which is indistinguishable from a shorter chain and
+    # must decode to the corresponding prefix application.
+    if any(recovered == prefix for prefix in prefixes):
+        report.survived += 1
+        return
+    report.failures.append(FuzzFailure(case, 3, kind,
+                                       "delta image decoded to a non-prefix matrix"))
+
+
 def run_fuzz(iterations: int = 500, seed: int = 0, mutants_per_case: int = 3) -> FuzzReport:
     """Run ``iterations`` seeded cases; see the module docstring for the contract."""
     report = FuzzReport()
@@ -188,6 +307,16 @@ def run_fuzz(iterations: int = 500, seed: int = 0, mutants_per_case: int = 3) ->
             if mutated == data:
                 continue  # the mutation was a no-op; nothing to assert
             _check_mutant(case, version, kind, mutated, report)
+
+        # Half the PESTRIE3 cases also fuzz an append→decode round-trip.
+        if version == 3 and rng.random() < 0.5:
+            image, prefixes = _delta_chain(rng, matrix, data)
+            _check_delta_clean(case, image, prefixes[-1], report)
+            for _ in range(mutants_per_case):
+                kind, mutated = corrupt(rng, image, delta_offset=len(data))
+                if mutated == image:
+                    continue
+                _check_delta_mutant(case, kind, mutated, prefixes, report)
     return report
 
 

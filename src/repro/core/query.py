@@ -194,7 +194,11 @@ class PestrieIndex:
             for rect, _case1 in payload.rects:
                 self._segment.insert(rect)
 
-        # Case-1 rectangles per pointed-to object, for ListPointedBy.
+        # Case-1 rectangles per pointed-to object, for ListPointedBy and the
+        # O(log n) membership test.  Spans of one object are sorted; they are
+        # pairwise disjoint (same-object Case-1 rectangles share the object's
+        # PES y-block, so rectangle disjointness forces disjoint x-ranges),
+        # which is what the predecessor search in points_to_contains needs.
         self._case1_by_object: Dict[int, List[tuple]] = {}
         for rect, case1 in payload.rects:
             if case1:
@@ -204,6 +208,8 @@ class PestrieIndex:
                         "case-1 rectangle y1=%d is not an object origin timestamp" % rect.y1
                     )
                 self._case1_by_object.setdefault(obj, []).append((rect.x1, rect.x2))
+        for spans in self._case1_by_object.values():
+            spans.sort()
 
         # Raw rectangles, kept for bulk enumeration.
         self._rects = list(payload.rects)
@@ -331,6 +337,28 @@ class PestrieIndex:
         for entry in self._sweep.entries_at(ts_p):
             result.extend(self._pointers_in_range(entry.y1, entry.y2))
         return result
+
+    def points_to_contains(self, p: int, obj: int) -> bool:
+        """Membership test ``obj ∈ points-to(p)`` in O(log n).
+
+        ``p`` points to ``obj`` iff ``obj`` is ``p``'s own PES object or a
+        Case-1 rectangle of ``obj`` spans ``p``'s column; the per-object
+        span lists are sorted and disjoint, so one predecessor search
+        decides the latter.  This is the primitive the delta overlay uses
+        to normalise edits against the immutable base.
+        """
+        self._check_pointer(p)
+        self._check_object(obj)
+        ts_p = self._pointer_ts[p]
+        if ts_p is None:
+            return False
+        if self._pes_of_pointer[p] == obj:
+            return True
+        spans = self._case1_by_object.get(obj)
+        if not spans:
+            return False
+        index = bisect_right(spans, (ts_p, 0x7FFFFFFFFFFFFFFF)) - 1
+        return index >= 0 and spans[index][1] >= ts_p
 
     def list_points_to(self, p: int) -> List[int]:
         """The points-to set of ``p``."""

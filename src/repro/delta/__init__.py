@@ -1,0 +1,48 @@
+"""Incremental delta overlay for persistent Pestrie files.
+
+The paper's encoding is write-once: any change to the points-to relation
+means a full re-encode.  This package adds the LSM-style middle ground —
+checksummed DELTA records appended after the ``PESTRIE3`` CRC trailer, an
+in-memory :class:`OverlayIndex` that composes the immutable base with the
+net edits, and threshold-triggered compaction back to a clean base image.
+
+Typical flow::
+
+    from repro.delta import DeltaLog, append_delta, load_overlay
+
+    log = DeltaLog().insert(3, 1).delete(0, 2)
+    append_delta("facts.pestrie", log)          # microseconds, no re-encode
+    index = load_overlay("facts.pestrie")       # answers reflect the edits
+    index.is_alias(0, 3)
+"""
+
+from .format import DeltaRecord, decode_record, decode_records, encode_record, split_image
+from .log import DELETE, INSERT, DeltaLog
+from .overlay import DEFAULT_COMPACTION_RATIO, OverlayIndex
+from .persist import (
+    AppendResult,
+    append_delta,
+    compact_file,
+    load_overlay,
+    overlay_from_bytes,
+    tail_to_log,
+)
+
+__all__ = [
+    "AppendResult",
+    "DEFAULT_COMPACTION_RATIO",
+    "DELETE",
+    "DeltaLog",
+    "DeltaRecord",
+    "INSERT",
+    "OverlayIndex",
+    "append_delta",
+    "compact_file",
+    "decode_record",
+    "decode_records",
+    "encode_record",
+    "load_overlay",
+    "overlay_from_bytes",
+    "split_image",
+    "tail_to_log",
+]

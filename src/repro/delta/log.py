@@ -1,0 +1,92 @@
+"""The in-memory edit script: an ordered log of points-to fact edits.
+
+A :class:`DeltaLog` records *intent* — "pointer p gained object o", "p lost
+o" — in arrival order.  Serialisation and overlay composition both work on
+the *net* of the log (the last op per fact wins; everything earlier is
+shadowed), which is what makes the on-disk record canonical and the overlay
+state small.  Validation against a concrete base (is the deleted fact even
+present?) happens where the base is known: in
+:class:`~repro.delta.overlay.OverlayIndex`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+Fact = Tuple[int, int]
+
+INSERT = "+"
+DELETE = "-"
+
+#: One logged edit: ``(op, pointer, object)`` with op ``"+"`` or ``"-"``.
+Op = Tuple[str, int, int]
+
+
+class DeltaLog:
+    """An ordered script of points-to fact insertions and deletions."""
+
+    __slots__ = ("_ops",)
+
+    def __init__(self, ops: Iterable[Op] = ()):
+        self._ops: List[Op] = []
+        for op, pointer, obj in ops:
+            self._append(op, pointer, obj)
+
+    def _append(self, op: str, pointer: int, obj: int) -> None:
+        if op not in (INSERT, DELETE):
+            raise ValueError("unknown delta op %r; expected %r or %r" % (op, INSERT, DELETE))
+        if pointer < 0 or obj < 0:
+            raise ValueError("delta fact ids must be non-negative, got (%d, %d)"
+                             % (pointer, obj))
+        self._ops.append((op, pointer, obj))
+
+    def insert(self, pointer: int, obj: int) -> "DeltaLog":
+        """Record the fact *pointer may point to obj*; returns self."""
+        self._append(INSERT, pointer, obj)
+        return self
+
+    def delete(self, pointer: int, obj: int) -> "DeltaLog":
+        """Record the retraction of *pointer may point to obj*; returns self."""
+        self._append(DELETE, pointer, obj)
+        return self
+
+    @classmethod
+    def inserting(cls, facts: Iterable[Fact]) -> "DeltaLog":
+        return cls((INSERT, pointer, obj) for pointer, obj in facts)
+
+    @classmethod
+    def deleting(cls, facts: Iterable[Fact]) -> "DeltaLog":
+        return cls((DELETE, pointer, obj) for pointer, obj in facts)
+
+    @property
+    def ops(self) -> Tuple[Op, ...]:
+        return tuple(self._ops)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[Op]:
+        return iter(self._ops)
+
+    def __repr__(self) -> str:
+        inserts, deletes = self.net()
+        return "DeltaLog(%d ops: +%d -%d net)" % (len(self._ops), len(inserts), len(deletes))
+
+    def net(self) -> Tuple[List[Fact], List[Fact]]:
+        """The log's net effect: ``(inserts, deletes)``, each sorted.
+
+        The last op per fact wins — inserting then deleting a fact nets to
+        a delete, and vice versa — so the two lists are disjoint, which is
+        exactly the shape a DELTA record stores.
+        """
+        last: Dict[Fact, str] = {}
+        for op, pointer, obj in self._ops:
+            last[(pointer, obj)] = op
+        inserts = sorted(fact for fact, op in last.items() if op == INSERT)
+        deletes = sorted(fact for fact, op in last.items() if op == DELETE)
+        return inserts, deletes
+
+    def is_no_op(self) -> bool:
+        """True when the log nets to nothing at all."""
+        inserts, deletes = self.net()
+        return not inserts and not deletes

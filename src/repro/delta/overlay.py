@@ -1,0 +1,358 @@
+"""The overlay query structure: immutable base index + in-memory delta.
+
+:class:`OverlayIndex` answers all four Table 1 queries over the *effective*
+points-to relation
+
+    eff(p) = (base(p) − deleted(p)) ∪ inserted(p)
+
+without touching the persisted base: the base :class:`PestrieIndex` stays
+immutable (and shareable between overlay generations), and the delta is
+normalised into two small per-pointer sets.  Normalisation anchors every
+edit against the base with the O(log n) membership primitive
+``points_to_contains``: inserting a fact the base already has is a no-op
+(or un-deletes it), deleting a fact the base lacks is a no-op (or retracts
+a pending insert) — so ``inserted(p) ∩ base(p) = ∅`` and
+``deleted(p) ⊆ base(p)`` always hold, and the overlay's answer composition
+never double-counts.
+
+Query costs, with Δ_p the normalised delta of pointer ``p``:
+
+* ``is_alias(p, q)`` — O(log n + (|Δ_p| + |Δ_q|) log n): base answer, plus
+  one membership probe per inserted fact.  Only when the base answer is
+  *contested* — the base says alias and a deletion removed a witnessing
+  shared object — does it fall back to scanning one base points-to set;
+  the compaction threshold keeps that case rare and bounded.
+* list queries — output-linear plus |Δ| on the queried row/column.
+
+Instances are immutable after construction: :meth:`extend` composes a
+further edit script into a *new* overlay sharing the same base, which is
+what lets a live service hot-swap generations under concurrent readers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.query import PestrieIndex
+from ..matrix.points_to import PointsToMatrix
+from .log import DeltaLog
+
+Fact = Tuple[int, int]
+
+#: Default compaction trigger: re-encode once the net delta exceeds this
+#: fraction of the base fact count (Section "LSM overlay" of docs/FORMAT.md).
+DEFAULT_COMPACTION_RATIO = 0.20
+
+_EMPTY: FrozenSet[int] = frozenset()
+
+
+class _DeltaState:
+    """Normalised delta sets, copy-on-extend."""
+
+    __slots__ = ("inserted", "deleted", "ins_by_obj", "del_by_obj", "base_count")
+
+    def __init__(self):
+        self.inserted: Dict[int, Set[int]] = {}
+        self.deleted: Dict[int, Set[int]] = {}
+        self.ins_by_obj: Dict[int, Set[int]] = {}
+        self.del_by_obj: Dict[int, Set[int]] = {}
+        #: len(base points-to set), computed once per pointer ever touched.
+        self.base_count: Dict[int, int] = {}
+
+    def copy(self) -> "_DeltaState":
+        twin = _DeltaState()
+        twin.inserted = {p: set(s) for p, s in self.inserted.items()}
+        twin.deleted = {p: set(s) for p, s in self.deleted.items()}
+        twin.ins_by_obj = {o: set(s) for o, s in self.ins_by_obj.items()}
+        twin.del_by_obj = {o: set(s) for o, s in self.del_by_obj.items()}
+        twin.base_count = dict(self.base_count)
+        return twin
+
+    @staticmethod
+    def _add(forward: Dict[int, Set[int]], reverse: Dict[int, Set[int]],
+             pointer: int, obj: int) -> None:
+        forward.setdefault(pointer, set()).add(obj)
+        reverse.setdefault(obj, set()).add(pointer)
+
+    @staticmethod
+    def _discard(forward: Dict[int, Set[int]], reverse: Dict[int, Set[int]],
+                 pointer: int, obj: int) -> None:
+        row = forward.get(pointer)
+        if row is not None:
+            row.discard(obj)
+            if not row:
+                del forward[pointer]
+        column = reverse.get(obj)
+        if column is not None:
+            column.discard(pointer)
+            if not column:
+                del reverse[obj]
+
+
+class OverlayIndex:
+    """Table 1 queries over an immutable base index plus a delta."""
+
+    def __init__(self, base: PestrieIndex, log: Optional[DeltaLog] = None):
+        self._base = base
+        self.n_pointers = base.n_pointers
+        self.n_objects = base.n_objects
+        self.n_groups = base.n_groups
+        self._state = _DeltaState()
+        self._base_facts: Optional[int] = None
+        if log is not None and len(log):
+            self._apply(log)
+
+    # ------------------------------------------------------------------
+    # Construction / composition
+    # ------------------------------------------------------------------
+
+    def _base_row_len(self, pointer: int) -> int:
+        count = self._state.base_count.get(pointer)
+        if count is None:
+            count = len(self._base.list_points_to(pointer))
+            self._state.base_count[pointer] = count
+        return count
+
+    def _apply(self, log: DeltaLog) -> None:
+        """Fold a log into the state, anchoring each net op against the base."""
+        state = self._state
+        inserts, deletes = log.net()
+        for pointer, obj in inserts:
+            self._check_pointer(pointer)
+            self._check_object(obj)
+            self._base_row_len(pointer)
+            if obj in state.deleted.get(pointer, _EMPTY):
+                state._discard(state.deleted, state.del_by_obj, pointer, obj)
+            elif not self._base.points_to_contains(pointer, obj):
+                state._add(state.inserted, state.ins_by_obj, pointer, obj)
+        for pointer, obj in deletes:
+            self._check_pointer(pointer)
+            self._check_object(obj)
+            self._base_row_len(pointer)
+            if obj in state.inserted.get(pointer, _EMPTY):
+                state._discard(state.inserted, state.ins_by_obj, pointer, obj)
+            elif self._base.points_to_contains(pointer, obj):
+                state._add(state.deleted, state.del_by_obj, pointer, obj)
+
+    def extend(self, log: DeltaLog) -> "OverlayIndex":
+        """A new overlay over the same base with ``log`` composed on top."""
+        twin = OverlayIndex(self._base)
+        twin._state = self._state.copy()
+        twin._base_facts = self._base_facts
+        twin._apply(log)
+        return twin
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def base(self) -> PestrieIndex:
+        return self._base
+
+    @property
+    def mode(self) -> str:
+        return self._base.mode
+
+    def dirty_pointers(self) -> FrozenSet[int]:
+        """Pointers whose effective points-to set differs from the base."""
+        return frozenset(self._state.inserted) | frozenset(self._state.deleted)
+
+    def net_delta(self) -> Tuple[List[Fact], List[Fact]]:
+        """The normalised delta as sorted ``(inserts, deletes)`` fact lists."""
+        inserts = sorted((p, o) for p, row in self._state.inserted.items() for o in row)
+        deletes = sorted((p, o) for p, row in self._state.deleted.items() for o in row)
+        return inserts, deletes
+
+    def delta_size(self) -> int:
+        """Net delta ops currently overlaid on the base."""
+        return (sum(len(row) for row in self._state.inserted.values())
+                + sum(len(row) for row in self._state.deleted.values()))
+
+    def base_fact_count(self) -> int:
+        """Points-to facts in the base (computed once, O(facts))."""
+        if self._base_facts is None:
+            self._base_facts = sum(
+                len(self._base.list_points_to(p)) for p in range(self.n_pointers)
+            )
+        return self._base_facts
+
+    def delta_ratio(self) -> float:
+        """``|Δ| / base facts`` — the compaction trigger metric."""
+        return self.delta_size() / max(1, self.base_fact_count())
+
+    def needs_compaction(self, ratio: float = DEFAULT_COMPACTION_RATIO) -> bool:
+        """True once the overlay outgrew the configured delta ratio."""
+        if ratio < 0:
+            raise ValueError("compaction ratio must be non-negative")
+        return self.delta_size() > 0 and self.delta_ratio() > ratio
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+
+    def _check_pointer(self, pointer: int) -> None:
+        if not 0 <= pointer < self.n_pointers:
+            raise IndexError(
+                "pointer id %d out of range [0, %d)" % (pointer, self.n_pointers)
+            )
+
+    def _check_object(self, obj: int) -> None:
+        if not 0 <= obj < self.n_objects:
+            raise IndexError("object id %d out of range [0, %d)" % (obj, self.n_objects))
+
+    def _is_dirty(self, pointer: int) -> bool:
+        return pointer in self._state.inserted or pointer in self._state.deleted
+
+    def _eff_count(self, pointer: int) -> int:
+        state = self._state
+        return (self._base_row_len(pointer)
+                - len(state.deleted.get(pointer, _EMPTY))
+                + len(state.inserted.get(pointer, _EMPTY)))
+
+    def points_to_contains(self, pointer: int, obj: int) -> bool:
+        """Membership in the *effective* points-to set."""
+        self._check_pointer(pointer)
+        self._check_object(obj)
+        state = self._state
+        if obj in state.inserted.get(pointer, _EMPTY):
+            return True
+        if obj in state.deleted.get(pointer, _EMPTY):
+            return False
+        return self._base.points_to_contains(pointer, obj)
+
+    # ------------------------------------------------------------------
+    # Table 1 queries
+    # ------------------------------------------------------------------
+
+    def is_alias(self, p: int, q: int) -> bool:
+        """Effective IsAlias: do ``eff(p)`` and ``eff(q)`` intersect?"""
+        self._check_pointer(p)
+        self._check_pointer(q)
+        dirty_p = self._is_dirty(p)
+        dirty_q = self._is_dirty(q)
+        if not dirty_p and not dirty_q:
+            return self._base.is_alias(p, q)
+        if p == q:
+            return self._eff_count(p) > 0
+        state = self._state
+        # Inserted witnesses: any fresh fact of one side in the other's
+        # effective set decides immediately.
+        for obj in state.inserted.get(p, _EMPTY):
+            if self.points_to_contains(q, obj):
+                return True
+        for obj in state.inserted.get(q, _EMPTY):
+            if self.points_to_contains(p, obj):
+                return True
+        # Remaining possibility: a surviving base-level witness.
+        if not self._base.is_alias(p, q):
+            return False
+        deleted_p = state.deleted.get(p, _EMPTY)
+        deleted_q = state.deleted.get(q, _EMPTY)
+        if not deleted_p and not deleted_q:
+            return True
+        # Was any deleted fact actually part of the base intersection?  If
+        # not, the base witness survives untouched.
+        contested = any(self._base.points_to_contains(q, obj) for obj in deleted_p)
+        if not contested:
+            contested = any(obj not in deleted_p and self._base.points_to_contains(p, obj)
+                            for obj in deleted_q)
+        if not contested:
+            return True
+        # Deletion-contested pair: scan the smaller deleted side's base row.
+        # Rare by construction (compaction bounds |Δ|), and bounded by one
+        # points-to set.
+        if deleted_p and (not deleted_q or self._base_row_len(p) <= self._base_row_len(q)):
+            side, other, side_deleted = p, q, deleted_p
+        else:
+            side, other, side_deleted = q, p, deleted_q
+        other_deleted = state.deleted.get(other, _EMPTY)
+        for obj in self._base.list_points_to(side):
+            if obj in side_deleted or obj in other_deleted:
+                continue
+            if self._base.points_to_contains(other, obj):
+                return True
+        return False
+
+    def is_alias_batch(self, pairs: Sequence[Tuple[int, int]]) -> List[bool]:
+        """Batched IsAlias: clean pairs ride the base's column-sorted path."""
+        results = [False] * len(pairs)
+        clean: List[Tuple[int, int, int]] = []
+        for position, (p, q) in enumerate(pairs):
+            self._check_pointer(p)
+            self._check_pointer(q)
+            if self._is_dirty(p) or self._is_dirty(q):
+                results[position] = self.is_alias(p, q)
+            else:
+                clean.append((position, p, q))
+        if clean:
+            answers = self._base.is_alias_batch([(p, q) for _, p, q in clean])
+            for (position, _, _), answer in zip(clean, answers):
+                results[position] = answer
+        return results
+
+    def column_of(self, pointer: int) -> Optional[int]:
+        """The base ptList column — still the right batching sort key."""
+        return self._base.column_of(pointer)
+
+    def list_points_to(self, p: int) -> List[int]:
+        self._check_pointer(p)
+        if not self._is_dirty(p):
+            return self._base.list_points_to(p)
+        state = self._state
+        deleted = state.deleted.get(p, _EMPTY)
+        result = [obj for obj in self._base.list_points_to(p) if obj not in deleted]
+        result.extend(sorted(state.inserted.get(p, _EMPTY)))
+        return result
+
+    def list_pointed_by(self, obj: int) -> List[int]:
+        self._check_object(obj)
+        state = self._state
+        dropped = state.del_by_obj.get(obj, _EMPTY)
+        result = [p for p in self._base.list_pointed_by(obj) if p not in dropped]
+        result.extend(sorted(state.ins_by_obj.get(obj, _EMPTY)))
+        return result
+
+    def list_aliases(self, p: int) -> List[int]:
+        """Effective ListAliases: base candidates plus delta-reached ones.
+
+        Candidates beyond the base answer can only be pointers touched by
+        the delta or base pointers of an object ``p`` freshly gained; each
+        candidate is confirmed with one overlay ``is_alias``.
+        """
+        self._check_pointer(p)
+        candidates: Set[int] = set(self._base.list_aliases(p))
+        candidates.update(self.dirty_pointers())
+        for obj in self._state.inserted.get(p, _EMPTY):
+            candidates.update(self._base.list_pointed_by(obj))
+            candidates.update(self._state.ins_by_obj.get(obj, _EMPTY))
+        candidates.discard(p)
+        return [q for q in sorted(candidates) if self.is_alias(p, q)]
+
+    # ------------------------------------------------------------------
+    # Bulk reconstruction
+    # ------------------------------------------------------------------
+
+    def materialize(self) -> PointsToMatrix:
+        """The effective points-to matrix (compaction input and test oracle)."""
+        matrix = self._base.materialize()
+        for pointer, row in self._state.deleted.items():
+            for obj in row:
+                matrix.rows[pointer].discard(obj)
+        for pointer, row in self._state.inserted.items():
+            for obj in row:
+                matrix.add(pointer, obj)
+        return matrix
+
+    def memory_footprint(self) -> int:
+        """Base structure bytes plus the overlay's own dictionaries."""
+        import sys
+
+        total = self._base.memory_footprint()
+        state = self._state
+        for table in (state.inserted, state.deleted, state.ins_by_obj, state.del_by_obj):
+            total += sys.getsizeof(table)
+            for members in table.values():
+                total += sys.getsizeof(members) + 28 * len(members)
+        total += sys.getsizeof(state.base_count) + 2 * 28 * len(state.base_count)
+        return total

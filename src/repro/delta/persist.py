@@ -1,0 +1,193 @@
+"""Durable delta operations: append records to a file, load it back, compact.
+
+The on-disk shape is LSM-like: one immutable ``PESTRIE3`` base image followed
+by zero or more checksummed DELTA records (see :mod:`repro.delta.format`).
+:func:`append_delta` extends the chain without re-encoding the base — the
+whole point of the subsystem — and :func:`compact_file` folds the chain back
+into a fresh base image once the overlay outgrows its threshold.
+
+Every path here verifies before it trusts: appending re-checks the base CRC
+(never extend a corrupt file) and decodes the existing record chain; loading
+decodes the full chain with the hostile-input codec.  Writes go through
+:func:`repro.core.ioutil.atomic_write`, so readers of the file never observe
+a half-written state.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.decoder import CorruptFileError, decode_bytes, detect_format
+from ..core.ioutil import atomic_write, crc32
+from ..core.pipeline import persist
+from ..core.query import PestrieIndex
+from .format import decode_record, decode_records, encode_record, split_image
+from .log import DeltaLog
+from .overlay import DEFAULT_COMPACTION_RATIO, OverlayIndex
+
+
+@dataclass(frozen=True)
+class AppendResult:
+    """What :func:`append_delta` did to the file."""
+
+    #: Bytes appended (0 when the log netted to nothing).
+    bytes_appended: int
+    #: Total file size after the operation.
+    file_size: int
+    #: Net delta records now trailing the base (0 after a compaction).
+    record_count: int
+    #: ``|Δ| / base facts`` after the operation; only computed when an
+    #: ``auto_compact_ratio`` was given (it needs a full overlay build).
+    delta_ratio: Optional[float]
+    #: True when the append tripped the threshold and the file was re-encoded.
+    compacted: bool
+
+
+def _base_dims(base: bytes) -> Tuple[int, int]:
+    """``(n_pointers, n_objects)`` from a verified ``PESTRIE3`` base image."""
+    n_pointers, n_objects = struct.unpack_from("<2I", base, 9)
+    return n_pointers, n_objects
+
+
+def _verified_base(data: bytes) -> Tuple[bytes, bytes]:
+    """Split an image and verify the base is an intact ``PESTRIE3`` file."""
+    base, tail = split_image(data)
+    version, _compact = detect_format(base)
+    if version != 3:
+        raise CorruptFileError(
+            "delta records require a PESTRIE3 base (file is format v%d); "
+            "re-encode it first" % version
+        )
+    stored = struct.unpack_from("<I", base, len(base) - 4)[0]
+    actual = crc32(base[:-4])
+    if stored != actual:
+        raise CorruptFileError(
+            "base image checksum mismatch (stored %08x, computed %08x)"
+            % (stored, actual)
+        )
+    return base, tail
+
+
+def tail_to_log(data: bytes) -> DeltaLog:
+    """Decode a file image's DELTA chain into one composed :class:`DeltaLog`."""
+    base, tail = _verified_base(data)
+    log = DeltaLog()
+    if tail:
+        n_pointers, n_objects = _base_dims(base)
+        for record in decode_records(data, len(base), n_pointers, n_objects):
+            for pointer, obj in record.inserts:
+                log.insert(pointer, obj)
+            for pointer, obj in record.deletes:
+                log.delete(pointer, obj)
+    return log
+
+
+def overlay_from_bytes(data: bytes, mode: str = "ptlist") -> OverlayIndex:
+    """Decode a base-plus-delta image into a query-ready :class:`OverlayIndex`.
+
+    A plain image (no trailing records) yields an overlay with an empty
+    delta, so callers can use this unconditionally for ``PESTRIE3`` files.
+    """
+    base_bytes, _tail = _verified_base(data)
+    base = PestrieIndex(decode_bytes(base_bytes), mode=mode)
+    return OverlayIndex(base, tail_to_log(data))
+
+
+def load_overlay(path: str, mode: str = "ptlist") -> OverlayIndex:
+    """Read a persistent file (with any DELTA tail) into an overlay index."""
+    with open(path, "rb") as stream:
+        return overlay_from_bytes(stream.read(), mode=mode)
+
+
+def append_delta(path: str, log: DeltaLog, compact: Optional[bool] = None,
+                 auto_compact_ratio: Optional[float] = None) -> AppendResult:
+    """Append ``log``'s net effect to the file as one DELTA record.
+
+    The base image and the existing record chain are verified first —
+    extending a file we cannot fully decode would launder corruption into
+    the chain.  ``compact`` selects the record's integer coding (default:
+    whatever the base image uses).  With ``auto_compact_ratio`` set, the
+    file is re-encoded in place when the post-append overlay exceeds that
+    ``|Δ|/facts`` ratio, resetting the chain to zero records.
+    """
+    with open(path, "rb") as stream:
+        data = stream.read()
+    base, tail = _verified_base(data)
+    n_pointers, n_objects = _base_dims(base)
+    existing = decode_records(data, len(base), n_pointers, n_objects)
+
+    inserts, deletes = log.net()
+    if not inserts and not deletes:
+        return AppendResult(
+            bytes_appended=0,
+            file_size=len(data),
+            record_count=len(existing),
+            delta_ratio=None,
+            compacted=False,
+        )
+
+    if compact is None:
+        compact = bool(base[8] & 0x01)
+    record = encode_record(inserts, deletes, compact=compact)
+    # Round-trip the fresh record against the base dimensions: out-of-range
+    # fact ids are rejected here, before anything touches the disk.
+    decode_record(record, 0, n_pointers, n_objects)
+
+    new_image = data + record
+    if auto_compact_ratio is None:
+        atomic_write(path, new_image)
+        return AppendResult(
+            bytes_appended=len(record),
+            file_size=len(new_image),
+            record_count=len(existing) + 1,
+            delta_ratio=None,
+            compacted=False,
+        )
+
+    overlay = overlay_from_bytes(new_image)
+    ratio = overlay.delta_ratio()
+    if not overlay.needs_compaction(auto_compact_ratio):
+        atomic_write(path, new_image)
+        return AppendResult(
+            bytes_appended=len(record),
+            file_size=len(new_image),
+            record_count=len(existing) + 1,
+            delta_ratio=ratio,
+            compacted=False,
+        )
+    size = _compact_overlay(overlay, path, compact=compact)
+    return AppendResult(
+        bytes_appended=size - len(data),
+        file_size=size,
+        record_count=0,
+        delta_ratio=0.0,
+        compacted=True,
+    )
+
+
+def _compact_overlay(overlay: OverlayIndex, path: str, order: str = "hub",
+                     compact: bool = False, version: int = 3) -> int:
+    """Re-encode an overlay's effective matrix to ``path``; return the size."""
+    return persist(overlay.materialize(), path, order=order, compact=compact,
+                   version=version)
+
+
+def compact_file(path: str, out: Optional[str] = None, order: str = "hub",
+                 compact: Optional[bool] = None, version: int = 3) -> int:
+    """Fold a file's DELTA chain into a fresh base image (full re-encode).
+
+    Writes to ``out`` (default: in place), inheriting the base's integer
+    coding unless ``compact`` overrides it.  Returns the new file size.
+    This is the expensive half of the LSM bargain — amortised by only
+    triggering it past :data:`~repro.delta.overlay.DEFAULT_COMPACTION_RATIO`.
+    """
+    with open(path, "rb") as stream:
+        data = stream.read()
+    base, _tail = _verified_base(data)
+    if compact is None:
+        compact = bool(base[8] & 0x01)
+    overlay = overlay_from_bytes(data)
+    return _compact_overlay(overlay, out or path, order=order,
+                            compact=compact, version=version)

@@ -1,16 +1,24 @@
 """A bounded, thread-safe LRU result cache for the alias service.
 
-Pestrie query structures are immutable after decode, so every cached
-answer stays valid for the life of the service; the only eviction policy
-needed is recency.  Values are stored as immutable objects (booleans or
-tuples) so a hit can be handed to concurrent callers without copying.
+Pestrie query structures are immutable after decode, so a cached answer
+stays valid until the service swaps its backend (``apply_delta``); the
+eviction policy is recency, plus targeted invalidation at swap time.
+Values are stored as immutable objects (booleans or tuples) so a hit can
+be handed to concurrent callers without copying.
+
+Invalidation is epoch-guarded against the compute/put race: a reader may
+compute an answer against the old backend, lose the CPU, and try to cache
+it after the swap already invalidated that key.  ``put`` therefore accepts
+the epoch the reader observed *before* computing; ``invalidate_where``
+bumps the epoch under the same lock, so any in-flight put stamped with the
+old epoch is silently dropped instead of resurrecting a stale answer.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Hashable, Optional
+from typing import Callable, Hashable, Optional
 
 
 class LRUCache:
@@ -21,7 +29,7 @@ class LRUCache:
     caching entirely (every ``get`` misses, ``put`` is a no-op).
     """
 
-    __slots__ = ("_capacity", "_data", "_lock", "hits", "misses")
+    __slots__ = ("_capacity", "_data", "_epoch", "_lock", "hits", "misses")
 
     _MISS = object()
 
@@ -30,9 +38,16 @@ class LRUCache:
             raise ValueError("cache capacity must be non-negative")
         self._capacity = capacity
         self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._epoch = 0
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+
+    @property
+    def epoch(self) -> int:
+        """Current invalidation epoch; read it *before* computing a value."""
+        with self._lock:
+            return self._epoch
 
     @property
     def capacity(self) -> int:
@@ -53,19 +68,41 @@ class LRUCache:
             self.hits += 1
             return value
 
-    def put(self, key: Hashable, value: object) -> None:
-        """Insert or refresh a value, evicting the oldest entry if full."""
+    def put(self, key: Hashable, value: object, epoch: Optional[int] = None) -> None:
+        """Insert or refresh a value, evicting the oldest entry if full.
+
+        With ``epoch`` given, the put is dropped when an invalidation has
+        happened since the caller read :attr:`epoch` — the value may have
+        been computed against a backend that is no longer current.
+        """
         if self._capacity == 0:
             return
         with self._lock:
+            if epoch is not None and epoch != self._epoch:
+                return
             if key in self._data:
                 self._data.move_to_end(key)
             self._data[key] = value
             if len(self._data) > self._capacity:
                 self._data.popitem(last=False)
 
+    def invalidate_where(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``; bump the epoch.
+
+        Returns the number of entries removed.  The epoch bump and the
+        removals are one atomic step, so a concurrent ``put`` stamped with
+        the pre-invalidation epoch can never land afterwards.
+        """
+        with self._lock:
+            self._epoch += 1
+            stale = [key for key in self._data if predicate(key)]
+            for key in stale:
+                del self._data[key]
+            return len(stale)
+
     def clear(self) -> None:
         with self._lock:
+            self._epoch += 1
             self._data.clear()
             self.hits = 0
             self.misses = 0

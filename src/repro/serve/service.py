@@ -12,8 +12,13 @@ should talk to instead of a raw :class:`PestrieIndex`:
   ``points_to_batch`` deduplicate repeated queries, sort the remainder by
   ptList column so consecutive lookups share slab searches, and pay the
   instrumentation cost once per call instead of once per query;
-* **caching** — a bounded LRU holds recent answers (valid forever, since
-  the indexes never change);
+* **caching** — a bounded LRU holds recent answers, valid until
+  :meth:`~AliasService.apply_delta` swaps the backend (which invalidates
+  exactly the entries the delta could have changed);
+* **live updates** — :meth:`~AliasService.apply_delta` hot-swaps the
+  backend for a delta-extended one without pausing readers: in-flight
+  queries finish against whichever backend they captured, and the cache's
+  epoch guard keeps their answers from being cached stale;
 * **instrumentation** — per-query-type counters, cache hit rate, and
   p50/p95 latencies, surfaced through :meth:`stats` and the
   ``repro-pestrie serve-stats`` CLI subcommand.
@@ -21,10 +26,12 @@ should talk to instead of a raw :class:`PestrieIndex`:
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.query import PestrieIndex
+from ..delta import DeltaLog, OverlayIndex
 from .cache import LRUCache
 from .sharding import ShardedIndex
 from .stats import DEFAULT_WINDOW, ServiceStats, StatsSnapshot
@@ -47,6 +54,8 @@ class AliasService:
         self._cache = LRUCache(cache_size)
         self._stats = ServiceStats(window=stats_window)
         self._column_of = getattr(backend, "column_of", None)
+        # Serialises writers (apply_delta); readers never take it.
+        self._swap_lock = threading.Lock()
 
     @classmethod
     def from_index(cls, index: PestrieIndex, **options) -> "AliasService":
@@ -96,6 +105,70 @@ class AliasService:
         self._cache.clear()
 
     # ------------------------------------------------------------------
+    # Live updates
+    # ------------------------------------------------------------------
+
+    def apply_delta(self, log: DeltaLog) -> int:
+        """Apply an edit script to the live service; readers never pause.
+
+        The backend is swapped for a delta-extended one (an
+        :class:`~repro.delta.OverlayIndex` over the current base, or a
+        shard-wise overlay for a :class:`ShardedIndex`), then exactly the
+        cache entries the delta could have changed are dropped.  Swap
+        happens *before* invalidation: in the window between them a reader
+        can only cache answers from the *new* backend — and any in-flight
+        pre-swap computation is discarded by the cache's epoch guard.
+
+        Returns the number of cache entries invalidated.
+        """
+        inserts, deletes = log.net()
+        facts = inserts + deletes
+        if not facts:
+            return 0
+        with self._swap_lock:
+            old = self._backend
+            new = self._extended_backend(old, log)
+
+            dirty: Set[int] = {pointer for pointer, _ in facts}
+            objects: Set[int] = {obj for _, obj in facts}
+            # list_aliases(r) can change for any r sharing a delta object
+            # with a dirty pointer — on either side of the swap (r may be
+            # an alias only before, or only after, the edit).
+            affected: Set[int] = set(dirty)
+            for obj in objects:
+                affected.update(old.list_pointed_by(obj))
+                affected.update(new.list_pointed_by(obj))
+
+            self._backend = new
+            self._column_of = getattr(new, "column_of", None)
+
+            def stale(key) -> bool:
+                kind, operand = key
+                if kind == "is_alias":
+                    return operand[0] in dirty or operand[1] in dirty
+                if kind == "list_aliases":
+                    return operand in affected
+                if kind == "list_points_to":
+                    return operand in dirty
+                if kind == "list_pointed_by":
+                    return operand in objects
+                return True
+
+            return self._cache.invalidate_where(stale)
+
+    @staticmethod
+    def _extended_backend(backend, log: DeltaLog):
+        if isinstance(backend, OverlayIndex):
+            return backend.extend(log)
+        if isinstance(backend, ShardedIndex):
+            return backend.with_delta(log)
+        if isinstance(backend, PestrieIndex):
+            return OverlayIndex(backend, log)
+        raise TypeError(
+            "backend %r does not support live deltas" % type(backend).__name__
+        )
+
+    # ------------------------------------------------------------------
     # Single-query API
     # ------------------------------------------------------------------
 
@@ -105,8 +178,11 @@ class AliasService:
         value = self._cache.get(key, _MISS)
         if value is _MISS:
             self._stats.record_cache(0, 1)
+            # Snapshot the epoch before the backend: if apply_delta swaps
+            # in between, the stale-epoch put below is dropped.
+            epoch = self._cache.epoch
             value = self._backend.is_alias(p, q)
-            self._cache.put(key, value)
+            self._cache.put(key, value, epoch=epoch)
         else:
             self._stats.record_cache(1, 0)
         self._stats.record("is_alias", time.perf_counter() - start)
@@ -127,8 +203,9 @@ class AliasService:
         value = self._cache.get(key, _MISS)
         if value is _MISS:
             self._stats.record_cache(0, 1)
+            epoch = self._cache.epoch
             value = tuple(getattr(self._backend, kind)(operand))
-            self._cache.put(key, value)
+            self._cache.put(key, value, epoch=epoch)
         else:
             self._stats.record_cache(1, 0)
         self._stats.record(kind, time.perf_counter() - start)
@@ -158,13 +235,15 @@ class AliasService:
                 results[position] = value
         if pending:
             unique = list(pending)
-            batch = getattr(self._backend, "is_alias_batch", None)
+            epoch = self._cache.epoch
+            backend = self._backend
+            batch = getattr(backend, "is_alias_batch", None)
             if batch is not None:
                 answers = batch(unique)
             else:
-                answers = [self._backend.is_alias(p, q) for p, q in unique]
+                answers = [backend.is_alias(p, q) for p, q in unique]
             for norm, answer in zip(unique, answers):
-                self._cache.put(("is_alias", norm), answer)
+                self._cache.put(("is_alias", norm), answer, epoch=epoch)
                 for position in pending[norm]:
                     results[position] = answer
         self._stats.record_cache(hits, len(pairs) - hits)
@@ -195,14 +274,17 @@ class AliasService:
                 results[position] = value
         if pending:
             unique = list(pending)
-            if kind != "list_pointed_by" and self._column_of is not None:
+            epoch = self._cache.epoch
+            backend = self._backend
+            column_of = self._column_of
+            if kind != "list_pointed_by" and column_of is not None:
                 # Column-sorted resolution: consecutive misses touch
                 # neighbouring slabs, keeping the lookups cache-friendly.
-                unique.sort(key=lambda operand: _column_key(self._column_of, operand))
-            query = getattr(self._backend, kind)
+                unique.sort(key=lambda operand: _column_key(column_of, operand))
+            query = getattr(backend, kind)
             for operand in unique:
                 value = tuple(query(operand))
-                self._cache.put((kind, operand), value)
+                self._cache.put((kind, operand), value, epoch=epoch)
                 for position in pending[operand]:
                     results[position] = value
         self._stats.record_cache(hits, len(operands) - hits)

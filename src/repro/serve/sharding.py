@@ -24,7 +24,12 @@ from ..core.query import PestrieIndex
 
 
 class ShardedIndex:
-    """Several pointer-id-range shards behind the Table 1 protocol."""
+    """Several pointer-id-range shards behind the Table 1 protocol.
+
+    Shards are duck-typed: anything speaking the protocol fits, which is
+    how :meth:`with_delta` mixes pristine :class:`PestrieIndex` shards
+    with :class:`~repro.delta.OverlayIndex` ones after a live update.
+    """
 
     def __init__(self, indexes: Sequence[PestrieIndex]):
         if not indexes:
@@ -64,6 +69,59 @@ class ShardedIndex:
         shard, local = self.shard_of(pointer)
         column = self._indexes[shard].column_of(local)
         return None if column is None else (shard, column)
+
+    # ------------------------------------------------------------------
+    # Live updates
+    # ------------------------------------------------------------------
+
+    def swap_shard(self, position: int, index: PestrieIndex) -> None:
+        """Replace one shard in place with an equivalent-dimension index.
+
+        The replacement must serve the same pointer-id range (typically a
+        freshly compacted or re-loaded encoding of the same slice).  The
+        shard list is rebuilt and swapped with a single reference
+        assignment, so concurrent readers see either the old or the new
+        list — never a half-updated one.
+        """
+        if not 0 <= position < len(self._indexes):
+            raise IndexError("shard position %d out of range [0, %d)"
+                             % (position, len(self._indexes)))
+        current = self._indexes[position]
+        if index.n_pointers != current.n_pointers:
+            raise ValueError(
+                "replacement shard serves %d pointers, shard %d serves %d"
+                % (index.n_pointers, position, current.n_pointers)
+            )
+        replacement = list(self._indexes)
+        replacement[position] = index
+        self._indexes = replacement
+
+    def with_delta(self, log) -> "ShardedIndex":
+        """A new sharded index with a global edit script overlaid.
+
+        Facts are routed to their shard by pointer id; each touched shard
+        becomes (or extends) an :class:`~repro.delta.OverlayIndex` over a
+        shard-local log, and untouched shards are shared as-is with the
+        new instance.
+        """
+        from ..delta import INSERT, DeltaLog, OverlayIndex
+
+        per_shard: Dict[int, DeltaLog] = {}
+        for op, pointer, obj in log:
+            shard, local = self.shard_of(pointer)
+            shard_log = per_shard.setdefault(shard, DeltaLog())
+            if op == INSERT:
+                shard_log.insert(local, obj)
+            else:
+                shard_log.delete(local, obj)
+        replacement = list(self._indexes)
+        for shard, shard_log in per_shard.items():
+            index = replacement[shard]
+            if isinstance(index, OverlayIndex):
+                replacement[shard] = index.extend(shard_log)
+            else:
+                replacement[shard] = OverlayIndex(index, shard_log)
+        return ShardedIndex(replacement)
 
     # ------------------------------------------------------------------
     # Table 1 queries

@@ -2,12 +2,26 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import settings
 from hypothesis import strategies as st
 
 from repro.matrix.points_to import PointsToMatrix
+
+# ----------------------------------------------------------------------
+# Hypothesis profiles.  "ci" derandomises so a CI run is reproducible and
+# a failure message names a replayable seed; "dev" keeps random exploration
+# but drops the per-example deadline (oracle tests rebuild full encodings,
+# whose first-call cost is all warm-up noise).  Select with
+# HYPOTHESIS_PROFILE=ci; the default is dev.
+# ----------------------------------------------------------------------
+
+settings.register_profile("ci", derandomize=True, deadline=None)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 # ----------------------------------------------------------------------
 # The paper's worked example (Table 3): pointers p1..p7 -> ids 0..6,

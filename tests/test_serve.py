@@ -1,17 +1,31 @@
 """The serve layer: AliasService, sharding, caching, stats, concurrency."""
 
+import copy
+import random
 import threading
+import time
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.pipeline import encode, index_from_bytes
+from repro.delta import DeltaLog, OverlayIndex
 from repro.matrix.points_to import PointsToMatrix
 from repro.serve import AliasService, LRUCache, ShardedIndex
 from repro.serve.stats import QUERY_KINDS, quantile
 
 from conftest import make_random_matrix, matrices
+
+
+def _apply_script(matrix, log):
+    edited = copy.deepcopy(matrix)
+    for op, pointer, obj in log:
+        if op == "+":
+            edited.add(pointer, obj)
+        else:
+            edited.rows[pointer].discard(obj)
+    return edited
 
 
 def _shard_matrices(matrix, cuts):
@@ -73,6 +87,26 @@ class TestLRUCache:
     def test_negative_capacity_rejected(self):
         with pytest.raises(ValueError):
             LRUCache(-1)
+
+    def test_invalidate_where_removes_matches_and_bumps_epoch(self):
+        cache = LRUCache(8)
+        before = cache.epoch
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.invalidate_where(lambda key: key == "a") == 1
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+        assert cache.epoch == before + 1
+
+    def test_stale_epoch_put_is_dropped(self):
+        """The compute/invalidate race: a pre-swap answer must not land."""
+        cache = LRUCache(8)
+        epoch = cache.epoch  # reader snapshots the epoch…
+        cache.invalidate_where(lambda key: True)  # …writer swaps meanwhile
+        cache.put("a", "stale", epoch=epoch)
+        assert cache.get("a") is None
+        cache.put("a", "fresh", epoch=cache.epoch)
+        assert cache.get("a") == "fresh"
 
 
 class TestQuantile:
@@ -275,3 +309,249 @@ class TestConcurrency:
         # Every issued query was counted, none lost to races.
         per_thread = self.ROUNDS * matrix.n_pointers * 4
         assert service.stats().total_queries == self.THREADS * per_thread
+
+
+class TestApplyDelta:
+    """Live updates through the service: hot swap + targeted invalidation."""
+
+    @pytest.fixture
+    def matrix(self):
+        return make_random_matrix(30, 10, density=0.2, seed=13)
+
+    def test_all_queries_track_the_delta(self, matrix):
+        service = AliasService.from_index(index_from_bytes(encode(matrix)))
+        for p in range(matrix.n_pointers):  # warm the cache with stale answers
+            service.list_aliases(p)
+            service.list_points_to(p)
+        log = DeltaLog().insert(0, 9).insert(29, 9).delete(1, 1)
+        service.apply_delta(log)
+        edited = _apply_script(matrix, log)
+        assert isinstance(service.backend, OverlayIndex)
+        for p in range(matrix.n_pointers):
+            assert sorted(service.list_points_to(p)) == edited.list_points_to(p)
+            assert sorted(service.list_aliases(p)) == edited.list_aliases(p)
+            for q in range(matrix.n_pointers):
+                assert service.is_alias(p, q) == edited.is_alias(p, q)
+        for obj in range(matrix.n_objects):
+            assert sorted(service.list_pointed_by(obj)) == edited.list_pointed_by(obj)
+
+    def test_batch_apis_see_post_delta_answers(self, matrix):
+        service = AliasService.from_index(index_from_bytes(encode(matrix)))
+        pairs = [(p, q) for p in range(30) for q in range(0, 30, 3)]
+        pointers = list(range(30))
+        service.is_alias_batch(pairs)  # warm
+        service.points_to_batch(pointers)
+        service.list_aliases_many(pointers)
+        log = DeltaLog().insert(2, 0).delete(5, 2).insert(5, 9)
+        service.apply_delta(log)
+        edited = _apply_script(matrix, log)
+        assert service.is_alias_batch(pairs) == [edited.is_alias(p, q) for p, q in pairs]
+        assert [sorted(row) for row in service.points_to_batch(pointers)] == [
+            edited.list_points_to(p) for p in pointers
+        ]
+        assert [sorted(row) for row in service.list_aliases_many(pointers)] == [
+            edited.list_aliases(p) for p in pointers
+        ]
+        assert [sorted(row) for row in service.pointed_by_batch(list(range(10)))] == [
+            edited.list_pointed_by(obj) for obj in range(10)
+        ]
+
+    def test_only_stale_entries_are_invalidated(self):
+        # p0 -> {o0}, p1 -> {o1}, p2 -> {o2}, p3 -> {}; inserting (p3, o0)
+        # dirties p3 and object o0, and alias-affects p0 (the only pointer
+        # of o0) — p1/p2 answers are untouched and must stay cached.
+        matrix = PointsToMatrix.from_pairs(4, 3, [(0, 0), (1, 1), (2, 2)])
+        service = AliasService.from_index(index_from_bytes(encode(matrix)))
+        service.is_alias(1, 2)
+        service.is_alias(0, 3)
+        service.list_aliases(0)
+        service.list_aliases(1)
+        service.list_points_to(3)
+        service.list_points_to(2)
+        service.list_pointed_by(0)
+        service.list_pointed_by(1)
+        invalidated = service.apply_delta(DeltaLog().insert(3, 0))
+        assert invalidated == 4
+        kept = set(service._cache._data)
+        assert kept == {
+            ("is_alias", (1, 2)),
+            ("list_aliases", 1),
+            ("list_points_to", 2),
+            ("list_pointed_by", 1),
+        }
+        # The refreshed answers reflect the edit.
+        assert service.is_alias(0, 3) is True
+        assert sorted(service.list_aliases(0)) == [3]
+        assert sorted(service.list_points_to(3)) == [0]
+        assert sorted(service.list_pointed_by(0)) == [0, 3]
+
+    def test_noop_delta_changes_nothing(self, matrix):
+        service = AliasService.from_index(index_from_bytes(encode(matrix)))
+        backend = service.backend
+        service.is_alias(0, 1)
+        assert service.apply_delta(DeltaLog()) == 0
+        assert service.backend is backend
+        assert service.cache_size() == 1
+
+    def test_deltas_stack(self, matrix):
+        service = AliasService.from_index(index_from_bytes(encode(matrix)))
+        edited = matrix
+        rng = random.Random(13)
+        for _ in range(4):
+            log = DeltaLog()
+            for _ in range(3):
+                pointer, obj = rng.randrange(30), rng.randrange(10)
+                if rng.random() < 0.5:
+                    log.insert(pointer, obj)
+                else:
+                    log.delete(pointer, obj)
+            service.apply_delta(log)
+            edited = _apply_script(edited, log)
+        for p in range(30):
+            assert sorted(service.list_points_to(p)) == edited.list_points_to(p)
+            assert sorted(service.list_aliases(p)) == edited.list_aliases(p)
+
+    def test_sharded_backend_applies_shard_local_overlays(self):
+        matrix = make_random_matrix(40, 12, density=0.15, seed=19)
+        slices = _shard_matrices(matrix, cuts=(15, 28))
+        service = AliasService.from_indexes(
+            [index_from_bytes(encode(sub)) for sub in slices]
+        )
+        log = DeltaLog().insert(2, 11).insert(20, 0).delete(35, 3).insert(35, 5)
+        service.apply_delta(log)
+        edited = _apply_script(matrix, log)
+        backend = service.backend
+        assert isinstance(backend, ShardedIndex)
+        # Only the shards owning pointers 2, 20, 35 became overlays.
+        kinds = [type(shard).__name__ for shard in backend.shards]
+        assert kinds == ["OverlayIndex", "OverlayIndex", "OverlayIndex"]
+        for p in range(40):
+            assert sorted(service.list_points_to(p)) == edited.list_points_to(p)
+            assert sorted(service.list_aliases(p)) == edited.list_aliases(p)
+        pairs = [(p, q) for p in range(0, 40, 2) for q in range(0, 40, 3)]
+        assert service.is_alias_batch(pairs) == [edited.is_alias(p, q) for p, q in pairs]
+
+    def test_sharded_untouched_shards_are_shared(self):
+        matrix = make_random_matrix(40, 12, density=0.15, seed=19)
+        slices = _shard_matrices(matrix, cuts=(15, 28))
+        sharded = ShardedIndex([index_from_bytes(encode(sub)) for sub in slices])
+        updated = sharded.with_delta(DeltaLog().insert(2, 0))
+        assert isinstance(updated.shards[0], OverlayIndex)
+        assert updated.shards[1] is sharded.shards[1]
+        assert updated.shards[2] is sharded.shards[2]
+
+
+class TestSwapShard:
+    def test_swap_preserves_answers(self):
+        matrix = make_random_matrix(30, 8, density=0.2, seed=23)
+        slices = _shard_matrices(matrix, cuts=(12,))
+        sharded = ShardedIndex([index_from_bytes(encode(sub)) for sub in slices])
+        # A re-encode of the same slice (e.g. post-compaction) swaps in.
+        sharded.swap_shard(1, index_from_bytes(encode(slices[1], compact=True)))
+        for p in range(30):
+            assert sorted(sharded.list_points_to(p)) == matrix.list_points_to(p)
+            assert sorted(sharded.list_aliases(p)) == matrix.list_aliases(p)
+
+    def test_swap_validates_position_and_dimensions(self):
+        matrix = make_random_matrix(20, 6, density=0.2, seed=29)
+        slices = _shard_matrices(matrix, cuts=(10,))
+        sharded = ShardedIndex([index_from_bytes(encode(sub)) for sub in slices])
+        with pytest.raises(IndexError):
+            sharded.swap_shard(2, sharded.shards[0])
+        wrong = index_from_bytes(encode(make_random_matrix(7, 6, 0.2, 1)))
+        with pytest.raises(ValueError):
+            sharded.swap_shard(0, wrong)
+
+
+class TestConcurrentUpdates:
+    """Readers keep getting consistent answers while an updater applies deltas.
+
+    Untouched pointers must answer exactly the base oracle at all times;
+    touched pointers must answer according to *some* prefix of the applied
+    delta sequence (a reader may race the swap, but never sees a torn or
+    invented state); after the updater finishes, the service must agree
+    with the final oracle everywhere.
+    """
+
+    READERS = 4
+    UPDATES = 4
+
+    def test_reader_updater_linearizability(self):
+        matrix = make_random_matrix(30, 10, density=0.2, seed=17)
+        service = AliasService.from_index(index_from_bytes(encode(matrix)),
+                                          cache_size=128)
+        touched = list(range(6))
+        untouched = list(range(6, 30))
+        rng = random.Random(17)
+        logs = []
+        states = [matrix]
+        for _ in range(self.UPDATES):
+            log = DeltaLog()
+            for _ in range(5):
+                pointer, obj = rng.choice(touched), rng.randrange(10)
+                if rng.random() < 0.5:
+                    log.insert(pointer, obj)
+                else:
+                    log.delete(pointer, obj)
+            logs.append(log)
+            states.append(_apply_script(states[-1], log))
+
+        # Untouched rows never change, so these answers are state-invariant.
+        base_points = {u: matrix.list_points_to(u) for u in untouched}
+        base_pairs = {(u, v): matrix.is_alias(u, v)
+                      for u in untouched for v in untouched}
+        # Touched queries may legally answer per any prefix state.
+        ok_points = {t: {tuple(state.list_points_to(t)) for state in states}
+                     for t in touched}
+        ok_pairs = {(t, q): {state.is_alias(t, q) for state in states}
+                    for t in touched for q in range(30)}
+
+        failures = []
+        stop = threading.Event()
+
+        def reader(slot):
+            reader_rng = random.Random(100 + slot)
+            try:
+                while not stop.is_set():
+                    u = reader_rng.choice(untouched)
+                    v = reader_rng.choice(untouched)
+                    if sorted(service.list_points_to(u)) != base_points[u]:
+                        failures.append(("untouched points_to", u))
+                    if service.is_alias(u, v) != base_pairs[(u, v)]:
+                        failures.append(("untouched is_alias", u, v))
+                    t = reader_rng.choice(touched)
+                    q = reader_rng.randrange(30)
+                    if tuple(sorted(service.list_points_to(t))) not in ok_points[t]:
+                        failures.append(("touched points_to", t))
+                    if service.is_alias(t, q) not in ok_pairs[(t, q)]:
+                        failures.append(("touched is_alias", t, q))
+            except Exception as error:  # pragma: no cover - debugging aid
+                failures.append(("reader exception", slot, repr(error)))
+
+        def updater():
+            try:
+                for log in logs:
+                    time.sleep(0.01)
+                    service.apply_delta(log)
+            except Exception as error:  # pragma: no cover - debugging aid
+                failures.append(("updater exception", repr(error)))
+            finally:
+                stop.set()
+
+        threads = [threading.Thread(target=reader, args=(slot,))
+                   for slot in range(self.READERS)]
+        threads.append(threading.Thread(target=updater))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not failures, failures[:10]
+        final = states[-1]
+        for p in range(30):
+            assert sorted(service.list_points_to(p)) == final.list_points_to(p)
+            assert sorted(service.list_aliases(p)) == final.list_aliases(p)
+            for q in range(30):
+                assert service.is_alias(p, q) == final.is_alias(p, q)
+        for obj in range(10):
+            assert sorted(service.list_pointed_by(obj)) == final.list_pointed_by(obj)
