@@ -3,7 +3,7 @@
 PYTHON ?= python3
 RUN = PYTHONPATH=src:$$PYTHONPATH $(PYTHON)
 
-.PHONY: install test fuzz bench bench-smoke examples results clean
+.PHONY: install test fuzz bench bench-smoke metrics-smoke examples results clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -24,6 +24,11 @@ bench:
 # keeps the serve layer and its batch-beats-single invariant from rotting.
 bench-smoke:
 	BENCH_SMOKE=1 $(RUN) -m pytest benchmarks/bench_service_throughput.py -q
+
+# End-to-end telemetry guard: run the pipeline, dump the metrics registry,
+# fail if any catalogued family is missing or an exercised one has no data.
+metrics-smoke:
+	cd benchmarks && BENCH_SMOKE=1 PYTHONPATH=../src:$$PYTHONPATH $(PYTHON) bench_service_throughput.py --emit-metrics
 
 # Regenerate every paper-style table into benchmarks/results/.
 results: bench

@@ -20,7 +20,7 @@ from repro.bench.synthetic import SyntheticSpec, synthesize
 from repro.core.pipeline import persist
 from repro.delta import DeltaLog, append_delta, compact_file, load_overlay
 
-from conftest import write_result
+from conftest import write_metrics_snapshot, write_result
 
 SMOKE = bool(os.environ.get("BENCH_SMOKE"))
 N_POINTERS = 300 if SMOKE else 1500
@@ -104,6 +104,7 @@ def test_delta_update_latency(benchmark, tmp_path_factory):
                "vs rebuild": "%.0fx" % (mean_rebuild / max(seconds, 1e-9))},
         )
     write_result("delta_update.txt", table.render())
+    write_metrics_snapshot("delta_update_metrics.json")
 
     assert mean_append * MIN_SPEEDUP <= mean_rebuild, (
         "durable append %.3f ms is not %.0fx faster than rebuild %.3f ms"

@@ -123,3 +123,17 @@ def write_result(filename: str, text: str) -> None:
     with open(os.path.join(RESULTS_DIR, filename), "w") as stream:
         stream.write(text + "\n")
     print(text)
+
+
+def write_metrics_snapshot(filename: str) -> None:
+    """Archive the process telemetry registry (JSON) next to the tables.
+
+    Benchmarks exercise the instrumented pipeline anyway, so their runs
+    double as metric fixtures: the snapshot shows exactly which counters
+    and histograms the measured workload moved.
+    """
+    from repro.obs import get_registry
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, filename), "w") as stream:
+        stream.write(get_registry().to_json() + "\n")

@@ -29,6 +29,7 @@ from .matrix import (
     object_equivalence,
     pointer_equivalence,
 )
+from .obs import get_registry, trace
 from .serve import AliasService, ShardedIndex
 
 __version__ = "1.0.0"
@@ -42,10 +43,12 @@ __all__ = [
     "build_labeled_pestrie",
     "build_pestrie",
     "encode",
+    "get_registry",
     "index_from_bytes",
     "load_index",
     "object_equivalence",
     "persist",
     "pointer_equivalence",
+    "trace",
     "__version__",
 ]

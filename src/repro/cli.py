@@ -342,6 +342,93 @@ def cmd_serve_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _exercise_pipeline(source: str, analysis: str, queries: int, seed: int) -> None:
+    """Run one encode → delta-append → decode → query pass in a temp dir.
+
+    Populates every metric family (build/encode, delta, decode, serve) so a
+    ``metrics`` dump from this fresh process reflects a real workload.
+    """
+    import shutil
+    import tempfile
+
+    from .bench.workloads import TraceSpec, generate_trace
+    from .delta import DeltaLog, append_delta
+    from .obs import record_index_footprint
+    from .serve import AliasService
+
+    matrix = _matrix_from_source(source, analysis)
+    directory = tempfile.mkdtemp(prefix="repro-metrics-")
+    try:
+        path = os.path.join(directory, "m.pes")
+        persist(matrix, path)
+        log = DeltaLog()
+        log.insert(0, 0)
+        append_delta(path, log, auto_compact_ratio=0.9)
+        index = _load_queryable(path, "ptlist")
+        record_index_footprint(index)
+        service = AliasService.from_index(index)
+        workload = generate_trace(
+            TraceSpec(length=queries, seed=seed),
+            pointers=list(range(service.n_pointers)),
+            objects=list(range(service.n_objects)),
+        )
+        for kind, operands in workload.operations:
+            getattr(service, kind)(*operands)
+        if service.n_pointers >= 2:
+            service.is_alias_batch([(0, 1), (1, 0), (0, 0)])
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Dump the process metrics registry, optionally after a pipeline run."""
+    from .obs import get_registry
+
+    if args.source:
+        _exercise_pipeline(args.source, args.analysis, args.queries, args.seed)
+    registry = get_registry()
+    if args.format == "prom":
+        sys.stdout.write(registry.to_prometheus())
+    else:
+        print(registry.to_json())
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one pipeline stage under tracing and print the phase-timing tree."""
+    import shutil
+    import tempfile
+
+    from .obs import record_index_footprint, trace as tracer
+
+    directory = None
+    try:
+        with tracer.capture() as spans:
+            if args.stage == "decode":
+                index = _load_queryable(args.file, args.mode)
+                record_index_footprint(index)
+            else:
+                matrix = _matrix_from_source(args.file, args.analysis)
+                directory = tempfile.mkdtemp(prefix="repro-trace-")
+                path = os.path.join(directory, "m.pes")
+                persist(matrix, path)
+                if args.stage == "pipeline":
+                    index = _load_queryable(path, args.mode)
+                    record_index_footprint(index)
+                    if index.n_pointers >= 2:
+                        index.is_alias(0, 1)
+                        index.list_points_to(0)
+    finally:
+        if directory is not None:
+            shutil.rmtree(directory, ignore_errors=True)
+    if not spans:
+        print("(no spans recorded)", file=sys.stderr)
+        return 1
+    for span in spans:
+        print(span.render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-pestrie",
@@ -444,6 +531,36 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--bdd-limit", type=int, default=5000,
                        help="skip the BDD encoding above this pointer count")
     bench.set_defaults(handler=cmd_bench)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="dump the telemetry registry (optionally after running the "
+             "encode -> delta -> decode -> query pipeline on an input)",
+    )
+    metrics.add_argument("source", nargs="?", default=None,
+                         help="IR source or .pm matrix to run the pipeline on "
+                              "first; omit to dump the (mostly empty) registry")
+    metrics.add_argument("--format", default="json", choices=("json", "prom"),
+                         help="JSON snapshot or Prometheus text exposition 0.0.4")
+    metrics.add_argument("--analysis", choices=ANALYSES, default="andersen")
+    metrics.add_argument("--queries", type=int, default=1000,
+                         help="workload length replayed through the service")
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.set_defaults(handler=cmd_metrics)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one pipeline stage under span tracing and print the "
+             "hierarchical phase-timing tree",
+    )
+    trace.add_argument("stage", choices=("encode", "decode", "pipeline"),
+                       help="encode: source -> .pes; decode: .pes -> index; "
+                            "pipeline: encode then decode then query")
+    trace.add_argument("file", help=".pm/IR source (encode, pipeline) or "
+                                    ".pes file (decode)")
+    trace.add_argument("--analysis", choices=ANALYSES, default="andersen")
+    trace.add_argument("--mode", default="ptlist", choices=("ptlist", "segment"))
+    trace.set_defaults(handler=cmd_trace)
     return parser
 
 

@@ -19,9 +19,11 @@ always target non-origin groups.  The whole pass is ``O(nm)``.
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Sequence
 
 from ..matrix.points_to import PointsToMatrix
+from ..obs import get_registry, trace
 from . import hub
 from .structure import Pestrie
 
@@ -62,6 +64,23 @@ def build_pestrie(
     worked example).  ``explicit_order`` overrides the heuristic with a
     caller-supplied permutation.
     """
+    start = time.perf_counter()
+    with trace.span("build.pestrie", pointers=matrix.n_pointers,
+                    objects=matrix.n_objects, order=order):
+        pestrie = _build(matrix, order, seed, explicit_order)
+    registry = get_registry()
+    registry.counter("repro_build_runs_total").inc()
+    registry.counter("repro_build_groups_total").inc(len(pestrie.groups))
+    registry.histogram("repro_build_seconds").observe(time.perf_counter() - start)
+    return pestrie
+
+
+def _build(
+    matrix: PointsToMatrix,
+    order: str,
+    seed: Optional[int],
+    explicit_order: Optional[Sequence[int]],
+) -> Pestrie:
     object_order = resolve_order(matrix, order, seed, explicit_order)
     pestrie = Pestrie(matrix.n_pointers, matrix.n_objects, object_order)
     transposed = matrix.transpose()

@@ -19,9 +19,11 @@ exception, or yields a payload that violates the format invariants.
 from __future__ import annotations
 
 import struct
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from ..obs import get_registry, trace
 from .encoder import ABSENT, FLAG_COMPACT, MAGIC_COMPACT, MAGIC_DELTA, MAGIC_RAW, MAGIC_V3
 from .ioutil import crc32
 from .segment_tree import Rect
@@ -337,16 +339,31 @@ def decode_bytes(data: bytes) -> PestriePayload:
     the delta-aware loader (``repro.delta.load_overlay``), because silently
     ignoring the records would serve pre-update answers.
     """
-    version, compact = detect_format(data)
-    if version == 3:
-        base = base_image_size(data)
-        if base != len(data) and data[base : base + 8] == MAGIC_DELTA:
-            raise CorruptFileError(
-                "file carries appended DELTA records; decode it with "
-                "repro.delta.load_overlay / overlay_from_bytes"
-            )
-        return _decode_v3(data)
-    return _decode_legacy(data, compact)
+    start = time.perf_counter()
+    registry = get_registry()
+    try:
+        with trace.span("decode", bytes=len(data)):
+            version, compact = detect_format(data)
+            if version == 3:
+                base = base_image_size(data)
+                if base != len(data) and data[base : base + 8] == MAGIC_DELTA:
+                    raise CorruptFileError(
+                        "file carries appended DELTA records; decode it with "
+                        "repro.delta.load_overlay / overlay_from_bytes"
+                    )
+                payload = _decode_v3(data)
+            else:
+                payload = _decode_legacy(data, compact)
+    except CorruptFileError:
+        registry.counter("repro_decode_total", result="corrupt").inc()
+        registry.gauge("repro_decode_intact").set(0)
+        raise
+    registry.counter("repro_decode_total", result="ok").inc()
+    registry.gauge("repro_decode_intact").set(1)
+    registry.gauge("repro_decode_bytes").set(len(data))
+    registry.gauge("repro_decode_rectangles").set(len(payload.rects))
+    registry.histogram("repro_decode_seconds").observe(time.perf_counter() - start)
+    return payload
 
 
 def load_payload(path: str) -> PestriePayload:

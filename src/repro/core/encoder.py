@@ -25,8 +25,10 @@ rectangle is a point (2 integers) or a line (3 integers) instead of 4.
 from __future__ import annotations
 
 import struct
+import time
 from typing import BinaryIO, List, Sequence, Tuple
 
+from ..obs import get_registry, trace
 from .ioutil import atomic_write, crc32
 from .rectangles import LabeledRect
 from .segment_tree import Rect
@@ -196,6 +198,17 @@ class PestrieEncoder:
         return header, sections
 
     def to_bytes(self) -> bytes:
+        start = time.perf_counter()
+        with trace.span("encode.serialize", rects=len(self.rects),
+                        version=self.version, compact=self.compact):
+            payload = self._to_bytes()
+        registry = get_registry()
+        registry.counter("repro_encode_runs_total").inc()
+        registry.gauge("repro_encode_bytes").set(len(payload))
+        registry.histogram("repro_encode_seconds").observe(time.perf_counter() - start)
+        return payload
+
+    def _to_bytes(self) -> bytes:
         header, sections = self._section_payloads()
         header_bytes = b"".join(_U32.pack(v) for v in header)
         if self.version < 3:

@@ -11,8 +11,9 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..matrix.points_to import PointsToMatrix
+from ..obs import trace
 from .builder import build_pestrie
-from .decoder import decode_bytes, load_payload
+from .decoder import decode_bytes
 from .encoder import DEFAULT_VERSION, PestrieEncoder, save_pestrie
 from .intervals import assign_intervals
 from .query import PestrieIndex
@@ -28,7 +29,8 @@ def build_labeled_pestrie(
 ) -> Pestrie:
     """Construct a Pestrie and assign its interval labels."""
     pestrie = build_pestrie(matrix, order=order, seed=seed, explicit_order=explicit_order)
-    assign_intervals(pestrie)
+    with trace.span("build.intervals", groups=len(pestrie.groups)):
+        assign_intervals(pestrie)
     return pestrie
 
 
@@ -41,9 +43,12 @@ def encode(
     version: int = DEFAULT_VERSION,
 ) -> bytes:
     """Encode a matrix straight to persistent-file bytes."""
-    pestrie = build_labeled_pestrie(matrix, order=order, seed=seed, explicit_order=explicit_order)
-    rect_set = generate_rectangles(pestrie)
-    return PestrieEncoder(pestrie, rect_set.rects, compact=compact, version=version).to_bytes()
+    with trace.span("encode", pointers=matrix.n_pointers, objects=matrix.n_objects):
+        pestrie = build_labeled_pestrie(matrix, order=order, seed=seed,
+                                        explicit_order=explicit_order)
+        rect_set = generate_rectangles(pestrie)
+        return PestrieEncoder(pestrie, rect_set.rects, compact=compact,
+                              version=version).to_bytes()
 
 
 def persist(
@@ -56,9 +61,13 @@ def persist(
     version: int = DEFAULT_VERSION,
 ) -> int:
     """Encode ``matrix`` and write the persistent file; return its size."""
-    pestrie = build_labeled_pestrie(matrix, order=order, seed=seed, explicit_order=explicit_order)
-    rect_set = generate_rectangles(pestrie)
-    return save_pestrie(pestrie, rect_set.rects, path, compact=compact, version=version)
+    with trace.span("persist", pointers=matrix.n_pointers, objects=matrix.n_objects):
+        pestrie = build_labeled_pestrie(matrix, order=order, seed=seed,
+                                        explicit_order=explicit_order)
+        rect_set = generate_rectangles(pestrie)
+        with trace.span("persist.write", path=path):
+            return save_pestrie(pestrie, rect_set.rects, path, compact=compact,
+                                version=version)
 
 
 def index_from_bytes(data: bytes, mode: str = "ptlist") -> PestrieIndex:
@@ -67,12 +76,15 @@ def index_from_bytes(data: bytes, mode: str = "ptlist") -> PestrieIndex:
     ``mode="segment"`` builds the low-memory segment-tree structure
     instead of the per-column rectangle lists (see :class:`PestrieIndex`).
     """
-    return PestrieIndex(decode_bytes(data), mode=mode)
+    payload = decode_bytes(data)
+    with trace.span("index.build", mode=mode):
+        return PestrieIndex(payload, mode=mode)
 
 
 def load_index(path: str, mode: str = "ptlist") -> PestrieIndex:
     """Load a persistent file from disk into a query index."""
-    return PestrieIndex(load_payload(path), mode=mode)
+    with open(path, "rb") as stream:
+        return index_from_bytes(stream.read(), mode=mode)
 
 
 def rectangles_for(

@@ -20,9 +20,11 @@ fully enclosed by it (Theorem 2) and discarded.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
+from ..obs import get_registry, trace
 from .intervals import cross_edge_interval, group_interval
 from .segment_tree import Rect, SegmentTree
 from .structure import Pestrie
@@ -77,6 +79,7 @@ def generate_rectangles(pestrie: Pestrie, prune: bool = True) -> RectangleSet:
     """
     if not pestrie.pre_order:
         raise ValueError("interval labels missing; run assign_intervals first")
+    start = time.perf_counter()
     by_source = pestrie.cross_edges_by_source()
     storage = SegmentTree(len(pestrie.groups))
     result = RectangleSet()
@@ -89,6 +92,23 @@ def generate_rectangles(pestrie: Pestrie, prune: bool = True) -> RectangleSet:
         result.rects.append(LabeledRect(rect=rect, case1=case1, object_id=object_id))
         return True
 
+    span = trace.span("encode.rectangles", groups=len(pestrie.groups), prune=prune)
+    with span:
+        _generate(pestrie, by_source, emit, prune)
+
+    registry = get_registry()
+    case1_total = sum(1 for entry in result.rects if entry.case1)
+    registry.counter("repro_encode_rectangles_total", case="case1").inc(case1_total)
+    registry.counter("repro_encode_rectangles_total", case="case2").inc(
+        len(result.rects) - case1_total)
+    registry.counter("repro_encode_rect_pruned_total").inc(len(result.pruned))
+    registry.counter("repro_encode_segment_inserts_total").inc(storage.insert_count)
+    registry.counter("repro_encode_segment_probes_total").inc(storage.probe_count)
+    registry.histogram("repro_rectangles_seconds").observe(time.perf_counter() - start)
+    return result
+
+
+def _generate(pestrie: Pestrie, by_source, emit, prune: bool) -> None:
     for obj in pestrie.object_order:
         origin = pestrie.origin_of_pes(obj)
         pes_interval = group_interval(pestrie, origin.id)
@@ -113,5 +133,3 @@ def generate_rectangles(pestrie: Pestrie, prune: bool = True) -> RectangleSet:
                 if pes_i == pes_j:
                     continue  # internal pair: answered by PES identity
                 emit(_ordered(interval_i, interval_j), case1=False)
-
-    return result

@@ -76,12 +76,18 @@ class SegmentTree:
             size = 1
         self._root = _Node(0, size)
         self._count = 0
+        # Plain-int telemetry counters: the tree sits on the single-threaded
+        # encode hot path, so increments stay lock-free here and the caller
+        # (rectangle generation) flushes them into the shared registry once.
+        self.insert_count = 0
+        self.probe_count = 0
 
     def __len__(self) -> int:
         return self._count
 
     def insert(self, rect: Rect) -> None:
         """Store a rectangle at the highest node whose midline it crosses."""
+        self.insert_count += 1
         node = self._root
         while True:
             mid = node.mid
@@ -102,6 +108,7 @@ class SegmentTree:
 
     def find_covering(self, x: int, y: int) -> Optional[Rect]:
         """The unique stored rectangle covering ``(x, y)``, or ``None``."""
+        self.probe_count += 1
         node = self._root
         while node is not None:
             if node.keys:

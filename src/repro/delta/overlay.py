@@ -35,6 +35,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 
 from ..core.query import PestrieIndex
 from ..matrix.points_to import PointsToMatrix
+from ..obs import get_registry, trace
 from .log import DeltaLog
 
 Fact = Tuple[int, int]
@@ -117,6 +118,13 @@ class OverlayIndex:
         """Fold a log into the state, anchoring each net op against the base."""
         state = self._state
         inserts, deletes = log.net()
+        with trace.span("overlay.apply", inserts=len(inserts), deletes=len(deletes)):
+            self._apply_net(state, inserts, deletes)
+        registry = get_registry()
+        registry.counter("repro_delta_overlay_extends_total").inc()
+        registry.gauge("repro_delta_net_ops").set(self.delta_size())
+
+    def _apply_net(self, state: "_DeltaState", inserts, deletes) -> None:
         for pointer, obj in inserts:
             self._check_pointer(pointer)
             self._check_object(obj)
@@ -261,7 +269,9 @@ class OverlayIndex:
             return True
         # Deletion-contested pair: scan the smaller deleted side's base row.
         # Rare by construction (compaction bounds |Δ|), and bounded by one
-        # points-to set.
+        # points-to set.  Counted because a growing rate of these scans is
+        # the first sign an overlay has outlived its compaction budget.
+        get_registry().counter("repro_delta_contested_scans_total").inc()
         if deleted_p and (not deleted_q or self._base_row_len(p) <= self._base_row_len(q)):
             side, other, side_deleted = p, q, deleted_p
         else:

@@ -16,12 +16,14 @@ a half-written state.
 from __future__ import annotations
 
 import struct
+import time
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..core.decoder import CorruptFileError, decode_bytes, detect_format
 from ..core.ioutil import atomic_write, crc32
 from ..core.pipeline import persist
+from ..obs import get_registry, record_delta_health, trace
 from ..core.query import PestrieIndex
 from .format import decode_record, decode_records, encode_record, split_image
 from .log import DeltaLog
@@ -112,6 +114,22 @@ def append_delta(path: str, log: DeltaLog, compact: Optional[bool] = None,
     file is re-encoded in place when the post-append overlay exceeds that
     ``|Δ|/facts`` ratio, resetting the chain to zero records.
     """
+    start = time.perf_counter()
+    with trace.span("delta.append", path=path, ops=len(log)):
+        result = _append_delta(path, log, compact, auto_compact_ratio)
+    registry = get_registry()
+    if result.bytes_appended or result.compacted:
+        registry.counter("repro_delta_appends_total").inc()
+        registry.histogram("repro_delta_append_seconds").observe(
+            time.perf_counter() - start)
+    record_delta_health(result.record_count,
+                        net_ops=len(log.net()[0]) + len(log.net()[1]),
+                        ratio=result.delta_ratio, trigger=auto_compact_ratio)
+    return result
+
+
+def _append_delta(path: str, log: DeltaLog, compact: Optional[bool],
+                  auto_compact_ratio: Optional[float]) -> AppendResult:
     with open(path, "rb") as stream:
         data = stream.read()
     base, tail = _verified_base(data)
@@ -170,8 +188,15 @@ def append_delta(path: str, log: DeltaLog, compact: Optional[bool] = None,
 def _compact_overlay(overlay: OverlayIndex, path: str, order: str = "hub",
                      compact: bool = False, version: int = 3) -> int:
     """Re-encode an overlay's effective matrix to ``path``; return the size."""
-    return persist(overlay.materialize(), path, order=order, compact=compact,
-                   version=version)
+    start = time.perf_counter()
+    with trace.span("delta.compact", path=path, net_ops=overlay.delta_size()):
+        size = persist(overlay.materialize(), path, order=order, compact=compact,
+                       version=version)
+    registry = get_registry()
+    registry.counter("repro_delta_compactions_total").inc()
+    registry.histogram("repro_delta_compact_seconds").observe(
+        time.perf_counter() - start)
+    return size
 
 
 def compact_file(path: str, out: Optional[str] = None, order: str = "hub",
@@ -189,5 +214,7 @@ def compact_file(path: str, out: Optional[str] = None, order: str = "hub",
     if compact is None:
         compact = bool(base[8] & 0x01)
     overlay = overlay_from_bytes(data)
-    return _compact_overlay(overlay, out or path, order=order,
+    size = _compact_overlay(overlay, out or path, order=order,
                             compact=compact, version=version)
+    record_delta_health(0, net_ops=0, ratio=0.0)
+    return size

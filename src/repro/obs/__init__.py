@@ -1,0 +1,60 @@
+"""repro.obs — process-wide telemetry: metrics, tracing, diagnostics.
+
+Three parts, all thread-safe and shared by every layer of the pipeline:
+
+* a **metrics registry** (:func:`get_registry`) of counters, gauges, and
+  log-bucket histograms, exportable as JSON and Prometheus text
+  exposition — the ``repro-pestrie metrics`` subcommand;
+* **span tracing** (:data:`trace`) producing a hierarchical phase-timing
+  tree over the matrix → builder → encoder → persist → decode → overlay →
+  service pipeline — the ``repro-pestrie trace`` subcommand;
+* **diagnostics**: the bounded :class:`SlowQueryLog` behind
+  :class:`~repro.serve.AliasService`, and structure-health gauge helpers.
+
+Telemetry observes; it never alters behaviour or persisted bytes.  The
+whole layer can be switched off with :func:`set_enabled` (metrics) and is
+off by default for tracing; see ``docs/OBSERVABILITY.md`` for the metric
+catalogue, label conventions, and measured overhead.
+"""
+
+from .catalogue import CATALOGUE
+from .diagnostics import (
+    DEFAULT_SLOW_CAPACITY,
+    DEFAULT_SLOW_THRESHOLD,
+    SlowQuery,
+    SlowQueryLog,
+    record_delta_health,
+    record_index_footprint,
+)
+from .registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    log_buckets,
+    set_enabled,
+)
+from .tracing import Span, Tracer, trace
+
+__all__ = [
+    "CATALOGUE",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_SLOW_CAPACITY",
+    "DEFAULT_SLOW_THRESHOLD",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SlowQuery",
+    "SlowQueryLog",
+    "Span",
+    "Tracer",
+    "get_registry",
+    "log_buckets",
+    "record_delta_health",
+    "record_index_footprint",
+    "set_enabled",
+    "trace",
+]

@@ -1,0 +1,136 @@
+"""Diagnostics: slow-query capture and structure-health gauge helpers.
+
+The slow-query log answers the on-call question "*which* queries were
+slow, not just how many": a bounded ring of the most recent offenders with
+enough context (kind, operands, latency, cache outcome, batch membership)
+to reproduce each one with ``repro-pestrie query``.  Recording is gated on
+a threshold compare, so a service running with the default threshold pays
+one float comparison per query until something is actually slow.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from .registry import get_registry
+
+#: Default slow-query latency threshold (seconds, per query).
+DEFAULT_SLOW_THRESHOLD = 0.010
+
+#: Default bound on retained slow-query entries.
+DEFAULT_SLOW_CAPACITY = 128
+
+
+@dataclass(frozen=True)
+class SlowQuery:
+    """One query (or batch call) that crossed the latency threshold."""
+
+    kind: str
+    operands: Tuple
+    seconds: float
+    cache_hit: bool
+    batched: bool
+    #: Queries covered by the call (> 1 for a batch; ``seconds`` is the
+    #: whole call's wall time, so per-query cost is ``seconds / queries``).
+    queries: int
+    #: ``time.time()`` at capture, for correlating with external logs.
+    wall_time: float
+
+    def render(self) -> str:
+        per_query = self.seconds / max(1, self.queries)
+        detail = "batch of %d" % self.queries if self.batched else "single"
+        outcome = "hit" if self.cache_hit else "miss"
+        return "%-16s %9.3f ms/query  (%s, cache %s, operands %r)" % (
+            self.kind, 1e3 * per_query, detail, outcome, self.operands)
+
+
+class SlowQueryLog:
+    """Bounded, thread-safe ring of the most recent slow queries."""
+
+    def __init__(self, threshold: Optional[float] = DEFAULT_SLOW_THRESHOLD,
+                 capacity: int = DEFAULT_SLOW_CAPACITY, service: str = ""):
+        if capacity <= 0:
+            raise ValueError("slow-query log capacity must be positive")
+        if threshold is not None and threshold < 0:
+            raise ValueError("slow-query threshold must be non-negative")
+        self.threshold = threshold
+        self._entries: Deque[SlowQuery] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._service = service
+        self._counters = {}
+
+    def _counter(self, kind: str):
+        counter = self._counters.get(kind)
+        if counter is None:
+            counter = get_registry().counter(
+                "repro_serve_slow_queries_total", kind=kind, service=self._service)
+            self._counters[kind] = counter
+        return counter
+
+    def record(self, kind: str, operands: Tuple, seconds: float, *,
+               cache_hit: bool = False, batched: bool = False,
+               queries: int = 1) -> bool:
+        """Capture the call if its *per-query* latency crosses the threshold."""
+        threshold = self.threshold
+        if threshold is None or seconds / max(1, queries) < threshold:
+            return False
+        entry = SlowQuery(kind=kind, operands=tuple(operands), seconds=seconds,
+                          cache_hit=cache_hit, batched=batched, queries=queries,
+                          wall_time=time.time())
+        with self._lock:
+            self._entries.append(entry)
+            counter = self._counter(kind)
+        counter.inc()
+        return True
+
+    def entries(self) -> List[SlowQuery]:
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def render(self) -> str:
+        entries = self.entries()
+        if not entries:
+            return "(no slow queries recorded)"
+        return "\n".join(entry.render() for entry in entries)
+
+
+# ----------------------------------------------------------------------
+# Structure-health gauges
+# ----------------------------------------------------------------------
+
+
+def record_delta_health(record_count: int, net_ops: int, ratio: Optional[float],
+                        trigger: Optional[float] = None) -> None:
+    """Publish the delta-chain health gauges after an append/compact/load."""
+    registry = get_registry()
+    registry.gauge("repro_delta_records").set(record_count)
+    registry.gauge("repro_delta_net_ops").set(net_ops)
+    if ratio is not None:
+        registry.gauge("repro_delta_ratio").set(ratio)
+        if trigger is not None:
+            registry.gauge("repro_delta_compaction_headroom").set(
+                max(0.0, trigger - ratio))
+
+
+def record_index_footprint(index) -> int:
+    """Measure and publish a query structure's memory footprint gauge.
+
+    Kept out of the decode path on purpose: ``memory_footprint()`` walks
+    the whole structure, so it is only measured when a diagnostic consumer
+    (the ``metrics``/``trace`` CLI, a benchmark snapshot) asks for it.
+    """
+    footprint = index.memory_footprint()
+    get_registry().gauge("repro_index_footprint_bytes").set(footprint)
+    return footprint

@@ -1,0 +1,361 @@
+"""Process-wide metrics registry: counters, gauges, log-bucket histograms.
+
+The paper's argument is quantitative (encode seconds, file bytes, decode
+seconds, O(log n) query latency), so the reproduction keeps those numbers
+observable at runtime instead of only under a hand-run benchmark.  Design
+constraints, in order:
+
+* **hot-path cost** — a counter increment is one small lock and an integer
+  add; handles are created once and held, never looked up per operation;
+  the whole registry can be disabled (``set_enabled(False)``), after which
+  every mutation returns after a single attribute check;
+* **exactness** — every mutation is locked per metric, so concurrent
+  workers never lose increments (asserted by the stress test);
+* **export** — one registry renders as JSON (machine diffing, benchmark
+  snapshots) and as Prometheus text exposition (scraping).
+
+Families are identified by name; series within a family by their label
+set.  Help/type text comes from :mod:`repro.obs.catalogue` when the family
+is catalogued, so exported metadata stays consistent everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .catalogue import CATALOGUE, COUNTER, GAUGE, HISTOGRAM
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def log_buckets(start: float, factor: float, count: int) -> Tuple[float, ...]:
+    """``count`` log-scale bucket upper bounds: ``start * factor**i``."""
+    if start <= 0 or factor <= 1 or count <= 0:
+        raise ValueError("log buckets need start > 0, factor > 1, count > 0")
+    return tuple(start * factor ** i for i in range(count))
+
+
+#: Default latency buckets: 1 µs to ~4.2 s in ×4 steps (12 buckets).
+DEFAULT_BUCKETS = log_buckets(1e-6, 4.0, 12)
+
+
+class _Metric:
+    """Shared plumbing: a name, a frozen label set, and a lock."""
+
+    __slots__ = ("name", "labels", "_lock", "_registry")
+
+    def __init__(self, registry: "MetricsRegistry", name: str, labels: LabelItems):
+        self._registry = registry
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+
+
+class Counter(_Metric):
+    """Monotonic counter (resettable only through the registry/stats reset)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, registry, name, labels):
+        super().__init__(registry, name, labels)
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if not self._registry.enabled:
+            return
+        if amount < 0:
+            raise ValueError("counters only go up; got %r" % amount)
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Gauge(_Metric):
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, registry, name, labels):
+        super().__init__(registry, name, labels)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram; bucket bounds are log-scale by default.
+
+    ``bucket_counts[i]`` counts observations ``<= bounds[i]`` (cumulative
+    form is produced at export time, matching Prometheus semantics); the
+    implicit final bucket is ``+Inf``.
+    """
+
+    __slots__ = ("bounds", "_bucket_counts", "_count", "_sum")
+
+    def __init__(self, registry, name, labels, bounds: Sequence[float] = DEFAULT_BUCKETS):
+        super().__init__(registry, name, labels)
+        ordered = tuple(bounds)
+        if not ordered or list(ordered) != sorted(set(ordered)):
+            raise ValueError("histogram bounds must be non-empty and strictly increasing")
+        self.bounds = ordered
+        self._bucket_counts = [0] * (len(ordered) + 1)
+        self._count = 0
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        if not self._registry.enabled:
+            return
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._bucket_counts[index] += 1
+            self._count += 1
+            self._sum += value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def snapshot(self) -> Tuple[List[int], int, float]:
+        """``(per-bucket counts incl. +Inf, total count, sum)`` atomically."""
+        with self._lock:
+            return list(self._bucket_counts), self._count, self._sum
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the nearest-rank ``q``-quantile.
+
+        A bucketed approximation — diagnostics-grade, not the reservoir
+        quantiles :class:`~repro.serve.stats.StatsSnapshot` reports.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        counts, total, _ = self.snapshot()
+        if total == 0:
+            return 0.0
+        rank = min(total, max(1, math.ceil(q * total)))
+        running = 0
+        for index, bucket in enumerate(counts):
+            running += bucket
+            if running >= rank:
+                return self.bounds[index] if index < len(self.bounds) else float("inf")
+        return float("inf")
+
+    def reset(self) -> None:
+        with self._lock:
+            self._bucket_counts = [0] * (len(self.bounds) + 1)
+            self._count = 0
+            self._sum = 0.0
+
+
+_TYPE_CLASSES = {COUNTER: Counter, GAUGE: Gauge, HISTOGRAM: Histogram}
+
+
+class MetricsRegistry:
+    """Thread-safe family/series store with JSON and Prometheus export."""
+
+    def __init__(self, describe_catalogue: bool = False):
+        self._lock = threading.Lock()
+        #: name -> (type, help, {label items -> metric})
+        self._families: Dict[str, Tuple[str, str, Dict[LabelItems, _Metric]]] = {}
+        self.enabled = True
+        if describe_catalogue:
+            for name, (kind, help_text) in CATALOGUE.items():
+                self.describe(name, kind, help_text)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def set_enabled(self, enabled: bool) -> None:
+        """Master switch: when off, every metric mutation is a no-op."""
+        self.enabled = bool(enabled)
+
+    def describe(self, name: str, kind: str, help_text: str = "") -> None:
+        """Pre-register a family (it exports even before any series exists)."""
+        if kind not in _TYPE_CLASSES:
+            raise ValueError("unknown metric type %r" % kind)
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if existing[0] != kind:
+                    raise ValueError(
+                        "metric %r already registered as a %s" % (name, existing[0])
+                    )
+                return
+            self._families[name] = (kind, help_text, {})
+
+    def _series(self, name: str, kind: str, labels: Dict[str, str], **extra) -> _Metric:
+        items: LabelItems = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                catalogued = CATALOGUE.get(name)
+                if catalogued is not None and catalogued[0] != kind:
+                    raise ValueError(
+                        "metric %r is catalogued as a %s" % (name, catalogued[0])
+                    )
+                help_text = catalogued[1] if catalogued else ""
+                family = (kind, help_text, {})
+                self._families[name] = family
+            elif family[0] != kind:
+                raise ValueError("metric %r already registered as a %s" % (name, family[0]))
+            series = family[2].get(items)
+            if series is None:
+                series = _TYPE_CLASSES[kind](self, name, items, **extra)
+                family[2][items] = series
+            return series
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._series(name, COUNTER, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._series(name, GAUGE, labels)
+
+    def histogram(self, name: str, buckets: Optional[Sequence[float]] = None,
+                  **labels: str) -> Histogram:
+        if buckets is None:
+            return self._series(name, HISTOGRAM, labels)
+        return self._series(name, HISTOGRAM, labels, bounds=buckets)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def _family_items(self):
+        with self._lock:
+            return [
+                (name, kind, help_text, list(series.items()))
+                for name, (kind, help_text, series) in sorted(self._families.items())
+            ]
+
+    def snapshot(self) -> Dict[str, dict]:
+        """A JSON-ready dict: family -> {type, help, series: [...]}."""
+        out: Dict[str, dict] = {}
+        for name, kind, help_text, series in self._family_items():
+            rendered = []
+            for labels, metric in sorted(series):
+                entry: Dict[str, object] = {"labels": dict(labels)}
+                if kind == HISTOGRAM:
+                    counts, total, total_sum = metric.snapshot()
+                    entry.update(
+                        buckets=list(metric.bounds),
+                        bucket_counts=counts,
+                        count=total,
+                        sum=total_sum,
+                    )
+                else:
+                    entry["value"] = metric.value
+                rendered.append(entry)
+            out[name] = {"type": kind, "help": help_text, "series": rendered}
+        return out
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format 0.0.4 for every family."""
+        lines: List[str] = []
+        for name, kind, help_text, series in self._family_items():
+            if help_text:
+                lines.append("# HELP %s %s" % (name, _escape_help(help_text)))
+            lines.append("# TYPE %s %s" % (name, kind))
+            for labels, metric in sorted(series):
+                if kind == HISTOGRAM:
+                    counts, total, total_sum = metric.snapshot()
+                    running = 0
+                    for bound, bucket in zip(metric.bounds, counts):
+                        running += bucket
+                        lines.append("%s_bucket{%s} %d" % (
+                            name, _render_labels(labels + (("le", _format_value(bound)),)),
+                            running))
+                    lines.append("%s_bucket{%s} %d" % (
+                        name, _render_labels(labels + (("le", "+Inf"),)), total))
+                    suffix = _render_labels(labels)
+                    brace = "{%s}" % suffix if suffix else ""
+                    lines.append("%s_sum%s %s" % (name, brace, _format_value(total_sum)))
+                    lines.append("%s_count%s %d" % (name, brace, total))
+                else:
+                    suffix = _render_labels(labels)
+                    brace = "{%s}" % suffix if suffix else ""
+                    lines.append("%s%s %s" % (name, brace, _format_value(metric.value)))
+        return "\n".join(lines) + "\n"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every series (families and handles stay registered)."""
+        for _name, _kind, _help, series in self._family_items():
+            for _labels, metric in series:
+                metric.reset()
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(items: LabelItems) -> str:
+    return ",".join('%s="%s"' % (key, _escape_label_value(value))
+                    for key, value in items)
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+#: The process-wide registry every instrumented module shares.
+_GLOBAL = MetricsRegistry(describe_catalogue=True)
+
+
+def get_registry() -> MetricsRegistry:
+    return _GLOBAL
+
+
+def set_enabled(enabled: bool) -> None:
+    """Enable/disable all telemetry mutations on the global registry."""
+    _GLOBAL.set_enabled(enabled)

@@ -20,6 +20,8 @@ import threading
 from collections import OrderedDict
 from typing import Callable, Hashable, Optional
 
+from ..obs import get_registry
+
 
 class LRUCache:
     """Least-recently-used mapping with a fixed capacity.
@@ -29,7 +31,8 @@ class LRUCache:
     caching entirely (every ``get`` misses, ``put`` is a no-op).
     """
 
-    __slots__ = ("_capacity", "_data", "_epoch", "_lock", "hits", "misses")
+    __slots__ = ("_capacity", "_data", "_epoch", "_evictions", "_invalidated",
+                 "_lock", "hits", "misses")
 
     _MISS = object()
 
@@ -42,6 +45,11 @@ class LRUCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        # Registry handles held for the instance's lifetime; the hot get/put
+        # paths never touch them except on the (rare) eviction branch.
+        registry = get_registry()
+        self._evictions = registry.counter("repro_cache_evictions_total")
+        self._invalidated = registry.counter("repro_cache_invalidated_total")
 
     @property
     def epoch(self) -> int:
@@ -85,6 +93,7 @@ class LRUCache:
             self._data[key] = value
             if len(self._data) > self._capacity:
                 self._data.popitem(last=False)
+                self._evictions.inc()
 
     def invalidate_where(self, predicate: Callable[[Hashable], bool]) -> int:
         """Drop every entry whose key satisfies ``predicate``; bump the epoch.
@@ -98,7 +107,9 @@ class LRUCache:
             stale = [key for key in self._data if predicate(key)]
             for key in stale:
                 del self._data[key]
-            return len(stale)
+        if stale:
+            self._invalidated.inc(len(stale))
+        return len(stale)
 
     def clear(self) -> None:
         with self._lock:

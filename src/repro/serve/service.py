@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.query import PestrieIndex
 from ..delta import DeltaLog, OverlayIndex
+from ..obs import DEFAULT_SLOW_CAPACITY, DEFAULT_SLOW_THRESHOLD, SlowQuery, SlowQueryLog
 from .cache import LRUCache
 from .sharding import ShardedIndex
 from .stats import DEFAULT_WINDOW, ServiceStats, StatsSnapshot
@@ -49,10 +50,17 @@ class AliasService:
     """
 
     def __init__(self, backend, cache_size: int = 4096,
-                 stats_window: int = DEFAULT_WINDOW):
+                 stats_window: int = DEFAULT_WINDOW,
+                 slow_query_threshold: Optional[float] = DEFAULT_SLOW_THRESHOLD,
+                 slow_log_capacity: int = DEFAULT_SLOW_CAPACITY):
         self._backend = backend
         self._cache = LRUCache(cache_size)
         self._stats = ServiceStats(window=stats_window)
+        # Slow-query diagnostics: one float compare per query while quiet.
+        # ``slow_query_threshold=None`` disables capture entirely.
+        self._slow = SlowQueryLog(threshold=slow_query_threshold,
+                                  capacity=slow_log_capacity,
+                                  service=self._stats.service)
         self._column_of = getattr(backend, "column_of", None)
         # Serialises writers (apply_delta); readers never take it.
         self._swap_lock = threading.Lock()
@@ -97,6 +105,21 @@ class AliasService:
 
     def reset_stats(self) -> None:
         self._stats.reset()
+        self._slow.clear()
+
+    @property
+    def slow_query_log(self) -> SlowQueryLog:
+        return self._slow
+
+    def slow_queries(self) -> List[SlowQuery]:
+        """The most recent queries over the slow threshold, oldest first."""
+        return self._slow.entries()
+
+    def set_slow_query_threshold(self, seconds: Optional[float]) -> None:
+        """Change (or ``None``-disable) the slow-query capture threshold."""
+        if seconds is not None and seconds < 0:
+            raise ValueError("slow-query threshold must be non-negative")
+        self._slow.threshold = seconds
 
     def cache_size(self) -> int:
         return len(self._cache)
@@ -176,7 +199,8 @@ class AliasService:
         start = time.perf_counter()
         key = ("is_alias", (p, q) if p <= q else (q, p))
         value = self._cache.get(key, _MISS)
-        if value is _MISS:
+        hit = value is not _MISS
+        if not hit:
             self._stats.record_cache(0, 1)
             # Snapshot the epoch before the backend: if apply_delta swaps
             # in between, the stale-epoch put below is dropped.
@@ -185,7 +209,9 @@ class AliasService:
             self._cache.put(key, value, epoch=epoch)
         else:
             self._stats.record_cache(1, 0)
-        self._stats.record("is_alias", time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        self._stats.record("is_alias", elapsed)
+        self._slow.record("is_alias", (p, q), elapsed, cache_hit=hit)
         return value
 
     def list_aliases(self, p: int) -> List[int]:
@@ -201,14 +227,17 @@ class AliasService:
         start = time.perf_counter()
         key = (kind, operand)
         value = self._cache.get(key, _MISS)
-        if value is _MISS:
+        hit = value is not _MISS
+        if not hit:
             self._stats.record_cache(0, 1)
             epoch = self._cache.epoch
             value = tuple(getattr(self._backend, kind)(operand))
             self._cache.put(key, value, epoch=epoch)
         else:
             self._stats.record_cache(1, 0)
-        self._stats.record(kind, time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        self._stats.record(kind, elapsed)
+        self._slow.record(kind, (operand,), elapsed, cache_hit=hit)
         return value
 
     # ------------------------------------------------------------------
@@ -246,9 +275,15 @@ class AliasService:
                 self._cache.put(("is_alias", norm), answer, epoch=epoch)
                 for position in pending[norm]:
                     results[position] = answer
+        elapsed = time.perf_counter() - start
         self._stats.record_cache(hits, len(pairs) - hits)
-        self._stats.record("is_alias", time.perf_counter() - start,
-                           queries=len(pairs), batched=True)
+        self._stats.record("is_alias", elapsed, queries=len(pairs), batched=True)
+        if pairs:
+            # A batch logs one entry (the whole call) when its *per-query*
+            # average crosses the threshold; the first operands identify it.
+            self._slow.record("is_alias", tuple(pairs[:4]), elapsed,
+                              cache_hit=not pending, batched=True,
+                              queries=len(pairs))
         return results
 
     def list_aliases_many(self, pointers: Sequence[int]) -> List[List[int]]:
@@ -287,9 +322,13 @@ class AliasService:
                 self._cache.put((kind, operand), value, epoch=epoch)
                 for position in pending[operand]:
                     results[position] = value
+        elapsed = time.perf_counter() - start
         self._stats.record_cache(hits, len(operands) - hits)
-        self._stats.record(kind, time.perf_counter() - start,
-                           queries=len(operands), batched=True)
+        self._stats.record(kind, elapsed, queries=len(operands), batched=True)
+        if operands:
+            self._slow.record(kind, tuple(operands[:4]), elapsed,
+                              cache_hit=not pending, batched=True,
+                              queries=len(operands))
         return [list(value) for value in results]
 
 

@@ -21,6 +21,12 @@ from bisect import bisect_right
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.query import PestrieIndex
+from ..obs import get_registry
+
+_REGISTRY = get_registry()
+_SAME_SHARD = _REGISTRY.counter("repro_shard_queries_total", scope="same")
+_CROSS_SHARD = _REGISTRY.counter("repro_shard_queries_total", scope="cross")
+_SWAPS = _REGISTRY.counter("repro_shard_swaps_total")
 
 
 class ShardedIndex:
@@ -95,6 +101,7 @@ class ShardedIndex:
         replacement = list(self._indexes)
         replacement[position] = index
         self._indexes = replacement
+        _SWAPS.inc()
 
     def with_delta(self, log) -> "ShardedIndex":
         """A new sharded index with a global edit script overlaid.
@@ -131,7 +138,9 @@ class ShardedIndex:
         shard_p, local_p = self.shard_of(p)
         shard_q, local_q = self.shard_of(q)
         if shard_p == shard_q:
+            _SAME_SHARD.inc()
             return self._indexes[shard_p].is_alias(local_p, local_q)
+        _CROSS_SHARD.inc()
         points_p = self._indexes[shard_p].list_points_to(local_p)
         if not points_p:
             return False
@@ -151,6 +160,10 @@ class ShardedIndex:
                 same_shard.setdefault(shard_p, []).append((position, local_p, local_q))
             else:
                 cross.append((position, shard_p, local_p, shard_q, local_q))
+        if same_shard:
+            _SAME_SHARD.inc(sum(len(jobs) for jobs in same_shard.values()))
+        if cross:
+            _CROSS_SHARD.inc(len(cross))
         for shard, jobs in same_shard.items():
             answers = self._indexes[shard].is_alias_batch(
                 [(local_p, local_q) for _, local_p, local_q in jobs]

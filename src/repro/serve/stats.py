@@ -1,18 +1,30 @@
 """Service instrumentation: query counters, cache hit rate, latencies.
 
-Kept deliberately lightweight — one lock, integer counters, and a bounded
-ring buffer of recent latency samples per query kind — so instrumenting
-the hot path costs nanoseconds, not a measurable fraction of a query.
-Batch calls record one sample covering the whole call, weighted down to a
+Since the telemetry PR this module is a thin façade over the shared
+:mod:`repro.obs` registry: the counters live in process-wide metric
+series labelled with a per-instance ``service`` id (so two services never
+mix numbers and both appear in one Prometheus scrape), while the
+nearest-rank latency quantiles keep their exact per-kind reservoirs (the
+registry's histograms are log-bucketed, which is the wrong tool for a
+p50/p95 report that must match the paper's microsecond tables).
+
+The public surface is unchanged: :meth:`ServiceStats.record` /
+:meth:`record_cache` / :meth:`snapshot` / :meth:`reset`, and
+:class:`StatsSnapshot` still renders the ``serve-stats`` report.  Batch
+calls record one sample covering the whole call, weighted down to a
 per-query figure, so the quantiles stay comparable between the single and
 batched entry points.
 """
 
 from __future__ import annotations
 
+import itertools
+import math
 import threading
 from dataclasses import dataclass, field
 from typing import Dict, List
+
+from ..obs import get_registry
 
 #: The Table 1 query kinds, in the order every report lists them.
 QUERY_KINDS = ("is_alias", "list_aliases", "list_points_to", "list_pointed_by")
@@ -20,13 +32,23 @@ QUERY_KINDS = ("is_alias", "list_aliases", "list_points_to", "list_pointed_by")
 #: Ring-buffer capacity of the per-kind latency reservoirs.
 DEFAULT_WINDOW = 2048
 
+#: Per-process ServiceStats instance ids (the ``service`` metric label).
+_INSTANCE_IDS = itertools.count()
+
 
 def quantile(samples: List[float], q: float) -> float:
-    """The ``q``-quantile (nearest-rank) of ``samples``; 0.0 when empty."""
+    """The ``q``-quantile (nearest-rank) of ``samples``; 0.0 when empty.
+
+    Nearest-rank is the ``ceil(q * n)``-th order statistic.  The previous
+    ``int(q * n)`` truncation systematically picked one rank too high for
+    small windows (e.g. the p50 of two samples came out as the *larger*
+    one) because truncation was applied to a 0-based index without the
+    ceiling: ``ceil(q * n) - 1`` is the correct 0-based rank.
+    """
     if not samples:
         return 0.0
     ordered = sorted(samples)
-    rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
     return ordered[rank]
 
 
@@ -77,7 +99,10 @@ class StatsSnapshot:
         """A human-readable multi-line report (the serve-stats output)."""
         lines = ["%-16s %10s %10s %12s %12s" % ("query", "count", "batched",
                                                 "p50 (us)", "p95 (us)")]
-        for kind in QUERY_KINDS:
+        # The fixed Table 1 kinds first, then anything else ever recorded
+        # (a future column_of batch, say) so no traffic goes unreported.
+        extra = sorted(kind for kind in self.counts if kind not in QUERY_KINDS)
+        for kind in tuple(QUERY_KINDS) + tuple(extra):
             lines.append("%-16s %10d %10d %12.1f %12.1f" % (
                 kind,
                 self.counts.get(kind, 0),
@@ -91,40 +116,95 @@ class StatsSnapshot:
         return "\n".join(lines)
 
 
-class ServiceStats:
-    """Thread-safe accumulator behind :class:`StatsSnapshot`."""
+class _KindHandles:
+    """One query kind's registry series plus its local quantile reservoir."""
 
-    def __init__(self, window: int = DEFAULT_WINDOW):
+    __slots__ = ("count", "batched", "latency", "reservoir")
+
+    def __init__(self, registry, service: str, kind: str, window: int):
+        self.count = registry.counter("repro_serve_queries_total",
+                                      service=service, kind=kind)
+        self.batched = registry.counter("repro_serve_batched_queries_total",
+                                        service=service, kind=kind)
+        self.latency = registry.histogram("repro_serve_latency_seconds",
+                                          service=service, kind=kind)
+        self.reservoir = _Reservoir(window)
+
+
+class ServiceStats:
+    """Thread-safe accumulator behind :class:`StatsSnapshot`.
+
+    Counter state lives in ``registry`` (default: the process-wide one)
+    under this instance's unique ``service`` label, so the same numbers
+    the snapshot reports are scrapeable via ``repro-pestrie metrics``.
+    Unknown kinds are registered on first use — the membership check and
+    the registration happen under one lock, so two threads racing on a new
+    kind cannot observe a half-initialised series.
+    """
+
+    def __init__(self, window: int = DEFAULT_WINDOW, registry=None,
+                 service: str = ""):
         if window <= 0:
             raise ValueError("latency window must be positive")
+        self._registry = registry if registry is not None else get_registry()
+        self.service = service or "s%d" % next(_INSTANCE_IDS)
         self._lock = threading.Lock()
         self._window = window
-        self._reset_locked()
+        self._kinds: Dict[str, _KindHandles] = {}
+        self._cache_hits = self._registry.counter(
+            "repro_serve_cache_hits_total", service=self.service)
+        self._cache_misses = self._registry.counter(
+            "repro_serve_cache_misses_total", service=self.service)
+        with self._lock:
+            self._reset_locked()
 
     def _reset_locked(self) -> None:
-        self._counts = {kind: 0 for kind in QUERY_KINDS}
-        self._batched = {kind: 0 for kind in QUERY_KINDS}
-        self._cache_hits = 0
-        self._cache_misses = 0
-        self._reservoirs = {kind: _Reservoir(self._window) for kind in QUERY_KINDS}
+        for handles in self._kinds.values():
+            handles.count.reset()
+            handles.batched.reset()
+            handles.latency.reset()
+        self._kinds = {}
+        for kind in QUERY_KINDS:
+            self._kinds[kind] = _KindHandles(self._registry, self.service,
+                                             kind, self._window)
+        self._cache_hits.reset()
+        self._cache_misses.reset()
+
+    def _handles(self, kind: str) -> _KindHandles:
+        # Lock-free fast path: dict reads are atomic, and a populated entry
+        # never changes.  Only a first-seen kind takes the lock, where the
+        # membership check is re-done so two racing registrants converge on
+        # one handle set.
+        handles = self._kinds.get(kind)
+        if handles is not None:
+            return handles
+        with self._lock:
+            handles = self._kinds.get(kind)
+            if handles is None:
+                handles = _KindHandles(self._registry, self.service, kind,
+                                       self._window)
+                self._kinds[kind] = handles
+            return handles
 
     def record(self, kind: str, seconds: float, queries: int = 1,
                batched: bool = False) -> None:
         """Count ``queries`` served in ``seconds`` (one call's wall time)."""
-        if kind not in self._counts:
-            raise ValueError("unknown query kind %r" % kind)
         if queries <= 0:
             return
+        handles = self._handles(kind)
+        per_query = seconds / queries
         with self._lock:
-            self._counts[kind] += queries
-            if batched:
-                self._batched[kind] += queries
-            self._reservoirs[kind].record(seconds / queries)
+            handles.reservoir.record(per_query)
+        handles.count.inc(queries)
+        if batched:
+            handles.batched.inc(queries)
+        handles.latency.observe(per_query)
 
     def record_cache(self, hits: int, misses: int) -> None:
-        with self._lock:
-            self._cache_hits += hits
-            self._cache_misses += misses
+        if hits:
+            self._cache_hits.inc(hits)
+        if misses:
+            self._cache_misses.inc(misses)
 
     def reset(self) -> None:
         with self._lock:
@@ -132,12 +212,14 @@ class ServiceStats:
 
     def snapshot(self) -> StatsSnapshot:
         with self._lock:
-            samples = {kind: res.snapshot() for kind, res in self._reservoirs.items()}
-            return StatsSnapshot(
-                counts=dict(self._counts),
-                batched=dict(self._batched),
-                cache_hits=self._cache_hits,
-                cache_misses=self._cache_misses,
-                latency_p50={k: quantile(v, 0.50) for k, v in samples.items()},
-                latency_p95={k: quantile(v, 0.95) for k, v in samples.items()},
-            )
+            kinds = dict(self._kinds)
+            samples = {kind: handles.reservoir.snapshot()
+                       for kind, handles in kinds.items()}
+        return StatsSnapshot(
+            counts={kind: handles.count.value for kind, handles in kinds.items()},
+            batched={kind: handles.batched.value for kind, handles in kinds.items()},
+            cache_hits=self._cache_hits.value,
+            cache_misses=self._cache_misses.value,
+            latency_p50={k: quantile(v, 0.50) for k, v in samples.items()},
+            latency_p95={k: quantile(v, 0.95) for k, v in samples.items()},
+        )

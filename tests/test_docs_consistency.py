@@ -29,6 +29,7 @@ class TestPublicSurface:
             "repro.bench",
             "repro.clients",
             "repro.serve",
+            "repro.obs",
             "repro.cli",
         ],
     )

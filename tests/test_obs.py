@@ -1,0 +1,319 @@
+"""The telemetry layer: registry, exposition, tracing, slow-query log."""
+
+import threading
+
+import pytest
+
+from repro.core.pipeline import encode, index_from_bytes
+from repro.obs import (
+    CATALOGUE,
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    SlowQueryLog,
+    Tracer,
+    get_registry,
+    log_buckets,
+)
+from repro.serve import AliasService
+
+from conftest import make_random_matrix
+
+
+class TestLogBuckets:
+    def test_geometric_progression(self):
+        assert log_buckets(1.0, 2.0, 3) == (1.0, 2.0, 4.0)
+
+    def test_default_buckets_span_microseconds_to_seconds(self):
+        assert len(DEFAULT_BUCKETS) == 12
+        assert DEFAULT_BUCKETS[0] == 1e-6
+        assert DEFAULT_BUCKETS[-1] == pytest.approx(4.194304)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            log_buckets(0.0, 2.0, 3)
+        with pytest.raises(ValueError):
+            log_buckets(1.0, 1.0, 3)
+        with pytest.raises(ValueError):
+            log_buckets(1.0, 2.0, 0)
+
+
+class TestHistogramBuckets:
+    def test_boundary_values_land_in_their_le_bucket(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("t_seconds", buckets=(1.0, 2.0, 4.0))
+        # A value equal to a bound belongs to that bucket (le = "<=").
+        for value in (1.0, 0.5, 1.5, 2.0, 4.0, 4.0001):
+            histogram.observe(value)
+        counts, total, total_sum = histogram.snapshot()
+        assert counts == [2, 2, 1, 1]  # le=1, le=2, le=4, +Inf
+        assert total == 6
+        assert total_sum == pytest.approx(13.0001)
+
+    def test_quantile_reports_bucket_upper_bound(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("t_seconds", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 0.5, 3.0, 100.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == 1.0
+        assert histogram.quantile(0.75) == 4.0
+        assert histogram.quantile(1.0) == float("inf")
+        assert registry.histogram("t_empty", buckets=(1.0,)).quantile(0.5) == 0.0
+
+    def test_bounds_must_increase(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("t_bad", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram("t_dup", buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_counter_rejects_negative_increments(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("t_total").inc(-1)
+
+    def test_same_labels_share_a_series(self):
+        registry = MetricsRegistry()
+        registry.counter("t_total", kind="a").inc()
+        registry.counter("t_total", kind="a").inc()
+        registry.counter("t_total", kind="b").inc()
+        series = registry.snapshot()["t_total"]["series"]
+        assert [(entry["labels"], entry["value"]) for entry in series] == [
+            ({"kind": "a"}, 2),
+            ({"kind": "b"}, 1),
+        ]
+
+    def test_type_conflicts_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("t_total")
+        with pytest.raises(ValueError):
+            registry.gauge("t_total")
+        with pytest.raises(ValueError):
+            registry.describe("t_total", "gauge")
+
+    def test_disabled_registry_mutations_are_noops(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("t_total")
+        gauge = registry.gauge("t_value")
+        histogram = registry.histogram("t_seconds", buckets=(1.0,))
+        registry.set_enabled(False)
+        counter.inc()
+        gauge.set(5.0)
+        histogram.observe(0.5)
+        registry.set_enabled(True)
+        assert counter.value == 0
+        assert gauge.value == 0.0
+        assert histogram.count == 0
+
+    def test_catalogued_families_export_before_first_use(self):
+        registry = MetricsRegistry(describe_catalogue=True)
+        snapshot = registry.snapshot()
+        assert set(CATALOGUE) <= set(snapshot)
+        for name, (kind, help_text) in CATALOGUE.items():
+            assert snapshot[name]["type"] == kind
+            assert snapshot[name]["help"] == help_text
+
+    def test_global_registry_is_shared_and_catalogued(self):
+        assert get_registry() is get_registry()
+        assert set(CATALOGUE) <= set(get_registry().snapshot())
+
+    def test_eight_thread_increments_are_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("t_total")
+        histogram = registry.histogram("t_seconds", buckets=(0.5, 1.0))
+        workers, per_worker = 8, 2000
+
+        def run():
+            for index in range(per_worker):
+                counter.inc()
+                histogram.observe((index % 3) * 0.4)  # 0.0, 0.4, 0.8
+
+        threads = [threading.Thread(target=run) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == workers * per_worker
+        counts, total, _ = histogram.snapshot()
+        assert total == workers * per_worker
+        assert sum(counts) == total
+
+
+class TestPrometheusExposition:
+    def test_golden_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("t_total", path='a"b\\c\nd').inc()
+        histogram = registry.histogram("t_seconds", buckets=(0.5, 1.0))
+        for value in (0.25, 0.75, 2.0):
+            histogram.observe(value)
+        assert registry.to_prometheus() == (
+            "# TYPE t_seconds histogram\n"
+            't_seconds_bucket{le="0.5"} 1\n'
+            't_seconds_bucket{le="1"} 2\n'
+            't_seconds_bucket{le="+Inf"} 3\n'
+            "t_seconds_sum 3\n"
+            "t_seconds_count 3\n"
+            "# TYPE t_total counter\n"
+            't_total{path="a\\"b\\\\c\\nd"} 1\n'
+        )
+
+    def test_catalogued_family_gets_help_and_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_decode_seconds",
+                                       buckets=(1e-3, 1e-2))
+        histogram.observe(5e-4)
+        histogram.observe(5e-3)
+        text = registry.to_prometheus()
+        assert "# HELP repro_decode_seconds " in text
+        assert "# TYPE repro_decode_seconds histogram" in text
+        assert 'repro_decode_seconds_bucket{le="0.001"} 1' in text
+        assert 'repro_decode_seconds_bucket{le="0.01"} 2' in text
+        assert 'repro_decode_seconds_bucket{le="+Inf"} 2' in text
+
+    def test_labels_render_sorted_and_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("t_total", zeta="1", alpha="2").inc()
+        assert 't_total{alpha="2",zeta="1"} 1' in registry.to_prometheus()
+
+
+class TestTracing:
+    def test_disabled_span_is_shared_noop(self):
+        tracer = Tracer()
+        assert tracer.span("a") is tracer.span("b")
+        with tracer.span("a"):
+            pass
+        assert tracer.roots() == []
+
+    def test_nested_spans_build_a_tree(self):
+        tracer = Tracer()
+        tracer.enable()
+        try:
+            with tracer.span("outer", depth=0):
+                with tracer.span("inner", depth=1):
+                    pass
+                with tracer.span("sibling"):
+                    pass
+        finally:
+            tracer.disable()
+        (root,) = tracer.roots()
+        assert root.name == "outer"
+        assert [child.name for child in root.children] == ["inner", "sibling"]
+        assert root.seconds >= root.children[0].seconds
+        assert root.find("sibling") is root.children[1]
+        assert "outer" in root.render() and "inner" in root.render()
+
+    def test_exception_marks_span_and_keeps_stack_clean(self):
+        tracer = Tracer()
+        tracer.enable()
+        try:
+            with pytest.raises(RuntimeError):
+                with tracer.span("outer"):
+                    with tracer.span("inner"):
+                        raise RuntimeError("boom")
+            # The stack unwound fully: a new root nests nothing stale.
+            with tracer.span("after"):
+                pass
+        finally:
+            tracer.disable()
+        outer, after = tracer.roots()
+        assert outer.error and outer.children[0].error
+        assert after.name == "after" and not after.children
+
+    def test_capture_collects_only_new_roots(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("before"):
+            pass
+        tracer.disable()
+        with tracer.capture() as spans:
+            with tracer.span("captured"):
+                pass
+        assert not tracer.enabled
+        assert [span.name for span in spans] == ["captured"]
+
+    def test_root_capacity_evicts_oldest(self):
+        tracer = Tracer(root_capacity=2)
+        tracer.enable()
+        try:
+            for name in ("a", "b", "c"):
+                with tracer.span(name):
+                    pass
+        finally:
+            tracer.disable()
+        assert [span.name for span in tracer.roots()] == ["b", "c"]
+
+
+class TestSlowQueryLog:
+    def test_threshold_gates_on_per_query_latency(self):
+        log = SlowQueryLog(threshold=0.010, capacity=8)
+        assert not log.record("is_alias", (1, 2), 0.005)
+        assert log.record("is_alias", (1, 2), 0.020)
+        # A 100-query batch at 1 ms/query stays under a 10 ms threshold
+        # even though the whole call took 100 ms.
+        assert not log.record("is_alias", ((1, 2),), 0.100, batched=True,
+                              queries=100)
+        assert log.record("is_alias", ((1, 2),), 2.0, batched=True, queries=100)
+        kinds = [entry.seconds for entry in log.entries()]
+        assert kinds == [0.020, 2.0]
+
+    def test_capacity_bounds_retained_entries(self):
+        log = SlowQueryLog(threshold=0.0, capacity=4)
+        for index in range(10):
+            assert log.record("list_aliases", (index,), 0.001)
+        entries = log.entries()
+        assert len(log) == len(entries) == 4
+        assert [entry.operands for entry in entries] == [(6,), (7,), (8,), (9,)]
+
+    def test_none_threshold_disables_capture(self):
+        log = SlowQueryLog(threshold=None, capacity=4)
+        assert not log.record("is_alias", (1, 2), 100.0)
+        assert len(log) == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(capacity=0)
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold=-1.0)
+
+    def test_render_and_clear(self):
+        log = SlowQueryLog(threshold=0.0, capacity=4)
+        assert log.render() == "(no slow queries recorded)"
+        log.record("is_alias", (1, 2), 0.5)
+        assert "is_alias" in log.render()
+        log.clear()
+        assert len(log) == 0
+
+
+class TestServiceSlowQueries:
+    @pytest.fixture
+    def service(self):
+        matrix = make_random_matrix(40, 12, density=0.2, seed=5)
+        return AliasService.from_index(index_from_bytes(encode(matrix)),
+                                       slow_query_threshold=0.0,
+                                       slow_log_capacity=8)
+
+    def test_every_query_kind_is_captured_at_zero_threshold(self, service):
+        service.is_alias(0, 1)
+        service.list_aliases(2)
+        service.is_alias_batch([(0, 1), (1, 2)])
+        kinds = [entry.kind for entry in service.slow_queries()]
+        assert kinds == ["is_alias", "list_aliases", "is_alias"]
+        batch = service.slow_queries()[-1]
+        assert batch.batched and batch.queries == 2
+
+    def test_threshold_can_be_raised_and_disabled(self, service):
+        service.set_slow_query_threshold(10.0)
+        service.is_alias(0, 1)
+        assert service.slow_queries() == []
+        service.set_slow_query_threshold(None)
+        service.is_alias(1, 2)
+        assert service.slow_queries() == []
+        with pytest.raises(ValueError):
+            service.set_slow_query_threshold(-0.5)
+
+    def test_reset_stats_clears_the_log(self, service):
+        service.is_alias(0, 1)
+        assert service.slow_queries()
+        service.reset_stats()
+        assert service.slow_queries() == []

@@ -13,7 +13,7 @@ from repro.core.pipeline import encode, index_from_bytes
 from repro.delta import DeltaLog, OverlayIndex
 from repro.matrix.points_to import PointsToMatrix
 from repro.serve import AliasService, LRUCache, ShardedIndex
-from repro.serve.stats import QUERY_KINDS, quantile
+from repro.serve.stats import QUERY_KINDS, ServiceStats, quantile
 
 from conftest import make_random_matrix, matrices
 
@@ -117,6 +117,41 @@ class TestQuantile:
         samples = [1.0, 2.0, 3.0, 4.0]
         assert quantile(samples, 0.0) == 1.0
         assert quantile(samples, 0.95) == 4.0
+
+    def test_median_of_two_is_lower_sample(self):
+        # The old int(q * n) truncation picked the *larger* of two samples
+        # as the median; nearest-rank (ceil(q*n) - 1) picks the smaller.
+        assert quantile([1.0, 2.0], 0.5) == 1.0
+
+    def test_nearest_rank_small_windows(self):
+        assert quantile([3.0], 0.5) == 3.0
+        assert quantile([1.0, 2.0, 3.0], 0.5) == 2.0
+        assert quantile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.0
+        assert quantile([1.0, 2.0, 3.0, 4.0], 1.0) == 4.0
+
+
+class TestServiceStatsKinds:
+    def test_render_lists_extra_kinds_after_fixed_four(self):
+        stats = ServiceStats()
+        stats.record("column_probe", 0.001)
+        lines = stats.snapshot().render().splitlines()
+        listed = [line.split()[0] for line in lines[1:1 + len(QUERY_KINDS) + 1]]
+        assert listed == list(QUERY_KINDS) + ["column_probe"]
+
+    def test_unknown_kind_registration_is_thread_safe(self):
+        stats = ServiceStats()
+        workers, per_worker = 8, 250
+
+        def run():
+            for _ in range(per_worker):
+                stats.record("novel_kind", 1e-6)
+
+        threads = [threading.Thread(target=run) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert stats.snapshot().counts["novel_kind"] == workers * per_worker
 
 
 class TestAliasService:
