@@ -23,7 +23,7 @@ bench:
 # Tiny-workload run of the service throughput benchmark — a CI guard that
 # keeps the serve layer and its batch-beats-single invariant from rotting.
 bench-smoke:
-	BENCH_SMOKE=1 $(RUN) -m pytest benchmarks/bench_service_throughput.py -q
+	BENCH_SMOKE=1 $(RUN) -m pytest benchmarks/bench_service_throughput.py benchmarks/bench_cold_start.py -q
 
 # End-to-end telemetry guard: run the pipeline, dump the metrics registry,
 # fail if any catalogued family is missing or an exercised one has no data.

@@ -153,9 +153,13 @@ class BitmapPersistence:
         return os.path.getsize(path)
 
     @staticmethod
-    def decode(stream: BinaryIO) -> BitmapIndex:
-        data = stream.read()
-        magic = data[:8]
+    def decode_buffer(data) -> BitmapIndex:
+        """Decode one BitP image from any byte buffer (bytes or memoryview).
+
+        The checksum is computed directly over the buffer, so an mmap-backed
+        view is verified zero-copy; only the body sections are materialised.
+        """
+        magic = bytes(data[:8])
         if magic == MAGIC:
             if len(data) < 12:
                 raise ValueError("truncated BitP file (no checksum trailer)")
@@ -164,7 +168,7 @@ class BitmapPersistence:
             if stored != actual:
                 raise ValueError("BitP checksum mismatch (stored %08x, computed %08x)"
                                  % (stored, actual))
-            body = io.BytesIO(data[8:-4])
+            body = io.BytesIO(data[8 : len(data) - 4])
         elif magic == MAGIC_V1:
             body = io.BytesIO(data[8:])
         else:
@@ -177,6 +181,16 @@ class BitmapPersistence:
         return BitmapIndex(pm, am)
 
     @staticmethod
+    def decode(stream: BinaryIO) -> BitmapIndex:
+        return BitmapPersistence.decode_buffer(stream.read())
+
+    @staticmethod
     def decode_from_file(path: str) -> BitmapIndex:
-        with open(path, "rb") as stream:
-            return BitmapPersistence.decode(stream)
+        from ..store import open_blob
+
+        with open_blob(path) as blob:
+            view = blob.buffer
+            try:
+                return BitmapPersistence.decode_buffer(view)
+            finally:
+                view.release()

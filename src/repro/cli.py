@@ -111,34 +111,42 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def cmd_info(args: argparse.Namespace) -> int:
-    from .delta import decode_records, split_image
+    """Header and section stats, straight from the container's TOC.
 
-    with open(args.file, "rb") as stream:
-        data = stream.read()
-    version, compact = detect_format(data)
-    base, tail = split_image(data)
-    payload = decode_bytes(base)
-    print("format:       PESTRIE%d (%s ints)" % (version, "varint" if compact else "raw"))
-    tracked = sum(1 for ts in payload.pointer_ts if ts is not None)
-    case1 = sum(1 for _, flag in payload.rects if flag)
-    points = sum(1 for rect, _ in payload.rects
-                 if rect.x1 == rect.x2 and rect.y1 == rect.y2)
-    lines = sum(1 for rect, _ in payload.rects
-                if (rect.x1 == rect.x2) != (rect.y1 == rect.y2))
-    print("pointers:     %d (%d tracked)" % (payload.n_pointers, tracked))
-    print("objects:      %d" % payload.n_objects)
-    print("groups (ES):  %d" % payload.n_groups)
-    print("rectangles:   %d (%d case-1, %d case-2)"
-          % (len(payload.rects), case1, len(payload.rects) - case1))
-    print("  points:     %d" % points)
-    print("  lines:      %d" % lines)
-    print("  full rects: %d" % (len(payload.rects) - points - lines))
-    if tail:
-        records = decode_records(data, len(base), payload.n_pointers, payload.n_objects)
-        inserts = sum(len(record.inserts) for record in records)
-        deletes = sum(len(record.deletes) for record in records)
-        print("delta:        %d record(s), +%d/-%d facts, %d bytes"
-              % (len(records), inserts, deletes, len(tail)))
+    Only the headers and the pointer-timestamp section are parsed: the
+    rectangle shape breakdown comes from the eight header counts (the
+    encoder classifies by degeneracy, so points/lines/full rectangles are
+    header facts), and a DELTA tail is decoded record by record.  The full
+    index is never built — that thoroughness lives in ``verify``.
+    """
+    from .core.encoder import ABSENT
+    from .store import open_container
+
+    with open_container(args.file) as container:
+        print("format:       PESTRIE%d (%s ints)"
+              % (container.version, "varint" if container.compact else "raw"))
+        tracked = sum(1 for ts in container.section_values(0) if ts != ABSENT)
+        # Header count order: per shape (point, vline, hline, rect), the
+        # (case1, case2) pair.
+        counts = container.shape_counts
+        total = sum(counts)
+        case1 = sum(counts[0::2])
+        points = counts[0] + counts[1]
+        lines = counts[2] + counts[3] + counts[4] + counts[5]
+        print("pointers:     %d (%d tracked)" % (container.n_pointers, tracked))
+        print("objects:      %d" % container.n_objects)
+        print("groups (ES):  %d" % container.n_groups)
+        print("rectangles:   %d (%d case-1, %d case-2)" % (total, case1, total - case1))
+        print("  points:     %d" % points)
+        print("  lines:      %d" % lines)
+        print("  full rects: %d" % (total - points - lines))
+        if container.has_tail:
+            records = container.tail_records()
+            inserts = sum(len(record.inserts) for record in records)
+            deletes = sum(len(record.deletes) for record in records)
+            print("delta:        %d record(s), +%d/-%d facts, %d bytes"
+                  % (len(records), inserts, deletes,
+                     container.size - container.base_size))
     print("file size:    %d bytes" % os.path.getsize(args.file))
     return 0
 
@@ -192,15 +200,20 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_queryable(path: str, mode: str):
-    """Load a file into a query structure, delta-aware for PESTRIE3."""
-    with open(path, "rb") as stream:
-        data = stream.read()
-    if detect_format(data)[0] == 3:
-        from .delta import overlay_from_bytes
+def _load_queryable(path: str, mode: str, lazy: bool = True):
+    """Load a file into a query structure, delta-aware for PESTRIE3.
 
-        return overlay_from_bytes(data, mode=mode)
-    return load_index(path, mode=mode)
+    Defaults to a lazy mmap-backed open: a single CLI query pays only for
+    the structures that query touches.  The mapping lives until process
+    exit, which for a one-shot CLI invocation is the file's natural scope.
+    """
+    with open(path, "rb") as stream:
+        prefix = stream.read(9)
+    if detect_format(prefix)[0] == 3:
+        from .delta import load_overlay
+
+        return load_overlay(path, mode=mode, lazy=lazy)
+    return load_index(path, mode=mode, lazy=lazy)
 
 
 def _parse_fact(text: str) -> tuple:
@@ -364,7 +377,7 @@ def _exercise_pipeline(source: str, analysis: str, queries: int, seed: int) -> N
         log = DeltaLog()
         log.insert(0, 0)
         append_delta(path, log, auto_compact_ratio=0.9)
-        index = _load_queryable(path, "ptlist")
+        index = _load_queryable(path, "ptlist", lazy=False)
         record_index_footprint(index)
         service = AliasService.from_index(index)
         workload = generate_trace(
@@ -405,7 +418,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     try:
         with tracer.capture() as spans:
             if args.stage == "decode":
-                index = _load_queryable(args.file, args.mode)
+                index = _load_queryable(args.file, args.mode, lazy=False)
                 record_index_footprint(index)
             else:
                 matrix = _matrix_from_source(args.file, args.analysis)
@@ -413,7 +426,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
                 path = os.path.join(directory, "m.pes")
                 persist(matrix, path)
                 if args.stage == "pipeline":
-                    index = _load_queryable(path, args.mode)
+                    index = _load_queryable(path, args.mode, lazy=False)
                     record_index_footprint(index)
                     if index.n_pointers >= 2:
                         index.is_alias(0, 1)

@@ -18,14 +18,14 @@ exception, or yields a payload that violates the format invariants.
 
 from __future__ import annotations
 
+import os
 import struct
 import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..obs import get_registry, trace
-from .encoder import ABSENT, FLAG_COMPACT, MAGIC_COMPACT, MAGIC_DELTA, MAGIC_RAW, MAGIC_V3
-from .ioutil import crc32
+from .encoder import FLAG_COMPACT, MAGIC_COMPACT, MAGIC_RAW, MAGIC_V3
 from .segment_tree import Rect
 
 _U32 = struct.Struct("<I")
@@ -144,6 +144,46 @@ def _decode_rect_section(shape: str, case1: bool, values: List[int], compact: bo
         rects.append((_inflate(shape, entry), case1))
 
 
+def _validate_timestamps(n_groups: int, pointer_ts: List[Optional[int]],
+                         object_ts: List[int]) -> set:
+    """Range/uniqueness checks for the two timestamp sections.
+
+    Returns the set of object origin timestamps — the Case-1 rectangle
+    validation (:func:`_validate_rects`) needs it, and the container caches
+    it so lazy rectangle materialisation never re-derives it.
+    """
+    seen_origin = set()
+    for ts in object_ts:
+        if not 0 <= ts < n_groups:
+            raise CorruptFileError("object timestamp %d outside group range" % ts)
+        if ts in seen_origin:
+            raise CorruptFileError("duplicate object origin timestamp %d" % ts)
+        seen_origin.add(ts)
+    min_origin = min(object_ts) if object_ts else None
+    for ts in pointer_ts:
+        if ts is None:
+            continue
+        if not 0 <= ts < n_groups:
+            raise CorruptFileError("pointer timestamp %d outside group range" % ts)
+        if min_origin is None or ts < min_origin:
+            raise CorruptFileError(
+                "pointer timestamp %d precedes every object origin" % ts
+            )
+    return seen_origin
+
+
+def _validate_rects(n_groups: int, rects: List[Tuple[Rect, bool]],
+                    seen_origin: set) -> None:
+    """Shape/range checks for the rectangle list (Case 1 needs the origins)."""
+    for rect, case1 in rects:
+        if not (0 <= rect.x1 <= rect.x2 < rect.y1 <= rect.y2 < n_groups):
+            raise CorruptFileError("malformed rectangle %r" % (rect.as_tuple(),))
+        if case1 and rect.y1 not in seen_origin:
+            raise CorruptFileError(
+                "case-1 rectangle y1=%d is not an object origin timestamp" % rect.y1
+            )
+
+
 def _validate(payload: PestriePayload) -> PestriePayload:
     """Enforce the structural invariants of a well-formed payload.
 
@@ -153,60 +193,11 @@ def _validate(payload: PestriePayload) -> PestriePayload:
     violating those assumptions would crash (or silently mis-answer) at
     query-build time instead of failing cleanly here.
     """
-    n_groups = payload.n_groups
-    seen_origin = set()
-    for ts in payload.object_ts:
-        if not 0 <= ts < n_groups:
-            raise CorruptFileError("object timestamp %d outside group range" % ts)
-        if ts in seen_origin:
-            raise CorruptFileError("duplicate object origin timestamp %d" % ts)
-        seen_origin.add(ts)
-    min_origin = min(payload.object_ts) if payload.object_ts else None
-    for ts in payload.pointer_ts:
-        if ts is None:
-            continue
-        if not 0 <= ts < n_groups:
-            raise CorruptFileError("pointer timestamp %d outside group range" % ts)
-        if min_origin is None or ts < min_origin:
-            raise CorruptFileError(
-                "pointer timestamp %d precedes every object origin" % ts
-            )
-    for rect, case1 in payload.rects:
-        if not (0 <= rect.x1 <= rect.x2 < rect.y1 <= rect.y2 < n_groups):
-            raise CorruptFileError("malformed rectangle %r" % (rect.as_tuple(),))
-        if case1 and rect.y1 not in seen_origin:
-            raise CorruptFileError(
-                "case-1 rectangle y1=%d is not an object origin timestamp" % rect.y1
-            )
-    return payload
-
-
-def _assemble(header: List[int], sections: List[List[int]], compact: bool) -> PestriePayload:
-    """Build and validate a payload from the 11 header ints + 10 sections."""
-    n_pointers, n_objects, n_groups = header[:3]
-    counts = header[3:]
-    raw_pointer_ts = sections[0]
-    pointer_ts: List[Optional[int]] = [None if ts == ABSENT else ts for ts in raw_pointer_ts]
-    object_ts = sections[1]
-
-    rects: List[Tuple[Rect, bool]] = []
-    # Header count order: per shape, (case1, case2).  Section order on disk:
-    # all case1 sections (by shape), then all case2 sections (by shape).
-    for case_index, case1 in ((0, True), (1, False)):
-        for shape_index, shape in enumerate(_SHAPES):
-            section = sections[2 + case_index * 4 + shape_index]
-            _decode_rect_section(shape, case1, section, compact, rects)
-
-    return _validate(
-        PestriePayload(
-            n_pointers=n_pointers,
-            n_objects=n_objects,
-            n_groups=n_groups,
-            pointer_ts=pointer_ts,
-            object_ts=object_ts,
-            rects=rects,
-        )
+    seen_origin = _validate_timestamps(
+        payload.n_groups, payload.pointer_ts, payload.object_ts
     )
+    _validate_rects(payload.n_groups, payload.rects, seen_origin)
+    return payload
 
 
 def _section_value_counts(header: List[int]) -> List[int]:
@@ -219,69 +210,6 @@ def _section_value_counts(header: List[int]) -> List[int]:
             entries = counts[2 * shape_index + case_index]
             per_section.append(entries * _SHAPE_ARITY[shape])
     return per_section
-
-
-def _decode_legacy(data: bytes, compact: bool) -> PestriePayload:
-    reader = _Reader(data, compact)
-    # The header is raw uint32 in both legacy formats.
-    header = [reader.read_u32() for _ in range(11)]
-    sections: List[List[int]] = []
-    for n_values in _section_value_counts(header):
-        sections.append(reader.read_ints(n_values))
-    if reader.offset != len(data):
-        raise CorruptFileError(
-            "%d trailing bytes after the last section" % (len(data) - reader.offset)
-        )
-    return _assemble(header, sections, compact)
-
-
-def _decode_v3(data: bytes) -> PestriePayload:
-    if len(data) < _V3_MIN_SIZE:
-        raise CorruptFileError(
-            "truncated file (%d bytes, PESTRIE3 minimum is %d)" % (len(data), _V3_MIN_SIZE)
-        )
-    stored = _U32.unpack_from(data, len(data) - 4)[0]
-    actual = crc32(data[:-4])
-    if stored != actual:
-        raise CorruptFileError(
-            "checksum mismatch (stored %08x, computed %08x)" % (stored, actual)
-        )
-    flags = data[8]
-    if flags & ~FLAG_COMPACT:
-        raise CorruptFileError("unsupported format flags 0x%02x" % flags)
-    compact = bool(flags & FLAG_COMPACT)
-
-    header = list(struct.unpack_from("<11I", data, 9))
-    lengths = list(struct.unpack_from("<10I", data, 9 + 11 * 4))
-    expected_size = _V3_HEADER_END + sum(lengths) + 4
-    if expected_size != len(data):
-        raise CorruptFileError(
-            "section lengths add up to %d bytes but the file has %d"
-            % (expected_size, len(data))
-        )
-
-    sections: List[List[int]] = []
-    offset = _V3_HEADER_END
-    for n_values, length in zip(_section_value_counts(header), lengths):
-        # Validate the count against the declared section length before any
-        # allocation: raw sections are exactly 4 bytes per value, compact
-        # sections are 1..5 bytes per value.
-        if not compact and length != 4 * n_values:
-            raise CorruptFileError(
-                "section declares %d bytes for %d uint32 values" % (length, n_values)
-            )
-        if compact and not n_values <= length <= 5 * n_values:
-            raise CorruptFileError(
-                "section declares %d bytes for %d varint values" % (length, n_values)
-            )
-        reader = _Reader(data, compact, offset=offset, end=offset + length)
-        sections.append(reader.read_ints(n_values))
-        if reader.offset != offset + length:
-            raise CorruptFileError(
-                "section has %d unread trailing bytes" % (offset + length - reader.offset)
-            )
-        offset += length
-    return _assemble(header, sections, compact)
 
 
 def base_image_size(data: bytes) -> int:
@@ -331,42 +259,61 @@ def detect_format(data: bytes) -> Tuple[int, bool]:
     raise CorruptFileError("not a Pestrie persistent file (bad magic %r)" % magic)
 
 
-def decode_bytes(data: bytes) -> PestriePayload:
-    """Parse a persistent file image into a :class:`PestriePayload`.
+def _instrumented_decode(supplier, nbytes: int) -> PestriePayload:
+    """Run one eager decode under the ``repro_decode_*`` instrumentation.
 
-    The image must be exactly one persistent file: a ``PESTRIE3`` image
-    followed by appended DELTA records is rejected here with a pointer at
-    the delta-aware loader (``repro.delta.load_overlay``), because silently
-    ignoring the records would serve pre-update answers.
+    ``supplier`` produces a fully validated payload (and is expected to fail
+    only with :class:`CorruptFileError`); both the in-memory and the
+    mmap-backed decode paths funnel through here so the telemetry contract
+    is identical regardless of how the bytes arrived.
     """
     start = time.perf_counter()
     registry = get_registry()
     try:
-        with trace.span("decode", bytes=len(data)):
-            version, compact = detect_format(data)
-            if version == 3:
-                base = base_image_size(data)
-                if base != len(data) and data[base : base + 8] == MAGIC_DELTA:
-                    raise CorruptFileError(
-                        "file carries appended DELTA records; decode it with "
-                        "repro.delta.load_overlay / overlay_from_bytes"
-                    )
-                payload = _decode_v3(data)
-            else:
-                payload = _decode_legacy(data, compact)
+        with trace.span("decode", bytes=nbytes):
+            payload = supplier()
     except CorruptFileError:
         registry.counter("repro_decode_total", result="corrupt").inc()
         registry.gauge("repro_decode_intact").set(0)
         raise
     registry.counter("repro_decode_total", result="ok").inc()
     registry.gauge("repro_decode_intact").set(1)
-    registry.gauge("repro_decode_bytes").set(len(data))
+    registry.gauge("repro_decode_bytes").set(nbytes)
     registry.gauge("repro_decode_rectangles").set(len(payload.rects))
     registry.histogram("repro_decode_seconds").observe(time.perf_counter() - start)
     return payload
 
 
+def decode_bytes(data: bytes) -> PestriePayload:
+    """Parse a persistent file image into a :class:`PestriePayload`.
+
+    A thin eager wrapper over :class:`repro.store.Container`: the container
+    validates the skeleton (magic, flags, header, table of contents, CRC)
+    and every section is materialised and cross-validated before returning,
+    so the result — and every hostile-input outcome — matches the classic
+    all-at-once decode.
+
+    The image must be exactly one persistent file: a ``PESTRIE3`` image
+    followed by appended DELTA records is rejected here with a pointer at
+    the delta-aware loader (``repro.delta.load_overlay``), because silently
+    ignoring the records would serve pre-update answers.
+    """
+    from ..store import Container  # deferred: store builds on this module
+
+    def supplier() -> PestriePayload:
+        return Container.from_bytes(data, allow_tail=False).payload()
+
+    return _instrumented_decode(supplier, len(data))
+
+
 def load_payload(path: str) -> PestriePayload:
-    """Read and decode a persistent file from disk."""
-    with open(path, "rb") as stream:
-        return decode_bytes(stream.read())
+    """Read and decode a persistent file from disk (mmap-backed)."""
+    from ..store import Container  # deferred: store builds on this module
+
+    nbytes = os.path.getsize(path)
+
+    def supplier() -> PestriePayload:
+        with Container.open(path, allow_tail=False) as container:
+            return container.payload()
+
+    return _instrumented_decode(supplier, nbytes)

@@ -24,6 +24,14 @@ survival, since truncating exactly at a record boundary is
 indistinguishable from a shorter (valid) chain.  A decode to anything
 else is a wrong answer, and a failure.
 
+Every mutant is additionally decoded through the lazy storage layer
+(:class:`~repro.store.Container` + deferred section materialisation).  The
+lazy path must mirror the eager verdict exactly: corruption in a lazily
+parsed section surfaces as :class:`CorruptFileError` at open or at first
+materialisation — never a wrong answer, never an uncontrolled exception —
+and a mutant the eager decoder legally accepts must produce the identical
+matrix.
+
 Run it as a module::
 
     python -m repro.core.fuzz --iterations 500 --seed 0
@@ -53,6 +61,10 @@ MUTATIONS = ("bit_flip", "byte_set", "truncate", "extend", "splice_count")
 #: decode itself is still required to be clean.
 _INDEX_GROUP_LIMIT = 100_000
 
+#: Sentinel for an eager verdict that leaves nothing for the lazy path to
+#: mirror (a failure was already recorded, or the index is too large).
+_SKIP = object()
+
 
 @dataclass
 class FuzzFailure:
@@ -78,6 +90,7 @@ class FuzzReport:
     corruptions: int = 0
     rejected: int = 0
     survived: int = 0
+    lazy_checks: int = 0
     failures: List[FuzzFailure] = field(default_factory=list)
 
     @property
@@ -87,9 +100,11 @@ class FuzzReport:
     def summary(self) -> str:
         return (
             "%d cases: %d clean round-trips (+%d delta-chain round-trips), "
-            "%d corruptions (%d rejected, %d survived validation), %d failures"
+            "%d corruptions (%d rejected, %d survived validation), "
+            "%d lazy-parity checks, %d failures"
             % (self.cases, self.clean_round_trips, self.delta_round_trips,
-               self.corruptions, self.rejected, self.survived, len(self.failures))
+               self.corruptions, self.rejected, self.survived,
+               self.lazy_checks, len(self.failures))
         )
 
 
@@ -163,33 +178,89 @@ def _check_clean(case: int, version: int, compact: bool, order: str,
 def _check_mutant(case: int, version: int, kind: str, mutated: bytes,
                   report: FuzzReport) -> None:
     report.corruptions += 1
+    eager = _eager_outcome(case, version, kind, mutated, report)
+    if eager is not _SKIP:
+        _check_lazy_mutant(case, version, kind, mutated, eager, report)
+
+
+def _eager_outcome(case: int, version: int, kind: str, mutated: bytes,
+                   report: FuzzReport):
+    """The eager decoder's verdict on ``mutated``.
+
+    Returns ``None`` when the bytes were rejected with
+    :class:`CorruptFileError`, the materialised matrix when they survived,
+    or :data:`_SKIP` when there is nothing for the lazy path to mirror.
+    """
     try:
         payload = decode_bytes(mutated)
     except CorruptFileError:
         report.rejected += 1
-        return
+        return None
     except Exception as error:  # noqa: BLE001 — uncontrolled escape
         report.failures.append(FuzzFailure(case, version, kind,
                                            "uncontrolled exception %r" % (error,)))
-        return
+        return _SKIP
     if version == 3:
         # The CRC makes acceptance of any effective mutation a bug.
         report.failures.append(FuzzFailure(case, version, kind,
                                            "PESTRIE3 accepted corrupted bytes"))
-        return
+        return _SKIP
     # Legacy formats may accept a mutation that happens to stay inside the
     # format invariants; the payload must then build a queryable index
     # without an uncontrolled crash.
     report.survived += 1
     if payload.n_groups > _INDEX_GROUP_LIMIT:
-        return
+        return _SKIP
     try:
-        index_from_bytes(mutated)
+        return index_from_bytes(mutated).materialize()
     except CorruptFileError:
         report.rejected += 1
+        return None
     except Exception as error:  # noqa: BLE001
         report.failures.append(FuzzFailure(case, version, kind,
                                            "index build crashed: %r" % (error,)))
+        return _SKIP
+
+
+def _check_lazy_mutant(case: int, version: int, kind: str, mutated: bytes,
+                       eager, report: FuzzReport) -> None:
+    """The lazy storage path must mirror the eager verdict on ``mutated``.
+
+    Corruption in a lazily parsed section must surface as
+    :class:`CorruptFileError` at open or at first materialisation; a mutant
+    the eager decoder accepted must produce the identical matrix.
+    """
+    from ..store import Container
+    from .query import PestrieIndex
+
+    report.lazy_checks += 1
+    container = None
+    try:
+        container = Container.from_bytes(mutated, allow_tail=False)
+        index = PestrieIndex.from_container(container)
+        # Touch every lazily parsed structure: a query pattern that skips a
+        # section legally never sees its corruption, so the parity check
+        # must force full materialisation the way the eager decoder does.
+        index._rects  # noqa: B018 — forces timestamps + all rectangle sections
+        recovered = index.materialize()
+    except CorruptFileError:
+        if eager is not None:
+            report.failures.append(FuzzFailure(case, version, kind,
+                "lazy decode rejected bytes the eager decoder accepted"))
+        return
+    except Exception as error:  # noqa: BLE001 — uncontrolled escape
+        report.failures.append(FuzzFailure(case, version, kind,
+                                           "lazy path uncontrolled exception %r" % (error,)))
+        return
+    finally:
+        if container is not None:
+            container.close()
+    if eager is None:
+        report.failures.append(FuzzFailure(case, version, kind,
+            "lazy decode accepted bytes the eager decoder rejected"))
+    elif recovered != eager:
+        report.failures.append(FuzzFailure(case, version, kind,
+            "lazy decode disagrees with the eager answer"))
 
 
 def _random_edits(rng: random.Random, matrix: PointsToMatrix):
@@ -274,19 +345,52 @@ def _check_delta_mutant(case: int, kind: str, mutated: bytes,
         recovered = overlay_from_bytes(mutated).materialize()
     except CorruptFileError:
         report.rejected += 1
-        return
+        recovered = None
     except Exception as error:  # noqa: BLE001 — uncontrolled escape
         report.failures.append(FuzzFailure(case, 3, kind,
                                            "uncontrolled exception %r" % (error,)))
         return
-    # Per-record CRCs leave exactly one legal survival: a truncation at a
-    # record boundary, which is indistinguishable from a shorter chain and
-    # must decode to the corresponding prefix application.
-    if any(recovered == prefix for prefix in prefixes):
+    if recovered is not None:
+        # Per-record CRCs leave exactly one legal survival: a truncation at
+        # a record boundary, which is indistinguishable from a shorter chain
+        # and must decode to the corresponding prefix application.
+        if not any(recovered == prefix for prefix in prefixes):
+            report.failures.append(FuzzFailure(case, 3, kind,
+                                               "delta image decoded to a non-prefix matrix"))
+            return
         report.survived += 1
+    _check_lazy_delta_mutant(case, kind, mutated, recovered, report)
+
+
+def _check_lazy_delta_mutant(case: int, kind: str, mutated: bytes,
+                             eager: Optional[PointsToMatrix],
+                             report: FuzzReport) -> None:
+    """A lazily opened overlay must mirror the eager overlay's verdict."""
+    from ..delta import overlay_from_bytes
+
+    report.lazy_checks += 1
+    overlay = None
+    try:
+        overlay = overlay_from_bytes(mutated, lazy=True)
+        recovered = overlay.materialize()
+    except CorruptFileError:
+        if eager is not None:
+            report.failures.append(FuzzFailure(case, 3, kind,
+                "lazy overlay rejected an image the eager overlay accepted"))
         return
-    report.failures.append(FuzzFailure(case, 3, kind,
-                                       "delta image decoded to a non-prefix matrix"))
+    except Exception as error:  # noqa: BLE001 — uncontrolled escape
+        report.failures.append(FuzzFailure(case, 3, kind,
+                                           "lazy overlay uncontrolled exception %r" % (error,)))
+        return
+    finally:
+        if overlay is not None:
+            overlay.close()
+    if eager is None:
+        report.failures.append(FuzzFailure(case, 3, kind,
+            "lazy overlay accepted an image the eager overlay rejected"))
+    elif recovered != eager:
+        report.failures.append(FuzzFailure(case, 3, kind,
+            "lazy overlay disagrees with the eager overlay"))
 
 
 def run_fuzz(iterations: int = 500, seed: int = 0, mutants_per_case: int = 3) -> FuzzReport:

@@ -4,8 +4,11 @@ A persistent points-to file is computed once and read for years (the
 paper's whole premise), so a crash mid-write must never leave a torn file
 at the destination path.  :func:`atomic_write` stages the bytes in a
 temporary file in the *same directory* (so the rename cannot cross a
-filesystem boundary), fsyncs it, and publishes it with ``os.replace`` —
-readers observe either the old file or the complete new one, never a
+filesystem boundary), fsyncs it, publishes it with ``os.replace``, and
+then fsyncs the parent directory — the rename itself lives in the
+directory inode, so without that last step a crash right after the
+replace could still roll the directory entry back to the old file.
+Readers observe either the old file or the complete new one, never a
 prefix.
 """
 
@@ -34,6 +37,27 @@ def atomic_write(path: str, payload: bytes) -> None:
         except OSError:
             pass
         raise
+    _fsync_directory(directory)
+
+
+def _fsync_directory(directory: str) -> None:
+    """Flush a directory's entry table so a just-renamed file survives a crash.
+
+    Directories cannot be fsynced on every platform (Windows refuses to
+    open them; some filesystems reject the fsync) — durability of the data
+    bytes is already guaranteed by the temp-file fsync, so failures here
+    are ignored rather than turned into spurious write errors.
+    """
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 def crc32(data: bytes) -> int:

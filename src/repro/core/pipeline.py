@@ -13,7 +13,7 @@ from typing import Optional, Sequence
 from ..matrix.points_to import PointsToMatrix
 from ..obs import trace
 from .builder import build_pestrie
-from .decoder import decode_bytes
+from .decoder import decode_bytes, load_payload
 from .encoder import DEFAULT_VERSION, PestrieEncoder, save_pestrie
 from .intervals import assign_intervals
 from .query import PestrieIndex
@@ -70,21 +70,42 @@ def persist(
                                 version=version)
 
 
-def index_from_bytes(data: bytes, mode: str = "ptlist") -> PestrieIndex:
+def index_from_bytes(data: bytes, mode: str = "ptlist",
+                     lazy: bool = False) -> PestrieIndex:
     """Decode persistent-file bytes into a query index.
 
     ``mode="segment"`` builds the low-memory segment-tree structure
     instead of the per-column rectangle lists (see :class:`PestrieIndex`).
+    ``lazy=True`` validates only the container skeleton (header, table of
+    contents, CRC) and defers section parsing and structure builds to the
+    first query that needs them.
     """
+    from ..store import Container  # deferred: store builds on core
+
+    if lazy:
+        return PestrieIndex.from_container(
+            Container.from_bytes(data, allow_tail=False), mode=mode
+        )
     payload = decode_bytes(data)
     with trace.span("index.build", mode=mode):
         return PestrieIndex(payload, mode=mode)
 
 
-def load_index(path: str, mode: str = "ptlist") -> PestrieIndex:
-    """Load a persistent file from disk into a query index."""
-    with open(path, "rb") as stream:
-        return index_from_bytes(stream.read(), mode=mode)
+def load_index(path: str, mode: str = "ptlist", lazy: bool = False) -> PestrieIndex:
+    """Load a persistent file from disk into a query index.
+
+    Both flavours go through the mmap-backed store layer: eager loads
+    materialise everything before returning (and release the mapping);
+    ``lazy=True`` returns a cheap index whose structures build on first
+    query — call ``index.close()`` when done with it.
+    """
+    from ..store import open_index  # deferred: store builds on core
+
+    if lazy:
+        return open_index(path, mode=mode)
+    payload = load_payload(path)
+    with trace.span("index.build", mode=mode):
+        return PestrieIndex(payload, mode=mode)
 
 
 def rectangles_for(

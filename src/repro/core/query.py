@@ -29,6 +29,7 @@ y-intervals); ``list_aliases`` is output-linear; ``list_points_to`` /
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -135,27 +136,75 @@ class PestrieIndex:
       about.
     """
 
+    #: Attributes materialised together from the two timestamp sections.
+    _LAZY_TIMESTAMPS = frozenset((
+        "_pointer_ts", "_object_ts", "_origin_ts", "_origin_obj",
+        "_pes_of_pointer", "_sorted_ptr_ts", "_sorted_ptr_id", "_object_at_ts",
+    ))
+
     def __init__(self, payload: PestriePayload, mode: str = "ptlist"):
         if mode not in ("ptlist", "segment"):
             raise ValueError("unknown query mode %r" % mode)
+        self._container = None
+        self._lock = threading.RLock()
         self.mode = mode
         self.n_pointers = payload.n_pointers
         self.n_objects = payload.n_objects
         self.n_groups = payload.n_groups
-        self._pointer_ts = payload.pointer_ts
+        self._build_timestamps(payload.pointer_ts, payload.object_ts)
+        self._build_structure(payload.rects)
+        self._build_case1(payload.rects)
+        # Raw rectangles, kept for bulk enumeration.
+        self._rects = list(payload.rects)
+
+    @classmethod
+    def from_container(cls, container, mode: str = "ptlist") -> "PestrieIndex":
+        """A lazy index over an open :class:`repro.store.Container`.
+
+        Construction reads nothing beyond the already-parsed header, so
+        ``info``/``column_of``-style calls never pay for the ptList.  Each
+        query structure materialises on the first query that needs it —
+        ``is_alias``/``list_aliases`` build the column sweep (or segment
+        tree), ``points_to_contains``/``list_pointed_by`` the Case-1 table —
+        pulling sections out of the container at most once.  Corruption
+        inside an unread section therefore surfaces as
+        :class:`CorruptFileError` at first touch, never as a wrong answer.
+
+        The container must stay open until every structure the caller needs
+        has materialised; a structure built before ``close()`` keeps
+        answering afterwards.
+        """
+        if mode not in ("ptlist", "segment"):
+            raise ValueError("unknown query mode %r" % mode)
+        self = object.__new__(cls)
+        self._container = container
+        self._lock = threading.RLock()
+        self.mode = mode
+        self.n_pointers = container.n_pointers
+        self.n_objects = container.n_objects
+        self.n_groups = container.n_groups
+        return self
+
+    # ------------------------------------------------------------------
+    # Construction pieces (shared by the eager and lazy paths)
+    # ------------------------------------------------------------------
+
+    def _build_timestamps(self, pointer_ts: List[Optional[int]],
+                          object_ts: List[int]) -> None:
+        self._pointer_ts = pointer_ts
 
         # Objects sorted by timestamp == the construction object order.
-        order = sorted(range(payload.n_objects), key=lambda obj: payload.object_ts[obj])
-        self._origin_ts = [payload.object_ts[obj] for obj in order]
+        order = sorted(range(self.n_objects), key=lambda obj: object_ts[obj])
+        self._origin_ts = [object_ts[obj] for obj in order]
         self._origin_obj = order
-        self._object_ts = payload.object_ts
+        self._object_ts = object_ts
 
         # PES identifier per pointer (an object id), by binary search.  The
         # decoder validates file images, but payloads can also be built by
         # hand — guard the search so a timestamp below every origin raises
         # cleanly instead of silently wrapping to the last PES.
         self._pes_of_pointer: List[Optional[int]] = []
-        for ts in payload.pointer_ts:
+        for ts in pointer_ts:
             if ts is None:
                 self._pes_of_pointer.append(None)
             else:
@@ -167,52 +216,100 @@ class PestrieIndex:
                 self._pes_of_pointer.append(order[rank])
 
         # Pointers sorted by timestamp, for range reporting.
-        tracked = [(ts, p) for p, ts in enumerate(payload.pointer_ts) if ts is not None]
+        tracked = [(ts, p) for p, ts in enumerate(pointer_ts) if ts is not None]
         tracked.sort()
         self._sorted_ptr_ts = [ts for ts, _ in tracked]
         self._sorted_ptr_id = [p for _, p in tracked]
 
         # Objects indexed by timestamp (origin timestamps are unique).
-        self._object_at_ts: Dict[int, int] = {ts: obj for obj, ts in enumerate(payload.object_ts)}
+        self._object_at_ts: Dict[int, int] = {ts: obj for obj, ts in enumerate(object_ts)}
 
+    def _build_structure(self, rects) -> None:
         # ptList: shared slab entry lists from one event sweep — never a
         # per-column expansion of the rectangle x-intervals.
-        self._sweep: Optional[_ColumnSweep] = None
-        self._segment: Optional["SegmentTree"] = None
-        if mode == "ptlist":
+        sweep: Optional[_ColumnSweep] = None
+        segment = None
+        if self.mode == "ptlist":
             spans: List[Tuple[int, int, _Entry]] = []
-            for rect, case1 in payload.rects:
+            for rect, case1 in rects:
                 forward = _Entry(y1=rect.y1, y2=rect.y2, case1=case1, mirrored=False)
                 spans.append((rect.x1, rect.x2, forward))
                 mirror = _Entry(y1=rect.x1, y2=rect.x2, case1=case1, mirrored=True)
                 spans.append((rect.y1, rect.y2, mirror))
-            self._sweep = _ColumnSweep(spans)
+            sweep = _ColumnSweep(spans)
         else:
             from .segment_tree import SegmentTree
 
-            self._segment = SegmentTree(payload.n_groups)
-            for rect, _case1 in payload.rects:
-                self._segment.insert(rect)
+            segment = SegmentTree(self.n_groups)
+            for rect, _case1 in rects:
+                segment.insert(rect)
+        self._sweep = sweep
+        self._segment = segment
 
+    def _build_case1(self, rects) -> None:
         # Case-1 rectangles per pointed-to object, for ListPointedBy and the
         # O(log n) membership test.  Spans of one object are sorted; they are
         # pairwise disjoint (same-object Case-1 rectangles share the object's
         # PES y-block, so rectangle disjointness forces disjoint x-ranges),
         # which is what the predecessor search in points_to_contains needs.
-        self._case1_by_object: Dict[int, List[tuple]] = {}
-        for rect, case1 in payload.rects:
+        case1_by_object: Dict[int, List[tuple]] = {}
+        for rect, case1 in rects:
             if case1:
                 obj = self._object_at_ts.get(rect.y1)
                 if obj is None:
                     raise CorruptFileError(
                         "case-1 rectangle y1=%d is not an object origin timestamp" % rect.y1
                     )
-                self._case1_by_object.setdefault(obj, []).append((rect.x1, rect.x2))
-        for spans in self._case1_by_object.values():
+                case1_by_object.setdefault(obj, []).append((rect.x1, rect.x2))
+        for spans in case1_by_object.values():
             spans.sort()
+        self._case1_by_object = case1_by_object
 
-        # Raw rectangles, kept for bulk enumeration.
-        self._rects = list(payload.rects)
+    # ------------------------------------------------------------------
+    # Lazy materialisation (container-backed instances only)
+    # ------------------------------------------------------------------
+
+    def __getattr__(self, name: str):
+        # Fires only for attributes not yet in __dict__, so fully built
+        # (eager) instances never pay for this dispatch.
+        container = self.__dict__.get("_container")
+        if container is None or not name.startswith("_") or name.startswith("__"):
+            raise AttributeError(
+                "%r object has no attribute %r" % (type(self).__name__, name)
+            )
+        if name in self._LAZY_TIMESTAMPS:
+            with self._lock:
+                if name not in self.__dict__:
+                    pointer_ts, object_ts = container.timestamps()
+                    self._build_timestamps(pointer_ts, object_ts)
+        elif name in ("_sweep", "_segment"):
+            with self._lock:
+                if name not in self.__dict__:
+                    self._build_structure(container.rects())
+        elif name == "_case1_by_object":
+            with self._lock:
+                if name not in self.__dict__:
+                    self._object_at_ts  # ensure the origin map exists first
+                    self._build_case1(container.rects())
+        elif name == "_rects":
+            with self._lock:
+                if name not in self.__dict__:
+                    self._rects = list(container.rects())
+        else:
+            raise AttributeError(
+                "%r object has no attribute %r" % (type(self).__name__, name)
+            )
+        return self.__dict__[name]
+
+    def close(self) -> None:
+        """Close the backing container, if any (eager indexes are no-ops).
+
+        Structures already materialised keep answering; anything not yet
+        built raises ``ContainerClosedError`` on first touch afterwards.
+        """
+        container = self.__dict__.get("_container")
+        if container is not None:
+            container.close()
 
     # ------------------------------------------------------------------
     # Internal range helpers

@@ -162,6 +162,12 @@ class OverlayIndex:
     def mode(self) -> str:
         return self._base.mode
 
+    def close(self) -> None:
+        """Release the base index's backing container, if it has one."""
+        close = getattr(self._base, "close", None)
+        if close is not None:
+            close()
+
     def dirty_pointers(self) -> FrozenSet[int]:
         """Pointers whose effective points-to set differs from the base."""
         return frozenset(self._state.inserted) | frozenset(self._state.deleted)

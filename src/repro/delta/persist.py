@@ -6,26 +6,29 @@ by zero or more checksummed DELTA records (see :mod:`repro.delta.format`).
 whole point of the subsystem — and :func:`compact_file` folds the chain back
 into a fresh base image once the overlay outgrows its threshold.
 
-Every path here verifies before it trusts: appending re-checks the base CRC
-(never extend a corrupt file) and decodes the existing record chain; loading
-decodes the full chain with the hostile-input codec.  Writes go through
-:func:`repro.core.ioutil.atomic_write`, so readers of the file never observe
-a half-written state.
+Every path here verifies before it trusts, through the mmap-backed store
+layer: opening a :class:`repro.store.Container` checks the base CRC exactly
+once, the existing record chain is decoded with the hostile-input codec
+before anything is written, and the parsed header is reused for dimension
+checks and compaction decisions instead of re-reading the file.  Appends
+are in-place (write + fsync after the chain) — O(record), not O(file); a
+crash mid-append can leave a torn final record, which the loader rejects
+with :class:`CorruptFileError` exactly like any other corrupt tail.
+Compaction rewrites go through :func:`repro.core.ioutil.atomic_write`, so
+readers never observe a half-written base image.
 """
 
 from __future__ import annotations
 
-import struct
 import time
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
-from ..core.decoder import CorruptFileError, decode_bytes, detect_format
-from ..core.ioutil import atomic_write, crc32
+from ..core.decoder import CorruptFileError
 from ..core.pipeline import persist
 from ..obs import get_registry, record_delta_health, trace
 from ..core.query import PestrieIndex
-from .format import decode_record, decode_records, encode_record, split_image
+from .format import decode_record, encode_record
 from .log import DeltaLog
 from .overlay import DEFAULT_COMPACTION_RATIO, OverlayIndex
 
@@ -47,60 +50,85 @@ class AppendResult:
     compacted: bool
 
 
-def _base_dims(base: bytes) -> Tuple[int, int]:
-    """``(n_pointers, n_objects)`` from a verified ``PESTRIE3`` base image."""
-    n_pointers, n_objects = struct.unpack_from("<2I", base, 9)
-    return n_pointers, n_objects
-
-
-def _verified_base(data: bytes) -> Tuple[bytes, bytes]:
-    """Split an image and verify the base is an intact ``PESTRIE3`` file."""
-    base, tail = split_image(data)
-    version, _compact = detect_format(base)
-    if version != 3:
+def _delta_container(container) -> None:
+    """Reject containers whose base cannot legally carry a DELTA chain."""
+    if container.version != 3:
         raise CorruptFileError(
             "delta records require a PESTRIE3 base (file is format v%d); "
-            "re-encode it first" % version
+            "re-encode it first" % container.version
         )
-    stored = struct.unpack_from("<I", base, len(base) - 4)[0]
-    actual = crc32(base[:-4])
-    if stored != actual:
-        raise CorruptFileError(
-            "base image checksum mismatch (stored %08x, computed %08x)"
-            % (stored, actual)
-        )
-    return base, tail
+
+
+def _records_to_log(records) -> DeltaLog:
+    log = DeltaLog()
+    for record in records:
+        for pointer, obj in record.inserts:
+            log.insert(pointer, obj)
+        for pointer, obj in record.deletes:
+            log.delete(pointer, obj)
+    return log
 
 
 def tail_to_log(data: bytes) -> DeltaLog:
     """Decode a file image's DELTA chain into one composed :class:`DeltaLog`."""
-    base, tail = _verified_base(data)
-    log = DeltaLog()
-    if tail:
-        n_pointers, n_objects = _base_dims(base)
-        for record in decode_records(data, len(base), n_pointers, n_objects):
-            for pointer, obj in record.inserts:
-                log.insert(pointer, obj)
-            for pointer, obj in record.deletes:
-                log.delete(pointer, obj)
-    return log
+    from ..store import Container
+
+    with Container.from_bytes(data) as container:
+        _delta_container(container)
+        return _records_to_log(container.tail_records())
 
 
-def overlay_from_bytes(data: bytes, mode: str = "ptlist") -> OverlayIndex:
+def _overlay_from_container(container, mode: str, lazy: bool) -> OverlayIndex:
+    _delta_container(container)
+    log = _records_to_log(container.tail_records())
+    if lazy:
+        base = PestrieIndex.from_container(container, mode=mode)
+    else:
+        base = PestrieIndex(container.payload(), mode=mode)
+    return OverlayIndex(base, log)
+
+
+def overlay_from_bytes(data: bytes, mode: str = "ptlist",
+                       lazy: bool = False) -> OverlayIndex:
     """Decode a base-plus-delta image into a query-ready :class:`OverlayIndex`.
 
     A plain image (no trailing records) yields an overlay with an empty
     delta, so callers can use this unconditionally for ``PESTRIE3`` files.
+    The base CRC is verified exactly once, at container open.
     """
-    base_bytes, _tail = _verified_base(data)
-    base = PestrieIndex(decode_bytes(base_bytes), mode=mode)
-    return OverlayIndex(base, tail_to_log(data))
+    from ..store import Container
+
+    container = Container.from_bytes(data)
+    try:
+        overlay = _overlay_from_container(container, mode, lazy)
+    except BaseException:
+        container.close()
+        raise
+    if not lazy:
+        container.close()
+    return overlay
 
 
-def load_overlay(path: str, mode: str = "ptlist") -> OverlayIndex:
-    """Read a persistent file (with any DELTA tail) into an overlay index."""
-    with open(path, "rb") as stream:
-        return overlay_from_bytes(stream.read(), mode=mode)
+def load_overlay(path: str, mode: str = "ptlist", lazy: bool = False) -> OverlayIndex:
+    """Read a persistent file (with any DELTA tail) into an overlay index.
+
+    The file is mmap-ped through the store layer.  With ``lazy=True`` the
+    base index materialises per structure on first query (the delta edits
+    themselves are normalised up front); the mapping stays open — release
+    it with ``overlay.base.close()`` when done.  Eager loads release the
+    mapping before returning.
+    """
+    from ..store import Container
+
+    container = Container.open(path)
+    try:
+        overlay = _overlay_from_container(container, mode, lazy)
+    except BaseException:
+        container.close()
+        raise
+    if not lazy:
+        container.close()
+    return overlay
 
 
 def append_delta(path: str, log: DeltaLog, compact: Optional[bool] = None,
@@ -130,59 +158,73 @@ def append_delta(path: str, log: DeltaLog, compact: Optional[bool] = None,
 
 def _append_delta(path: str, log: DeltaLog, compact: Optional[bool],
                   auto_compact_ratio: Optional[float]) -> AppendResult:
-    with open(path, "rb") as stream:
-        data = stream.read()
-    base, tail = _verified_base(data)
-    n_pointers, n_objects = _base_dims(base)
-    existing = decode_records(data, len(base), n_pointers, n_objects)
+    from ..store import Container
 
-    inserts, deletes = log.net()
-    if not inserts and not deletes:
+    container = Container.open(path)
+    try:
+        # One container open = one CRC pass over the base; the parsed header
+        # supplies the dimensions and the integer coding from here on.
+        _delta_container(container)
+        existing = container.tail_records()
+        old_size = container.size
+
+        inserts, deletes = log.net()
+        if not inserts and not deletes:
+            return AppendResult(
+                bytes_appended=0,
+                file_size=old_size,
+                record_count=len(existing),
+                delta_ratio=None,
+                compacted=False,
+            )
+
+        if compact is None:
+            compact = container.compact
+        record = encode_record(inserts, deletes, compact=compact)
+        # Round-trip the fresh record against the base dimensions: out-of-range
+        # fact ids are rejected here, before anything touches the disk.
+        decode_record(record, 0, container.n_pointers, container.n_objects)
+
+        if auto_compact_ratio is None:
+            size = container.append_tail(record)
+            return AppendResult(
+                bytes_appended=len(record),
+                file_size=size,
+                record_count=len(existing) + 1,
+                delta_ratio=None,
+                compacted=False,
+            )
+
+        # The compaction decision needs the post-append overlay; build it
+        # from the already-open container (base parsed once) plus the chain
+        # and the incoming log — no re-read, no second CRC pass.
+        combined = _records_to_log(existing)
+        for pointer, obj in inserts:
+            combined.insert(pointer, obj)
+        for pointer, obj in deletes:
+            combined.delete(pointer, obj)
+        overlay = OverlayIndex(PestrieIndex(container.payload()), combined)
+        ratio = overlay.delta_ratio()
+        if not overlay.needs_compaction(auto_compact_ratio):
+            size = container.append_tail(record)
+            return AppendResult(
+                bytes_appended=len(record),
+                file_size=size,
+                record_count=len(existing) + 1,
+                delta_ratio=ratio,
+                compacted=False,
+            )
+        container.close()  # release the mapping before the atomic replace
+        size = _compact_overlay(overlay, path, compact=compact)
         return AppendResult(
-            bytes_appended=0,
-            file_size=len(data),
-            record_count=len(existing),
-            delta_ratio=None,
-            compacted=False,
+            bytes_appended=size - old_size,
+            file_size=size,
+            record_count=0,
+            delta_ratio=0.0,
+            compacted=True,
         )
-
-    if compact is None:
-        compact = bool(base[8] & 0x01)
-    record = encode_record(inserts, deletes, compact=compact)
-    # Round-trip the fresh record against the base dimensions: out-of-range
-    # fact ids are rejected here, before anything touches the disk.
-    decode_record(record, 0, n_pointers, n_objects)
-
-    new_image = data + record
-    if auto_compact_ratio is None:
-        atomic_write(path, new_image)
-        return AppendResult(
-            bytes_appended=len(record),
-            file_size=len(new_image),
-            record_count=len(existing) + 1,
-            delta_ratio=None,
-            compacted=False,
-        )
-
-    overlay = overlay_from_bytes(new_image)
-    ratio = overlay.delta_ratio()
-    if not overlay.needs_compaction(auto_compact_ratio):
-        atomic_write(path, new_image)
-        return AppendResult(
-            bytes_appended=len(record),
-            file_size=len(new_image),
-            record_count=len(existing) + 1,
-            delta_ratio=ratio,
-            compacted=False,
-        )
-    size = _compact_overlay(overlay, path, compact=compact)
-    return AppendResult(
-        bytes_appended=size - len(data),
-        file_size=size,
-        record_count=0,
-        delta_ratio=0.0,
-        compacted=True,
-    )
+    finally:
+        container.close()
 
 
 def _compact_overlay(overlay: OverlayIndex, path: str, order: str = "hub",
@@ -208,13 +250,13 @@ def compact_file(path: str, out: Optional[str] = None, order: str = "hub",
     This is the expensive half of the LSM bargain — amortised by only
     triggering it past :data:`~repro.delta.overlay.DEFAULT_COMPACTION_RATIO`.
     """
-    with open(path, "rb") as stream:
-        data = stream.read()
-    base, _tail = _verified_base(data)
-    if compact is None:
-        compact = bool(base[8] & 0x01)
-    overlay = overlay_from_bytes(data)
-    size = _compact_overlay(overlay, out or path, order=order,
-                            compact=compact, version=version)
+    from ..store import Container
+
+    with Container.open(path) as container:
+        if compact is None:
+            compact = container.compact
+        overlay = _overlay_from_container(container, "ptlist", lazy=False)
+        size = _compact_overlay(overlay, out or path, order=order,
+                                compact=compact, version=version)
     record_delta_health(0, net_ops=0, ratio=0.0)
     return size

@@ -45,6 +45,11 @@ CATALOGUE = {
     "repro_decode_rectangles": (GAUGE, "Rectangles in the most recently decoded image."),
     "repro_decode_intact": (GAUGE, "1 when the most recent decode verified clean, 0 after a corrupt input."),
     "repro_index_footprint_bytes": (GAUGE, "Measured memory footprint of the most recently inspected query index."),
+    # --- storage layer (store/container.py) ---------------------------
+    "repro_store_open_containers": (GAUGE, "Containers and mapped blobs currently open."),
+    "repro_store_bytes_mapped": (GAUGE, "Bytes currently mmap-ped by open containers/blobs (in-memory images excluded)."),
+    "repro_store_bytes_parsed_total": (COUNTER, "Section bytes actually parsed into Python values (lazy materialisation)."),
+    "repro_store_sections_materialized_total": (COUNTER, "Sections materialised on first touch, by section name."),
     # --- delta overlay (delta/overlay.py, delta/persist.py) -----------
     "repro_delta_appends_total": (COUNTER, "DELTA records durably appended."),
     "repro_delta_append_seconds": (HISTOGRAM, "Wall time of one durable delta append."),

@@ -78,11 +78,15 @@ class AliasService:
 
     @classmethod
     def from_files(cls, paths: Sequence[str], mode: str = "ptlist",
-                   **options) -> "AliasService":
+                   lazy: bool = False, **options) -> "AliasService":
+        """Serve one or more persistent files (``lazy=True`` defers decode
+        of each shard to the first query routed to it)."""
         from ..core.pipeline import load_index
 
-        return cls.from_indexes([load_index(path, mode=mode) for path in paths],
-                                **options)
+        if len(paths) == 1:
+            return cls.from_indexes([load_index(paths[0], mode=mode, lazy=lazy)],
+                                    **options)
+        return cls(ShardedIndex.from_files(paths, mode=mode, lazy=lazy), **options)
 
     # ------------------------------------------------------------------
     # Introspection

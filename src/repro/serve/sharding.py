@@ -48,10 +48,40 @@ class ShardedIndex:
         self.n_objects = max(index.n_objects for index in self._indexes)
 
     @classmethod
-    def from_files(cls, paths: Sequence[str], mode: str = "ptlist") -> "ShardedIndex":
+    def from_files(cls, paths: Sequence[str], mode: str = "ptlist",
+                   lazy: bool = False) -> "ShardedIndex":
+        """Serve several persistent files as one logical index.
+
+        With ``lazy=True`` each shard is an mmap-backed lazy open: only the
+        headers are read at startup, and a shard decodes its sections on
+        the first query routed to it — cold start stays O(shard count),
+        not O(total bytes).  Call :meth:`close` to release the mappings.
+        """
         from ..core.pipeline import load_index
 
-        return cls([load_index(path, mode=mode) for path in paths])
+        indexes: List[PestrieIndex] = []
+        try:
+            for path in paths:
+                indexes.append(load_index(path, mode=mode, lazy=lazy))
+        except BaseException:
+            for index in indexes:
+                close = getattr(index, "close", None)
+                if close is not None:
+                    close()
+            raise
+        return cls(indexes)
+
+    def close(self) -> None:
+        """Release every shard's backing container (no-op for eager shards).
+
+        Shards whose structures already materialised keep answering;
+        anything unmaterialised fails cleanly with ``ContainerClosedError``
+        on its next query.
+        """
+        for index in self._indexes:
+            close = getattr(index, "close", None)
+            if close is not None:
+                close()
 
     @property
     def shard_count(self) -> int:
