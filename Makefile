@@ -3,7 +3,7 @@
 PYTHON ?= python3
 RUN = PYTHONPATH=src:$$PYTHONPATH $(PYTHON)
 
-.PHONY: install test fuzz bench bench-smoke metrics-smoke examples results clean
+.PHONY: install test fuzz fuzz-v4 bench bench-smoke metrics-smoke examples results clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -16,6 +16,12 @@ test:
 
 fuzz:
 	$(RUN) -m repro.core.fuzz --iterations 600
+
+# Focused sweep over the zero-copy PESTRIE4 layout: every case checks the
+# flat engine against the eager oracle and throws seeded corruption at the
+# flat sections (any effective mutation must die as CorruptFileError).
+fuzz-v4:
+	$(RUN) -m repro.core.fuzz --iterations 300 --versions 4
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

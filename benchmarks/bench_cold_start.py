@@ -16,7 +16,15 @@ subject, four cold-start scenarios against the same ``PESTRIE3`` file:
   the column sweep, so it materialises the same structure the eager build
   pays for (parity within noise, reported but not gated);
 * ``lazy open only`` — header + table-of-contents + CRC validation alone,
-  the cost paid by ``info``-style tools that never query.
+  the cost paid by ``info``-style tools that never query;
+* ``flat, same/cross-ES query`` — the same two questions against a
+  ``PESTRIE4`` encoding of the same program, answered by the zero-copy
+  :class:`~repro.core.flat.FlatIndex`.  The cross-ES case is the headline:
+  where the ``PESTRIE3`` lazy path must materialise the whole column sweep
+  for its first cross-set answer, the flat engine binary-searches the
+  mapped slab arrays directly, so the gate requires it to come in under a
+  quarter of the materialising cross-ES time (and in single-digit
+  milliseconds at full scale).
 
 Latency is min-of-repeats with the scenarios interleaved, so scheduler
 drift hits every side equally; peak memory is ``tracemalloc`` over one
@@ -70,6 +78,10 @@ def test_cold_start(tmp_path):
     data = encode(matrix)
     with open(path, "wb") as stream:
         stream.write(data)
+    flat_path = str(tmp_path / "cold_v4.pes")
+    flat_data = encode(matrix, version=4)
+    with open(flat_path, "wb") as stream:
+        stream.write(flat_data)
     same_p, same_q = _equivalent_pair(matrix)
     cross_p, cross_q = _cross_pair(matrix)
 
@@ -94,10 +106,26 @@ def test_cold_start(tmp_path):
         load_index(path, lazy=True).close()
         return None
 
+    def flat_same_es():
+        index = load_index(flat_path, lazy=True)
+        try:
+            return index.is_alias(same_p, same_q)
+        finally:
+            index.close()
+
+    def flat_cross_es():
+        index = load_index(flat_path, lazy=True)
+        try:
+            return index.is_alias(cross_p, cross_q)
+        finally:
+            index.close()
+
     scenarios = (("eager decode + first is_alias", eager),
                  ("lazy open + same-ES is_alias", lazy_same_es),
                  ("lazy open + cross-ES is_alias", lazy_cross_es),
-                 ("lazy open only", lazy_open_only))
+                 ("lazy open only", lazy_open_only),
+                 ("flat v4 open + same-ES is_alias", flat_same_es),
+                 ("flat v4 open + cross-ES is_alias", flat_cross_es))
 
     # Interleave the repeats so clock drift cannot favour one scenario.
     latency = {label: float("inf") for label, _ in scenarios}
@@ -131,8 +159,11 @@ def test_cold_start(tmp_path):
     # Same file, same question, same answer (and the pair really is an alias).
     assert answers["eager decode + first is_alias"] is True
     assert answers["lazy open + same-ES is_alias"] is True
+    assert answers["flat v4 open + same-ES is_alias"] is True
     eager_index = load_index(path)
-    assert answers["lazy open + cross-ES is_alias"] == eager_index.is_alias(cross_p, cross_q)
+    cross_answer = eager_index.is_alias(cross_p, cross_q)
+    assert answers["lazy open + cross-ES is_alias"] == cross_answer
+    assert answers["flat v4 open + cross-ES is_alias"] == cross_answer
 
     # The acceptance gate: the lazy open answers its first query long before
     # the eager path finishes decoding, and a query that needs only the
@@ -143,3 +174,13 @@ def test_cold_start(tmp_path):
     assert latency["lazy open only"] < 0.1 * baseline, latency
     assert peaks["lazy open + same-ES is_alias"] < 0.5 * peaks["eager decode + first is_alias"], peaks
     assert peaks["lazy open only"] < 0.1 * peaks["eager decode + first is_alias"], peaks
+
+    # The zero-copy gate: the flat engine's first *cross*-ES answer must not
+    # pay for a sweep build — under a quarter of the materialising lazy
+    # path, single-digit milliseconds at full scale, and near-zero heap
+    # (its query structure is the mapped file, not Python objects).
+    flat_cross = latency["flat v4 open + cross-ES is_alias"]
+    assert flat_cross < 0.25 * latency["lazy open + cross-ES is_alias"], latency
+    if not SMOKE:
+        assert flat_cross < 0.010, latency
+    assert peaks["flat v4 open + cross-ES is_alias"] < 0.25 * peaks["eager decode + first is_alias"], peaks

@@ -201,15 +201,17 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 
 def _load_queryable(path: str, mode: str, lazy: bool = True):
-    """Load a file into a query structure, delta-aware for PESTRIE3.
+    """Load a file into a query structure, delta-aware for PESTRIE3/4.
 
     Defaults to a lazy mmap-backed open: a single CLI query pays only for
-    the structures that query touches.  The mapping lives until process
-    exit, which for a one-shot CLI invocation is the file's natural scope.
+    the structures that query touches (on a ``PESTRIE4`` file, none — the
+    flat engine answers from the mapped bytes).  The mapping lives until
+    process exit, which for a one-shot CLI invocation is the file's
+    natural scope.
     """
     with open(path, "rb") as stream:
         prefix = stream.read(9)
-    if detect_format(prefix)[0] == 3:
+    if detect_format(prefix)[0] >= 3:
         from .delta import load_overlay
 
         return load_overlay(path, mode=mode, lazy=lazy)
@@ -457,9 +459,10 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("hub", "simple", "identity", "random"))
     encode.add_argument("--compact", action="store_true",
                         help="varint/delta-compressed integer coding")
-    encode.add_argument("--format-version", type=int, choices=(1, 2, 3), default=3,
+    encode.add_argument("--format-version", type=int, choices=(1, 2, 3, 4), default=3,
                         help="on-disk format version (3 = checksummed PESTRIE3, "
-                             "the default; 1/2 = legacy uncheck-summed formats)")
+                             "the default; 4 = PESTRIE4 with zero-copy flat query "
+                             "sections; 1/2 = legacy uncheck-summed formats)")
     encode.set_defaults(handler=cmd_encode)
 
     analyze = sub.add_parser("analyze", help="analyse IR into a reusable archive dir")

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..obs import get_registry, trace
-from .encoder import FLAG_COMPACT, MAGIC_COMPACT, MAGIC_RAW, MAGIC_V3
+from .encoder import FLAG_COMPACT, MAGIC_COMPACT, MAGIC_RAW, MAGIC_V3, MAGIC_V4
 from .segment_tree import Rect
 
 _U32 = struct.Struct("<I")
@@ -37,6 +37,58 @@ _SHAPE_ARITY = {"point": 2, "vline": 3, "hline": 3, "rect": 4}
 #: per-section byte lengths; the file ends with a 4-byte CRC32 trailer.
 _V3_HEADER_END = 8 + 1 + 11 * 4 + 10 * 4
 _V3_MIN_SIZE = _V3_HEADER_END + 4
+
+#: Fixed-size ``PESTRIE4`` prefix: the ``PESTRIE3`` fields plus four flat
+#: counts (tracked pointers, slabs, slab entries, case-1 spans) from which
+#: every flat-section size is computable (see :func:`flat_section_sizes`).
+_V4_HEADER_END = _V3_HEADER_END + 4 * 4
+_V4_MIN_SIZE = _V4_HEADER_END + 4
+
+#: Names of the ``PESTRIE4`` flat sections, in on-disk order.
+FLAT_SECTION_NAMES = (
+    "origin_ts",
+    "origin_obj",
+    "obj_rank",
+    "pes_rank",
+    "sorted_ptr_ts",
+    "sorted_ptr_id",
+    "slab_breaks",
+    "slab_offsets",
+    "ent_y1",
+    "ent_y2",
+    "ent_flags",
+    "c1_offsets",
+    "c1_x1",
+    "c1_x2",
+)
+
+
+def flat_section_sizes(n_pointers: int, n_objects: int,
+                       counts: Tuple[int, int, int, int]) -> List[int]:
+    """Byte size of every ``PESTRIE4`` flat section, in on-disk order.
+
+    All flat sections are fixed-width little-endian arrays — ``uint32``
+    everywhere except ``ent_flags`` (one byte per slab entry) — so the whole
+    flat table of contents follows from the header dimensions plus the four
+    flat counts ``(n_tracked, n_slabs, n_entries, n_c1_spans)``.
+    """
+    n_tracked, n_slabs, n_entries, n_c1 = counts
+    return [
+        4 * n_objects,        # origin_ts: origin timestamps, sorted ascending
+        4 * n_objects,        # origin_obj: object id at each origin rank
+        4 * n_objects,        # obj_rank: origin rank of each object id
+        4 * n_pointers,       # pes_rank: origin rank per pointer (ABSENT if untracked)
+        4 * n_tracked,        # sorted_ptr_ts: tracked pointer timestamps, ascending
+        4 * n_tracked,        # sorted_ptr_id: pointer ids in timestamp order
+        4 * n_slabs,          # slab_breaks: first column of each sweep slab
+        4 * (n_slabs + 1),    # slab_offsets: entry-range offsets per slab
+        4 * n_entries,        # ent_y1: slab entry y-interval starts
+        4 * n_entries,        # ent_y2: slab entry y-interval ends
+        n_entries,            # ent_flags: case-1 / mirrored bits per entry
+        4 * (n_objects + 1),  # c1_offsets: case-1 span-range offsets per object
+        4 * n_c1,             # c1_x1: case-1 span starts
+        4 * n_c1,             # c1_x2: case-1 span ends
+    ]
 
 
 @dataclass
@@ -224,14 +276,20 @@ def base_image_size(data: bytes) -> int:
     image content is *not* otherwise verified.
     """
     version, _compact = detect_format(data)
-    if version != 3:
+    if version < 3:
         return len(data)
-    if len(data) < _V3_MIN_SIZE:
+    min_size = _V4_MIN_SIZE if version == 4 else _V3_MIN_SIZE
+    if len(data) < min_size:
         raise CorruptFileError(
-            "truncated file (%d bytes, PESTRIE3 minimum is %d)" % (len(data), _V3_MIN_SIZE)
+            "truncated file (%d bytes, PESTRIE%d minimum is %d)"
+            % (len(data), version, min_size)
         )
     lengths = struct.unpack_from("<10I", data, 9 + 11 * 4)
     size = _V3_HEADER_END + sum(lengths) + 4
+    if version == 4:
+        n_pointers, n_objects = struct.unpack_from("<2I", data, 9)
+        counts = struct.unpack_from("<4I", data, _V3_HEADER_END)
+        size += 4 * 4 + sum(flat_section_sizes(n_pointers, n_objects, counts))
     if size > len(data):
         raise CorruptFileError(
             "section lengths add up to %d bytes but the file has %d" % (size, len(data))
@@ -256,6 +314,10 @@ def detect_format(data: bytes) -> Tuple[int, bool]:
         if len(data) < 9:
             raise CorruptFileError("truncated file (PESTRIE3 flags byte missing)")
         return 3, bool(data[8] & FLAG_COMPACT)
+    if magic == MAGIC_V4:
+        # The flat layout stores raw little-endian arrays only; the flags
+        # byte must be zero, which the container enforces at open.
+        return 4, False
     raise CorruptFileError("not a Pestrie persistent file (bad magic %r)" % magic)
 
 

@@ -37,6 +37,7 @@ from .structure import Pestrie
 MAGIC_RAW = b"PESTRIE1"
 MAGIC_COMPACT = b"PESTRIE2"
 MAGIC_V3 = b"PESTRIE3"
+MAGIC_V4 = b"PESTRIE4"
 
 #: Magic of a DELTA record appended after a complete ``PESTRIE3`` image
 #: (see ``repro.delta``).  Lives here with the other magics so the decoder
@@ -122,8 +123,10 @@ class PestrieEncoder:
     """Serialises a labelled Pestrie plus its rectangle set to bytes.
 
     ``version`` selects the on-disk format: 1 (raw uint32), 2 (varint/delta,
-    implies ``compact``) or 3 (the default: checksummed header with
-    per-section lengths; ``compact`` selects the integer coding).
+    implies ``compact``), 3 (the default: checksummed header with
+    per-section lengths; ``compact`` selects the integer coding) or 4 (the
+    flat zero-copy layout: the ``PESTRIE3`` sections in raw coding plus
+    directly queryable struct-of-arrays sections, see ``repro.core.flat``).
     """
 
     def __init__(
@@ -133,11 +136,16 @@ class PestrieEncoder:
         compact: bool = False,
         version: int = DEFAULT_VERSION,
     ):
-        if version not in (1, 2, 3):
+        if version not in (1, 2, 3, 4):
             raise ValueError("unknown Pestrie format version %r" % version)
         if version == 1 and compact:
             raise ValueError(
                 "format version 1 stores raw uint32s; use version 2 or 3 for compact coding"
+            )
+        if version == 4 and compact:
+            raise ValueError(
+                "format version 4 stores raw uint32 sections so queries can run "
+                "zero-copy over the mapped bytes; compact coding is not available"
             )
         if version == 2:
             compact = True
@@ -214,14 +222,47 @@ class PestrieEncoder:
         if self.version < 3:
             magic = MAGIC_COMPACT if self.compact else MAGIC_RAW
             return b"".join([magic, header_bytes] + sections)
+        lengths = b"".join(_U32.pack(len(section)) for section in sections)
+        if self.version == 4:
+            return self._to_bytes_v4(header_bytes, lengths, sections)
         body = b"".join(
             [
                 MAGIC_V3,
                 bytes([FLAG_COMPACT if self.compact else 0]),
                 header_bytes,
-                b"".join(_U32.pack(len(section)) for section in sections),
+                lengths,
             ]
             + sections
+        )
+        return body + _U32.pack(crc32(body))
+
+    def _to_bytes_v4(self, header_bytes: bytes, lengths: bytes,
+                     sections: List[bytes]) -> bytes:
+        # Deferred import: ``flat`` pulls in the decoder, which imports this
+        # module for the magic constants.
+        from .flat import build_flat_sections
+
+        case1, case2 = self._sections()
+        # The flat structures are derived from the rectangles in on-disk
+        # decode order, so the slab entry lists come out identical to the
+        # ones a lazy ``PestrieIndex`` builds from the decoded sections.
+        decode_order = [(rect, True) for shape in _SHAPES for rect in case1[shape]]
+        decode_order += [(rect, False) for shape in _SHAPES for rect in case2[shape]]
+        counts, flat_sections = build_flat_sections(
+            pointer_timestamps(self.pestrie),
+            object_timestamps(self.pestrie),
+            decode_order,
+        )
+        body = b"".join(
+            [
+                MAGIC_V4,
+                bytes([0]),
+                header_bytes,
+                lengths,
+                struct.pack("<4I", *counts),
+            ]
+            + sections
+            + flat_sections
         )
         return body + _U32.pack(crc32(body))
 

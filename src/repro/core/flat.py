@@ -1,0 +1,550 @@
+"""The zero-copy v4 query engine: Table 1 answers straight from mapped bytes.
+
+``PESTRIE4`` files carry, after the ten classic sections, a set of *flat*
+struct-of-arrays sections whose on-disk form **is** the query form — the
+persistent/volatile split of the exemplar ``PPtr`` design, applied to a
+whole query structure.  Everything the hot queries need is precomputed by
+the encoder into fixed-width little-endian arrays:
+
+* the origin table (``origin_ts`` sorted ascending, ``origin_obj`` /
+  ``obj_rank`` as mutually inverse permutations) answers PES membership and
+  PES block ranges with one array lookup or ``bisect``;
+* ``pes_rank`` collapses ``is_alias``'s internal-pair test to two loads and
+  a comparison;
+* ``sorted_ptr_ts`` / ``sorted_ptr_id`` serve the range-reporting half of
+  every list query;
+* the column sweep is persisted as slab columns: ``slab_breaks`` (first
+  column per slab), ``slab_offsets`` (entry ranges), and the entry columns
+  ``ent_y1`` / ``ent_y2`` / ``ent_flags`` sorted by ``y1`` within a slab —
+  the same shared-slab structure :class:`~repro.core.query._ColumnSweep`
+  builds in memory, minus the Python objects;
+* the per-object Case-1 span table (``c1_offsets`` → ``c1_x1``/``c1_x2``)
+  serves ``points_to_contains`` and ``list_pointed_by``.
+
+:class:`FlatIndex` answers every Table 1 query by binary-searching
+``memoryview`` casts over these sections — no per-section Python list is
+ever rebuilt, so open-to-first-answer is bounded by the container's header
+validation plus a one-time O(sections) structural check, not by the
+rectangle count.  Corrupted bytes cannot reach a query: the container
+verifies the CRC32 trailer over the *whole* image (flat sections included)
+at open, and the structural invariants the searches rely on (monotone
+breaks and offset tables, in-range ranks) are re-checked once before the
+first answer, so a forged-but-checksummed image still fails with
+:class:`CorruptFileError` instead of mis-answering.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from bisect import bisect_left, bisect_right, insort
+from typing import List, Optional, Sequence, Tuple
+
+from ..matrix.points_to import PointsToMatrix
+from .decoder import FLAT_SECTION_NAMES, CorruptFileError
+from .encoder import ABSENT, _U32
+
+#: ``ent_flags`` bits.
+FLAT_CASE1 = 0x01
+FLAT_MIRRORED = 0x02
+
+#: Flat sections per ``PESTRIE4`` image (see ``FLAT_SECTION_NAMES``).
+N_FLAT_SECTIONS = len(FLAT_SECTION_NAMES)
+
+
+# ----------------------------------------------------------------------
+# Encode-time construction
+# ----------------------------------------------------------------------
+
+def _pack_u32(values: Sequence[int]) -> bytes:
+    import struct
+
+    return struct.pack("<%dI" % len(values), *values)
+
+
+def build_flat_sections(pointer_ts: List[int], object_ts: List[int],
+                        rects: Sequence[Tuple[object, bool]]):
+    """The flat counts and section payloads for one Pestrie.
+
+    ``pointer_ts`` uses the raw :data:`~repro.core.encoder.ABSENT` sentinel;
+    ``rects`` are ``(rect, case1)`` pairs in on-disk decode order, so the
+    resulting slab entry lists mirror exactly what a lazy in-memory build
+    over the decoded sections would produce.  Returns
+    ``((n_tracked, n_slabs, n_entries, n_c1), [section_bytes...])`` with the
+    sections in :data:`~repro.core.decoder.FLAT_SECTION_NAMES` order.
+    """
+    n_objects = len(object_ts)
+
+    order = sorted(range(n_objects), key=object_ts.__getitem__)
+    origin_ts = [object_ts[obj] for obj in order]
+    obj_rank = [0] * n_objects
+    for rank, obj in enumerate(order):
+        obj_rank[obj] = rank
+
+    pes_rank = [
+        ABSENT if ts == ABSENT else bisect_right(origin_ts, ts) - 1
+        for ts in pointer_ts
+    ]
+
+    tracked = sorted(
+        (ts, pointer) for pointer, ts in enumerate(pointer_ts) if ts != ABSENT
+    )
+    sorted_ptr_ts = [ts for ts, _ in tracked]
+    sorted_ptr_id = [pointer for _, pointer in tracked]
+
+    # The event sweep, exactly as the in-memory _ColumnSweep runs it: one
+    # forward and one mirrored span per rectangle, slabs between consecutive
+    # event coordinates, entries kept sorted by the unique (y1, serial) key.
+    events: List[Tuple[int, int, int, int, int, int]] = []
+    serial = 0
+    for rect, case1 in rects:
+        flags = FLAT_CASE1 if case1 else 0
+        for x1, x2, y1, y2, entry_flags in (
+            (rect.x1, rect.x2, rect.y1, rect.y2, flags),
+            (rect.y1, rect.y2, rect.x1, rect.x2, flags | FLAT_MIRRORED),
+        ):
+            events.append((x1, 0, serial, y1, y2, entry_flags))
+            events.append((x2 + 1, 1, serial, y1, y2, entry_flags))
+            serial += 1
+    events.sort(key=lambda event: event[0])
+
+    slab_breaks: List[int] = []
+    slab_offsets: List[int] = [0]
+    ent_y1: List[int] = []
+    ent_y2: List[int] = []
+    ent_flags: List[int] = []
+    active: List[Tuple[int, int, int, int]] = []  # (y1, serial, y2, flags)
+    index, count = 0, len(events)
+    while index < count:
+        coordinate = events[index][0]
+        while index < count and events[index][0] == coordinate:
+            _, is_end, serial, y1, y2, entry_flags = events[index]
+            key = (y1, serial, y2, entry_flags)
+            if is_end:
+                del active[bisect_left(active, key)]
+            else:
+                insort(active, key)
+            index += 1
+        slab_breaks.append(coordinate)
+        for y1, _serial, y2, entry_flags in active:
+            ent_y1.append(y1)
+            ent_y2.append(y2)
+            ent_flags.append(entry_flags)
+        slab_offsets.append(len(ent_y1))
+
+    # Case-1 spans grouped by pointed-to object, sorted within each group.
+    obj_at_ts = {ts: obj for obj, ts in enumerate(object_ts)}
+    spans_by_obj: List[List[Tuple[int, int]]] = [[] for _ in range(n_objects)]
+    for rect, case1 in rects:
+        if case1:
+            spans_by_obj[obj_at_ts[rect.y1]].append((rect.x1, rect.x2))
+    c1_offsets: List[int] = [0]
+    c1_x1: List[int] = []
+    c1_x2: List[int] = []
+    for spans in spans_by_obj:
+        spans.sort()
+        for x1, x2 in spans:
+            c1_x1.append(x1)
+            c1_x2.append(x2)
+        c1_offsets.append(len(c1_x1))
+
+    counts = (len(sorted_ptr_ts), len(slab_breaks), len(ent_y1), len(c1_x1))
+    sections = [
+        _pack_u32(origin_ts),
+        _pack_u32(order),
+        _pack_u32(obj_rank),
+        _pack_u32(pes_rank),
+        _pack_u32(sorted_ptr_ts),
+        _pack_u32(sorted_ptr_id),
+        _pack_u32(slab_breaks),
+        _pack_u32(slab_offsets),
+        _pack_u32(ent_y1),
+        _pack_u32(ent_y2),
+        bytes(ent_flags),
+        _pack_u32(c1_offsets),
+        _pack_u32(c1_x1),
+        _pack_u32(c1_x2),
+    ]
+    return counts, sections
+
+
+# ----------------------------------------------------------------------
+# Query-time engine
+# ----------------------------------------------------------------------
+
+def flat_supported(container) -> bool:
+    """Whether ``container`` can be served by a :class:`FlatIndex`.
+
+    Requires a ``PESTRIE4`` image and a little-endian host (the flat
+    sections are read through native ``memoryview.cast`` windows; on the
+    rare big-endian host the classic materialising path takes over).
+    """
+    return getattr(container, "version", 0) == 4 and sys.byteorder == "little"
+
+
+def index_for_container(container, mode: str = "ptlist"):
+    """The right lazy index for ``container``: flat when possible.
+
+    ``PESTRIE4`` containers asked for the default ``ptlist`` structure get
+    a zero-copy :class:`FlatIndex`; everything else (legacy versions,
+    ``segment`` mode, big-endian hosts) falls back to the materialising
+    :class:`~repro.core.query.PestrieIndex`.
+    """
+    from .query import PestrieIndex  # deferred: query is layered above flat
+
+    if mode == "ptlist" and flat_supported(container):
+        return FlatIndex(container)
+    return PestrieIndex.from_container(container, mode=mode)
+
+
+class FlatIndex:
+    """Table 1 queries served directly from a mapped ``PESTRIE4`` image.
+
+    Construction takes ``memoryview`` casts over the container's flat
+    sections and reads nothing else; the first query pays a one-time
+    structural check of the offset tables (O(slabs + objects), no object
+    rebuild), after which every query is pure ``bisect``/indexing over the
+    mapped arrays.  The public surface matches
+    :class:`~repro.core.query.PestrieIndex`, so overlays, shards and the
+    alias service compose over it unchanged.
+
+    The container must stay open for the index's lifetime — there is no
+    materialised copy to fall back on.  :meth:`close` releases the views
+    and closes the container; queries afterwards raise
+    :class:`~repro.store.ContainerClosedError`.
+    """
+
+    mode = "flat"
+
+    def __init__(self, container):
+        if getattr(container, "version", 0) != 4:
+            raise ValueError(
+                "FlatIndex needs a PESTRIE4 container (file is format v%d)"
+                % getattr(container, "version", 0)
+            )
+        self._container = container
+        self._lock = threading.RLock()
+        self._closed = False
+        self._validated = False
+        self.n_pointers = container.n_pointers
+        self.n_objects = container.n_objects
+        self.n_groups = container.n_groups
+        (self._n_tracked, self._n_slabs,
+         self._n_entries, self._n_c1) = container.flat_counts
+
+        self._views: List[memoryview] = []
+        self._ptr_ts = self._cast(container.section_view(0))
+        self._obj_ts = self._cast(container.section_view(1))
+        flat = [container.flat_view(i) for i in range(N_FLAT_SECTIONS)]
+        (self._origin_ts, self._origin_obj, self._obj_rank, self._pes_rank,
+         self._sorted_ptr_ts, self._sorted_ptr_id, self._slab_breaks,
+         self._slab_offsets, self._ent_y1, self._ent_y2) = (
+            self._cast(view) for view in flat[:10]
+        )
+        self._ent_flags = self._track(flat[10])
+        self._c1_offsets, self._c1_x1, self._c1_x2 = (
+            self._cast(view) for view in flat[11:]
+        )
+
+    def _track(self, view: memoryview) -> memoryview:
+        self._views.append(view)
+        return view
+
+    def _cast(self, view: memoryview) -> memoryview:
+        self._track(view)
+        return self._track(view.cast("I"))
+
+    # ------------------------------------------------------------------
+    # Lifetime
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release every mapped view and close the backing container."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            # Casts were appended after the byte views they wrap; release
+            # them first so no view ever outlives its exporter.
+            for view in reversed(self._views):
+                view.release()
+            self._views = []
+            self._container.close()
+
+    def _ready(self) -> None:
+        if self._closed:
+            from ..store import ContainerClosedError
+
+            raise ContainerClosedError("flat index is closed")
+        if not self._validated:
+            with self._lock:
+                if not self._validated:
+                    self._validate()
+                    self._validated = True
+
+    def _validate(self) -> None:
+        """One-time structural check of the search invariants.
+
+        The container already verified the CRC over the whole image, so
+        this only has to reject *forged* images whose checksum is valid but
+        whose tables would send a binary search out of bounds or into a
+        silent wrong answer.
+        """
+        origin_ts = self._origin_ts.tolist()
+        if any(b <= a for a, b in zip(origin_ts, origin_ts[1:])):
+            raise CorruptFileError("flat origin timestamps are not strictly increasing")
+        if origin_ts and not origin_ts[-1] < self.n_groups:
+            raise CorruptFileError("flat origin timestamp outside group range")
+        for name, view in (("origin_obj", self._origin_obj),
+                           ("obj_rank", self._obj_rank)):
+            if any(not value < self.n_objects for value in view.tolist()):
+                raise CorruptFileError("flat %s entry outside object range" % name)
+        if any(value != ABSENT and not value < self.n_objects
+               for value in self._pes_rank.tolist()):
+            raise CorruptFileError("flat pes_rank entry outside object range")
+        sorted_ts = self._sorted_ptr_ts.tolist()
+        if any(b < a for a, b in zip(sorted_ts, sorted_ts[1:])):
+            raise CorruptFileError("flat sorted pointer timestamps are unsorted")
+        if any(not value < self.n_pointers for value in self._sorted_ptr_id.tolist()):
+            raise CorruptFileError("flat sorted pointer id outside pointer range")
+        breaks = self._slab_breaks.tolist()
+        if any(b <= a for a, b in zip(breaks, breaks[1:])):
+            raise CorruptFileError("flat slab breaks are not strictly increasing")
+        for name, offsets, limit in (
+            ("slab_offsets", self._slab_offsets.tolist(), self._n_entries),
+            ("c1_offsets", self._c1_offsets.tolist(), self._n_c1),
+        ):
+            if offsets[0] != 0 or offsets[-1] != limit:
+                raise CorruptFileError("flat %s table does not span its entries" % name)
+            if any(b < a for a, b in zip(offsets, offsets[1:])):
+                raise CorruptFileError("flat %s table is not monotone" % name)
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+
+    def _check_pointer(self, pointer: int) -> None:
+        if not 0 <= pointer < self.n_pointers:
+            raise IndexError(
+                "pointer id %d out of range [0, %d)" % (pointer, self.n_pointers)
+            )
+
+    def _check_object(self, obj: int) -> None:
+        if not 0 <= obj < self.n_objects:
+            raise IndexError("object id %d out of range [0, %d)" % (obj, self.n_objects))
+
+    def _pointers_in_range(self, lo: int, hi: int) -> List[int]:
+        start = bisect_left(self._sorted_ptr_ts, lo)
+        stop = bisect_right(self._sorted_ptr_ts, hi)
+        return self._sorted_ptr_id[start:stop].tolist()
+
+    def _pes_range_of_rank(self, rank: int) -> Tuple[int, int]:
+        """The timestamp block ``[I, next_I)`` of the PES at origin ``rank``."""
+        lo = self._origin_ts[rank]
+        if rank + 1 < self.n_objects:
+            return lo, self._origin_ts[rank + 1] - 1
+        return lo, self.n_groups - 1
+
+    def _slab_range(self, column: int) -> Tuple[int, int]:
+        """The ``[lo, hi)`` entry range of the slab containing ``column``."""
+        slab = bisect_right(self._slab_breaks, column) - 1
+        if slab < 0:
+            return 0, 0
+        return self._slab_offsets[slab], self._slab_offsets[slab + 1]
+
+    def _covers(self, x: int, y: int) -> bool:
+        """Whether a slab entry at column ``x`` spans timestamp ``y``."""
+        lo, hi = self._slab_range(x)
+        index = bisect_right(self._ent_y1, y, lo, hi) - 1
+        return index >= lo and self._ent_y2[index] >= y
+
+    def _object_at_origin_ts(self, ts: int) -> int:
+        rank = bisect_left(self._origin_ts, ts)
+        if rank == self.n_objects or self._origin_ts[rank] != ts:
+            raise CorruptFileError(
+                "case-1 entry y1=%d is not an object origin timestamp" % ts
+            )
+        return self._origin_obj[rank]
+
+    def pes_of(self, pointer: int) -> Optional[int]:
+        """The PES identifier (object id) of ``pointer``, if tracked."""
+        self._ready()
+        self._check_pointer(pointer)
+        rank = self._pes_rank[pointer]
+        return None if rank == ABSENT else self._origin_obj[rank]
+
+    # ------------------------------------------------------------------
+    # Table 1 queries
+    # ------------------------------------------------------------------
+
+    def is_alias(self, p: int, q: int) -> bool:
+        """Decide whether pointers ``p`` and ``q`` may alias — O(log n)."""
+        self._ready()
+        self._check_pointer(p)
+        self._check_pointer(q)
+        ts_p = self._ptr_ts[p]
+        ts_q = self._ptr_ts[q]
+        if ts_p == ABSENT or ts_q == ABSENT:
+            return False
+        if p == q:
+            return True
+        if self._pes_rank[p] == self._pes_rank[q]:
+            return True  # internal pair
+        return self._covers(*((ts_p, ts_q) if ts_p < ts_q else (ts_q, ts_p)))
+
+    def is_alias_batch(self, pairs: Sequence[Tuple[int, int]]) -> List[bool]:
+        """Answer many IsAlias queries, amortising the slab lookups."""
+        self._ready()
+        results = [False] * len(pairs)
+        jobs: List[Tuple[int, int, int]] = []
+        for position, (p, q) in enumerate(pairs):
+            self._check_pointer(p)
+            self._check_pointer(q)
+            ts_p = self._ptr_ts[p]
+            ts_q = self._ptr_ts[q]
+            if ts_p == ABSENT or ts_q == ABSENT:
+                continue
+            if p == q or self._pes_rank[p] == self._pes_rank[q]:
+                results[position] = True
+                continue
+            x, y = (ts_p, ts_q) if ts_p < ts_q else (ts_q, ts_p)
+            jobs.append((x, y, position))
+        jobs.sort()
+        ent_y1, ent_y2 = self._ent_y1, self._ent_y2
+        column, lo, hi = -1, 0, 0
+        for x, y, position in jobs:
+            if x != column:
+                lo, hi = self._slab_range(x)
+                column = x
+            index = bisect_right(ent_y1, y, lo, hi) - 1
+            results[position] = index >= lo and ent_y2[index] >= y
+        return results
+
+    def column_of(self, pointer: int) -> Optional[int]:
+        """The ptList column (pre-order timestamp) of ``pointer``."""
+        self._ready()
+        self._check_pointer(pointer)
+        ts = self._ptr_ts[pointer]
+        return None if ts == ABSENT else ts
+
+    def list_aliases(self, p: int) -> List[int]:
+        """All pointers aliased to ``p`` — O(answer size)."""
+        self._ready()
+        self._check_pointer(p)
+        ts_p = self._ptr_ts[p]
+        if ts_p == ABSENT:
+            return []
+        result: List[int] = []
+        lo, hi = self._pes_range_of_rank(self._pes_rank[p])
+        for pointer in self._pointers_in_range(lo, hi):
+            if pointer != p:
+                result.append(pointer)
+        ent_y1, ent_y2 = self._ent_y1, self._ent_y2
+        lo, hi = self._slab_range(ts_p)
+        for index in range(lo, hi):
+            result.extend(self._pointers_in_range(ent_y1[index], ent_y2[index]))
+        return result
+
+    def points_to_contains(self, p: int, obj: int) -> bool:
+        """Membership test ``obj ∈ points-to(p)`` in O(log n)."""
+        self._ready()
+        self._check_pointer(p)
+        self._check_object(obj)
+        ts_p = self._ptr_ts[p]
+        if ts_p == ABSENT:
+            return False
+        if self._pes_rank[p] == self._obj_rank[obj]:
+            return True
+        lo, hi = self._c1_offsets[obj], self._c1_offsets[obj + 1]
+        index = bisect_right(self._c1_x1, ts_p, lo, hi) - 1
+        return index >= lo and self._c1_x2[index] >= ts_p
+
+    def list_points_to(self, p: int) -> List[int]:
+        """The points-to set of ``p``."""
+        self._ready()
+        self._check_pointer(p)
+        ts_p = self._ptr_ts[p]
+        if ts_p == ABSENT:
+            return []
+        result = [self._origin_obj[self._pes_rank[p]]]
+        ent_y1, ent_flags = self._ent_y1, self._ent_flags
+        lo, hi = self._slab_range(ts_p)
+        for index in range(lo, hi):
+            if ent_flags[index] == FLAT_CASE1:  # case-1 and not mirrored
+                result.append(self._object_at_origin_ts(ent_y1[index]))
+        return result
+
+    def list_pointed_by(self, obj: int) -> List[int]:
+        """All pointers that may point to ``obj``."""
+        self._ready()
+        self._check_object(obj)
+        lo, hi = self._pes_range_of_rank(self._obj_rank[obj])
+        result = self._pointers_in_range(lo, hi)
+        c1_x1, c1_x2 = self._c1_x1, self._c1_x2
+        lo, hi = self._c1_offsets[obj], self._c1_offsets[obj + 1]
+        for index in range(lo, hi):
+            result.extend(self._pointers_in_range(c1_x1[index], c1_x2[index]))
+        return result
+
+    def iter_alias_pairs(self):
+        """Yield every unordered alias pair ``(p, q)`` with ``p < q`` once.
+
+        Internal pairs stream from the flat PES blocks; cross pairs need the
+        raw rectangle table, which is the one structure the flat layout does
+        not duplicate — the container materialises it on first use (bulk
+        enumeration is not a zero-copy path).
+        """
+        self._ready()
+        for rank in range(self.n_objects):
+            lo, hi = self._pes_range_of_rank(rank)
+            members = self._pointers_in_range(lo, hi)
+            for i in range(len(members)):
+                for j in range(i + 1, len(members)):
+                    p, q = members[i], members[j]
+                    yield (p, q) if p < q else (q, p)
+        for rect, _case1 in self._container.rects():
+            x_members = self._pointers_in_range(rect.x1, rect.x2)
+            y_members = self._pointers_in_range(rect.y1, rect.y2)
+            for p in x_members:
+                for q in y_members:
+                    yield (p, q) if p < q else (q, p)
+
+    # ------------------------------------------------------------------
+    # Bulk reconstruction / accounting
+    # ------------------------------------------------------------------
+
+    def materialize(self) -> PointsToMatrix:
+        """Recover the full points-to matrix ``PM`` from the flat sections."""
+        matrix = PointsToMatrix(self.n_pointers, self.n_objects)
+        for pointer in range(self.n_pointers):
+            for obj in self.list_points_to(pointer):
+                matrix.add(pointer, obj)
+        return matrix
+
+    def memory_footprint(self) -> int:
+        """Bytes of mapped sections the queries read (no heap structures).
+
+        This is the flat layout's Table 7 story: the query structure *is*
+        the file, so the footprint is the mapped section bytes — shared
+        read-only across processes — rather than per-process heap.
+        """
+        total = self._ptr_ts.nbytes + self._obj_ts.nbytes + self._ent_flags.nbytes
+        for view in (self._origin_ts, self._origin_obj, self._obj_rank,
+                     self._pes_rank, self._sorted_ptr_ts, self._sorted_ptr_id,
+                     self._slab_breaks, self._slab_offsets, self._ent_y1,
+                     self._ent_y2, self._c1_offsets, self._c1_x1, self._c1_x2):
+            total += view.nbytes
+        return total
+
+
+# Referenced by the container for byte accounting; re-exported here so the
+# flat layout's writer and reader share one definition of the size table.
+__all__ = [
+    "FLAT_CASE1",
+    "FLAT_MIRRORED",
+    "FlatIndex",
+    "N_FLAT_SECTIONS",
+    "build_flat_sections",
+    "flat_supported",
+    "index_for_container",
+]

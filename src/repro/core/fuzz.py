@@ -11,8 +11,13 @@ The persistence contract has exactly two legal outcomes for any input:
   raises :class:`~repro.core.decoder.CorruptFileError`.  Never a hang,
   never an uncontrolled exception.
 
-For ``PESTRIE3`` the contract is strictly stronger: the CRC32 trailer means
-*any* effective mutation must be rejected.
+For ``PESTRIE3`` and ``PESTRIE4`` the contract is strictly stronger: the
+CRC32 trailer means *any* effective mutation must be rejected.  ``PESTRIE4``
+cases additionally target the flat query sections specifically (they sit
+behind the classic sections, so untargeted mutants rarely land there) and
+check the zero-copy :class:`~repro.core.flat.FlatIndex` against the eager
+decoder on every Table 1 query — corruption must surface as
+:class:`CorruptFileError` at open or first touch, never as a wrong answer.
 
 Delta-bearing images (a ``PESTRIE3`` base followed by appended DELTA
 records, see :mod:`repro.delta`) are fuzzed too.  Their clean contract:
@@ -50,7 +55,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from ..matrix.points_to import PointsToMatrix
-from .decoder import CorruptFileError, decode_bytes
+from .decoder import _V3_HEADER_END, CorruptFileError, decode_bytes
 from .pipeline import encode, index_from_bytes
 
 #: Mutation kinds applied to clean files.
@@ -91,6 +96,7 @@ class FuzzReport:
     rejected: int = 0
     survived: int = 0
     lazy_checks: int = 0
+    flat_checks: int = 0
     failures: List[FuzzFailure] = field(default_factory=list)
 
     @property
@@ -101,10 +107,10 @@ class FuzzReport:
         return (
             "%d cases: %d clean round-trips (+%d delta-chain round-trips), "
             "%d corruptions (%d rejected, %d survived validation), "
-            "%d lazy-parity checks, %d failures"
+            "%d lazy-parity checks, %d flat-parity checks, %d failures"
             % (self.cases, self.clean_round_trips, self.delta_round_trips,
                self.corruptions, self.rejected, self.survived,
-               self.lazy_checks, len(self.failures))
+               self.lazy_checks, self.flat_checks, len(self.failures))
         )
 
 
@@ -121,7 +127,8 @@ def random_matrix(rng: random.Random, max_pointers: int = 24, max_objects: int =
     return matrix
 
 
-def corrupt(rng: random.Random, data: bytes, delta_offset: Optional[int] = None) -> tuple:
+def corrupt(rng: random.Random, data: bytes, delta_offset: Optional[int] = None,
+            flat_offset: Optional[int] = None) -> tuple:
     """One random mutation of ``data``; returns ``(kind, mutated_bytes)``.
 
     With ``delta_offset`` given (the byte where appended DELTA records
@@ -129,9 +136,18 @@ def corrupt(rng: random.Random, data: bytes, delta_offset: Optional[int] = None)
     it, truncation cuts within it (keeping the base image intact — the
     hardest case for the decoder, since the base alone is valid), and
     count splices hit a record's ``n_insert``/``n_delete``/length words.
+
+    With ``flat_offset`` given (the byte where a ``PESTRIE4`` image's flat
+    sections start), flips/sets/truncations land in the flat region and
+    count splices hit one of the four flat count words — the bytes the
+    zero-copy query engine reads directly.
     """
     kind = rng.choice(MUTATIONS)
-    low = 0 if delta_offset is None else delta_offset
+    low = 0
+    if delta_offset is not None:
+        low = delta_offset
+    elif flat_offset is not None:
+        low = flat_offset
     blob = bytearray(data)
     if kind == "bit_flip":
         position = rng.randrange(low, len(blob))
@@ -144,13 +160,19 @@ def corrupt(rng: random.Random, data: bytes, delta_offset: Optional[int] = None)
     elif kind == "extend":
         blob += bytes(rng.randrange(256) for _ in range(rng.randint(1, 12)))
     else:  # splice_count: overwrite a header word with a huge count
-        position = low + 8 + 1 + 4 * rng.randrange(3) if delta_offset is not None \
-            else 8 + 4 * rng.randrange(11)
+        if delta_offset is not None:
+            position = low + 8 + 1 + 4 * rng.randrange(3)
+        elif flat_offset is not None:
+            position = _V3_HEADER_END + 4 * rng.randrange(4)
+        else:
+            position = 8 + 4 * rng.randrange(11)
         if position + 4 <= len(blob):
             value = rng.choice((0xFFFFFFFF, 0x7FFFFFFF, 0x10000, len(blob) * 8))
             blob[position : position + 4] = value.to_bytes(4, "little")
     if delta_offset is not None:
         kind = "delta_" + kind
+    elif flat_offset is not None:
+        kind = "flat_" + kind
     return kind, bytes(blob)
 
 
@@ -173,6 +195,53 @@ def _check_clean(case: int, version: int, compact: bool, order: str,
                                            "re-encoding is not byte-exact"))
         return
     report.clean_round_trips += 1
+
+
+def _check_flat_clean(case: int, matrix: PointsToMatrix, data: bytes,
+                      report: FuzzReport) -> None:
+    """The flat engine must answer every Table 1 query like the eager index."""
+    from ..store import Container
+    from .flat import FlatIndex
+
+    try:
+        eager = index_from_bytes(data)
+        flat = FlatIndex(Container.from_bytes(data, allow_tail=False))
+    except Exception as error:  # noqa: BLE001 — any exception here is a bug
+        report.failures.append(FuzzFailure(case, 4, None,
+                                           "clean flat open failed: %r" % (error,)))
+        return
+    try:
+        if flat.materialize() != matrix:
+            report.failures.append(FuzzFailure(case, 4, None,
+                                               "flat materialise differs from input"))
+            return
+        pointers = range(flat.n_pointers)
+        pairs = [(p, q) for p in pointers for q in pointers]
+        if flat.is_alias_batch(pairs) != eager.is_alias_batch(pairs):
+            report.failures.append(FuzzFailure(case, 4, None,
+                                               "flat is_alias_batch disagrees with eager"))
+            return
+        for p in pointers:
+            if (flat.is_alias(p, (p * 7 + 3) % flat.n_pointers)
+                    != eager.is_alias(p, (p * 7 + 3) % flat.n_pointers)
+                    or flat.list_points_to(p) != eager.list_points_to(p)
+                    or flat.list_aliases(p) != eager.list_aliases(p)
+                    or flat.pes_of(p) != eager.pes_of(p)
+                    or flat.column_of(p) != eager.column_of(p)):
+                report.failures.append(FuzzFailure(case, 4, None,
+                    "flat pointer query disagrees with eager at p=%d" % p))
+                return
+        for obj in range(flat.n_objects):
+            if flat.list_pointed_by(obj) != eager.list_pointed_by(obj):
+                report.failures.append(FuzzFailure(case, 4, None,
+                    "flat list_pointed_by disagrees with eager at obj=%d" % obj))
+                return
+        report.flat_checks += 1
+    except Exception as error:  # noqa: BLE001 — uncontrolled escape
+        report.failures.append(FuzzFailure(case, 4, None,
+                                           "flat query crashed: %r" % (error,)))
+    finally:
+        flat.close()
 
 
 def _check_mutant(case: int, version: int, kind: str, mutated: bytes,
@@ -200,10 +269,10 @@ def _eager_outcome(case: int, version: int, kind: str, mutated: bytes,
         report.failures.append(FuzzFailure(case, version, kind,
                                            "uncontrolled exception %r" % (error,)))
         return _SKIP
-    if version == 3:
+    if version >= 3:
         # The CRC makes acceptance of any effective mutation a bug.
         report.failures.append(FuzzFailure(case, version, kind,
-                                           "PESTRIE3 accepted corrupted bytes"))
+                                           "PESTRIE%d accepted corrupted bytes" % version))
         return _SKIP
     # Legacy formats may accept a mutation that happens to stay inside the
     # format invariants; the payload must then build a queryable index
@@ -231,17 +300,20 @@ def _check_lazy_mutant(case: int, version: int, kind: str, mutated: bytes,
     the eager decoder accepted must produce the identical matrix.
     """
     from ..store import Container
-    from .query import PestrieIndex
+    from .flat import FlatIndex, index_for_container
 
     report.lazy_checks += 1
     container = None
     try:
         container = Container.from_bytes(mutated, allow_tail=False)
-        index = PestrieIndex.from_container(container)
+        index = index_for_container(container)
         # Touch every lazily parsed structure: a query pattern that skips a
         # section legally never sees its corruption, so the parity check
         # must force full materialisation the way the eager decoder does.
-        index._rects  # noqa: B018 — forces timestamps + all rectangle sections
+        # The flat engine validates every flat section before its first
+        # answer, so materialize() alone covers it.
+        if not isinstance(index, FlatIndex):
+            index._rects  # noqa: B018 — forces timestamps + all rectangle sections
         recovered = index.materialize()
     except CorruptFileError:
         if eager is not None:
@@ -308,7 +380,7 @@ def _delta_chain(rng: random.Random, matrix: PointsToMatrix, data: bytes):
     return image, prefixes
 
 
-def _check_delta_clean(case: int, image: bytes, final: PointsToMatrix,
+def _check_delta_clean(case: int, version: int, image: bytes, final: PointsToMatrix,
                        report: FuzzReport) -> None:
     from ..delta import decode_records, encode_record, overlay_from_bytes, split_image
 
@@ -316,11 +388,11 @@ def _check_delta_clean(case: int, image: bytes, final: PointsToMatrix,
         overlay = overlay_from_bytes(image)
         recovered = overlay.materialize()
     except Exception as error:  # noqa: BLE001 — any exception here is a bug
-        report.failures.append(FuzzFailure(case, 3, None,
+        report.failures.append(FuzzFailure(case, version, None,
                                            "clean delta image failed to decode: %r" % (error,)))
         return
     if recovered != final:
-        report.failures.append(FuzzFailure(case, 3, None,
+        report.failures.append(FuzzFailure(case, version, None,
                                            "overlay matrix differs from the edited input"))
         return
     base, tail = split_image(image)
@@ -330,13 +402,13 @@ def _check_delta_clean(case: int, image: bytes, final: PointsToMatrix,
         for record in records
     )
     if rebuilt != tail:
-        report.failures.append(FuzzFailure(case, 3, None,
+        report.failures.append(FuzzFailure(case, version, None,
                                            "delta record re-encoding is not byte-exact"))
         return
     report.delta_round_trips += 1
 
 
-def _check_delta_mutant(case: int, kind: str, mutated: bytes,
+def _check_delta_mutant(case: int, version: int, kind: str, mutated: bytes,
                         prefixes: Sequence[PointsToMatrix], report: FuzzReport) -> None:
     from ..delta import overlay_from_bytes
 
@@ -347,7 +419,7 @@ def _check_delta_mutant(case: int, kind: str, mutated: bytes,
         report.rejected += 1
         recovered = None
     except Exception as error:  # noqa: BLE001 — uncontrolled escape
-        report.failures.append(FuzzFailure(case, 3, kind,
+        report.failures.append(FuzzFailure(case, version, kind,
                                            "uncontrolled exception %r" % (error,)))
         return
     if recovered is not None:
@@ -355,14 +427,14 @@ def _check_delta_mutant(case: int, kind: str, mutated: bytes,
         # a record boundary, which is indistinguishable from a shorter chain
         # and must decode to the corresponding prefix application.
         if not any(recovered == prefix for prefix in prefixes):
-            report.failures.append(FuzzFailure(case, 3, kind,
+            report.failures.append(FuzzFailure(case, version, kind,
                                                "delta image decoded to a non-prefix matrix"))
             return
         report.survived += 1
-    _check_lazy_delta_mutant(case, kind, mutated, recovered, report)
+    _check_lazy_delta_mutant(case, version, kind, mutated, recovered, report)
 
 
-def _check_lazy_delta_mutant(case: int, kind: str, mutated: bytes,
+def _check_lazy_delta_mutant(case: int, version: int, kind: str, mutated: bytes,
                              eager: Optional[PointsToMatrix],
                              report: FuzzReport) -> None:
     """A lazily opened overlay must mirror the eager overlay's verdict."""
@@ -375,31 +447,40 @@ def _check_lazy_delta_mutant(case: int, kind: str, mutated: bytes,
         recovered = overlay.materialize()
     except CorruptFileError:
         if eager is not None:
-            report.failures.append(FuzzFailure(case, 3, kind,
+            report.failures.append(FuzzFailure(case, version, kind,
                 "lazy overlay rejected an image the eager overlay accepted"))
         return
     except Exception as error:  # noqa: BLE001 — uncontrolled escape
-        report.failures.append(FuzzFailure(case, 3, kind,
+        report.failures.append(FuzzFailure(case, version, kind,
                                            "lazy overlay uncontrolled exception %r" % (error,)))
         return
     finally:
         if overlay is not None:
             overlay.close()
     if eager is None:
-        report.failures.append(FuzzFailure(case, 3, kind,
+        report.failures.append(FuzzFailure(case, version, kind,
             "lazy overlay accepted an image the eager overlay rejected"))
     elif recovered != eager:
-        report.failures.append(FuzzFailure(case, 3, kind,
+        report.failures.append(FuzzFailure(case, version, kind,
             "lazy overlay disagrees with the eager overlay"))
 
 
-def run_fuzz(iterations: int = 500, seed: int = 0, mutants_per_case: int = 3) -> FuzzReport:
-    """Run ``iterations`` seeded cases; see the module docstring for the contract."""
+def run_fuzz(iterations: int = 500, seed: int = 0, mutants_per_case: int = 3,
+             versions: Optional[Sequence[int]] = None) -> FuzzReport:
+    """Run ``iterations`` seeded cases; see the module docstring for the contract.
+
+    ``versions`` restricts the format-version pool (e.g. ``(4,)`` for a
+    flat-layout-only sweep); the default pool covers every version with a
+    bias towards the checksummed formats.
+    """
+    from ..store import Container
+
+    pool = tuple(versions) if versions else (1, 2, 3, 3, 4)
     report = FuzzReport()
     for case in range(iterations):
         rng = random.Random("pestrie-fuzz-%d-%d" % (seed, case))
         matrix = random_matrix(rng)
-        version = rng.choice((1, 2, 3, 3))  # bias towards the current format
+        version = rng.choice(pool)
         compact = version == 2 or (version == 3 and rng.random() < 0.5)
         order = rng.choice(("hub", "identity", "simple"))
         data = encode(matrix, order=order, compact=compact, version=version)
@@ -412,15 +493,27 @@ def run_fuzz(iterations: int = 500, seed: int = 0, mutants_per_case: int = 3) ->
                 continue  # the mutation was a no-op; nothing to assert
             _check_mutant(case, version, kind, mutated, report)
 
-        # Half the PESTRIE3 cases also fuzz an append→decode round-trip.
-        if version == 3 and rng.random() < 0.5:
+        if version == 4:
+            # Flat-engine parity on the clean file, plus mutants aimed at
+            # the flat sections (generic mutants mostly land in front).
+            _check_flat_clean(case, matrix, data, report)
+            with Container.from_bytes(data) as container:
+                flat_start = container.flat_range[0]
+            for _ in range(mutants_per_case):
+                kind, mutated = corrupt(rng, data, flat_offset=flat_start)
+                if mutated == data:
+                    continue
+                _check_mutant(case, version, kind, mutated, report)
+
+        # Half the PESTRIE3/4 cases also fuzz an append→decode round-trip.
+        if version >= 3 and rng.random() < 0.5:
             image, prefixes = _delta_chain(rng, matrix, data)
-            _check_delta_clean(case, image, prefixes[-1], report)
+            _check_delta_clean(case, version, image, prefixes[-1], report)
             for _ in range(mutants_per_case):
                 kind, mutated = corrupt(rng, image, delta_offset=len(data))
                 if mutated == image:
                     continue
-                _check_delta_mutant(case, kind, mutated, prefixes, report)
+                _check_delta_mutant(case, version, kind, mutated, prefixes, report)
     return report
 
 
@@ -434,11 +527,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=0, help="base seed (default 0)")
     parser.add_argument("--mutants-per-case", type=int, default=3,
                         help="corrupted variants derived from each clean file")
+    parser.add_argument("--versions", type=str, default=None,
+                        help="comma-separated format versions to restrict the "
+                             "pool to (e.g. '4' for a flat-layout-only sweep)")
     parser.add_argument("--quiet", action="store_true", help="only print on failure")
     args = parser.parse_args(argv)
 
+    versions = None
+    if args.versions:
+        versions = tuple(int(value) for value in args.versions.split(","))
     report = run_fuzz(iterations=args.iterations, seed=args.seed,
-                      mutants_per_case=args.mutants_per_case)
+                      mutants_per_case=args.mutants_per_case, versions=versions)
     if not args.quiet or not report.ok:
         print("fuzz: " + report.summary())
     for failure in report.failures[:20]:

@@ -78,12 +78,15 @@ def index_from_bytes(data: bytes, mode: str = "ptlist",
     instead of the per-column rectangle lists (see :class:`PestrieIndex`).
     ``lazy=True`` validates only the container skeleton (header, table of
     contents, CRC) and defers section parsing and structure builds to the
-    first query that needs them.
+    first query that needs them; on a ``PESTRIE4`` image the lazy path is
+    the zero-copy :class:`repro.core.flat.FlatIndex`, which never rebuilds
+    sections at all.
     """
     from ..store import Container  # deferred: store builds on core
+    from .flat import index_for_container
 
     if lazy:
-        return PestrieIndex.from_container(
+        return index_for_container(
             Container.from_bytes(data, allow_tail=False), mode=mode
         )
     payload = decode_bytes(data)

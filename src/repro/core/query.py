@@ -306,10 +306,17 @@ class PestrieIndex:
 
         Structures already materialised keep answering; anything not yet
         built raises ``ContainerClosedError`` on first touch afterwards.
+
+        Taking ``_lock`` serialises the close against a concurrent
+        first-touch materialisation in :meth:`__getattr__`: without it the
+        container could vanish mid-build, turning a clean
+        ``ContainerClosedError`` into a half-built structure or an
+        attribute error from inside the build.
         """
-        container = self.__dict__.get("_container")
-        if container is not None:
-            container.close()
+        with self._lock:
+            container = self.__dict__.get("_container")
+            if container is not None:
+                container.close()
 
     # ------------------------------------------------------------------
     # Internal range helpers

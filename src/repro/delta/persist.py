@@ -1,7 +1,8 @@
 """Durable delta operations: append records to a file, load it back, compact.
 
-The on-disk shape is LSM-like: one immutable ``PESTRIE3`` base image followed
-by zero or more checksummed DELTA records (see :mod:`repro.delta.format`).
+The on-disk shape is LSM-like: one immutable ``PESTRIE3`` (or ``PESTRIE4``)
+base image followed by zero or more checksummed DELTA records (see
+:mod:`repro.delta.format`).
 :func:`append_delta` extends the chain without re-encoding the base — the
 whole point of the subsystem — and :func:`compact_file` folds the chain back
 into a fresh base image once the overlay outgrows its threshold.
@@ -52,10 +53,10 @@ class AppendResult:
 
 def _delta_container(container) -> None:
     """Reject containers whose base cannot legally carry a DELTA chain."""
-    if container.version != 3:
+    if container.version < 3:
         raise CorruptFileError(
-            "delta records require a PESTRIE3 base (file is format v%d); "
-            "re-encode it first" % container.version
+            "delta records require a PESTRIE3/PESTRIE4 base (file is format "
+            "v%d); re-encode it first" % container.version
         )
 
 
@@ -79,10 +80,14 @@ def tail_to_log(data: bytes) -> DeltaLog:
 
 
 def _overlay_from_container(container, mode: str, lazy: bool) -> OverlayIndex:
+    from ..core.flat import index_for_container
+
     _delta_container(container)
     log = _records_to_log(container.tail_records())
     if lazy:
-        base = PestrieIndex.from_container(container, mode=mode)
+        # PESTRIE4 bases get the zero-copy FlatIndex; the overlay composes
+        # over the public query surface, so the flat base needs no shims.
+        base = index_for_container(container, mode=mode)
     else:
         base = PestrieIndex(container.payload(), mode=mode)
     return OverlayIndex(base, log)
@@ -214,8 +219,12 @@ def _append_delta(path: str, log: DeltaLog, compact: Optional[bool],
                 delta_ratio=ratio,
                 compacted=False,
             )
+        base_version = container.version
         container.close()  # release the mapping before the atomic replace
-        size = _compact_overlay(overlay, path, compact=compact)
+        # Preserve the base format: auto-compacting a PESTRIE4 file must not
+        # silently downgrade it to v3 and lose the flat query sections.
+        size = _compact_overlay(overlay, path, compact=compact,
+                                version=base_version)
         return AppendResult(
             bytes_appended=size - old_size,
             file_size=size,
@@ -242,19 +251,23 @@ def _compact_overlay(overlay: OverlayIndex, path: str, order: str = "hub",
 
 
 def compact_file(path: str, out: Optional[str] = None, order: str = "hub",
-                 compact: Optional[bool] = None, version: int = 3) -> int:
+                 compact: Optional[bool] = None,
+                 version: Optional[int] = None) -> int:
     """Fold a file's DELTA chain into a fresh base image (full re-encode).
 
-    Writes to ``out`` (default: in place), inheriting the base's integer
-    coding unless ``compact`` overrides it.  Returns the new file size.
-    This is the expensive half of the LSM bargain — amortised by only
-    triggering it past :data:`~repro.delta.overlay.DEFAULT_COMPACTION_RATIO`.
+    Writes to ``out`` (default: in place), inheriting the base's format
+    version and integer coding unless ``version``/``compact`` override
+    them.  Returns the new file size.  This is the expensive half of the
+    LSM bargain — amortised by only triggering it past
+    :data:`~repro.delta.overlay.DEFAULT_COMPACTION_RATIO`.
     """
     from ..store import Container
 
     with Container.open(path) as container:
         if compact is None:
             compact = container.compact
+        if version is None:
+            version = container.version
         overlay = _overlay_from_container(container, "ptlist", lazy=False)
         size = _compact_overlay(overlay, out or path, order=order,
                                 compact=compact, version=version)

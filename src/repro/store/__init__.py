@@ -7,8 +7,10 @@ the access-layer semantics.
 
 * :func:`open_container` — map a file, validate the skeleton once, parse
   nothing else.
-* :func:`open_index` — a lazy :class:`~repro.core.query.PestrieIndex` whose
-  structures materialise on first query.
+* :func:`open_index` — a lazy query index: the zero-copy
+  :class:`~repro.core.flat.FlatIndex` for ``PESTRIE4`` files, otherwise a
+  :class:`~repro.core.query.PestrieIndex` whose structures materialise on
+  first query.
 * :func:`open_blob` — a raw mapped blob for non-Pestrie formats (BitP).
 """
 
@@ -38,18 +40,23 @@ def open_container(path: str, allow_tail: bool = True) -> Container:
     return Container.open(path, allow_tail=allow_tail)
 
 
-def open_index(path: str, mode: str = "ptlist") -> PestrieIndex:
+def open_index(path: str, mode: str = "ptlist"):
     """Open ``path`` as a lazy query index; nothing is parsed until queried.
 
-    Files carrying appended DELTA records are rejected (serving the base
-    while silently ignoring the tail would return pre-update answers) —
-    load those with ``repro.delta.load_overlay(path, lazy=True)``.  Call
+    ``PESTRIE4`` files (on little-endian hosts, default ``ptlist`` mode) are
+    served by the zero-copy :class:`~repro.core.flat.FlatIndex`; everything
+    else gets a lazy :class:`~repro.core.query.PestrieIndex`.  Files
+    carrying appended DELTA records are rejected (serving the base while
+    silently ignoring the tail would return pre-update answers) — load
+    those with ``repro.delta.load_overlay(path, lazy=True)``.  Call
     ``index.close()`` (or keep the container from :func:`open_container`
     and close that) once the needed structures have materialised.
     """
+    from ..core.flat import index_for_container
+
     container = Container.open(path, allow_tail=False)
     try:
-        return PestrieIndex.from_container(container, mode=mode)
+        return index_for_container(container, mode=mode)
     except BaseException:
         container.close()
         raise

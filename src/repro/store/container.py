@@ -1,15 +1,20 @@
 """The mmap-backed container: single owner of persisted Pestrie bytes.
 
 A :class:`Container` wraps one persistent file image — a ``PESTRIE1``/
-``PESTRIE2``/``PESTRIE3`` base, plus any ``PESDELT1`` tail — and is the
-*only* layer that touches raw persisted bytes.  Opening is cheap and
-validates exactly once:
+``PESTRIE2``/``PESTRIE3``/``PESTRIE4`` base, plus any ``PESDELT1`` tail —
+and is the *only* layer that touches raw persisted bytes.  Opening is
+cheap and validates exactly once:
 
 * the magic, flags, and fixed-width header are parsed;
 * for ``PESTRIE3`` the ten per-section byte lengths become a table of
   contents (absolute section offsets, no byte-format change), the CRC32
   trailer is verified over the base image, and the per-section length
   declarations are bounds-checked against the value counts;
+* for ``PESTRIE4`` the same checks run with the flat struct-of-arrays
+  sections included: the four flat counts become a second table of
+  contents (:meth:`Container.flat_view`) and the CRC32 trailer covers the
+  flat bytes too, so the zero-copy query engine never reads unverified
+  memory;
 * for ``PESTRIE1`` the offsets are computed from the header counts (raw
   sections are exactly 4 bytes per value); ``PESTRIE2`` boundaries are
   varint sums, discovered lazily section by section.
@@ -40,6 +45,7 @@ import threading
 from typing import List, Optional, Sequence, Tuple, Union
 
 from ..core.decoder import (
+    FLAT_SECTION_NAMES,
     CorruptFileError,
     PestriePayload,
     _Reader,
@@ -48,6 +54,7 @@ from ..core.decoder import (
     _validate_rects,
     _validate_timestamps,
     detect_format,
+    flat_section_sizes,
 )
 from ..core.encoder import (
     ABSENT,
@@ -63,6 +70,9 @@ _U32 = struct.Struct("<I")
 #: Fixed-size ``PESTRIE3`` prefix (mirrors ``repro.core.decoder``).
 _V3_HEADER_END = 8 + 1 + 11 * 4 + 10 * 4
 _V3_MIN_SIZE = _V3_HEADER_END + 4
+#: ``PESTRIE4`` adds four uint32 flat counts after the section lengths.
+_V4_HEADER_END = _V3_HEADER_END + 4 * 4
+_V4_MIN_SIZE = _V4_HEADER_END + 4
 _LEGACY_HEADER_END = 8 + 11 * 4
 
 #: Human-readable section names, in on-disk order (label values for the
@@ -131,10 +141,26 @@ class Container:
     @classmethod
     def from_bytes(cls, data: Union[bytes, bytearray, memoryview],
                    allow_tail: bool = True) -> "Container":
-        """Wrap an in-memory image (no mmap; same validation and laziness)."""
-        return cls._build(memoryview(bytes(data)) if isinstance(data, (bytearray, memoryview))
-                          else memoryview(data), allow_tail,
-                          path=None, mapped=None, file=None)
+        """Wrap an in-memory image (no mmap; same validation and laziness).
+
+        ``bytes`` and read-only contiguous ``memoryview`` input is wrapped
+        zero-copy: the container reads through the caller's buffer, which
+        must stay alive for the container's lifetime.  Writable input
+        (``bytearray``, writable views) is snapshotted with one copy so
+        later mutation of the source cannot corrupt parsed state.
+        """
+        if isinstance(data, memoryview):
+            if data.readonly and data.contiguous:
+                # Our own flat-byte view over the caller's buffer: no copy,
+                # and releasing it on an open error never touches theirs.
+                view = data.cast("B") if (data.format, data.ndim) != ("B", 1) else data[:]
+            else:
+                view = memoryview(bytes(data))
+        elif isinstance(data, bytes):
+            view = memoryview(data)
+        else:
+            view = memoryview(bytes(data))
+        return cls._build(view, allow_tail, path=None, mapped=None, file=None)
 
     @classmethod
     def _build(cls, buffer: memoryview, allow_tail: bool, path: Optional[str],
@@ -157,6 +183,8 @@ class Container:
             self.version, self.compact = detect_format(buffer)
             if self.version == 3:
                 self._open_v3(buffer, size)
+            elif self.version == 4:
+                self._open_v4(buffer, size)
             else:
                 self._open_legacy(buffer, size)
 
@@ -220,6 +248,57 @@ class Container:
             offsets.append(offset)
             offset += length
         self._section_offsets = offsets
+
+    def _open_v4(self, buffer: memoryview, size: int) -> None:
+        if size < _V4_MIN_SIZE:
+            raise CorruptFileError(
+                "truncated file (%d bytes, PESTRIE4 minimum is %d)" % (size, _V4_MIN_SIZE)
+            )
+        flags = buffer[8]
+        if flags:
+            # The flat layout is raw-coded by construction; any flag bit
+            # would change section widths under the zero-copy reader.
+            raise CorruptFileError("unsupported PESTRIE4 flags 0x%02x" % flags)
+        self.header = struct.unpack_from("<11I", buffer, 9)
+        lengths = struct.unpack_from("<10I", buffer, 9 + 11 * 4)
+        self.flat_counts = struct.unpack_from("<4I", buffer, _V3_HEADER_END)
+        if self.flat_counts[0] > self.n_pointers:
+            raise CorruptFileError(
+                "flat layout declares %d tracked pointers but the header has %d"
+                % (self.flat_counts[0], self.n_pointers)
+            )
+        flat_sizes = flat_section_sizes(self.n_pointers, self.n_objects,
+                                        self.flat_counts)
+        self.base_size = _V4_HEADER_END + sum(lengths) + sum(flat_sizes) + 4
+        if self.base_size > size:
+            raise CorruptFileError(
+                "section lengths add up to %d bytes but the file has %d"
+                % (self.base_size, size)
+            )
+        stored = _U32.unpack_from(buffer, self.base_size - 4)[0]
+        actual = crc32(buffer[: self.base_size - 4])
+        if stored != actual:
+            raise CorruptFileError(
+                "checksum mismatch (stored %08x, computed %08x)" % (stored, actual)
+            )
+        self._section_counts = _section_value_counts(list(self.header))
+        self._section_lengths = list(lengths)
+        offsets: List[Optional[int]] = []
+        offset = _V4_HEADER_END
+        for n_values, length in zip(self._section_counts, lengths):
+            if length != 4 * n_values:
+                raise CorruptFileError(
+                    "section declares %d bytes for %d uint32 values" % (length, n_values)
+                )
+            offsets.append(offset)
+            offset += length
+        self._section_offsets = offsets
+        self._flat_sizes = flat_sizes
+        flat_offsets: List[int] = []
+        for length in flat_sizes:
+            flat_offsets.append(offset)
+            offset += length
+        self._flat_offsets = flat_offsets
 
     def _open_legacy(self, buffer: memoryview, size: int) -> None:
         reader = _Reader(buffer, False, offset=8, end=size)
@@ -303,7 +382,7 @@ class Container:
     # ------------------------------------------------------------------
 
     def section_view(self, index: int) -> memoryview:
-        """Zero-copy window over section ``index``'s bytes (v3/v1 only).
+        """Zero-copy window over section ``index``'s bytes (v1/v3/v4 only).
 
         The caller must release the view (or drop every reference) before
         :meth:`close`, or the close will fail with ``BufferError``.
@@ -316,6 +395,40 @@ class Container:
                 "section_values(%d) instead" % index
             )
         return self._buffer[offset : offset + length]
+
+    def flat_view(self, index: int) -> memoryview:
+        """Zero-copy window over flat section ``index`` (``PESTRIE4`` only).
+
+        Flat section order and sizes are fixed by the header counts (see
+        ``repro.core.decoder.FLAT_SECTION_NAMES``); as with
+        :meth:`section_view`, the caller must release the view before
+        :meth:`close`.
+        """
+        self._check_open()
+        if self.version != 4:
+            raise ValueError(
+                "flat sections exist only in PESTRIE4 files (this is format v%d)"
+                % self.version
+            )
+        if not 0 <= index < len(FLAT_SECTION_NAMES):
+            raise IndexError(
+                "flat section index %d out of range [0, %d)"
+                % (index, len(FLAT_SECTION_NAMES))
+            )
+        offset, length = self._flat_offsets[index], self._flat_sizes[index]
+        return self._buffer[offset : offset + length]
+
+    @property
+    def has_flat(self) -> bool:
+        """Whether this image carries the directly queryable flat sections."""
+        return self.version == 4
+
+    @property
+    def flat_range(self) -> Tuple[int, int]:
+        """``(start, end)`` byte span of the flat sections within the image."""
+        if self.version != 4:
+            raise ValueError("flat sections exist only in PESTRIE4 files")
+        return self._flat_offsets[0], self.base_size - 4
 
     def section_values(self, index: int) -> List[int]:
         """Section ``index`` parsed to integers, decoding it on first touch."""
@@ -338,13 +451,13 @@ class Container:
             self._materialize_section(index - 1)
         offset = self._section_offsets[index]
         count = self._section_counts[index]
-        if self.version == 3:
+        if self.version >= 3:
             end = offset + self._section_lengths[index]
         else:
             end = len(self._buffer)
         reader = _Reader(self._buffer, self.compact, offset=offset, end=end)
         values = reader.read_ints(count)
-        if self.version == 3 and reader.offset != end:
+        if self.version >= 3 and reader.offset != end:
             raise CorruptFileError(
                 "section has %d unread trailing bytes" % (end - reader.offset)
             )
@@ -441,10 +554,10 @@ class Container:
         self._check_open()
         if self.path is None:
             raise ValueError("append_tail needs a path-backed container")
-        if self.version != 3:
+        if self.version < 3:
             raise CorruptFileError(
-                "delta records require a PESTRIE3 base (file is format v%d); "
-                "re-encode it first" % self.version
+                "delta records require a PESTRIE3/PESTRIE4 base (file is format "
+                "v%d); re-encode it first" % self.version
             )
         with open(self.path, "ab") as stream:
             stream.write(record)

@@ -326,3 +326,63 @@ class TestCompactionBoundary:
         assert after.delta_size() == 0
         assert_table1_equivalent(before, after, 14, 7)
         assert before.materialize() == after.materialize()
+
+
+class TestFlatBaseOracle:
+    """The same differential oracle over a zero-copy ``PESTRIE4`` base.
+
+    Pins the ``_pes_range`` boundary shapes both engines share: a
+    single-PES file (one origin break, the block spans every timestamp),
+    an empty trailing PES (the construction-order last object has no other
+    members), and pointers landing exactly on the last origin break (the
+    ``n_groups - 1`` upper-bound arm).  Scripts deliberately edit facts in
+    the last PES so the overlay exercises the boundary too.
+    """
+
+    def _check_flat(self, matrix: PointsToMatrix, log: DeltaLog) -> None:
+        base = index_from_bytes(encode(matrix, version=4), lazy=True)
+        try:
+            assert base.mode == "flat"
+            overlay = OverlayIndex(base, log)
+            edited = apply_script(matrix, log)
+            oracle = index_from_bytes(encode(edited))
+            assert_table1_equivalent(
+                overlay, oracle, matrix.n_pointers, matrix.n_objects)
+            assert overlay.materialize() == edited
+        finally:
+            base.close()
+
+    def test_single_pes_base(self):
+        matrix = PointsToMatrix(5, 2)
+        for p in range(5):
+            matrix.add(p, 0)
+            matrix.add(p, 1)
+        self._check_flat(matrix, DeltaLog().delete(4, 1).insert(0, 0))
+
+    def test_empty_trailing_pes(self):
+        matrix = PointsToMatrix(6, 3)
+        for p in range(5):
+            matrix.add(p, 0)
+        matrix.add(5, 2)
+        self._check_flat(matrix, DeltaLog().insert(0, 2).delete(5, 2))
+
+    def test_edits_on_last_origin_break(self):
+        matrix = PointsToMatrix(7, 4)
+        for p in range(4):
+            matrix.add(p, p % 2)
+        matrix.add(4, 3)
+        matrix.add(5, 3)
+        matrix.add(6, 2)
+        self._check_flat(matrix, DeltaLog().insert(6, 3).delete(4, 3))
+
+    def test_seeded_sweep_over_flat_bases(self):
+        checked = 0
+        for seed in range(30):
+            rng = random.Random("flat-oracle-%d" % seed)
+            matrix = make_random_matrix(
+                rng.randint(1, 14), rng.randint(1, 7),
+                density=rng.choice((0.0, 0.2, 0.5)), seed=seed)
+            log = random_script(rng, matrix, rng.randint(1, 12))
+            self._check_flat(matrix, log)
+            checked += 1
+        assert checked == 30

@@ -143,9 +143,11 @@ class TestV3Layout:
         assign_intervals(pestrie)
         rects = generate_rectangles(pestrie).rects
         with pytest.raises(ValueError, match="version"):
-            PestrieEncoder(pestrie, rects, version=4)
+            PestrieEncoder(pestrie, rects, version=5)
         with pytest.raises(ValueError, match="compact"):
             PestrieEncoder(pestrie, rects, compact=True, version=1)
+        with pytest.raises(ValueError, match="zero-copy"):
+            PestrieEncoder(pestrie, rects, compact=True, version=4)
 
 
 class TestVarintGuards:
