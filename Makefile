@@ -3,7 +3,7 @@
 PYTHON ?= python3
 RUN = PYTHONPATH=src:$$PYTHONPATH $(PYTHON)
 
-.PHONY: install test fuzz fuzz-v4 bench bench-smoke metrics-smoke examples results clean
+.PHONY: install test fuzz fuzz-v4 bench bench-smoke daemon-smoke metrics-smoke examples results clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -30,6 +30,13 @@ bench:
 # keeps the serve layer and its batch-beats-single invariant from rotting.
 bench-smoke:
 	BENCH_SMOKE=1 $(RUN) -m pytest benchmarks/bench_service_throughput.py benchmarks/bench_cold_start.py -q
+
+# Tiny-workload run of the daemon tier: concurrent socket clients vs the
+# in-process baseline, plus hot apply_delta under load with a differential
+# check — guards the network tier's throughput bar and its zero-wrong-answer
+# reload invariant.
+daemon-smoke:
+	BENCH_SMOKE=1 $(RUN) -m pytest benchmarks/bench_daemon_throughput.py -q
 
 # End-to-end telemetry guard: run the pipeline, dump the metrics registry,
 # fail if any catalogued family is missing or an exercised one has no data.

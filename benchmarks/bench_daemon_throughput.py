@@ -1,0 +1,232 @@
+"""Extension — daemon tier throughput: concurrent socket clients vs in-process.
+
+The daemon exists so many processes can share one mapped index; the toll it
+charges is framing, a unix-socket round trip, and the executor hop.  This
+bench measures that toll: the same ``is_alias`` batch workload is replayed
+(a) in-process through ``AliasService.is_alias_batch`` and (b) over the
+socket by ``N_CLIENTS`` concurrent ``DaemonClient`` threads, and the socket
+path must land within ``MAX_SLOWDOWN``× of the in-process rate.  A second
+phase replays batches while a writer streams ``apply_delta`` calls through
+the same daemon, differential-checking every answer against the prefix
+states of the delta script — the acceptance bar is zero wrong answers, not
+just zero crashes.  The run finishes with a ``/metrics`` scrape and a clean
+shutdown.
+
+Runs with a tiny workload when ``BENCH_SMOKE`` is set (the ``make
+daemon-smoke`` CI guard).
+"""
+
+import copy
+import os
+import random
+import threading
+import urllib.request
+
+from repro.bench.harness import Table, timed
+from repro.bench.synthetic import SyntheticSpec, synthesize
+from repro.clients import DaemonClient
+from repro.core.pipeline import encode, index_from_bytes, persist
+from repro.daemon import AliasDaemon, ThreadedDaemon
+from repro.delta import DeltaLog
+from repro.serve import AliasService
+
+from conftest import write_result
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+N_POINTERS = 240 if SMOKE else 1000
+N_OBJECTS = 60 if SMOKE else 250
+N_CLIENTS = 4 if SMOKE else 8
+BATCH = 128
+BATCHES_PER_CLIENT = 8 if SMOKE else 60
+DELTA_ROUNDS = 4 if SMOKE else 12
+
+#: Acceptance bar: batched socket throughput at N_CLIENTS concurrent
+#: clients within 5x of in-process batched throughput.
+MAX_SLOWDOWN = 5.0
+
+
+def _pair_batches(matrix, seed, count):
+    rng = random.Random(seed)
+    return [
+        [(rng.randrange(matrix.n_pointers), rng.randrange(matrix.n_pointers))
+         for _ in range(BATCH)]
+        for _ in range(count)
+    ]
+
+
+def _serve(tmp_path, matrix, **daemon_options):
+    path = os.path.join(tmp_path, "bench.pes")
+    persist(matrix, path, version=4)
+    service = AliasService.from_files([path], lazy=True)
+    socket_path = os.path.join(tmp_path, "bench.sock")
+    daemon = AliasDaemon(service, socket_path=socket_path, http_port=0,
+                         close_service=True, **daemon_options)
+    return socket_path, daemon
+
+
+def test_daemon_throughput(tmp_path):
+    matrix = synthesize(SyntheticSpec(n_pointers=N_POINTERS,
+                                      n_objects=N_OBJECTS, seed=5))
+    per_client = [_pair_batches(matrix, 100 + slot, BATCHES_PER_CLIENT)
+                  for slot in range(N_CLIENTS)]
+    all_batches = [batch for batches in per_client for batch in batches]
+    total_queries = sum(len(batch) for batch in all_batches)
+
+    # (a) In-process baseline: same batches, straight into the service.
+    service = AliasService.from_index(index_from_bytes(encode(matrix)),
+                                      cache_size=0)
+    expected = {}
+    def in_process():
+        for slot, batches in enumerate(per_client):
+            for index, batch in enumerate(batches):
+                expected[(slot, index)] = service.is_alias_batch(batch)
+    local = timed(in_process)
+
+    # (b) The same batches over the socket, N_CLIENTS concurrent clients.
+    socket_path, daemon = _serve(str(tmp_path), matrix,
+                                 max_pending=2 * N_CLIENTS)
+    answers = {}
+    errors = []
+
+    def client_run(slot):
+        try:
+            with DaemonClient(socket_path) as client:
+                for index, batch in enumerate(per_client[slot]):
+                    answers[(slot, index)] = client.is_alias_batch(batch)
+        except Exception as error:  # pragma: no cover - debugging aid
+            errors.append((slot, repr(error)))
+
+    with ThreadedDaemon(daemon):
+        threads = [threading.Thread(target=client_run, args=(slot,))
+                   for slot in range(N_CLIENTS)]
+        remote = timed(lambda: [
+            [thread.start() for thread in threads],
+            [thread.join() for thread in threads],
+        ])
+        assert not errors, errors
+        assert answers == expected  # byte-for-byte answer parity
+
+        host, port = daemon.http_address
+        metrics = urllib.request.urlopen(
+            "http://%s:%d/metrics" % (host, port)).read().decode()
+        assert "repro_daemon_requests_total" in metrics
+        assert "repro_daemon_request_seconds" in metrics
+
+    local_qps = total_queries / max(local.seconds, 1e-9)
+    remote_qps = total_queries / max(remote.seconds, 1e-9)
+    slowdown = local_qps / max(remote_qps, 1e-9)
+
+    table = Table(
+        title="Extension — daemon throughput (batched IsAlias, %d clients)"
+              % N_CLIENTS,
+        columns=("Scenario", "queries", "seconds", "q/s"),
+        note="Same %d-wide batches; socket path must stay within %.0fx of "
+             "in-process." % (BATCH, MAX_SLOWDOWN),
+    )
+    table.add(Scenario="in-process batched", queries=total_queries,
+              seconds=local.seconds, **{"q/s": local_qps})
+    table.add(Scenario="socket, %d clients" % N_CLIENTS,
+              queries=total_queries, seconds=remote.seconds,
+              **{"q/s": remote_qps})
+    write_result("daemon_throughput.txt", table.render())
+
+    assert slowdown <= MAX_SLOWDOWN, (
+        "socket tier %.1fx slower than in-process (bar: %.0fx)"
+        % (slowdown, MAX_SLOWDOWN))
+
+
+def test_daemon_deltas_under_load(tmp_path):
+    """Hot apply_delta with concurrent readers: zero wrong answers.
+
+    Readers hammer touched and untouched pointers while a writer streams
+    delta logs through the same socket.  Every batch answer is checked
+    against the overlay oracle: untouched rows must match the base matrix
+    exactly at all times; touched answers must match one of the prefix
+    states of the delta script (a reader may race a swap, never invent).
+    """
+    matrix = synthesize(SyntheticSpec(n_pointers=N_POINTERS,
+                                      n_objects=N_OBJECTS, seed=6))
+    touched = list(range(8))
+    untouched = list(range(8, min(N_POINTERS, 48)))
+
+    rng = random.Random(42)
+    logs, states = [], [matrix]
+    for _ in range(DELTA_ROUNDS):
+        log = DeltaLog()
+        for _ in range(6):
+            pointer, obj = rng.choice(touched), rng.randrange(N_OBJECTS)
+            if rng.random() < 0.5:
+                log.insert(pointer, obj)
+            else:
+                log.delete(pointer, obj)
+        logs.append(log)
+        state = copy.deepcopy(states[-1])
+        for op, pointer, obj in log:
+            if op == "+":
+                state.add(pointer, obj)
+            else:
+                state.rows[pointer].discard(obj)
+        states.append(state)
+
+    base_points = {u: matrix.list_points_to(u) for u in untouched}
+    ok_points = {t: {tuple(state.list_points_to(t)) for state in states}
+                 for t in touched}
+
+    socket_path, daemon = _serve(str(tmp_path), matrix,
+                                 max_pending=2 * N_CLIENTS, coalesce=False)
+    wrong = []
+    checked = [0]
+    stop = threading.Event()
+
+    def reader(slot):
+        reader_rng = random.Random(900 + slot)
+        try:
+            with DaemonClient(socket_path) as client:
+                while not stop.is_set():
+                    sample = (reader_rng.sample(untouched, 4)
+                              + [reader_rng.choice(touched)])
+                    rows = client.points_to_batch(sample)
+                    for pointer, row in zip(sample, rows):
+                        checked[0] += 1
+                        if pointer in base_points:
+                            if sorted(row) != base_points[pointer]:
+                                wrong.append(("untouched", pointer, row))
+                        elif tuple(sorted(row)) not in ok_points[pointer]:
+                            wrong.append(("touched", pointer, row))
+        except Exception as error:  # pragma: no cover - debugging aid
+            wrong.append(("reader exception", slot, repr(error)))
+
+    def writer():
+        try:
+            with DaemonClient(socket_path) as client:
+                for log in logs:
+                    stop.wait(0.02)
+                    client.apply_delta(log)
+        except Exception as error:  # pragma: no cover - debugging aid
+            wrong.append(("writer exception", repr(error)))
+        finally:
+            stop.set()
+
+    with ThreadedDaemon(daemon):
+        threads = [threading.Thread(target=reader, args=(slot,))
+                   for slot in range(max(2, N_CLIENTS // 2))]
+        threads.append(threading.Thread(target=writer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(120)
+        assert not wrong, wrong[:10]
+
+        final = states[-1]
+        with DaemonClient(socket_path) as client:
+            probe = touched + untouched
+            rows = client.points_to_batch(probe)
+            assert [sorted(row) for row in rows] == [
+                final.list_points_to(pointer) for pointer in probe
+            ]
+
+    write_result(
+        "daemon_deltas_under_load.txt",
+        "daemon hot-reload differential check: %d batch rows verified, "
+        "%d delta logs applied, 0 wrong answers" % (checked[0], len(logs)),
+    )

@@ -13,6 +13,7 @@ Mirrors the workflow of the paper's released C++ artefact (a pair of
     repro-pestrie compact  app.pes                # fold DELTA records back in
     repro-pestrie bench    app.ir                 # size comparison table
     repro-pestrie serve-stats app.pes lib.pes     # service throughput/stats
+    repro-pestrie daemon app.pes --socket /tmp/p.sock   # network query tier
 
 Matrices can also be given directly as ``.pm`` text files: first line
 ``<n_pointers> <n_objects>``, then one ``<pointer> <object>`` fact per line.
@@ -357,6 +358,32 @@ def cmd_serve_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_daemon(args: argparse.Namespace) -> int:
+    """Serve .pes files over a unix socket (single process or pre-fork)."""
+    from .daemon import run_daemon, run_workers
+    from .serve import AliasService
+
+    if args.workers > 1:
+        return run_workers(
+            args.files, args.socket, args.workers,
+            http_port=args.http_port, mode=args.mode,
+            cache_size=args.cache_size, max_pending=args.max_pending,
+        )
+    service = AliasService.from_files(args.files, mode=args.mode, lazy=True,
+                                      cache_size=args.cache_size)
+    try:
+        print("daemon: serving %d file(s) on %s%s"
+              % (len(args.files), args.socket,
+                 "" if args.http_port is None
+                 else " (http on port %d)" % args.http_port),
+              file=sys.stderr, flush=True)
+        return run_daemon(service, args.socket, http_port=args.http_port,
+                          max_pending=args.max_pending, close_service=True)
+    except BaseException:
+        service.close()
+        raise
+
+
 def _exercise_pipeline(source: str, analysis: str, queries: int, seed: int) -> None:
     """Run one encode → delta-append → decode → query pass in a temp dir.
 
@@ -540,6 +567,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve_stats.add_argument("--cache-size", type=int, default=4096,
                              help="LRU result-cache capacity; 0 disables caching")
     serve_stats.set_defaults(handler=cmd_serve_stats)
+
+    daemon = sub.add_parser(
+        "daemon",
+        help="serve .pes files to out-of-process clients over a unix socket "
+             "(binary batch protocol + /metrics HTTP endpoint)",
+    )
+    daemon.add_argument("files", nargs="+",
+                        help=".pes shard files (pointer-id ranges stack in "
+                             "argument order)")
+    daemon.add_argument("--socket", required=True, metavar="PATH",
+                        help="unix socket path to listen on")
+    daemon.add_argument("--http-port", type=int, default=None, metavar="PORT",
+                        help="also serve GET /metrics, /healthz, /stats on "
+                             "this localhost port (0 picks a free port)")
+    daemon.add_argument("--workers", type=int, default=1,
+                        help="pre-fork this many worker processes over the "
+                             "shared mmap (disables live deltas; default 1)")
+    daemon.add_argument("--mode", default="ptlist", choices=("ptlist", "segment"))
+    daemon.add_argument("--cache-size", type=int, default=4096,
+                        help="per-process LRU result-cache capacity")
+    daemon.add_argument("--max-pending", type=int, default=64,
+                        help="admission-control bound on in-flight request "
+                             "frames before fast OVERLOADED rejection")
+    daemon.set_defaults(handler=cmd_daemon)
 
     bench = sub.add_parser("bench", help="compare encoding sizes on one input")
     bench.add_argument("source")

@@ -1,5 +1,6 @@
 """Client analyses consuming the Table 1 query interface."""
 
+from .daemon import DaemonClient, DaemonError
 from .diff import PointsToDiff, diff_points_to, impacted_pointers, new_alias_pairs
 from .escape import SiteReport, classify_sites, escape_summary
 from .impact import direct_impact, transitive_impact
@@ -10,6 +11,8 @@ from .race import (
 )
 
 __all__ = [
+    "DaemonClient",
+    "DaemonError",
     "PointsToDiff",
     "SiteReport",
     "aliasing_pairs_by_is_alias",

@@ -1,0 +1,173 @@
+"""A small synchronous client for the alias daemon's unix-socket protocol.
+
+:class:`DaemonClient` speaks the length-prefixed binary frames of
+:mod:`repro.daemon.protocol` over one blocking unix-socket connection.
+It mirrors the :class:`~repro.serve.AliasService` surface — the four
+Table 1 queries in both single and batch form, ``apply_delta``, and
+``stats`` — so a caller can swap an in-process service for a remote one
+without touching query code.  Batch calls are the point: one frame per
+*batch* keeps the per-query wire cost to a few bytes and lets the daemon
+pay its batch fast path once.
+
+One client is one connection and is **not** thread-safe (requests are
+strictly sequential on the socket); concurrent callers should hold one
+client each — connections are cheap, and the daemon multiplexes.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import List, Optional, Sequence, Tuple
+
+from ..daemon import protocol
+from ..daemon.protocol import (
+    OP_LIST_ALIASES,
+    OP_LIST_POINTED_BY,
+    OP_LIST_POINTS_TO,
+    ST_OK,
+    ST_OVERLOADED,
+    ST_UNSUPPORTED,
+    STATUS_NAMES,
+    ProtocolError,
+)
+
+
+class DaemonError(RuntimeError):
+    """The daemon answered with a non-``OK`` status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(
+            "%s: %s" % (STATUS_NAMES.get(status, "status 0x%02x" % status), message)
+        )
+        self.status = status
+
+    @property
+    def overloaded(self) -> bool:
+        """Admission control refused the request; retry after backoff."""
+        return self.status == ST_OVERLOADED
+
+    @property
+    def unsupported(self) -> bool:
+        return self.status == ST_UNSUPPORTED
+
+
+class DaemonClient:
+    """One blocking connection to an alias daemon's unix socket."""
+
+    def __init__(self, socket_path: str, timeout: Optional[float] = 30.0):
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            self._sock.settimeout(timeout)
+            self._sock.connect(socket_path)
+        except BaseException:
+            self._sock.close()
+            raise
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+
+    def _recv_exactly(self, count: int) -> bytes:
+        chunks = []
+        while count:
+            chunk = self._sock.recv(count)
+            if not chunk:
+                raise ConnectionError("daemon closed the connection mid-frame")
+            chunks.append(chunk)
+            count -= len(chunk)
+        return b"".join(chunks)
+
+    def _round_trip(self, request: bytes) -> bytes:
+        """Send one request frame, return the ``OK`` response payload."""
+        if self._closed:
+            raise ValueError("client is closed")
+        self._sock.sendall(protocol.frame(request))
+        length = protocol.body_length(self._recv_exactly(4))
+        body = self._recv_exactly(length)
+        status, payload = protocol.split_response(body)
+        if status != ST_OK:
+            raise DaemonError(status, payload.decode("utf-8", "replace"))
+        return payload
+
+    # ------------------------------------------------------------------
+    # Table 1 queries
+    # ------------------------------------------------------------------
+
+    def ping(self) -> bool:
+        self._round_trip(protocol.encode_ping())
+        return True
+
+    def is_alias(self, p: int, q: int) -> bool:
+        return self.is_alias_batch([(p, q)])[0]
+
+    def is_alias_batch(self, pairs: Sequence[Tuple[int, int]]) -> List[bool]:
+        if not pairs:
+            return []
+        payload = self._round_trip(protocol.encode_is_alias(pairs))
+        return protocol.decode_bools(payload, len(pairs))
+
+    def list_aliases(self, p: int) -> List[int]:
+        return self.list_aliases_many([p])[0]
+
+    def list_points_to(self, p: int) -> List[int]:
+        return self.points_to_batch([p])[0]
+
+    def list_pointed_by(self, obj: int) -> List[int]:
+        return self.pointed_by_batch([obj])[0]
+
+    def list_aliases_many(self, pointers: Sequence[int]) -> List[List[int]]:
+        return self._list_batch(OP_LIST_ALIASES, pointers)
+
+    def points_to_batch(self, pointers: Sequence[int]) -> List[List[int]]:
+        return self._list_batch(OP_LIST_POINTS_TO, pointers)
+
+    def pointed_by_batch(self, objects: Sequence[int]) -> List[List[int]]:
+        return self._list_batch(OP_LIST_POINTED_BY, objects)
+
+    def _list_batch(self, op: int, operands: Sequence[int]) -> List[List[int]]:
+        if not operands:
+            return []
+        payload = self._round_trip(protocol.encode_list(op, operands))
+        return protocol.decode_id_lists(payload, len(operands))
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+
+    def apply_delta(self, ops: Sequence[Tuple[str, int, int]]) -> int:
+        """Apply an edit script (``("+"/"-", pointer, obj)`` triples).
+
+        Accepts a :class:`~repro.delta.DeltaLog` too (it iterates as those
+        triples).  Returns the daemon-side count of invalidated cache
+        entries.  Raises :class:`DaemonError` (``unsupported``) against a
+        pre-fork worker fleet.
+        """
+        triples = list(ops)
+        payload = self._round_trip(protocol.encode_apply_delta(triples))
+        return protocol.decode_u32(payload)
+
+    def stats(self) -> dict:
+        """The daemon's service stats snapshot as a plain dict."""
+        import json
+
+        payload = self._round_trip(protocol.encode_stats())
+        return json.loads(payload.decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    # Lifetime
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._sock.close()
+
+    def __enter__(self) -> "DaemonClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+__all__ = ["DaemonClient", "DaemonError", "ProtocolError"]

@@ -259,16 +259,25 @@ class FlatIndex:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Release every mapped view and close the backing container."""
+        """Release every mapped view and close the backing container.
+
+        Idempotent, and — unlike a naive ``closed`` flag — retryable: if
+        the container refuses to unmap (``BufferError``, some caller still
+        holds a view exported by the container itself), this index is
+        already closed for queries (``ContainerClosedError``) but a later
+        ``close()`` finishes the job once the last view is released.
+        """
         with self._lock:
-            if self._closed:
+            if self._closed and self._container.closed:
                 return
-            self._closed = True
             # Casts were appended after the byte views they wrap; release
             # them first so no view ever outlives its exporter.
             for view in reversed(self._views):
                 view.release()
             self._views = []
+            # Mark closed before the container close: even if it raises,
+            # our views are gone, so queries must fail cleanly from here on.
+            self._closed = True
             self._container.close()
 
     def _ready(self) -> None:

@@ -1,0 +1,25 @@
+"""Network tier: serve the persisted index to out-of-process clients.
+
+:class:`AliasDaemon` is an asyncio front door over
+:class:`~repro.serve.AliasService` — a unix-socket binary batch protocol
+for the four Table 1 queries plus hot deltas, and a minimal HTTP plane
+for ``/metrics``, ``/healthz`` and ``/stats``.  :mod:`.protocol` defines
+the wire format, :mod:`.workers` the blocking single-process and pre-fork
+entry points, and :class:`ThreadedDaemon` embeds a daemon into
+synchronous code.  The matching client is
+:class:`repro.clients.DaemonClient`.
+"""
+
+from .protocol import MAX_FRAME_BYTES, ProtocolError
+from .server import DEFAULT_MAX_PENDING, AliasDaemon, ThreadedDaemon
+from .workers import run_daemon, run_workers
+
+__all__ = [
+    "AliasDaemon",
+    "ThreadedDaemon",
+    "ProtocolError",
+    "MAX_FRAME_BYTES",
+    "DEFAULT_MAX_PENDING",
+    "run_daemon",
+    "run_workers",
+]

@@ -1,0 +1,291 @@
+"""The daemon wire protocol: length-prefixed binary frames.
+
+One frame is a little-endian ``uint32`` byte length followed by that many
+body bytes.  A request body is one opcode byte plus an opcode-specific
+payload; a response body is one status byte plus a status-specific
+payload.  Everything is fixed-width little-endian integers, so a batch of
+Table 1 queries is one ``struct`` pack/unpack on either side — the wire
+cost per query is a few bytes, and the service's batch fast path is paid
+once per frame, not once per query.
+
+Request opcodes
+---------------
+``PING``            empty payload; answers with an empty ``OK``.
+``IS_ALIAS``        ``u32 n`` then ``n`` pairs ``(u32 p, u32 q)``;
+                    answers ``n`` bytes, one ``0``/``1`` per pair.
+``LIST_ALIASES``/``LIST_POINTS_TO``/``LIST_POINTED_BY``
+                    ``u32 n`` then ``n`` operand ids; answers, per
+                    operand, ``u32 k`` then ``k`` ids.
+``APPLY_DELTA``     ``u32 n`` then ``n`` edits ``(u8 op, u32 p, u32 o)``
+                    with op ``0``=insert, ``1``=delete; answers
+                    ``u32 invalidated`` (cache entries dropped).
+``STATS``           empty payload; answers a UTF-8 JSON document.
+
+Response statuses
+-----------------
+``OK``              payload is the opcode-specific answer.
+``BAD_REQUEST``     unparseable frame or out-of-range operand; the
+                    payload is a UTF-8 message.  The connection stays
+                    usable — framing is intact, only this request failed.
+``OVERLOADED``      admission control refused the request (the pending
+                    queue is full); retry after backoff.
+``UNSUPPORTED``     the operation is disabled in this deployment
+                    (``APPLY_DELTA`` on a multi-process worker).
+``INTERNAL``        the handler raised; the payload names the error.
+
+Hostile input never crashes the peer: every decode here bounds-checks the
+declared counts against the actual byte length and raises
+:class:`ProtocolError`, which the daemon answers with ``BAD_REQUEST`` and
+the client surfaces as :class:`~repro.clients.daemon.DaemonError`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence, Tuple
+
+_U32 = struct.Struct("<I")
+_HEADER = struct.Struct("<I")
+
+#: Hard ceiling on one frame's body; a longer declared length is treated
+#: as a framing error (the stream cannot be trusted past it).
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+# --- request opcodes ---------------------------------------------------
+OP_PING = 0x01
+OP_IS_ALIAS = 0x02
+OP_LIST_ALIASES = 0x03
+OP_LIST_POINTS_TO = 0x04
+OP_LIST_POINTED_BY = 0x05
+OP_APPLY_DELTA = 0x06
+OP_STATS = 0x07
+
+#: Human-readable opcode names (metric labels, error messages).
+OP_NAMES = {
+    OP_PING: "ping",
+    OP_IS_ALIAS: "is_alias",
+    OP_LIST_ALIASES: "list_aliases",
+    OP_LIST_POINTS_TO: "list_points_to",
+    OP_LIST_POINTED_BY: "list_pointed_by",
+    OP_APPLY_DELTA: "apply_delta",
+    OP_STATS: "stats",
+}
+
+#: The read-only opcodes eligible for in-flight coalescing.
+QUERY_OPS = frozenset(
+    (OP_IS_ALIAS, OP_LIST_ALIASES, OP_LIST_POINTS_TO, OP_LIST_POINTED_BY)
+)
+
+# --- response statuses -------------------------------------------------
+ST_OK = 0x00
+ST_BAD_REQUEST = 0x01
+ST_OVERLOADED = 0x02
+ST_UNSUPPORTED = 0x03
+ST_INTERNAL = 0x04
+
+STATUS_NAMES = {
+    ST_OK: "ok",
+    ST_BAD_REQUEST: "bad_request",
+    ST_OVERLOADED: "overloaded",
+    ST_UNSUPPORTED: "unsupported",
+    ST_INTERNAL: "internal",
+}
+
+#: Delta edit kinds on the wire.
+EDIT_INSERT = 0
+EDIT_DELETE = 1
+
+
+class ProtocolError(ValueError):
+    """A frame that cannot be decoded (bad length, opcode, or payload)."""
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+def frame(body: bytes) -> bytes:
+    """Prefix ``body`` with its little-endian ``uint32`` length."""
+    if not body:
+        raise ProtocolError("cannot frame an empty body")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "frame body of %d bytes exceeds the %d-byte limit"
+            % (len(body), MAX_FRAME_BYTES)
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def body_length(prefix: bytes, limit: int = MAX_FRAME_BYTES) -> int:
+    """Decode and validate a 4-byte length prefix."""
+    if len(prefix) != 4:
+        raise ProtocolError("truncated length prefix (%d bytes)" % len(prefix))
+    length = _HEADER.unpack(prefix)[0]
+    if length == 0:
+        raise ProtocolError("zero-length frame")
+    if length > limit:
+        raise ProtocolError(
+            "declared frame length %d exceeds the %d-byte limit" % (length, limit)
+        )
+    return length
+
+
+# ----------------------------------------------------------------------
+# Request encoding (client side)
+# ----------------------------------------------------------------------
+
+def encode_ping() -> bytes:
+    return bytes((OP_PING,))
+
+
+def encode_stats() -> bytes:
+    return bytes((OP_STATS,))
+
+
+def encode_is_alias(pairs: Sequence[Tuple[int, int]]) -> bytes:
+    flat: List[int] = []
+    for p, q in pairs:
+        flat.append(p)
+        flat.append(q)
+    return (bytes((OP_IS_ALIAS,)) + _U32.pack(len(pairs))
+            + struct.pack("<%dI" % len(flat), *flat))
+
+
+def encode_list(op: int, operands: Sequence[int]) -> bytes:
+    if op not in (OP_LIST_ALIASES, OP_LIST_POINTS_TO, OP_LIST_POINTED_BY):
+        raise ProtocolError("opcode 0x%02x is not a list query" % op)
+    return (bytes((op,)) + _U32.pack(len(operands))
+            + struct.pack("<%dI" % len(operands), *operands))
+
+
+def encode_apply_delta(ops: Sequence[Tuple[str, int, int]]) -> bytes:
+    """Encode a :class:`~repro.delta.DeltaLog`-style op sequence."""
+    parts = [bytes((OP_APPLY_DELTA,)), _U32.pack(len(ops))]
+    for op, pointer, obj in ops:
+        kind = EDIT_INSERT if op == "+" else EDIT_DELETE
+        if op not in ("+", "-"):
+            raise ProtocolError("unknown delta op %r" % (op,))
+        parts.append(struct.pack("<BII", kind, pointer, obj))
+    return b"".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Request decoding (server side)
+# ----------------------------------------------------------------------
+
+def request_op(body: bytes) -> int:
+    if not body:
+        raise ProtocolError("empty request body")
+    op = body[0]
+    if op not in OP_NAMES:
+        raise ProtocolError("unknown opcode 0x%02x" % op)
+    return op
+
+
+def _count(body: bytes, per_item: int, label: str) -> int:
+    """The ``u32`` item count at offset 1, validated against the length."""
+    if len(body) < 5:
+        raise ProtocolError("truncated %s request (%d bytes)" % (label, len(body)))
+    count = _U32.unpack_from(body, 1)[0]
+    expected = 5 + count * per_item
+    if len(body) != expected:
+        raise ProtocolError(
+            "%s request declares %d items (%d bytes) but carries %d bytes"
+            % (label, count, expected, len(body))
+        )
+    return count
+
+
+def decode_is_alias(body: bytes) -> List[Tuple[int, int]]:
+    count = _count(body, 8, "is_alias")
+    flat = struct.unpack_from("<%dI" % (2 * count), body, 5)
+    return [(flat[i], flat[i + 1]) for i in range(0, 2 * count, 2)]
+
+
+def decode_list(body: bytes) -> List[int]:
+    count = _count(body, 4, OP_NAMES[body[0]])
+    return list(struct.unpack_from("<%dI" % count, body, 5))
+
+
+def decode_apply_delta(body: bytes) -> List[Tuple[str, int, int]]:
+    count = _count(body, 9, "apply_delta")
+    ops: List[Tuple[str, int, int]] = []
+    offset = 5
+    for _ in range(count):
+        kind, pointer, obj = struct.unpack_from("<BII", body, offset)
+        if kind not in (EDIT_INSERT, EDIT_DELETE):
+            raise ProtocolError("unknown delta edit kind %d" % kind)
+        ops.append(("+" if kind == EDIT_INSERT else "-", pointer, obj))
+        offset += 9
+    return ops
+
+
+# ----------------------------------------------------------------------
+# Response encoding / decoding
+# ----------------------------------------------------------------------
+
+def encode_response(status: int, payload: bytes = b"") -> bytes:
+    return bytes((status,)) + payload
+
+
+def encode_error(status: int, message: str) -> bytes:
+    return encode_response(status, message.encode("utf-8", "replace"))
+
+
+def encode_bools(answers: Sequence[bool]) -> bytes:
+    return encode_response(ST_OK, bytes(1 if answer else 0 for answer in answers))
+
+
+def encode_id_lists(rows: Sequence[Sequence[int]]) -> bytes:
+    parts = [bytes((ST_OK,))]
+    for row in rows:
+        parts.append(_U32.pack(len(row)))
+        parts.append(struct.pack("<%dI" % len(row), *row))
+    return b"".join(parts)
+
+
+def split_response(body: bytes) -> Tuple[int, bytes]:
+    """``(status, payload)`` of a response body."""
+    if not body:
+        raise ProtocolError("empty response body")
+    status = body[0]
+    if status not in STATUS_NAMES:
+        raise ProtocolError("unknown response status 0x%02x" % status)
+    return status, body[1:]
+
+
+def decode_bools(payload: bytes, expected: int) -> List[bool]:
+    if len(payload) != expected:
+        raise ProtocolError(
+            "is_alias response carries %d answers, expected %d"
+            % (len(payload), expected)
+        )
+    return [byte != 0 for byte in payload]
+
+
+def decode_id_lists(payload: bytes, expected: int) -> List[List[int]]:
+    rows: List[List[int]] = []
+    offset = 0
+    for _ in range(expected):
+        if offset + 4 > len(payload):
+            raise ProtocolError("truncated list response")
+        count = _U32.unpack_from(payload, offset)[0]
+        offset += 4
+        end = offset + 4 * count
+        if end > len(payload):
+            raise ProtocolError(
+                "list response row declares %d ids past the payload end" % count
+            )
+        rows.append(list(struct.unpack_from("<%dI" % count, payload, offset)))
+        offset = end
+    if offset != len(payload):
+        raise ProtocolError(
+            "%d trailing bytes after the last list row" % (len(payload) - offset)
+        )
+    return rows
+
+
+def decode_u32(payload: bytes) -> int:
+    if len(payload) != 4:
+        raise ProtocolError("expected a u32 payload, got %d bytes" % len(payload))
+    return _U32.unpack(payload)[0]

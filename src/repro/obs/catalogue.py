@@ -13,7 +13,8 @@ Naming conventions
 * label keys are lowercase: ``kind`` (Table 1 query kind), ``case``
   (rectangle case), ``scope`` (``same``/``cross`` shard), ``result``
   (``ok``/``corrupt``), ``service`` (per-``ServiceStats`` instance id),
-  ``name`` (span name).
+  ``name`` (span name), ``op`` (daemon request opcode) and ``status``
+  (daemon response status).
 """
 
 from __future__ import annotations
@@ -74,6 +75,16 @@ CATALOGUE = {
     # --- sharding (serve/sharding.py) ---------------------------------
     "repro_shard_queries_total": (COUNTER, "Sharded-index queries, by same/cross shard scope."),
     "repro_shard_swaps_total": (COUNTER, "In-place shard hot swaps."),
+    # --- daemon (daemon/server.py) ------------------------------------
+    "repro_daemon_connections_total": (COUNTER, "Binary-protocol connections accepted by the daemon."),
+    "repro_daemon_open_connections": (GAUGE, "Binary-protocol connections currently open."),
+    "repro_daemon_requests_total": (COUNTER, "Daemon request frames answered, by op and response status."),
+    "repro_daemon_request_seconds": (HISTOGRAM, "Wall time from frame receipt to response body, by op."),
+    "repro_daemon_queries_total": (COUNTER, "Individual Table 1 queries answered over the wire (a batch frame counts each query)."),
+    "repro_daemon_rejected_total": (COUNTER, "Request frames refused by admission control (OVERLOADED)."),
+    "repro_daemon_coalesced_total": (COUNTER, "Query frames answered by joining an identical in-flight computation."),
+    "repro_daemon_protocol_errors_total": (COUNTER, "Malformed frames, bad lengths, and mid-frame disconnects."),
+    "repro_daemon_inflight_requests": (GAUGE, "Request frames currently executing or awaiting an executor thread."),
     # --- tracing (obs/tracing.py) -------------------------------------
     "repro_trace_span_seconds": (HISTOGRAM, "Span durations recorded while tracing is enabled, by span name."),
 }

@@ -84,9 +84,22 @@ class AliasService:
         from ..core.pipeline import load_index
 
         if len(paths) == 1:
-            return cls.from_indexes([load_index(paths[0], mode=mode, lazy=lazy)],
-                                    **options)
-        return cls(ShardedIndex.from_files(paths, mode=mode, lazy=lazy), **options)
+            backend = load_index(paths[0], mode=mode, lazy=lazy)
+        else:
+            backend = ShardedIndex.from_files(paths, mode=mode, lazy=lazy)
+        try:
+            return cls(backend, **options)
+        except BaseException:
+            # The service never owned the backend: close the mappings we
+            # just opened instead of leaking them (a close failure must not
+            # mask the constructor's error).
+            close = getattr(backend, "close", None)
+            if close is not None:
+                try:
+                    close()
+                except Exception:
+                    pass
+            raise
 
     # ------------------------------------------------------------------
     # Introspection
@@ -130,6 +143,19 @@ class AliasService:
 
     def clear_cache(self) -> None:
         self._cache.clear()
+
+    def close(self) -> None:
+        """Release the backend's mapped resources, if it holds any.
+
+        Lazy (mmap-backed) backends free their containers; eager backends
+        and overlays without a ``close`` are a no-op.  The service object
+        itself stays constructed — queries after close fail with
+        ``ContainerClosedError`` from the backend, not with attribute
+        errors from a half-torn-down service.
+        """
+        close = getattr(self._backend, "close", None)
+        if close is not None:
+            close()
 
     # ------------------------------------------------------------------
     # Live updates
@@ -189,7 +215,10 @@ class AliasService:
             return backend.extend(log)
         if isinstance(backend, ShardedIndex):
             return backend.with_delta(log)
-        if isinstance(backend, PestrieIndex):
+        if hasattr(backend, "points_to_contains"):
+            # Any Table 1 backend takes the generic overlay — PestrieIndex,
+            # the zero-copy FlatIndex (the daemon's lazy-v4 default), or a
+            # compatible duck-typed index.
             return OverlayIndex(backend, log)
         raise TypeError(
             "backend %r does not support live deltas" % type(backend).__name__
@@ -268,6 +297,11 @@ class AliasService:
                 results[position] = value
         if pending:
             unique = list(pending)
+            # Same ordering contract as the single-query miss path (see
+            # is_alias): the epoch is snapshotted BEFORE the backend.  If
+            # apply_delta swaps mid-batch, every put below carries the
+            # pre-swap epoch and is dropped by the cache's guard — a batch
+            # can never launder stale answers into the post-swap cache.
             epoch = self._cache.epoch
             backend = self._backend
             batch = getattr(backend, "is_alias_batch", None)
@@ -313,6 +347,11 @@ class AliasService:
                 results[position] = value
         if pending:
             unique = list(pending)
+            # Epoch before backend — the batch-wide stale-put guard; see
+            # is_alias_batch.  backend and column_of are captured once so
+            # the whole batch resolves against one snapshot (column_of may
+            # belong to an older backend than `backend`, but it is only a
+            # sort key for locality, never an answer).
             epoch = self._cache.epoch
             backend = self._backend
             column_of = self._column_of

@@ -63,13 +63,18 @@ class ShardedIndex:
         try:
             for path in paths:
                 indexes.append(load_index(path, mode=mode, lazy=lazy))
+            # Constructed inside the guard: a constructor failure must
+            # release the k opened mappings just like an open failure.
+            return cls(indexes)
         except BaseException:
             for index in indexes:
                 close = getattr(index, "close", None)
                 if close is not None:
-                    close()
+                    try:
+                        close()
+                    except Exception:
+                        pass  # best effort; never mask the original error
             raise
-        return cls(indexes)
 
     def close(self) -> None:
         """Release every shard's backing container (no-op for eager shards).

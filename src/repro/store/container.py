@@ -199,8 +199,13 @@ class Container:
                 )
         except BaseException:
             # Unpin the mapping so the caller's cleanup close() cannot be
-            # masked by a BufferError from this half-built view.
+            # masked by a BufferError from this half-built view.  Mark the
+            # half-built container closed: it never counted as open, so a
+            # later __del__-driven close() must not decrement the open /
+            # mapped gauges for it (the caller owns the mmap/file cleanup).
             buffer.release()
+            self._buffer = None
+            self._closed = True
             raise
 
         _OPEN_CONTAINERS.inc()
@@ -358,8 +363,13 @@ class Container:
     @property
     def buffer(self) -> memoryview:
         """The raw image as a zero-copy view (pins the mapping until released)."""
-        self._check_open()
-        return self._buffer[:]
+        # Every accessor that touches ``_buffer`` holds the lock so it can
+        # never race a concurrent close() into slicing a released view: it
+        # either runs first (and close() fails with BufferError until the
+        # returned view is dropped) or sees ContainerClosedError.
+        with self._lock:
+            self._check_open()
+            return self._buffer[:]
 
     @property
     def closed(self) -> bool:
@@ -387,14 +397,15 @@ class Container:
         The caller must release the view (or drop every reference) before
         :meth:`close`, or the close will fail with ``BufferError``.
         """
-        self._check_open()
-        offset, length = self._section_offsets[index], self._section_lengths[index]
-        if offset is None or length is None:
-            raise ValueError(
-                "PESTRIE2 section boundaries are varint sums; materialise "
-                "section_values(%d) instead" % index
-            )
-        return self._buffer[offset : offset + length]
+        with self._lock:
+            self._check_open()
+            offset, length = self._section_offsets[index], self._section_lengths[index]
+            if offset is None or length is None:
+                raise ValueError(
+                    "PESTRIE2 section boundaries are varint sums; materialise "
+                    "section_values(%d) instead" % index
+                )
+            return self._buffer[offset : offset + length]
 
     def flat_view(self, index: int) -> memoryview:
         """Zero-copy window over flat section ``index`` (``PESTRIE4`` only).
@@ -404,19 +415,20 @@ class Container:
         :meth:`section_view`, the caller must release the view before
         :meth:`close`.
         """
-        self._check_open()
-        if self.version != 4:
-            raise ValueError(
-                "flat sections exist only in PESTRIE4 files (this is format v%d)"
-                % self.version
-            )
-        if not 0 <= index < len(FLAT_SECTION_NAMES):
-            raise IndexError(
-                "flat section index %d out of range [0, %d)"
-                % (index, len(FLAT_SECTION_NAMES))
-            )
-        offset, length = self._flat_offsets[index], self._flat_sizes[index]
-        return self._buffer[offset : offset + length]
+        with self._lock:
+            self._check_open()
+            if self.version != 4:
+                raise ValueError(
+                    "flat sections exist only in PESTRIE4 files (this is format v%d)"
+                    % self.version
+                )
+            if not 0 <= index < len(FLAT_SECTION_NAMES):
+                raise IndexError(
+                    "flat section index %d out of range [0, %d)"
+                    % (index, len(FLAT_SECTION_NAMES))
+                )
+            offset, length = self._flat_offsets[index], self._flat_sizes[index]
+            return self._buffer[offset : offset + length]
 
     @property
     def has_flat(self) -> bool:
@@ -539,9 +551,10 @@ class Container:
         """Decode the ``PESDELT1`` chain trailing the base image."""
         from ..delta.format import decode_records
 
-        self._check_open()
-        return decode_records(self._buffer, self.base_size,
-                              self.n_pointers, self.n_objects)
+        with self._lock:
+            self._check_open()
+            return decode_records(self._buffer, self.base_size,
+                                  self.n_pointers, self.n_objects)
 
     def append_tail(self, record: bytes) -> int:
         """Durably append one encoded DELTA record after the current image.
@@ -551,21 +564,22 @@ class Container:
         open-time length — reopen the container to read the record back.
         Returns the file size after the append.
         """
-        self._check_open()
-        if self.path is None:
-            raise ValueError("append_tail needs a path-backed container")
-        if self.version < 3:
-            raise CorruptFileError(
-                "delta records require a PESTRIE3/PESTRIE4 base (file is format "
-                "v%d); re-encode it first" % self.version
-            )
-        with open(self.path, "ab") as stream:
-            stream.write(record)
-            stream.flush()
-            os.fsync(stream.fileno())
-            size = stream.tell()
-        self._appended += len(record)
-        return size
+        with self._lock:
+            self._check_open()
+            if self.path is None:
+                raise ValueError("append_tail needs a path-backed container")
+            if self.version < 3:
+                raise CorruptFileError(
+                    "delta records require a PESTRIE3/PESTRIE4 base (file is format "
+                    "v%d); re-encode it first" % self.version
+                )
+            with open(self.path, "ab") as stream:
+                stream.write(record)
+                stream.flush()
+                os.fsync(stream.fileno())
+                size = stream.tell()
+            self._appended += len(record)
+            return size
 
     # ------------------------------------------------------------------
     # Lifetime

@@ -1,0 +1,612 @@
+"""The daemon tier: wire protocol, asyncio server, client, worker mode.
+
+Correctness here means three things at once: every answer that crosses
+the socket matches the in-process oracle, hostile or half-dead peers
+never take the daemon (or other clients) down, and a hot ``apply_delta``
+under concurrent load produces zero wrong answers.
+"""
+
+import json
+import os
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.clients import DaemonClient, DaemonError
+from repro.core.pipeline import encode, index_from_bytes, persist
+from repro.daemon import AliasDaemon, ThreadedDaemon, protocol
+from repro.daemon.protocol import (
+    MAX_FRAME_BYTES,
+    OP_IS_ALIAS,
+    OP_LIST_ALIASES,
+    OP_LIST_POINTS_TO,
+    ST_BAD_REQUEST,
+    ST_OK,
+    ProtocolError,
+)
+from repro.delta import DeltaLog
+from repro.obs import get_registry
+from repro.serve import AliasService
+
+from conftest import make_random_matrix
+from test_serve import _apply_script
+
+import random
+
+
+# ----------------------------------------------------------------------
+# Protocol unit tests (no sockets involved)
+# ----------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_query_round_trips(self):
+        pairs = [(0, 1), (7, 7), (2 ** 31, 5)]
+        body = protocol.encode_is_alias(pairs)
+        assert protocol.request_op(body) == OP_IS_ALIAS
+        assert protocol.decode_is_alias(body) == pairs
+
+        operands = [3, 1, 4, 1, 5]
+        body = protocol.encode_list(OP_LIST_POINTS_TO, operands)
+        assert protocol.decode_list(body) == operands
+
+        ops = [("+", 1, 2), ("-", 3, 4)]
+        body = protocol.encode_apply_delta(ops)
+        assert protocol.decode_apply_delta(body) == ops
+
+    def test_response_round_trips(self):
+        body = protocol.encode_bools([True, False, True])
+        status, payload = protocol.split_response(body)
+        assert status == ST_OK
+        assert protocol.decode_bools(payload, 3) == [True, False, True]
+
+        rows = [[1, 2, 3], [], [9]]
+        status, payload = protocol.split_response(protocol.encode_id_lists(rows))
+        assert protocol.decode_id_lists(payload, 3) == rows
+
+    def test_framing_rejects_bad_lengths(self):
+        with pytest.raises(ProtocolError):
+            protocol.frame(b"")
+        with pytest.raises(ProtocolError):
+            protocol.body_length(b"\x00\x00")  # truncated prefix
+        with pytest.raises(ProtocolError):
+            protocol.body_length(struct.pack("<I", 0))
+        with pytest.raises(ProtocolError):
+            protocol.body_length(struct.pack("<I", MAX_FRAME_BYTES + 1))
+        assert protocol.body_length(struct.pack("<I", 8)) == 8
+
+    def test_request_decoders_bounds_check(self):
+        with pytest.raises(ProtocolError):
+            protocol.request_op(b"")
+        with pytest.raises(ProtocolError):
+            protocol.request_op(b"\xff")
+        # Declared count disagrees with the byte length.
+        lying = bytes((OP_IS_ALIAS,)) + struct.pack("<I", 10) + b"\x00" * 8
+        with pytest.raises(ProtocolError):
+            protocol.decode_is_alias(lying)
+        truncated = bytes((OP_LIST_ALIASES,)) + b"\x01"
+        with pytest.raises(ProtocolError):
+            protocol.decode_list(truncated)
+        bad_kind = (bytes((protocol.OP_APPLY_DELTA,)) + struct.pack("<I", 1)
+                    + struct.pack("<BII", 9, 0, 0))
+        with pytest.raises(ProtocolError):
+            protocol.decode_apply_delta(bad_kind)
+
+    def test_response_decoders_bounds_check(self):
+        with pytest.raises(ProtocolError):
+            protocol.split_response(b"")
+        with pytest.raises(ProtocolError):
+            protocol.decode_bools(b"\x01", expected=2)
+        # A row declaring ids past the payload end.
+        payload = struct.pack("<I", 5) + struct.pack("<I", 0)
+        with pytest.raises(ProtocolError):
+            protocol.decode_id_lists(payload, 1)
+        # Trailing bytes after the last row.
+        payload = struct.pack("<I", 0) + b"\x00"
+        with pytest.raises(ProtocolError):
+            protocol.decode_id_lists(payload, 1)
+
+
+# ----------------------------------------------------------------------
+# Server fixtures
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def served(tmp_path):
+    """A daemon over a persisted v4 matrix: ``(matrix, socket_path, daemon)``."""
+    matrix = make_random_matrix(40, 12, density=0.18, seed=7)
+    path = str(tmp_path / "m.pes")
+    persist(matrix, path, version=4)
+    service = AliasService.from_files([path], lazy=True)
+    sock = str(tmp_path / "d.sock")
+    daemon = AliasDaemon(service, socket_path=sock, http_port=0,
+                         close_service=True)
+    runner = ThreadedDaemon(daemon).start()
+    try:
+        yield matrix, sock, daemon
+    finally:
+        runner.stop()
+
+
+def _raw_connection(sock_path):
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(5)
+    sock.connect(sock_path)
+    return sock
+
+
+def _read_frame(sock):
+    prefix = b""
+    while len(prefix) < 4:
+        chunk = sock.recv(4 - len(prefix))
+        if not chunk:
+            return None
+        prefix += chunk
+    length = protocol.body_length(prefix)
+    body = b""
+    while len(body) < length:
+        chunk = sock.recv(length - len(body))
+        if not chunk:
+            raise ConnectionError("truncated frame")
+        body += chunk
+    return body
+
+
+class TestDaemonQueries:
+    def test_all_four_queries_match_oracle(self, served):
+        matrix, sock, _daemon = served
+        with DaemonClient(sock) as client:
+            assert client.ping()
+            pairs = [(p, q) for p in range(0, 40, 3) for q in range(0, 40, 5)]
+            assert client.is_alias_batch(pairs) == [
+                matrix.is_alias(p, q) for p, q in pairs
+            ]
+            rows = client.points_to_batch(list(range(40)))
+            assert [sorted(row) for row in rows] == [
+                matrix.list_points_to(p) for p in range(40)
+            ]
+            rows = client.list_aliases_many(list(range(0, 40, 7)))
+            assert [sorted(row) for row in rows] == [
+                matrix.list_aliases(p) for p in range(0, 40, 7)
+            ]
+            rows = client.pointed_by_batch(list(range(12)))
+            assert [sorted(row) for row in rows] == [
+                matrix.list_pointed_by(obj) for obj in range(12)
+            ]
+            assert client.is_alias(1, 2) == matrix.is_alias(1, 2)
+            assert sorted(client.list_aliases(3)) == matrix.list_aliases(3)
+            assert sorted(client.list_pointed_by(0)) == matrix.list_pointed_by(0)
+
+    def test_empty_batches_short_circuit_client_side(self, served):
+        _matrix, sock, _daemon = served
+        with DaemonClient(sock) as client:
+            assert client.is_alias_batch([]) == []
+            assert client.points_to_batch([]) == []
+
+    def test_stats_round_trip(self, served):
+        matrix, sock, _daemon = served
+        with DaemonClient(sock) as client:
+            client.is_alias_batch([(0, 1), (2, 3)])
+            stats = client.stats()
+        assert stats["n_pointers"] == matrix.n_pointers
+        assert stats["n_objects"] == matrix.n_objects
+        assert stats["total_queries"] >= 2
+
+    def test_out_of_range_operand_is_bad_request_and_survivable(self, served):
+        matrix, sock, _daemon = served
+        with DaemonClient(sock) as client:
+            with pytest.raises(DaemonError) as info:
+                client.is_alias_batch([(0, 10_000)])
+            assert info.value.status == ST_BAD_REQUEST
+            # The connection is still usable after a rejected request.
+            assert client.is_alias(0, 1) == matrix.is_alias(0, 1)
+
+    def test_apply_delta_round_trip(self, served):
+        matrix, sock, _daemon = served
+        log = DeltaLog()
+        log.insert(1, 2)
+        log.delete(0, 0)
+        with DaemonClient(sock) as client:
+            before = client.points_to_batch([1])[0]
+            client.apply_delta(log)
+            oracle = _apply_script(matrix, log)
+            assert sorted(client.list_points_to(1)) == oracle.list_points_to(1)
+            assert sorted(client.list_points_to(0)) == oracle.list_points_to(0)
+            assert 2 in client.list_points_to(1)
+        assert before == sorted(before)  # sanity: rows arrive sorted from v4
+
+
+class TestProtocolRobustness:
+    """Hostile peers: the daemon survives, other clients never notice."""
+
+    def test_unknown_opcode_gets_error_frame_connection_survives(self, served):
+        _matrix, sock, _daemon = served
+        raw = _raw_connection(sock)
+        try:
+            raw.sendall(protocol.frame(b"\xfe\x01\x02"))
+            status, payload = protocol.split_response(_read_frame(raw))
+            assert status == ST_BAD_REQUEST
+            assert b"opcode" in payload
+            # Framing was intact, so the same connection keeps working.
+            raw.sendall(protocol.frame(protocol.encode_ping()))
+            status, _ = protocol.split_response(_read_frame(raw))
+            assert status == ST_OK
+        finally:
+            raw.close()
+
+    def test_oversized_length_prefix_errors_then_closes(self, served):
+        _matrix, sock, _daemon = served
+        raw = _raw_connection(sock)
+        try:
+            raw.sendall(struct.pack("<I", MAX_FRAME_BYTES + 1))
+            status, payload = protocol.split_response(_read_frame(raw))
+            assert status == ST_BAD_REQUEST
+            assert b"limit" in payload
+            # The stream cannot be resynchronised: the daemon hangs up.
+            assert _read_frame(raw) is None
+        finally:
+            raw.close()
+
+    def test_zero_length_prefix_errors_then_closes(self, served):
+        _matrix, sock, _daemon = served
+        raw = _raw_connection(sock)
+        try:
+            raw.sendall(struct.pack("<I", 0))
+            status, _ = protocol.split_response(_read_frame(raw))
+            assert status == ST_BAD_REQUEST
+            assert _read_frame(raw) is None
+        finally:
+            raw.close()
+
+    def test_lying_item_count_is_bad_request_not_crash(self, served):
+        matrix, sock, _daemon = served
+        raw = _raw_connection(sock)
+        try:
+            lying = bytes((OP_IS_ALIAS,)) + struct.pack("<I", 100) + b"\x00" * 16
+            raw.sendall(protocol.frame(lying))
+            status, _ = protocol.split_response(_read_frame(raw))
+            assert status == ST_BAD_REQUEST
+            raw.sendall(protocol.frame(protocol.encode_is_alias([(0, 1)])))
+            status, payload = protocol.split_response(_read_frame(raw))
+            assert status == ST_OK
+            assert protocol.decode_bools(payload, 1) == [matrix.is_alias(0, 1)]
+        finally:
+            raw.close()
+
+    def test_truncated_frame_then_disconnect_leaves_daemon_alive(self, served):
+        matrix, sock, _daemon = served
+        raw = _raw_connection(sock)
+        raw.sendall(struct.pack("<I", 100) + b"partial")
+        raw.close()  # mid-frame hangup
+        with DaemonClient(sock) as client:
+            assert client.is_alias(0, 1) == matrix.is_alias(0, 1)
+
+    def test_disconnect_midresponse_does_not_poison_others(self, served):
+        matrix, sock, _daemon = served
+        pairs = [(p, q) for p in range(40) for q in range(40)]
+        request = protocol.frame(protocol.encode_is_alias(pairs))
+        for _ in range(5):
+            raw = _raw_connection(sock)
+            raw.sendall(request)
+            raw.close()  # gone before (or while) the response is written
+        with DaemonClient(sock) as client:
+            assert client.is_alias_batch(pairs[:50]) == [
+                matrix.is_alias(p, q) for p, q in pairs[:50]
+            ]
+
+    def test_garbage_flood_is_survivable(self, served):
+        matrix, sock, _daemon = served
+        for payload in (b"\x00" * 64, os.urandom(64), b"GET / HTTP/1.1\r\n\r\n"):
+            raw = _raw_connection(sock)
+            raw.sendall(payload)
+            raw.close()
+        with DaemonClient(sock) as client:
+            assert client.ping()
+            assert client.is_alias(2, 3) == matrix.is_alias(2, 3)
+
+
+class _GatedBackend:
+    """A Table 1 backend whose batch entry points can be held at a gate.
+
+    Lets tests park one request inside the executor deterministically
+    (``entered`` fires, ``gate`` blocks) to observe coalescing and
+    admission control from outside.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.gate = threading.Event()
+        self.entered = threading.Event()
+        self.batch_calls = 0
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def is_alias_batch(self, pairs):
+        self.batch_calls += 1
+        self.entered.set()
+        assert self.gate.wait(10), "test gate never released"
+        return self._inner.is_alias_batch(pairs)
+
+
+@pytest.fixture
+def gated(tmp_path):
+    matrix = make_random_matrix(20, 8, density=0.25, seed=11)
+    backend = _GatedBackend(index_from_bytes(encode(matrix)))
+    service = AliasService(backend, cache_size=0)
+    sock = str(tmp_path / "g.sock")
+    daemon = AliasDaemon(service, socket_path=sock, max_pending=1)
+    runner = ThreadedDaemon(daemon).start()
+    try:
+        yield matrix, backend, sock
+    finally:
+        backend.gate.set()
+        runner.stop()
+
+
+class TestCoalescingAndBackpressure:
+    def test_identical_inflight_queries_coalesce(self, gated):
+        matrix, backend, sock = gated
+        pairs = [(0, 1), (2, 3), (4, 5)]
+        expected = [matrix.is_alias(p, q) for p, q in pairs]
+        coalesced = get_registry().counter("repro_daemon_coalesced_total")
+        before = coalesced.value
+        results = {}
+
+        def query(slot):
+            with DaemonClient(sock) as client:
+                results[slot] = client.is_alias_batch(pairs)
+
+        first = threading.Thread(target=query, args=(0,))
+        first.start()
+        assert backend.entered.wait(10)
+        # The identical frame below must JOIN the parked computation — it
+        # cannot run it (the gate is closed and max_pending=1 is taken).
+        second = threading.Thread(target=query, args=(1,))
+        second.start()
+        deadline = time.time() + 10
+        while coalesced.value == before and time.time() < deadline:
+            time.sleep(0.01)
+        assert coalesced.value == before + 1
+        backend.gate.set()
+        first.join(10)
+        second.join(10)
+        assert results == {0: expected, 1: expected}
+        assert backend.batch_calls == 1
+
+    def test_admission_control_rejects_distinct_queries_fast(self, gated):
+        matrix, backend, sock = gated
+        holder_result = []
+
+        def holder():
+            with DaemonClient(sock) as client:
+                holder_result.append(client.is_alias_batch([(0, 1)]))
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        assert backend.entered.wait(10)
+        with DaemonClient(sock) as client:
+            # A DIFFERENT query cannot join and cannot queue: rejected now,
+            # not after the parked request finishes.
+            start = time.perf_counter()
+            with pytest.raises(DaemonError) as info:
+                client.is_alias_batch([(2, 3)])
+            assert info.value.overloaded
+            assert time.perf_counter() - start < 5.0
+            backend.gate.set()
+            thread.join(10)
+            assert holder_result == [[matrix.is_alias(0, 1)]]
+            # Capacity freed: the same query now goes through.
+            assert client.is_alias_batch([(2, 3)]) == [matrix.is_alias(2, 3)]
+
+
+class TestHotReload:
+    """apply_delta under concurrent load: zero dropped, zero wrong answers."""
+
+    READERS = 3
+    UPDATES = 8
+
+    def test_deltas_under_concurrent_batch_readers(self, served):
+        matrix, sock, _daemon = served
+        touched = list(range(6))
+        untouched = list(range(6, 40))
+        rng = random.Random(23)
+        logs, states = [], [matrix]
+        for _ in range(self.UPDATES):
+            log = DeltaLog()
+            for _ in range(4):
+                pointer, obj = rng.choice(touched), rng.randrange(12)
+                if rng.random() < 0.5:
+                    log.insert(pointer, obj)
+                else:
+                    log.delete(pointer, obj)
+            logs.append(log)
+            states.append(_apply_script(states[-1], log))
+
+        base_points = {u: matrix.list_points_to(u) for u in untouched}
+        ok_points = {t: {tuple(state.list_points_to(t)) for state in states}
+                     for t in touched}
+        ok_pairs = {(t, q): {state.is_alias(t, q) for state in states}
+                    for t in touched for q in range(40)}
+
+        failures = []
+        stop = threading.Event()
+
+        def reader(slot):
+            reader_rng = random.Random(300 + slot)
+            try:
+                with DaemonClient(sock) as client:
+                    while not stop.is_set():
+                        sample_u = reader_rng.sample(untouched, 5)
+                        for u, row in zip(sample_u,
+                                          client.points_to_batch(sample_u)):
+                            if sorted(row) != base_points[u]:
+                                failures.append(("untouched points_to", u, row))
+                        pairs = [(reader_rng.choice(touched),
+                                  reader_rng.randrange(40)) for _ in range(6)]
+                        for (t, q), answer in zip(
+                                pairs, client.is_alias_batch(pairs)):
+                            if answer not in ok_pairs[(t, q)]:
+                                failures.append(("touched is_alias", t, q))
+                        t = reader_rng.choice(touched)
+                        row = client.points_to_batch([t])[0]
+                        if tuple(sorted(row)) not in ok_points[t]:
+                            failures.append(("touched points_to", t, row))
+            except Exception as error:  # pragma: no cover - debugging aid
+                failures.append(("reader exception", slot, repr(error)))
+
+        def updater():
+            try:
+                with DaemonClient(sock) as client:
+                    for index, log in enumerate(logs):
+                        time.sleep(0.02)
+                        client.apply_delta(log)
+                        # Read-your-writes through the daemon: after the
+                        # ack, answers must reflect at least this delta
+                        # (and, with no later ones yet, exactly it).
+                        state = states[index + 1]
+                        for t in touched:
+                            row = client.points_to_batch([t])[0]
+                            if sorted(row) != state.list_points_to(t):
+                                failures.append(
+                                    ("post-ack points_to", index, t, row))
+            except Exception as error:  # pragma: no cover - debugging aid
+                failures.append(("updater exception", repr(error)))
+            finally:
+                stop.set()
+
+        threads = [threading.Thread(target=reader, args=(slot,))
+                   for slot in range(self.READERS)]
+        threads.append(threading.Thread(target=updater))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+
+        assert not failures, failures[:10]
+        final = states[-1]
+        with DaemonClient(sock) as client:
+            rows = client.points_to_batch(list(range(40)))
+            assert [sorted(row) for row in rows] == [
+                final.list_points_to(p) for p in range(40)
+            ]
+            pairs = [(p, q) for p in range(40) for q in range(0, 40, 3)]
+            assert client.is_alias_batch(pairs) == [
+                final.is_alias(p, q) for p, q in pairs
+            ]
+
+
+class TestHttpPlane:
+    def test_metrics_healthz_stats_and_errors(self, served):
+        _matrix, sock, daemon = served
+        with DaemonClient(sock) as client:
+            client.is_alias_batch([(0, 1)])
+        host, port = daemon.http_address
+        base = "http://%s:%d" % (host, port)
+
+        with urllib.request.urlopen(base + "/metrics") as response:
+            assert response.status == 200
+            assert "version=0.0.4" in response.headers["Content-Type"]
+            body = response.read()
+        assert b"# TYPE repro_daemon_requests_total counter" in body
+        assert b"repro_daemon_connections_total" in body
+        assert b"# TYPE repro_daemon_request_seconds histogram" in body
+
+        with urllib.request.urlopen(base + "/healthz") as response:
+            assert response.read() == b"ok\n"
+
+        with urllib.request.urlopen(base + "/stats") as response:
+            stats = json.loads(response.read())
+        assert stats["n_pointers"] == 40
+
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(base + "/nope")
+        assert info.value.code == 404
+
+        request = urllib.request.Request(base + "/metrics", data=b"x")
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request)
+        assert info.value.code == 405
+
+
+class TestLifecycle:
+    def test_stop_closes_idle_connections_and_socket(self, tmp_path):
+        matrix = make_random_matrix(10, 5, density=0.3, seed=2)
+        service = AliasService.from_index(index_from_bytes(encode(matrix)))
+        sock = str(tmp_path / "l.sock")
+        runner = ThreadedDaemon(AliasDaemon(service, socket_path=sock)).start()
+        client = DaemonClient(sock)
+        assert client.ping()
+        runner.stop()
+        assert not os.path.exists(sock)
+        with pytest.raises((ConnectionError, ProtocolError, OSError)):
+            client.ping()
+            client.ping()  # first call may only observe the FIN on read
+        client.close()
+
+    def test_double_start_is_rejected(self, tmp_path):
+        matrix = make_random_matrix(6, 4, density=0.3, seed=4)
+        service = AliasService.from_index(index_from_bytes(encode(matrix)))
+        daemon = AliasDaemon(service, socket_path=str(tmp_path / "x.sock"))
+        runner = ThreadedDaemon(daemon).start()
+        try:
+            with pytest.raises(RuntimeError):
+                ThreadedDaemon(daemon).start()
+        finally:
+            runner.stop()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            AliasDaemon(object())  # neither socket_path nor listen_socket
+        with pytest.raises(ValueError):
+            AliasDaemon(object(), socket_path="/tmp/x", listen_socket=object())
+        with pytest.raises(ValueError):
+            AliasDaemon(object(), socket_path="/tmp/x", max_pending=0)
+
+
+class TestWorkerMode:
+    """Pre-fork serving through the CLI, in a real subprocess."""
+
+    def test_workers_share_socket_and_refuse_deltas(self, tmp_path):
+        matrix = make_random_matrix(30, 10, density=0.2, seed=3)
+        path = str(tmp_path / "m.pes")
+        persist(matrix, path, version=4)
+        sock = str(tmp_path / "w.sock")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (os.path.join(os.path.dirname(__file__), "..", "src")
+                             + os.pathsep + env.get("PYTHONPATH", ""))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "daemon", path,
+             "--socket", sock, "--workers", "2"],
+            env=env, stderr=subprocess.PIPE, text=True)
+        try:
+            deadline = time.time() + 30
+            while not os.path.exists(sock):
+                assert proc.poll() is None, proc.stderr.read()
+                assert time.time() < deadline, "socket never appeared"
+                time.sleep(0.05)
+            time.sleep(0.2)  # let both workers reach accept()
+            pairs = [(p, q) for p in range(30) for q in range(0, 30, 3)]
+            expected = [matrix.is_alias(p, q) for p, q in pairs]
+            for _ in range(3):  # several connections spread across workers
+                with DaemonClient(sock) as client:
+                    assert client.is_alias_batch(pairs) == expected
+            with DaemonClient(sock) as client:
+                with pytest.raises(DaemonError) as info:
+                    client.apply_delta([("+", 0, 1)])
+                assert info.value.unsupported
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+            assert not os.path.exists(sock)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()

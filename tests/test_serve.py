@@ -590,3 +590,159 @@ class TestConcurrentUpdates:
                 assert service.is_alias(p, q) == final.is_alias(p, q)
         for obj in range(10):
             assert sorted(service.list_pointed_by(obj)) == final.list_pointed_by(obj)
+
+
+class TestFromFilesResourceSafety:
+    """A failed multi-file open must release every mapping it created."""
+
+    def _persist_shards(self, tmp_path, seed=41):
+        from repro.core.pipeline import persist
+
+        matrix = make_random_matrix(24, 8, density=0.2, seed=seed)
+        paths = []
+        for slot, sub in enumerate(_shard_matrices(matrix, cuts=(8, 16))):
+            path = str(tmp_path / ("shard-%d.pes" % slot))
+            persist(sub, path, version=4)
+            paths.append(path)
+        return matrix, paths
+
+    def _open_gauge(self):
+        from repro.obs import get_registry
+
+        return get_registry().gauge("repro_store_open_containers")
+
+    def test_corrupt_middle_shard_leaks_nothing(self, tmp_path):
+        from repro.core.decoder import CorruptFileError
+
+        _matrix, paths = self._persist_shards(tmp_path)
+        # Stomp the magic of the MIDDLE shard: shard 0 opens fine and must
+        # be closed again when shard 1 blows up.
+        with open(paths[1], "r+b") as handle:
+            handle.write(b"GARBAGE!")
+        gauge = self._open_gauge()
+        before = gauge.value
+        with pytest.raises(CorruptFileError):
+            ShardedIndex.from_files(paths, lazy=True)
+        assert gauge.value == before
+        with pytest.raises(CorruptFileError):
+            AliasService.from_files(paths, lazy=True)
+        assert gauge.value == before
+
+    def test_service_constructor_failure_leaks_nothing(self, tmp_path):
+        matrix, paths = self._persist_shards(tmp_path)
+        gauge = self._open_gauge()
+        before = gauge.value
+        # LRUCache rejects negative capacities, so the backends are already
+        # open when AliasService.__init__ raises — both the single-file and
+        # the sharded path must unwind them.
+        with pytest.raises(ValueError):
+            AliasService.from_files(paths[:1], lazy=True, cache_size=-1)
+        assert gauge.value == before
+        with pytest.raises(ValueError):
+            AliasService.from_files(paths, lazy=True, cache_size=-1)
+        assert gauge.value == before
+        # And the happy path still opens, answers, and closes all shards.
+        service = AliasService.from_files(paths, lazy=True)
+        assert gauge.value == before + len(paths)
+        assert service.is_alias(0, 1) == matrix.is_alias(0, 1)
+        service.close()
+        assert gauge.value == before
+
+
+class TestBatchReadersDuringUpdates:
+    """The batch entry points under a concurrent ``apply_delta`` stream.
+
+    Same legality rule as ``TestConcurrentUpdates`` — every answer in a
+    batch must come from some prefix state, untouched rows are invariant —
+    but exercised through ``is_alias_batch``/``points_to_batch``, whose
+    epoch-before-backend snapshot is the invariant under audit.
+    """
+
+    READERS = 3
+    UPDATES = 6
+
+    def test_batch_readers_vs_apply_delta(self):
+        matrix = make_random_matrix(30, 10, density=0.2, seed=19)
+        service = AliasService.from_index(index_from_bytes(encode(matrix)),
+                                          cache_size=128)
+        touched = list(range(6))
+        untouched = list(range(6, 30))
+        rng = random.Random(19)
+        logs, states = [], [matrix]
+        for _ in range(self.UPDATES):
+            log = DeltaLog()
+            for _ in range(5):
+                pointer, obj = rng.choice(touched), rng.randrange(10)
+                if rng.random() < 0.5:
+                    log.insert(pointer, obj)
+                else:
+                    log.delete(pointer, obj)
+            logs.append(log)
+            states.append(_apply_script(states[-1], log))
+
+        base_points = {u: matrix.list_points_to(u) for u in untouched}
+        base_pairs = {(u, v): matrix.is_alias(u, v)
+                      for u in untouched for v in untouched}
+        ok_points = {t: {tuple(state.list_points_to(t)) for state in states}
+                     for t in touched}
+        ok_pairs = {(t, q): {state.is_alias(t, q) for state in states}
+                    for t in touched for q in range(30)}
+
+        failures = []
+        stop = threading.Event()
+
+        def reader(slot):
+            reader_rng = random.Random(200 + slot)
+            try:
+                while not stop.is_set():
+                    sample_u = reader_rng.sample(untouched, 6)
+                    mixed = ([(u, reader_rng.choice(untouched))
+                              for u in sample_u[:3]]
+                             + [(reader_rng.choice(touched),
+                                 reader_rng.randrange(30)) for _ in range(3)])
+                    answers = service.is_alias_batch(mixed)
+                    for (p, q), answer in zip(mixed, answers):
+                        legal = (base_pairs[(p, q)] == answer
+                                 if p in base_points
+                                 else answer in ok_pairs[(p, q)])
+                        if not legal:
+                            failures.append(("is_alias_batch", p, q, answer))
+                    targets = sample_u[:3] + [reader_rng.choice(touched)]
+                    rows = service.points_to_batch(targets)
+                    for p, row in zip(targets, rows):
+                        if p in base_points:
+                            if sorted(row) != base_points[p]:
+                                failures.append(("untouched batch row", p))
+                        elif tuple(sorted(row)) not in ok_points[p]:
+                            failures.append(("touched batch row", p, row))
+            except Exception as error:  # pragma: no cover - debugging aid
+                failures.append(("reader exception", slot, repr(error)))
+
+        def updater():
+            try:
+                for log in logs:
+                    time.sleep(0.01)
+                    service.apply_delta(log)
+            except Exception as error:  # pragma: no cover - debugging aid
+                failures.append(("updater exception", repr(error)))
+            finally:
+                stop.set()
+
+        threads = [threading.Thread(target=reader, args=(slot,))
+                   for slot in range(self.READERS)]
+        threads.append(threading.Thread(target=updater))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not failures, failures[:10]
+        final = states[-1]
+        pairs = [(p, q) for p in range(30) for q in range(30)]
+        assert service.is_alias_batch(pairs) == [
+            final.is_alias(p, q) for p, q in pairs
+        ]
+        rows = service.points_to_batch(list(range(30)))
+        assert [sorted(row) for row in rows] == [
+            final.list_points_to(p) for p in range(30)
+        ]

@@ -316,3 +316,54 @@ class TestMappedBlob:
         with MappedBlob(path) as blob:
             assert bytes(blob.buffer) == b""
             assert blob.size == 0
+
+
+class TestFlatIndexLifetime:
+    """Satellite of the daemon work: close() racing live memoryview casts.
+
+    A ``BufferError`` from the container (someone still holds an exported
+    view) must not leave the pair half-closed: queries fail cleanly, the
+    container stays fully intact, and a retried ``close()`` succeeds once
+    the last view is released.
+    """
+
+    def _flat_index(self, tmp_path):
+        from repro.core.flat import FlatIndex, index_for_container
+
+        matrix = make_random_matrix(20, 8, density=0.25, seed=13)
+        path = _write(tmp_path, "flat.pes", encode(matrix, version=4))
+        container = open_container(path, allow_tail=False)
+        index = index_for_container(container)
+        if not isinstance(index, FlatIndex):  # pragma: no cover - big-endian
+            pytest.skip("host does not take the zero-copy path")
+        return matrix, container, index
+
+    def test_close_with_exported_view_is_retryable(self, tmp_path):
+        matrix, container, index = self._flat_index(tmp_path)
+        assert index.is_alias(0, 1) == matrix.is_alias(0, 1)  # materialise casts
+        held = container.buffer
+        with pytest.raises(BufferError):
+            index.close()
+        # The index is closed for queries from here on...
+        with pytest.raises(ContainerClosedError):
+            index.is_alias(0, 1)
+        with pytest.raises(ContainerClosedError):
+            index.list_points_to(0)
+        # ...but the container is NOT half-closed: still open, still readable.
+        assert not container.closed
+        assert bytes(held[:8])  # the held view still reads mapped bytes
+        with pytest.raises(BufferError):
+            index.close()  # retry before release still refuses, cleanly
+        held.release()
+        index.close()  # now the unmap goes through
+        assert container.closed
+        index.close()  # idempotent after success
+
+    def test_clean_close_releases_own_casts(self, tmp_path):
+        matrix, container, index = self._flat_index(tmp_path)
+        for p in range(20):
+            assert sorted(index.list_points_to(p)) == matrix.list_points_to(p)
+        index.close()  # no foreign views: our casts must not block the unmap
+        assert container.closed
+        with pytest.raises(ContainerClosedError):
+            index.list_aliases(0)
