@@ -3,7 +3,7 @@
 PYTHON ?= python3
 RUN = PYTHONPATH=src:$$PYTHONPATH $(PYTHON)
 
-.PHONY: install test fuzz fuzz-v4 bench bench-smoke daemon-smoke metrics-smoke examples results clean
+.PHONY: install test fuzz fuzz-v4 fuzz-versions bench bench-smoke daemon-smoke metrics-smoke examples results clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -23,13 +23,19 @@ fuzz:
 fuzz-v4:
 	$(RUN) -m repro.core.fuzz --iterations 300 --versions 4
 
+# Versioned-tail sweep: every PESTRIE3/4 case grows an epoch-stamped
+# PESDELT2 chain; corrupted or truncated epoch stamps must die as
+# CorruptFileError or decode to a clean prefix — never a wrong as_of.
+fuzz-versions:
+	$(RUN) -m repro.core.fuzz --iterations 300 --versions 3,4 --versioned-tails
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Tiny-workload run of the service throughput benchmark — a CI guard that
 # keeps the serve layer and its batch-beats-single invariant from rotting.
 bench-smoke:
-	BENCH_SMOKE=1 $(RUN) -m pytest benchmarks/bench_service_throughput.py benchmarks/bench_cold_start.py -q
+	BENCH_SMOKE=1 $(RUN) -m pytest benchmarks/bench_service_throughput.py benchmarks/bench_cold_start.py benchmarks/bench_version_query.py -q
 
 # Tiny-workload run of the daemon tier: concurrent socket clients vs the
 # in-process baseline, plus hot apply_delta under load with a differential

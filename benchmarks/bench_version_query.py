@@ -1,0 +1,142 @@
+"""MVCC extension — time-travel query cost: ``as_of(k)`` vs naive rebuild.
+
+The point of the epoch-stamped chain: answering "what did the file say at
+version k" should cost a prefix replay of k delta records — not a full
+Pestrie re-encode of that version's matrix.  This bench persists a base,
+appends a stamped chain, then answers every epoch three ways:
+
+* **naive rebuild** — re-encode the epoch's matrix from scratch and query
+  the fresh index (what a consumer without the chain would do);
+* **cold as_of** — a fresh ``load_versions`` + ``as_of(k)`` per epoch
+  (pays base decode every time, replay cost grows with ``k``);
+* **warm as_of** — one ``VersionedOverlay`` asked for every epoch in turn
+  (the incremental prefix cache makes each step pay one record).
+
+The acceptance gates: every ``as_of(k)`` must equal the from-scratch
+rebuild (the differential oracle, re-checked here on real timings), and
+the warm sweep must beat the naive-rebuild sweep by ``MIN_SPEEDUP``.
+"""
+
+import copy
+import os
+import random
+
+from repro.bench.harness import Table, timed
+from repro.core.pipeline import encode, index_from_bytes, persist
+from repro.delta import DeltaLog, append_delta, load_versions
+from repro.matrix.points_to import PointsToMatrix
+
+from conftest import write_metrics_snapshot, write_result
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+N_POINTERS = 200 if SMOKE else 1200
+N_OBJECTS = 60 if SMOKE else 250
+CHAIN = 6 if SMOKE else 24
+EDITS_PER_EPOCH = 10
+MIN_SPEEDUP = 2.0 if SMOKE else 10.0
+
+
+def _random_matrix(rng):
+    matrix = PointsToMatrix(N_POINTERS, N_OBJECTS)
+    for pointer in range(N_POINTERS):
+        for _ in range(3):
+            matrix.add(pointer, rng.randrange(N_OBJECTS))
+    return matrix
+
+
+def _append_chain(path, matrix, rng):
+    """Append ``CHAIN`` effective records; return the per-epoch states."""
+    states = [matrix]
+    while len(states) <= CHAIN:
+        log = DeltaLog()
+        for _ in range(EDITS_PER_EPOCH):
+            pointer, obj = rng.randrange(N_POINTERS), rng.randrange(N_OBJECTS)
+            if rng.random() < 0.5:
+                log.insert(pointer, obj)
+            else:
+                log.delete(pointer, obj)
+        inserts, deletes = log.net()
+        if not inserts and not deletes:
+            continue
+        append_delta(path, log)
+        state = copy.deepcopy(states[-1])
+        for pointer, obj in inserts:
+            state.add(pointer, obj)
+        for pointer, obj in deletes:
+            state.rows[pointer].discard(obj)
+        states.append(state)
+    return states
+
+
+def test_time_travel_query_cost(benchmark, tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("version-bench"))
+    rng = random.Random(37)
+    matrix = _random_matrix(rng)
+    path = os.path.join(directory, "chain.pes")
+    persist(matrix, path)
+    states = _append_chain(path, matrix, rng)
+    epochs = list(range(len(states)))
+
+    # Naive rebuild: re-encode each epoch's matrix, then answer one row.
+    rebuild_seconds = []
+    for epoch in epochs:
+        run = timed(lambda: index_from_bytes(encode(states[epoch])))
+        rebuild_seconds.append(run.seconds)
+
+    # Cold as_of: fresh open per epoch — base decode + k-record replay.
+    cold_seconds = []
+    for epoch in epochs:
+        def cold_open(epoch=epoch):
+            versioned = load_versions(path)
+            try:
+                return versioned.as_of(epoch).list_points_to(0)
+            finally:
+                versioned.close()
+        cold_seconds.append(timed(cold_open).seconds)
+
+    # Warm as_of: one handle, every epoch — each step extends the cached
+    # prefix by one record.  Differential gate: every epoch must equal
+    # the from-scratch rebuild of its state.
+    versioned = load_versions(path)
+    try:
+        warm = timed(lambda: [versioned.as_of(epoch).list_points_to(0)
+                              for epoch in epochs])
+        for epoch in (0, len(states) // 2, len(states) - 1):
+            assert versioned.as_of(epoch).materialize() == states[epoch], (
+                "as_of(%d) diverged from the rebuild oracle" % epoch
+            )
+        benchmark(lambda: versioned.as_of(len(states) - 1).is_alias(0, 1))
+    finally:
+        versioned.close()
+
+    total_rebuild = sum(rebuild_seconds)
+    total_cold = sum(cold_seconds)
+    mean_warm = warm.seconds / len(epochs)
+
+    table = Table(
+        title="MVCC — time-travel query cost (%d pointers, %d objects, "
+              "%d-record chain)" % (N_POINTERS, N_OBJECTS, CHAIN),
+        columns=("Path", "mean ms/epoch", "vs rebuild"),
+        note="Answering every epoch 0..%d once.  Cold as_of pays base "
+             "decode per open; the warm handle replays each record once."
+             % (len(states) - 1),
+    )
+    for label, mean_seconds in (
+        ("naive full re-encode", total_rebuild / len(epochs)),
+        ("cold as_of (open per epoch)", total_cold / len(epochs)),
+        ("warm as_of (shared handle)", mean_warm),
+    ):
+        table.add(
+            Path=label,
+            **{"mean ms/epoch": 1e3 * mean_seconds,
+               "vs rebuild": "%.0fx" % (total_rebuild / len(epochs)
+                                        / max(mean_seconds, 1e-9))},
+        )
+    write_result("version_query.txt", table.render())
+    write_metrics_snapshot("version_query_metrics.json")
+
+    assert mean_warm * MIN_SPEEDUP <= total_rebuild / len(epochs), (
+        "warm as_of %.3f ms/epoch is not %.0fx faster than rebuild %.3f ms"
+        % (1e3 * mean_warm, MIN_SPEEDUP,
+           1e3 * total_rebuild / len(epochs))
+    )

@@ -180,7 +180,17 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    index = _load_queryable(args.file, args.mode)
+    if args.as_of is not None:
+        from .delta import VersionUnavailableError, load_versions
+
+        try:
+            versioned = load_versions(args.file, mode=args.mode, lazy=True)
+            index = versioned.as_of(args.as_of)
+        except (CorruptFileError, VersionUnavailableError) as error:
+            print("%s: %s" % (args.file, error), file=sys.stderr)
+            return 1
+    else:
+        index = _load_queryable(args.file, args.mode)
     operands = [int(value) for value in args.operands]
     if args.kind == "is_alias":
         if len(operands) != 2:
@@ -286,6 +296,31 @@ def cmd_compact(args: argparse.Namespace) -> int:
         print("%s: CORRUPT — %s" % (args.file, error), file=sys.stderr)
         return 1
     print("%s: compacted -> %s (%d bytes)" % (args.file, out, size))
+    return 0
+
+
+def cmd_versions(args: argparse.Namespace) -> int:
+    """List the versions a file's delta chain can answer ``as_of``."""
+    from .delta import load_versions
+
+    try:
+        versioned = load_versions(args.file)
+    except CorruptFileError as error:
+        print("%s: CORRUPT — %s" % (args.file, error), file=sys.stderr)
+        return 1
+    try:
+        print("%s: %d record(s), versions %d..%d"
+              % (args.file, versioned.record_count,
+                 versioned.floor, versioned.head))
+        if args.verbose:
+            print("  v%-6d base image%s"
+                  % (versioned.floor,
+                     " (compaction watermark)" if versioned.floor else ""))
+            for record in versioned.records():
+                print("  v%-6d +%d -%d fact(s)"
+                      % (record.epoch, len(record.inserts), len(record.deletes)))
+    finally:
+        versioned.close()
     return 0
 
 
@@ -517,6 +552,9 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("operands", nargs="+")
     query.add_argument("--mode", default="ptlist", choices=("ptlist", "segment"),
                        help="query structure: per-column lists or low-memory segment tree")
+    query.add_argument("--as-of", type=int, default=None, metavar="VERSION",
+                       help="answer as of this delta-chain version (epoch) "
+                            "instead of the file's head state")
     query.set_defaults(handler=cmd_query)
 
     delta_append = sub.add_parser(
@@ -548,6 +586,15 @@ def build_parser() -> argparse.ArgumentParser:
     compact.add_argument("--order", default="hub",
                          choices=("hub", "simple", "identity", "random"))
     compact.set_defaults(handler=cmd_compact)
+
+    versions = sub.add_parser(
+        "versions",
+        help="list the delta-chain versions a .pes file can answer as-of",
+    )
+    versions.add_argument("file")
+    versions.add_argument("-v", "--verbose", action="store_true",
+                          help="also print each version's edit counts")
+    versions.set_defaults(handler=cmd_versions)
 
     serve_stats = sub.add_parser(
         "serve-stats",

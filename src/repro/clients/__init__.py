@@ -1,9 +1,15 @@
 """Client analyses consuming the Table 1 query interface."""
 
 from .daemon import DaemonClient, DaemonError
-from .diff import PointsToDiff, diff_points_to, impacted_pointers, new_alias_pairs
+from .diff import (
+    PointsToDiff,
+    diff_points_to,
+    diff_versions,
+    impacted_pointers,
+    new_alias_pairs,
+)
 from .escape import SiteReport, classify_sites, escape_summary
-from .impact import direct_impact, transitive_impact
+from .impact import direct_impact, transitive_impact, version_impact
 from .race import (
     aliasing_pairs_by_is_alias,
     aliasing_pairs_by_list_aliases,
@@ -21,8 +27,10 @@ __all__ = [
     "conflict_report",
     "escape_summary",
     "diff_points_to",
+    "diff_versions",
     "direct_impact",
     "impacted_pointers",
     "new_alias_pairs",
     "transitive_impact",
+    "version_impact",
 ]

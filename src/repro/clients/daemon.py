@@ -98,37 +98,48 @@ class DaemonClient:
         self._round_trip(protocol.encode_ping())
         return True
 
-    def is_alias(self, p: int, q: int) -> bool:
-        return self.is_alias_batch([(p, q)])[0]
+    def is_alias(self, p: int, q: int, as_of: Optional[int] = None) -> bool:
+        return self.is_alias_batch([(p, q)], as_of=as_of)[0]
 
-    def is_alias_batch(self, pairs: Sequence[Tuple[int, int]]) -> List[bool]:
+    def is_alias_batch(self, pairs: Sequence[Tuple[int, int]],
+                       as_of: Optional[int] = None) -> List[bool]:
         if not pairs:
             return []
-        payload = self._round_trip(protocol.encode_is_alias(pairs))
+        request = protocol.encode_is_alias(pairs)
+        if as_of is not None:
+            request = protocol.encode_query_at(as_of, request)
+        payload = self._round_trip(request)
         return protocol.decode_bools(payload, len(pairs))
 
-    def list_aliases(self, p: int) -> List[int]:
-        return self.list_aliases_many([p])[0]
+    def list_aliases(self, p: int, as_of: Optional[int] = None) -> List[int]:
+        return self.list_aliases_many([p], as_of=as_of)[0]
 
-    def list_points_to(self, p: int) -> List[int]:
-        return self.points_to_batch([p])[0]
+    def list_points_to(self, p: int, as_of: Optional[int] = None) -> List[int]:
+        return self.points_to_batch([p], as_of=as_of)[0]
 
-    def list_pointed_by(self, obj: int) -> List[int]:
-        return self.pointed_by_batch([obj])[0]
+    def list_pointed_by(self, obj: int, as_of: Optional[int] = None) -> List[int]:
+        return self.pointed_by_batch([obj], as_of=as_of)[0]
 
-    def list_aliases_many(self, pointers: Sequence[int]) -> List[List[int]]:
-        return self._list_batch(OP_LIST_ALIASES, pointers)
+    def list_aliases_many(self, pointers: Sequence[int],
+                          as_of: Optional[int] = None) -> List[List[int]]:
+        return self._list_batch(OP_LIST_ALIASES, pointers, as_of)
 
-    def points_to_batch(self, pointers: Sequence[int]) -> List[List[int]]:
-        return self._list_batch(OP_LIST_POINTS_TO, pointers)
+    def points_to_batch(self, pointers: Sequence[int],
+                        as_of: Optional[int] = None) -> List[List[int]]:
+        return self._list_batch(OP_LIST_POINTS_TO, pointers, as_of)
 
-    def pointed_by_batch(self, objects: Sequence[int]) -> List[List[int]]:
-        return self._list_batch(OP_LIST_POINTED_BY, objects)
+    def pointed_by_batch(self, objects: Sequence[int],
+                         as_of: Optional[int] = None) -> List[List[int]]:
+        return self._list_batch(OP_LIST_POINTED_BY, objects, as_of)
 
-    def _list_batch(self, op: int, operands: Sequence[int]) -> List[List[int]]:
+    def _list_batch(self, op: int, operands: Sequence[int],
+                    as_of: Optional[int] = None) -> List[List[int]]:
         if not operands:
             return []
-        payload = self._round_trip(protocol.encode_list(op, operands))
+        request = protocol.encode_list(op, operands)
+        if as_of is not None:
+            request = protocol.encode_query_at(as_of, request)
+        payload = self._round_trip(request)
         return protocol.decode_id_lists(payload, len(operands))
 
     # ------------------------------------------------------------------
@@ -153,6 +164,17 @@ class DaemonClient:
 
         payload = self._round_trip(protocol.encode_stats())
         return json.loads(payload.decode("utf-8"))
+
+    def versions(self) -> Tuple[int, int]:
+        """The daemon's answerable version range as ``(floor, head)``.
+
+        Any ``as_of=`` between the two (inclusive) is servable; outside it
+        the daemon answers ``BAD_REQUEST`` (surfaced as
+        :class:`DaemonError`).  The head advances with every effective
+        ``apply_delta``.
+        """
+        payload = self._round_trip(protocol.encode_versions())
+        return protocol.decode_version_range(payload)
 
     # ------------------------------------------------------------------
     # Lifetime

@@ -50,3 +50,22 @@ def transitive_impact(
             break
         frontier = next_frontier
     return impacted
+
+
+def version_impact(path: str, v1: int, v2: int, rounds: int = 1,
+                   mode: str = "ptlist") -> Set[int]:
+    """Blast radius of the edits between two versions of one file.
+
+    The changed-object set is read straight off the delta records between
+    the two epochs (no diffing required), then widened through aliasing
+    against the newer snapshot.  One file open, two pinned versions.
+    """
+    from ..delta import load_versions
+
+    versioned = load_versions(path, mode=mode)
+    try:
+        newer = versioned.as_of(max(v1, v2))
+        _, objects = versioned.dirty_between(v1, v2)
+        return transitive_impact(newer, objects, rounds=rounds)
+    finally:
+        versioned.close()

@@ -45,6 +45,10 @@ MAGIC_V4 = b"PESTRIE4"
 #: delta-aware loader".
 MAGIC_DELTA = b"PESDELT1"
 
+#: Magic of the epoch-stamped DELTA record variant (``repro.delta.format``):
+#: same layout as ``PESDELT1`` plus a uint32 epoch after the flags byte.
+MAGIC_DELTA2 = b"PESDELT2"
+
 #: The format version new files are written in.
 DEFAULT_VERSION = 3
 

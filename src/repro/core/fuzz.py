@@ -50,9 +50,10 @@ from __future__ import annotations
 
 import argparse
 import random
+import struct
 import sys
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..matrix.points_to import PointsToMatrix
 from .decoder import _V3_HEADER_END, CorruptFileError, decode_bytes
@@ -92,6 +93,8 @@ class FuzzReport:
     cases: int = 0
     clean_round_trips: int = 0
     delta_round_trips: int = 0
+    versioned_round_trips: int = 0
+    as_of_checks: int = 0
     corruptions: int = 0
     rejected: int = 0
     survived: int = 0
@@ -105,10 +108,12 @@ class FuzzReport:
 
     def summary(self) -> str:
         return (
-            "%d cases: %d clean round-trips (+%d delta-chain round-trips), "
+            "%d cases: %d clean round-trips (+%d delta-chain, %d versioned), "
+            "%d as_of checks, "
             "%d corruptions (%d rejected, %d survived validation), "
             "%d lazy-parity checks, %d flat-parity checks, %d failures"
             % (self.cases, self.clean_round_trips, self.delta_round_trips,
+               self.versioned_round_trips, self.as_of_checks,
                self.corruptions, self.rejected, self.survived,
                self.lazy_checks, self.flat_checks, len(self.failures))
         )
@@ -398,7 +403,9 @@ def _check_delta_clean(case: int, version: int, image: bytes, final: PointsToMat
     base, tail = split_image(image)
     records = decode_records(image, len(base), overlay.n_pointers, overlay.n_objects)
     rebuilt = b"".join(
-        encode_record(record.inserts, record.deletes, compact=record.compact)
+        encode_record(record.inserts, record.deletes, compact=record.compact,
+                      epoch=record.epoch if record.stamped else None,
+                      watermark=record.watermark)
         for record in records
     )
     if rebuilt != tail:
@@ -465,8 +472,167 @@ def _check_lazy_delta_mutant(case: int, version: int, kind: str, mutated: bytes,
             "lazy overlay disagrees with the eager overlay"))
 
 
+def _stamped_chain(rng: random.Random, matrix: PointsToMatrix, data: bytes):
+    """Append 1–3 epoch-stamped (``PESDELT2``) records to ``data``.
+
+    Returns ``(image, prefixes, spans)``: ``prefixes[k]`` is the matrix as
+    of epoch ``k`` (index 0 is the base), and ``spans[i]`` is the
+    ``(offset, length)`` of record ``i`` in the image — record ``i``
+    carries epoch ``i + 1``.
+    """
+    from ..delta import encode_record
+
+    image = data
+    prefixes = [matrix]
+    spans: List[Tuple[int, int]] = []
+    current = matrix
+    for index in range(rng.randint(1, 3)):
+        log, current = _random_edits(rng, current)
+        inserts, deletes = log.net()
+        record = encode_record(inserts, deletes, compact=rng.random() < 0.5,
+                               epoch=index + 1)
+        spans.append((len(image), len(record)))
+        image += record
+        prefixes.append(current)
+    return image, prefixes, spans
+
+
+def _check_versioned_clean(case: int, version: int, image: bytes,
+                           prefixes: Sequence[PointsToMatrix],
+                           report: FuzzReport) -> None:
+    """Every epoch of a clean stamped chain must replay to its exact prefix."""
+    from ..delta import versions_from_bytes
+
+    try:
+        versioned = versions_from_bytes(image)
+        if versioned.floor != 0 or versioned.head != len(prefixes) - 1:
+            report.failures.append(FuzzFailure(case, version, None,
+                "versioned chain resolved to [%d, %d], expected [0, %d]"
+                % (versioned.floor, versioned.head, len(prefixes) - 1)))
+            return
+        for epoch, prefix in enumerate(prefixes):
+            report.as_of_checks += 1
+            if versioned.as_of(epoch).materialize() != prefix:
+                report.failures.append(FuzzFailure(case, version, None,
+                    "as_of(%d) differs from the epoch-%d prefix" % (epoch, epoch)))
+                return
+    except Exception as error:  # noqa: BLE001 — any exception here is a bug
+        report.failures.append(FuzzFailure(case, version, None,
+            "clean versioned image failed: %r" % (error,)))
+        return
+    report.versioned_round_trips += 1
+
+
+def _check_versioned_mutant(case: int, version: int, kind: str, mutated: bytes,
+                            prefixes: Sequence[PointsToMatrix],
+                            report: FuzzReport) -> None:
+    """A mutated stamped chain must reject or answer as a clean prefix.
+
+    When the decode survives (legal only for a truncation at a record
+    boundary), *every* epoch it claims to answer must replay to that
+    epoch's exact prefix matrix — never a wrong ``as_of``.
+    """
+    from ..delta import versions_from_bytes
+
+    report.corruptions += 1
+    try:
+        versioned = versions_from_bytes(mutated)
+    except CorruptFileError:
+        report.rejected += 1
+        return
+    except Exception as error:  # noqa: BLE001 — uncontrolled escape
+        report.failures.append(FuzzFailure(case, version, kind,
+                                           "uncontrolled exception %r" % (error,)))
+        return
+    try:
+        epochs = versioned.versions()
+        if any(epoch >= len(prefixes) for epoch in epochs):
+            report.failures.append(FuzzFailure(case, version, kind,
+                "mutated chain claims epochs %r beyond the clean head %d"
+                % (epochs, len(prefixes) - 1)))
+            return
+        for epoch in epochs:
+            report.as_of_checks += 1
+            if versioned.as_of(epoch).materialize() != prefixes[epoch]:
+                report.failures.append(FuzzFailure(case, version, kind,
+                    "mutated chain answers as_of(%d) wrongly" % epoch))
+                return
+        report.survived += 1
+    except CorruptFileError:
+        report.rejected += 1
+    except Exception as error:  # noqa: BLE001 — uncontrolled escape
+        report.failures.append(FuzzFailure(case, version, kind,
+                                           "uncontrolled exception %r" % (error,)))
+
+
+def _corrupt_epoch(rng: random.Random, image: bytes,
+                   spans: Sequence[Tuple[int, int]]) -> bytes:
+    """Patch one record's epoch stamp to an illegal value, fixing its CRC.
+
+    The CRC is recomputed so the checksum cannot save the decoder — only
+    the semantic epoch validation (positive, strictly increasing) can.
+    Record ``i`` carries epoch ``i + 1``, so ``0`` is always illegal and
+    any value ``<= i`` is a regression for ``i > 0``.
+    """
+    index = rng.randrange(len(spans))
+    offset, length = spans[index]
+    value = 0 if index == 0 else rng.choice((0, index, rng.randint(1, index)))
+    blob = bytearray(image)
+    struct.pack_into("<I", blob, offset + 9, value)
+    body_end = offset + length - 4
+    struct.pack_into("<I", blob, body_end,
+                     _fuzz_crc32(bytes(blob[offset:body_end])))
+    return bytes(blob)
+
+
+def _fuzz_crc32(data: bytes) -> int:
+    from .ioutil import crc32
+
+    return crc32(data)
+
+
+def _check_epoch_mutant(case: int, version: int, mutated: bytes,
+                        report: FuzzReport) -> None:
+    """An illegal (but correctly checksummed) epoch stamp must be rejected."""
+    from ..delta import versions_from_bytes
+
+    report.corruptions += 1
+    try:
+        versions_from_bytes(mutated)
+    except CorruptFileError:
+        report.rejected += 1
+        return
+    except Exception as error:  # noqa: BLE001 — uncontrolled escape
+        report.failures.append(FuzzFailure(case, version, "epoch_patch",
+                                           "uncontrolled exception %r" % (error,)))
+        return
+    report.failures.append(FuzzFailure(case, version, "epoch_patch",
+        "chain with an illegal epoch stamp was accepted"))
+
+
+def _check_misplaced_watermark(case: int, version: int, image: bytes,
+                               head: int, report: FuzzReport) -> None:
+    """A watermark record anywhere but the chain head must be rejected."""
+    from ..delta import encode_record, versions_from_bytes
+
+    report.corruptions += 1
+    bad = image + encode_record((), (), epoch=head + 1, watermark=True)
+    try:
+        versions_from_bytes(bad)
+    except CorruptFileError:
+        report.rejected += 1
+        return
+    except Exception as error:  # noqa: BLE001 — uncontrolled escape
+        report.failures.append(FuzzFailure(case, version, "watermark_tail",
+                                           "uncontrolled exception %r" % (error,)))
+        return
+    report.failures.append(FuzzFailure(case, version, "watermark_tail",
+        "mid-chain watermark record was accepted"))
+
+
 def run_fuzz(iterations: int = 500, seed: int = 0, mutants_per_case: int = 3,
-             versions: Optional[Sequence[int]] = None) -> FuzzReport:
+             versions: Optional[Sequence[int]] = None,
+             versioned_tails: Optional[bool] = None) -> FuzzReport:
     """Run ``iterations`` seeded cases; see the module docstring for the contract.
 
     ``versions`` restricts the format-version pool (e.g. ``(4,)`` for a
@@ -514,6 +680,24 @@ def run_fuzz(iterations: int = 500, seed: int = 0, mutants_per_case: int = 3,
                 if mutated == image:
                     continue
                 _check_delta_mutant(case, version, kind, mutated, prefixes, report)
+
+        # Versioned (epoch-stamped) tails: as_of must replay exact prefixes
+        # on clean chains and never answer wrongly on mutated ones.
+        want_versioned = (versioned_tails if versioned_tails is not None
+                          else rng.random() < 0.5)
+        if version >= 3 and want_versioned:
+            image, prefixes, spans = _stamped_chain(rng, matrix, data)
+            _check_versioned_clean(case, version, image, prefixes, report)
+            for _ in range(mutants_per_case):
+                kind, mutated = corrupt(rng, image, delta_offset=len(data))
+                if mutated == image:
+                    continue
+                _check_versioned_mutant(case, version, kind, mutated,
+                                        prefixes, report)
+            _check_epoch_mutant(case, version,
+                                _corrupt_epoch(rng, image, spans), report)
+            _check_misplaced_watermark(case, version, image,
+                                       len(prefixes) - 1, report)
     return report
 
 
@@ -530,6 +714,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--versions", type=str, default=None,
                         help="comma-separated format versions to restrict the "
                              "pool to (e.g. '4' for a flat-layout-only sweep)")
+    parser.add_argument("--versioned-tails", action="store_true",
+                        help="append an epoch-stamped PESDELT2 chain to every "
+                             "PESTRIE3/4 case (default: half of them)")
     parser.add_argument("--quiet", action="store_true", help="only print on failure")
     args = parser.parse_args(argv)
 
@@ -537,7 +724,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.versions:
         versions = tuple(int(value) for value in args.versions.split(","))
     report = run_fuzz(iterations=args.iterations, seed=args.seed,
-                      mutants_per_case=args.mutants_per_case, versions=versions)
+                      mutants_per_case=args.mutants_per_case, versions=versions,
+                      versioned_tails=args.versioned_tails or None)
     if not args.quiet or not report.ok:
         print("fuzz: " + report.summary())
     for failure in report.failures[:20]:

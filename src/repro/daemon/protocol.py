@@ -20,6 +20,14 @@ Request opcodes
                     with op ``0``=insert, ``1``=delete; answers
                     ``u32 invalidated`` (cache entries dropped).
 ``STATS``           empty payload; answers a UTF-8 JSON document.
+``VERSIONS``        empty payload; answers ``(u32 floor, u32 head)`` —
+                    the service's answerable version range.
+``QUERY_AT``        ``u32 version`` then a complete inner query body
+                    (``IS_ALIAS`` or a list query); the answer is the
+                    inner opcode's answer, computed against the pinned
+                    snapshot at ``version``.  A version outside the
+                    service's ``[floor, head]`` range answers
+                    ``BAD_REQUEST``.
 
 Response statuses
 -----------------
@@ -59,6 +67,8 @@ OP_LIST_POINTS_TO = 0x04
 OP_LIST_POINTED_BY = 0x05
 OP_APPLY_DELTA = 0x06
 OP_STATS = 0x07
+OP_VERSIONS = 0x08
+OP_QUERY_AT = 0x09
 
 #: Human-readable opcode names (metric labels, error messages).
 OP_NAMES = {
@@ -69,11 +79,16 @@ OP_NAMES = {
     OP_LIST_POINTED_BY: "list_pointed_by",
     OP_APPLY_DELTA: "apply_delta",
     OP_STATS: "stats",
+    OP_VERSIONS: "versions",
+    OP_QUERY_AT: "query_at",
 }
 
-#: The read-only opcodes eligible for in-flight coalescing.
+#: The read-only opcodes eligible for in-flight coalescing.  A versioned
+#: query is pure (its answer is fixed by the version stamp in its body),
+#: so identical QUERY_AT frames coalesce like any other read.
 QUERY_OPS = frozenset(
-    (OP_IS_ALIAS, OP_LIST_ALIASES, OP_LIST_POINTS_TO, OP_LIST_POINTED_BY)
+    (OP_IS_ALIAS, OP_LIST_ALIASES, OP_LIST_POINTS_TO, OP_LIST_POINTED_BY,
+     OP_QUERY_AT)
 )
 
 # --- response statuses -------------------------------------------------
@@ -142,6 +157,20 @@ def encode_stats() -> bytes:
     return bytes((OP_STATS,))
 
 
+def encode_versions() -> bytes:
+    return bytes((OP_VERSIONS,))
+
+
+def encode_query_at(version: int, inner: bytes) -> bytes:
+    """Wrap an already-encoded query body in a version-pinned frame."""
+    if not (0 <= version <= 0xFFFFFFFF):
+        raise ProtocolError("version %r does not fit in a u32" % (version,))
+    if not inner or inner[0] not in (OP_IS_ALIAS, OP_LIST_ALIASES,
+                                     OP_LIST_POINTS_TO, OP_LIST_POINTED_BY):
+        raise ProtocolError("query_at carries a non-query inner body")
+    return bytes((OP_QUERY_AT,)) + _U32.pack(version) + inner
+
+
 def encode_is_alias(pairs: Sequence[Tuple[int, int]]) -> bytes:
     flat: List[int] = []
     for p, q in pairs:
@@ -205,6 +234,26 @@ def decode_is_alias(body: bytes) -> List[Tuple[int, int]]:
 def decode_list(body: bytes) -> List[int]:
     count = _count(body, 4, OP_NAMES[body[0]])
     return list(struct.unpack_from("<%dI" % count, body, 5))
+
+
+def decode_query_at(body: bytes) -> Tuple[int, bytes]:
+    """``(version, inner_body)`` of a ``QUERY_AT`` request.
+
+    The inner body is re-validated by the inner opcode's own decoder; here
+    only the wrapper is checked — enough bytes for the version word, and an
+    inner opcode that is actually a query (a nested ``QUERY_AT`` or a write
+    op is a protocol error, not a recursion vector).
+    """
+    if len(body) < 6:
+        raise ProtocolError("truncated query_at request (%d bytes)" % len(body))
+    version = _U32.unpack_from(body, 1)[0]
+    inner = body[5:]
+    if inner[0] not in (OP_IS_ALIAS, OP_LIST_ALIASES, OP_LIST_POINTS_TO,
+                        OP_LIST_POINTED_BY):
+        raise ProtocolError(
+            "query_at wraps opcode 0x%02x, which is not a plain query" % inner[0]
+        )
+    return version, inner
 
 
 def decode_apply_delta(body: bytes) -> List[Tuple[str, int, int]]:
@@ -289,3 +338,17 @@ def decode_u32(payload: bytes) -> int:
     if len(payload) != 4:
         raise ProtocolError("expected a u32 payload, got %d bytes" % len(payload))
     return _U32.unpack(payload)[0]
+
+
+def encode_version_range(floor: int, head: int) -> bytes:
+    return encode_response(ST_OK, struct.pack("<II", floor, head))
+
+
+def decode_version_range(payload: bytes) -> Tuple[int, int]:
+    """``(floor, head)`` of a ``VERSIONS`` response."""
+    if len(payload) != 8:
+        raise ProtocolError(
+            "versions response carries %d bytes, expected 8" % len(payload)
+        )
+    floor, head = struct.unpack("<II", payload)
+    return floor, head

@@ -54,7 +54,9 @@ from .protocol import (
     OP_LIST_POINTED_BY,
     OP_LIST_POINTS_TO,
     OP_PING,
+    OP_QUERY_AT,
     OP_STATS,
+    OP_VERSIONS,
     OP_NAMES,
     QUERY_OPS,
     ST_BAD_REQUEST,
@@ -365,20 +367,20 @@ class AliasDaemon:
     def _execute(self, op: int, body: bytes) -> bytes:
         """Parse and answer one frame on an executor thread."""
         try:
-            if op == OP_IS_ALIAS:
-                pairs = protocol.decode_is_alias(body)
-                answers = self._service.is_alias_batch(pairs)
-                self._queries.inc(len(pairs))
-                return protocol.encode_bools(answers)
-            if op in (OP_LIST_ALIASES, OP_LIST_POINTS_TO, OP_LIST_POINTED_BY):
-                operands = protocol.decode_list(body)
-                rows = {
-                    OP_LIST_ALIASES: self._service.list_aliases_many,
-                    OP_LIST_POINTS_TO: self._service.points_to_batch,
-                    OP_LIST_POINTED_BY: self._service.pointed_by_batch,
-                }[op](operands)
-                self._queries.inc(len(operands))
-                return protocol.encode_id_lists(rows)
+            if op in (OP_IS_ALIAS, OP_LIST_ALIASES, OP_LIST_POINTS_TO,
+                      OP_LIST_POINTED_BY):
+                return self._answer_query(self._service, op, body)
+            if op == OP_QUERY_AT:
+                version, inner = protocol.decode_query_at(body)
+                # A VersionUnavailableError (a ValueError) from as_of falls
+                # through to the BAD_REQUEST handler below: an unanswerable
+                # version is the peer's fault, not an internal error.
+                snapshot = self._service.as_of(version)
+                return self._answer_query(snapshot, inner[0], inner)
+            if op == OP_VERSIONS:
+                return protocol.encode_version_range(
+                    self._service.version_floor, self._service.version
+                )
             if op == OP_APPLY_DELTA:
                 if not self.allow_deltas:
                     return protocol.encode_error(
@@ -406,6 +408,27 @@ class AliasDaemon:
                 ST_INTERNAL, "%s: %s" % (type(error).__name__, error)
             )
 
+    def _answer_query(self, target, op: int, body: bytes) -> bytes:
+        """Answer one query body against ``target`` (service or snapshot).
+
+        Both :class:`~repro.serve.AliasService` and the pinned
+        :class:`~repro.serve.AliasSnapshot` handles speak the same batch
+        surface, so live and time-travel frames share this path.
+        """
+        if op == OP_IS_ALIAS:
+            pairs = protocol.decode_is_alias(body)
+            answers = target.is_alias_batch(pairs)
+            self._queries.inc(len(pairs))
+            return protocol.encode_bools(answers)
+        operands = protocol.decode_list(body)
+        rows = {
+            OP_LIST_ALIASES: target.list_aliases_many,
+            OP_LIST_POINTS_TO: target.points_to_batch,
+            OP_LIST_POINTED_BY: target.pointed_by_batch,
+        }[op](operands)
+        self._queries.inc(len(operands))
+        return protocol.encode_id_lists(rows)
+
     def _record(self, name: str, response: bytes, start: float) -> None:
         status = STATUS_NAMES.get(response[0], "internal") if response else "internal"
         _REGISTRY.counter("repro_daemon_requests_total", op=name, status=status).inc()
@@ -418,6 +441,8 @@ class AliasDaemon:
         return {
             "n_pointers": self._service.n_pointers,
             "n_objects": self._service.n_objects,
+            "version": self._service.version,
+            "version_floor": self._service.version_floor,
             "counts": dict(snapshot.counts),
             "batched": dict(snapshot.batched),
             "cache_hits": snapshot.cache_hits,

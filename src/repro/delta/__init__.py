@@ -16,7 +16,14 @@ Typical flow::
     index.is_alias(0, 3)
 """
 
-from .format import DeltaRecord, decode_record, decode_records, encode_record, split_image
+from .format import (
+    DeltaRecord,
+    chain_floor,
+    decode_record,
+    decode_records,
+    encode_record,
+    split_image,
+)
 from .log import DELETE, INSERT, DeltaLog
 from .overlay import DEFAULT_COMPACTION_RATIO, OverlayIndex
 from .persist import (
@@ -27,6 +34,12 @@ from .persist import (
     overlay_from_bytes,
     tail_to_log,
 )
+from .versions import (
+    VersionedOverlay,
+    VersionUnavailableError,
+    load_versions,
+    versions_from_bytes,
+)
 
 __all__ = [
     "AppendResult",
@@ -36,13 +49,18 @@ __all__ = [
     "DeltaRecord",
     "INSERT",
     "OverlayIndex",
+    "VersionUnavailableError",
+    "VersionedOverlay",
     "append_delta",
+    "chain_floor",
     "compact_file",
     "decode_record",
     "decode_records",
     "encode_record",
     "load_overlay",
+    "load_versions",
     "overlay_from_bytes",
     "split_image",
     "tail_to_log",
+    "versions_from_bytes",
 ]

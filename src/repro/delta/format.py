@@ -19,6 +19,29 @@ Record layout (all fixed-width integers little-endian)::
     offset 21  payload                 insert facts, then delete facts
     trailer    CRC32                   uint32 over offsets [0, 21 + payload)
 
+The MVCC variant ``PESDELT2`` inserts one epoch word after the flags::
+
+    offset 0   magic "PESDELT2"        8 bytes
+    offset 8   flags                   1 byte   (bit 0: compact coding;
+                                                 bit 1: compaction watermark;
+                                                 other bits reserved, must be 0)
+    offset 9   epoch                   uint32  (must be >= 1)
+    offset 13  n_insert                uint32
+    offset 17  n_delete                uint32
+    offset 21  payload length          uint32
+    offset 25  payload                 insert facts, then delete facts
+    trailer    CRC32                   uint32 over offsets [0, 25 + payload)
+
+The epoch stamps give every record in a chain a durable version number.
+Legacy ``PESDELT1`` records carry no stamp; :func:`decode_records` assigns
+them implicit epochs ``previous + 1`` in file order, so a pre-MVCC chain
+reads as versions ``1..k`` and mixed chains stay well-defined.  Stamped
+epochs must be strictly increasing along the chain (an equal or smaller
+stamp is corruption, not an opinion).  A *watermark* record (bit 1, legal
+only as the first record of a chain, with zero facts) marks the epoch a
+compaction folded into the base image: versions at or below it live in
+the base, versions strictly below it are gone and must fail loudly.
+
 Each fact is a ``(pointer, object)`` pair.  Within a record both lists are
 strictly sorted by ``(pointer, object)`` and disjoint from each other (a
 record stores the *net* effect of an edit script — last op per fact wins),
@@ -36,29 +59,46 @@ CRC is checked before the payload is parsed, and every violation raises
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..core.decoder import CorruptFileError, _Reader, base_image_size
-from ..core.encoder import FLAG_COMPACT, MAGIC_DELTA, _encode_ints
+from ..core.encoder import FLAG_COMPACT, MAGIC_DELTA, MAGIC_DELTA2, _encode_ints
 from ..core.ioutil import crc32
 
 _U32 = struct.Struct("<I")
 
+#: Record flag bit 1: this (empty) record is a compaction watermark.
+FLAG_WATERMARK = 0x02
+
 #: Fixed-size record prefix: magic, flags, n_insert, n_delete, payload length.
 _RECORD_HEADER = 8 + 1 + 3 * 4
 _RECORD_MIN_SIZE = _RECORD_HEADER + 4
+#: PESDELT2 adds the uint32 epoch word between flags and the counts.
+_RECORD_HEADER_V2 = _RECORD_HEADER + 4
+_RECORD_MIN_SIZE_V2 = _RECORD_HEADER_V2 + 4
 
 Fact = Tuple[int, int]
 
 
 @dataclass(frozen=True)
 class DeltaRecord:
-    """One decoded DELTA record: net insertions and deletions, sorted."""
+    """One decoded DELTA record: net insertions and deletions, sorted.
+
+    ``epoch`` is the record's version number.  For a stamped (``PESDELT2``)
+    record it is the on-disk stamp; for a legacy record decoded through
+    :func:`decode_records` it is the implicit file-order epoch, and for a
+    single :func:`decode_record` call it is ``None`` (one legacy record in
+    isolation has no epoch).  ``stamped`` distinguishes the two so
+    re-encoding stays byte-exact.
+    """
 
     inserts: Tuple[Fact, ...]
     deletes: Tuple[Fact, ...]
     compact: bool
+    epoch: Optional[int] = None
+    stamped: bool = False
+    watermark: bool = False
 
     def __len__(self) -> int:
         return len(self.inserts) + len(self.deletes)
@@ -89,12 +129,18 @@ def _encode_facts(facts: Sequence[Fact], compact: bool) -> bytes:
 
 
 def encode_record(inserts: Iterable[Fact], deletes: Iterable[Fact],
-                  compact: bool = False) -> bytes:
+                  compact: bool = False, epoch: Optional[int] = None,
+                  watermark: bool = False) -> bytes:
     """Serialise one net edit into a checksummed DELTA record.
 
     ``inserts``/``deletes`` are ``(pointer, object)`` facts; they are sorted
     here, must be duplicate-free, and must not share a fact (an edit script
     nets to at most one op per fact — see :meth:`repro.delta.DeltaLog.net`).
+
+    With ``epoch=None`` the record is a legacy ``PESDELT1`` (no version
+    stamp); a positive ``epoch`` produces the stamped ``PESDELT2`` variant.
+    ``watermark=True`` (stamped only) encodes a compaction watermark, which
+    must carry no facts.
     """
     ins = sorted(set(inserts))
     dels = sorted(set(deletes))
@@ -104,10 +150,22 @@ def encode_record(inserts: Iterable[Fact], deletes: Iterable[Fact],
     if overlap:
         raise ValueError("facts %r are both inserted and deleted in one record"
                          % sorted(overlap))
+    if epoch is not None and not 1 <= epoch <= 0xFFFFFFFF:
+        raise ValueError("epoch stamp %r outside the positive uint32 domain" % (epoch,))
+    if watermark:
+        if epoch is None:
+            raise ValueError("a watermark record needs an epoch stamp")
+        if ins or dels:
+            raise ValueError("a watermark record must carry no facts")
     payload = _encode_facts(ins, compact) + _encode_facts(dels, compact)
-    body = b"".join([
-        MAGIC_DELTA,
-        bytes([FLAG_COMPACT if compact else 0]),
+    flags = FLAG_COMPACT if compact else 0
+    if epoch is None:
+        head = [MAGIC_DELTA, bytes([flags])]
+    else:
+        if watermark:
+            flags |= FLAG_WATERMARK
+        head = [MAGIC_DELTA2, bytes([flags]), _U32.pack(epoch)]
+    body = b"".join(head + [
         _U32.pack(len(ins)),
         _U32.pack(len(dels)),
         _U32.pack(len(payload)),
@@ -149,23 +207,53 @@ def _decode_fact_list(reader: _Reader, count: int, compact: bool,
 
 def decode_record(data: bytes, offset: int, n_pointers: int,
                   n_objects: int) -> Tuple[DeltaRecord, int]:
-    """Decode one DELTA record at ``offset``; return it and the next offset."""
+    """Decode one DELTA record at ``offset``; return it and the next offset.
+
+    Both the legacy ``PESDELT1`` and the stamped ``PESDELT2`` layouts are
+    accepted; a legacy record comes back with ``epoch=None`` (its implicit
+    epoch is a chain property, assigned by :func:`decode_records`).
+    """
     remaining = len(data) - offset
     if remaining < _RECORD_MIN_SIZE:
         raise CorruptFileError(
             "truncated delta record at offset %d (%d bytes, minimum is %d)"
             % (offset, remaining, _RECORD_MIN_SIZE)
         )
-    if data[offset : offset + 8] != MAGIC_DELTA:
+    magic = bytes(data[offset : offset + 8])
+    if magic == MAGIC_DELTA:
+        stamped = False
+        header_size = _RECORD_HEADER
+    elif magic == MAGIC_DELTA2:
+        stamped = True
+        header_size = _RECORD_HEADER_V2
+        if remaining < _RECORD_MIN_SIZE_V2:
+            raise CorruptFileError(
+                "truncated delta record at offset %d (%d bytes, PESDELT2 "
+                "minimum is %d)" % (offset, remaining, _RECORD_MIN_SIZE_V2)
+            )
+    else:
         raise CorruptFileError(
-            "bad delta record magic %r at offset %d" % (bytes(data[offset : offset + 8]), offset)
+            "bad delta record magic %r at offset %d" % (magic, offset)
         )
     flags = data[offset + 8]
-    if flags & ~FLAG_COMPACT:
+    legal_flags = FLAG_COMPACT | (FLAG_WATERMARK if stamped else 0)
+    if flags & ~legal_flags:
         raise CorruptFileError("unsupported delta record flags 0x%02x" % flags)
     compact = bool(flags & FLAG_COMPACT)
-    n_insert, n_delete, payload_length = struct.unpack_from("<3I", data, offset + 9)
+    watermark = bool(flags & FLAG_WATERMARK)
+    epoch: Optional[int] = None
+    if stamped:
+        epoch = _U32.unpack_from(data, offset + 9)[0]
+        if epoch == 0:
+            raise CorruptFileError("delta record epoch stamp must be positive")
+    n_insert, n_delete, payload_length = struct.unpack_from(
+        "<3I", data, offset + header_size - 12
+    )
     facts = n_insert + n_delete
+    if watermark and facts:
+        raise CorruptFileError(
+            "watermark record declares %d facts; watermarks must be empty" % facts
+        )
     # Validate the counts against the declared length before any allocation:
     # raw facts are exactly 8 bytes each, compact facts 2..10 bytes.
     if not compact and payload_length != 8 * facts:
@@ -178,7 +266,7 @@ def decode_record(data: bytes, offset: int, n_pointers: int,
             "delta record declares %d payload bytes for %d compact facts"
             % (payload_length, facts)
         )
-    end = offset + _RECORD_HEADER + payload_length
+    end = offset + header_size + payload_length
     if end + 4 > len(data):
         raise CorruptFileError(
             "delta record payload overruns the file (%d bytes needed, %d present)"
@@ -190,7 +278,7 @@ def decode_record(data: bytes, offset: int, n_pointers: int,
         raise CorruptFileError(
             "delta record checksum mismatch (stored %08x, computed %08x)" % (stored, actual)
         )
-    reader = _Reader(data, compact, offset=offset + _RECORD_HEADER, end=end)
+    reader = _Reader(data, compact, offset=offset + header_size, end=end)
     inserts = _decode_fact_list(reader, n_insert, compact, n_pointers, n_objects, "insert")
     deletes = _decode_fact_list(reader, n_delete, compact, n_pointers, n_objects, "delete")
     if reader.offset != end:
@@ -199,17 +287,52 @@ def decode_record(data: bytes, offset: int, n_pointers: int,
         )
     if set(inserts) & set(deletes):
         raise CorruptFileError("delta record inserts and deletes a shared fact")
-    return DeltaRecord(inserts=inserts, deletes=deletes, compact=compact), end + 4
+    record = DeltaRecord(inserts=inserts, deletes=deletes, compact=compact,
+                         epoch=epoch, stamped=stamped, watermark=watermark)
+    return record, end + 4
 
 
 def decode_records(data: bytes, offset: int, n_pointers: int,
                    n_objects: int) -> List[DeltaRecord]:
-    """Decode the chain of DELTA records from ``offset`` to end of input."""
+    """Decode the chain of DELTA records from ``offset`` to end of input.
+
+    Every returned record carries a resolved epoch: stamped records keep
+    their on-disk stamp (which must strictly increase along the chain),
+    legacy records take ``previous + 1`` in file order.  A watermark
+    record is legal only at the chain head — compaction always rewrites
+    the whole file, so a mid-chain watermark can only be corruption.
+    """
     records: List[DeltaRecord] = []
+    previous_epoch = 0
     while offset < len(data):
         record, offset = decode_record(data, offset, n_pointers, n_objects)
+        if record.watermark and records:
+            raise CorruptFileError(
+                "watermark record at chain position %d; watermarks are only "
+                "legal as the first record" % len(records)
+            )
+        if record.epoch is None:
+            record = replace(record, epoch=previous_epoch + 1)
+        elif record.epoch <= previous_epoch:
+            raise CorruptFileError(
+                "delta chain epoch regression: record stamped %d after epoch %d"
+                % (record.epoch, previous_epoch)
+            )
+        previous_epoch = record.epoch
         records.append(record)
     return records
+
+
+def chain_floor(records: Sequence[DeltaRecord]) -> int:
+    """The compaction watermark of a resolved chain (0 when none).
+
+    Versions strictly below the floor were folded into the base image by a
+    compaction and can no longer be materialised; the floor itself *is*
+    the base image's state.
+    """
+    if records and records[0].watermark:
+        return records[0].epoch
+    return 0
 
 
 def split_image(data: bytes) -> Tuple[bytes, bytes]:

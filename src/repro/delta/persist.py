@@ -26,7 +26,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..core.decoder import CorruptFileError
-from ..core.pipeline import persist
+from ..core.ioutil import atomic_write
+from ..core.pipeline import encode
 from ..obs import get_registry, record_delta_health, trace
 from ..core.query import PestrieIndex
 from .format import decode_record, encode_record
@@ -42,8 +43,13 @@ class AppendResult:
     bytes_appended: int
     #: Total file size after the operation.
     file_size: int
-    #: Net delta records now trailing the base (0 after a compaction).
+    #: Net delta records now trailing the base (0 after a compaction — the
+    #: epoch watermark record left behind carries no facts and is not
+    #: counted).
     record_count: int
+    #: The epoch the appended record was stamped with (the file's new head
+    #: version), or the preserved head after a compaction; 0 for a no-op.
+    epoch: int
     #: ``|Δ| / base facts`` after the operation; only computed when an
     #: ``auto_compact_ratio`` was given (it needs a full overlay build).
     delta_ratio: Optional[float]
@@ -142,10 +148,13 @@ def append_delta(path: str, log: DeltaLog, compact: Optional[bool] = None,
 
     The base image and the existing record chain are verified first —
     extending a file we cannot fully decode would launder corruption into
-    the chain.  ``compact`` selects the record's integer coding (default:
-    whatever the base image uses).  With ``auto_compact_ratio`` set, the
-    file is re-encoded in place when the post-append overlay exceeds that
-    ``|Δ|/facts`` ratio, resetting the chain to zero records.
+    the chain.  The record is stamped with the next epoch (chain head plus
+    one), so every append is a durable new version answerable via
+    :meth:`repro.delta.VersionedOverlay.as_of`.  ``compact`` selects the
+    record's integer coding (default: whatever the base image uses).  With
+    ``auto_compact_ratio`` set, the file is re-encoded in place when the
+    post-append overlay exceeds that ``|Δ|/facts`` ratio, resetting the
+    chain to a single watermark record that preserves the epoch head.
     """
     start = time.perf_counter()
     with trace.span("delta.append", path=path, ops=len(log)):
@@ -173,19 +182,26 @@ def _append_delta(path: str, log: DeltaLog, compact: Optional[bool],
         existing = container.tail_records()
         old_size = container.size
 
+        chain = [record for record in existing if not record.watermark]
+        head = existing[-1].epoch if existing else 0
+        epoch = head + 1
+
         inserts, deletes = log.net()
         if not inserts and not deletes:
             return AppendResult(
                 bytes_appended=0,
                 file_size=old_size,
-                record_count=len(existing),
+                record_count=len(chain),
+                epoch=0,
                 delta_ratio=None,
                 compacted=False,
             )
 
         if compact is None:
             compact = container.compact
-        record = encode_record(inserts, deletes, compact=compact)
+        # Stamp the record with the next epoch: the append is a new durable
+        # version, and the stamp is what lets as_of() find it again.
+        record = encode_record(inserts, deletes, compact=compact, epoch=epoch)
         # Round-trip the fresh record against the base dimensions: out-of-range
         # fact ids are rejected here, before anything touches the disk.
         decode_record(record, 0, container.n_pointers, container.n_objects)
@@ -195,7 +211,8 @@ def _append_delta(path: str, log: DeltaLog, compact: Optional[bool],
             return AppendResult(
                 bytes_appended=len(record),
                 file_size=size,
-                record_count=len(existing) + 1,
+                record_count=len(chain) + 1,
+                epoch=epoch,
                 delta_ratio=None,
                 compacted=False,
             )
@@ -215,7 +232,8 @@ def _append_delta(path: str, log: DeltaLog, compact: Optional[bool],
             return AppendResult(
                 bytes_appended=len(record),
                 file_size=size,
-                record_count=len(existing) + 1,
+                record_count=len(chain) + 1,
+                epoch=epoch,
                 delta_ratio=ratio,
                 compacted=False,
             )
@@ -223,12 +241,15 @@ def _append_delta(path: str, log: DeltaLog, compact: Optional[bool],
         container.close()  # release the mapping before the atomic replace
         # Preserve the base format: auto-compacting a PESTRIE4 file must not
         # silently downgrade it to v3 and lose the flat query sections.
+        # The new epoch (the edit that tripped the threshold) becomes the
+        # watermark: the compacted base *is* that version's state.
         size = _compact_overlay(overlay, path, compact=compact,
-                                version=base_version)
+                                version=base_version, watermark=epoch)
         return AppendResult(
             bytes_appended=size - old_size,
             file_size=size,
             record_count=0,
+            epoch=epoch,
             delta_ratio=0.0,
             compacted=True,
         )
@@ -237,12 +258,25 @@ def _append_delta(path: str, log: DeltaLog, compact: Optional[bool],
 
 
 def _compact_overlay(overlay: OverlayIndex, path: str, order: str = "hub",
-                     compact: bool = False, version: int = 3) -> int:
-    """Re-encode an overlay's effective matrix to ``path``; return the size."""
+                     compact: bool = False, version: int = 3,
+                     watermark: int = 0) -> int:
+    """Re-encode an overlay's effective matrix to ``path``; return the size.
+
+    With ``watermark`` set, a single empty epoch-stamped watermark record
+    is written after the fresh base — in the *same* atomic replace, so no
+    crash window can produce a compacted file that silently forgot which
+    versions it folded away.
+    """
     start = time.perf_counter()
     with trace.span("delta.compact", path=path, net_ops=overlay.delta_size()):
-        size = persist(overlay.materialize(), path, order=order, compact=compact,
-                       version=version)
+        data = encode(overlay.materialize(), order=order, compact=compact,
+                      version=version)
+        if watermark:
+            data += encode_record((), (), compact=compact, epoch=watermark,
+                                  watermark=True)
+        with trace.span("persist.write", path=path):
+            atomic_write(path, data)
+        size = len(data)
     registry = get_registry()
     registry.counter("repro_delta_compactions_total").inc()
     registry.histogram("repro_delta_compact_seconds").observe(
@@ -257,9 +291,13 @@ def compact_file(path: str, out: Optional[str] = None, order: str = "hub",
 
     Writes to ``out`` (default: in place), inheriting the base's format
     version and integer coding unless ``version``/``compact`` override
-    them.  Returns the new file size.  This is the expensive half of the
-    LSM bargain — amortised by only triggering it past
-    :data:`~repro.delta.overlay.DEFAULT_COMPACTION_RATIO`.
+    them.  When the chain carried any epochs, the rewrite keeps a single
+    watermark record after the new base so the epoch head survives:
+    ``as_of`` on a pre-compaction version then fails loudly
+    (:class:`~repro.delta.versions.VersionUnavailableError`) instead of
+    answering from the wrong state.  Returns the new file size.  This is
+    the expensive half of the LSM bargain — amortised by only triggering
+    it past :data:`~repro.delta.overlay.DEFAULT_COMPACTION_RATIO`.
     """
     from ..store import Container
 
@@ -268,8 +306,11 @@ def compact_file(path: str, out: Optional[str] = None, order: str = "hub",
             compact = container.compact
         if version is None:
             version = container.version
+        records = container.tail_records()
+        head = records[-1].epoch if records else 0
         overlay = _overlay_from_container(container, "ptlist", lazy=False)
         size = _compact_overlay(overlay, out or path, order=order,
-                                compact=compact, version=version)
+                                compact=compact, version=version,
+                                watermark=head)
     record_delta_health(0, net_ops=0, ratio=0.0)
     return size

@@ -8,12 +8,13 @@ service with batch APIs and a bounded LRU result cache
 """
 
 from .cache import LRUCache
-from .service import AliasService
+from .service import AliasService, AliasSnapshot
 from .sharding import ShardedIndex
 from .stats import QUERY_KINDS, ServiceStats, StatsSnapshot
 
 __all__ = [
     "AliasService",
+    "AliasSnapshot",
     "LRUCache",
     "QUERY_KINDS",
     "ServiceStats",

@@ -31,7 +31,13 @@ import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.query import PestrieIndex
-from ..delta import DeltaLog, OverlayIndex
+from ..delta import (
+    DeltaLog,
+    OverlayIndex,
+    VersionUnavailableError,
+    VersionedOverlay,
+    load_versions,
+)
 from ..obs import DEFAULT_SLOW_CAPACITY, DEFAULT_SLOW_THRESHOLD, SlowQuery, SlowQueryLog
 from .cache import LRUCache
 from .sharding import ShardedIndex
@@ -64,6 +70,14 @@ class AliasService:
         self._column_of = getattr(backend, "column_of", None)
         # Serialises writers (apply_delta); readers never take it.
         self._swap_lock = threading.Lock()
+        # MVCC state: every apply_delta stamps a new version, and every
+        # superseded backend stays reachable (immutable, structure-shared)
+        # so as_of() can pin it.  A service built from a versioned file
+        # additionally carries the file's own epoch history.
+        self._version = 0
+        self._version_floor = 0
+        self._history: Dict[int, object] = {0: backend}
+        self._versioned: Optional[VersionedOverlay] = None
 
     @classmethod
     def from_index(cls, index: PestrieIndex, **options) -> "AliasService":
@@ -80,20 +94,39 @@ class AliasService:
     def from_files(cls, paths: Sequence[str], mode: str = "ptlist",
                    lazy: bool = False, **options) -> "AliasService":
         """Serve one or more persistent files (``lazy=True`` defers decode
-        of each shard to the first query routed to it)."""
+        of each shard to the first query routed to it).
+
+        A single ``PESTRIE3``/``PESTRIE4`` file is opened through the
+        versioned loader: the service starts at the file's epoch head with
+        the whole on-disk version history answerable via :meth:`as_of`.
+        Sharded (multi-file) services start at version 0 with in-memory
+        history only.
+        """
         from ..core.pipeline import load_index
 
+        versioned: Optional[VersionedOverlay] = None
         if len(paths) == 1:
-            backend = load_index(paths[0], mode=mode, lazy=lazy)
+            if _is_delta_capable(paths[0]):
+                versioned = load_versions(paths[0], mode=mode, lazy=lazy)
+                backend = versioned.head_overlay()
+            else:
+                backend = load_index(paths[0], mode=mode, lazy=lazy)
         else:
             backend = ShardedIndex.from_files(paths, mode=mode, lazy=lazy)
         try:
-            return cls(backend, **options)
+            service = cls(backend, **options)
+            if versioned is not None:
+                service._versioned = versioned
+                service._version = versioned.head
+                service._version_floor = versioned.floor
+                service._history = {versioned.head: backend}
+            return service
         except BaseException:
             # The service never owned the backend: close the mappings we
             # just opened instead of leaking them (a close failure must not
             # mask the constructor's error).
-            close = getattr(backend, "close", None)
+            close = getattr(versioned if versioned is not None else backend,
+                            "close", None)
             if close is not None:
                 try:
                     close()
@@ -153,6 +186,9 @@ class AliasService:
         ``ContainerClosedError`` from the backend, not with attribute
         errors from a half-torn-down service.
         """
+        if self._versioned is not None:
+            self._versioned.close()
+            return
         close = getattr(self._backend, "close", None)
         if close is not None:
             close()
@@ -171,6 +207,11 @@ class AliasService:
         happens *before* invalidation: in the window between them a reader
         can only cache answers from the *new* backend — and any in-flight
         pre-swap computation is discarded by the cache's epoch guard.
+
+        Each effective delta also stamps a new service version: the
+        superseded backend stays pinned in the version history, so
+        :meth:`as_of` can still answer at any earlier version, and
+        snapshot handles taken before the swap keep their exact answers.
 
         Returns the number of cache entries invalidated.
         """
@@ -194,8 +235,14 @@ class AliasService:
 
             self._backend = new
             self._column_of = getattr(new, "column_of", None)
+            self._version += 1
+            self._history[self._version] = new
 
             def stale(key) -> bool:
+                if len(key) == 3:
+                    # Version-qualified entries belong to pinned snapshots:
+                    # a historical answer can never go stale.
+                    return False
                 kind, operand = key
                 if kind == "is_alias":
                     return operand[0] in dirty or operand[1] in dirty
@@ -223,6 +270,141 @@ class AliasService:
         raise TypeError(
             "backend %r does not support live deltas" % type(backend).__name__
         )
+
+    # ------------------------------------------------------------------
+    # Time travel
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """The service's current (head) version."""
+        return self._version
+
+    @property
+    def version_floor(self) -> int:
+        """The oldest version :meth:`as_of` can still answer."""
+        return self._version_floor
+
+    def versions(self) -> List[int]:
+        """Every answerable version, oldest first (floor leads the list)."""
+        with self._swap_lock:
+            known = {self._version_floor, self._version}
+            known.update(epoch for epoch in self._history
+                         if epoch >= self._version_floor)
+            if self._versioned is not None:
+                known.update(epoch for epoch in self._versioned.versions()
+                             if epoch >= self._version_floor)
+            return sorted(known)
+
+    def as_of(self, version: int) -> "AliasSnapshot":
+        """Pin a read-only snapshot of the service at ``version``.
+
+        The handle answers all four Table 1 queries (and their batch
+        forms) exactly as the service did at that version, no matter how
+        many deltas land afterwards — backends are immutable, so the pin
+        is just a reference, not a copy.  Versions between two epochs
+        resolve to the older epoch; versions outside
+        ``[version_floor, version]`` raise
+        :class:`~repro.delta.VersionUnavailableError`.
+        """
+        backend, resolved = self._resolve_version(version)
+        return AliasSnapshot(self, backend, resolved)
+
+    def prune_versions(self, floor: int) -> int:
+        """Raise the version floor, releasing history below it.
+
+        The service-side analogue of the file compaction watermark: after
+        ``prune_versions(v)``, :meth:`as_of` below ``v`` fails loudly with
+        :class:`~repro.delta.VersionUnavailableError`.  Snapshot handles
+        already pinned below the new floor keep working — they hold their
+        backend directly.  Returns the number of history entries dropped.
+        """
+        if not isinstance(floor, int) or isinstance(floor, bool):
+            raise TypeError("version floor must be an integer, got %r" % (floor,))
+        with self._swap_lock:
+            if floor > self._version:
+                raise VersionUnavailableError(
+                    "cannot raise the version floor to %d: service head is %d"
+                    % (floor, self._version)
+                )
+            if floor <= self._version_floor:
+                return 0
+            file_head = (self._versioned.head
+                         if self._versioned is not None else None)
+            if file_head is None or floor > file_head:
+                # Keep the floor state itself resolvable: re-key the
+                # backend that answers for the new floor before dropping
+                # everything older.
+                snap = max((epoch for epoch in self._history if epoch <= floor),
+                           default=None)
+                if snap is not None:
+                    self._history[floor] = self._history[snap]
+            dropped = [epoch for epoch in self._history if epoch < floor]
+            for epoch in dropped:
+                del self._history[epoch]
+            self._version_floor = floor
+            return len(dropped)
+
+    def _resolve_version(self, version: int):
+        """Map a requested version to ``(backend, resolved_epoch)``."""
+        if not isinstance(version, int) or isinstance(version, bool):
+            raise TypeError("version must be an integer, got %r" % (version,))
+        with self._swap_lock:
+            if version < self._version_floor:
+                raise VersionUnavailableError(
+                    "version %d predates the service's version floor %d"
+                    % (version, self._version_floor)
+                )
+            if version > self._version:
+                raise VersionUnavailableError(
+                    "version %d is ahead of the service head %d"
+                    % (version, self._version)
+                )
+            versioned = self._versioned
+            if versioned is not None and version <= versioned.head:
+                overlay = versioned.as_of(version)
+                resolved = max(
+                    (epoch for epoch in versioned.versions() if epoch <= version),
+                    default=versioned.floor,
+                )
+                return overlay, resolved
+            snap = max(epoch for epoch in self._history if epoch <= version)
+            return self._history[snap], snap
+
+    def _snapshot_is_alias(self, backend, version: int, p: int, q: int) -> bool:
+        start = time.perf_counter()
+        key = ("is_alias", (p, q) if p <= q else (q, p), version)
+        value = self._cache.get(key, _MISS)
+        hit = value is not _MISS
+        if not hit:
+            self._stats.record_cache(0, 1)
+            # No epoch guard: a version-qualified answer never goes stale
+            # (apply_delta's invalidation skips 3-tuple keys entirely).
+            value = backend.is_alias(p, q)
+            self._cache.put(key, value)
+        else:
+            self._stats.record_cache(1, 0)
+        elapsed = time.perf_counter() - start
+        self._stats.record("is_alias", elapsed)
+        self._slow.record("is_alias", (p, q), elapsed, cache_hit=hit)
+        return value
+
+    def _snapshot_list(self, backend, version: int, kind: str,
+                       operand: int) -> Tuple[int, ...]:
+        start = time.perf_counter()
+        key = (kind, operand, version)
+        value = self._cache.get(key, _MISS)
+        hit = value is not _MISS
+        if not hit:
+            self._stats.record_cache(0, 1)
+            value = tuple(getattr(backend, kind)(operand))
+            self._cache.put(key, value)
+        else:
+            self._stats.record_cache(1, 0)
+        elapsed = time.perf_counter() - start
+        self._stats.record(kind, elapsed)
+        self._slow.record(kind, (operand,), elapsed, cache_hit=hit)
+        return value
 
     # ------------------------------------------------------------------
     # Single-query API
@@ -373,6 +555,84 @@ class AliasService:
                               cache_hit=not pending, batched=True,
                               queries=len(operands))
         return [list(value) for value in results]
+
+
+class AliasSnapshot:
+    """A pinned, read-only view of an :class:`AliasService` at one version.
+
+    Obtained from :meth:`AliasService.as_of`.  The snapshot holds a direct
+    reference to the (immutable) backend that was current at its version,
+    so its answers are fixed for the handle's lifetime — concurrent
+    ``apply_delta`` calls, cache invalidations, and even
+    :meth:`AliasService.prune_versions` past this version cannot change
+    them.  Results are cached in the service's LRU under
+    version-qualified keys, shared between all snapshots pinned at the
+    same resolved version.
+    """
+
+    __slots__ = ("_backend", "_service", "_version")
+
+    def __init__(self, service: AliasService, backend, version: int):
+        self._service = service
+        self._backend = backend
+        self._version = version
+
+    @property
+    def version(self) -> int:
+        """The resolved epoch this snapshot answers for."""
+        return self._version
+
+    @property
+    def backend(self):
+        return self._backend
+
+    @property
+    def n_pointers(self) -> int:
+        return self._backend.n_pointers
+
+    @property
+    def n_objects(self) -> int:
+        return self._backend.n_objects
+
+    # -- single queries -------------------------------------------------
+
+    def is_alias(self, p: int, q: int) -> bool:
+        return self._service._snapshot_is_alias(self._backend, self._version, p, q)
+
+    def list_aliases(self, p: int) -> List[int]:
+        return list(self._service._snapshot_list(
+            self._backend, self._version, "list_aliases", p))
+
+    def list_points_to(self, p: int) -> List[int]:
+        return list(self._service._snapshot_list(
+            self._backend, self._version, "list_points_to", p))
+
+    def list_pointed_by(self, obj: int) -> List[int]:
+        return list(self._service._snapshot_list(
+            self._backend, self._version, "list_pointed_by", obj))
+
+    # -- batch queries ---------------------------------------------------
+
+    def is_alias_batch(self, pairs: Sequence[Tuple[int, int]]) -> List[bool]:
+        return [self.is_alias(p, q) for p, q in pairs]
+
+    def list_aliases_many(self, pointers: Sequence[int]) -> List[List[int]]:
+        return [self.list_aliases(p) for p in pointers]
+
+    def points_to_batch(self, pointers: Sequence[int]) -> List[List[int]]:
+        return [self.list_points_to(p) for p in pointers]
+
+    def pointed_by_batch(self, objects: Sequence[int]) -> List[List[int]]:
+        return [self.list_pointed_by(obj) for obj in objects]
+
+
+def _is_delta_capable(path: str) -> bool:
+    """True when the file's base format can carry a DELTA chain (v3/v4)."""
+    from ..core.encoder import MAGIC_V3, MAGIC_V4
+
+    with open(path, "rb") as stream:
+        magic = stream.read(8)
+    return magic in (MAGIC_V3, MAGIC_V4)
 
 
 def _column_key(column_of, operand: int):

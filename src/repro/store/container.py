@@ -60,6 +60,7 @@ from ..core.encoder import (
     ABSENT,
     FLAG_COMPACT,
     MAGIC_DELTA,
+    MAGIC_DELTA2,
 )
 from ..core.ioutil import crc32
 from ..core.segment_tree import Rect
@@ -189,14 +190,23 @@ class Container:
                 self._open_legacy(buffer, size)
 
             if not allow_tail and self.base_size != size:
-                if bytes(buffer[self.base_size : self.base_size + 8]) == MAGIC_DELTA:
+                if bytes(buffer[self.base_size : self.base_size + 8]) in (
+                        MAGIC_DELTA, MAGIC_DELTA2):
+                    # A tail of watermark-only records (what compaction
+                    # leaves behind to preserve the epoch floor) carries no
+                    # facts: the base alone IS the current state, so plain
+                    # readers may use it.  Any fact-bearing record still
+                    # forces the delta-aware loader.
+                    if not self._tail_is_watermark_only():
+                        raise CorruptFileError(
+                            "file carries appended DELTA records; decode it "
+                            "with repro.delta.load_overlay / overlay_from_bytes"
+                        )
+                else:
                     raise CorruptFileError(
-                        "file carries appended DELTA records; decode it with "
-                        "repro.delta.load_overlay / overlay_from_bytes"
+                        "%d trailing bytes after the base image"
+                        % (size - self.base_size)
                     )
-                raise CorruptFileError(
-                    "%d trailing bytes after the base image" % (size - self.base_size)
-                )
         except BaseException:
             # Unpin the mapping so the caller's cleanup close() cannot be
             # masked by a BufferError from this half-built view.  Mark the
@@ -555,6 +565,22 @@ class Container:
             self._check_open()
             return decode_records(self._buffer, self.base_size,
                                   self.n_pointers, self.n_objects)
+
+    def _tail_is_watermark_only(self) -> bool:
+        """True when every trailing record is a fact-free epoch watermark.
+
+        Called during :meth:`_build` (strict, ``allow_tail=False`` mode), so
+        it reads the buffer directly rather than going through the public
+        accessors.  A corrupt tail propagates its own
+        :class:`CorruptFileError` — strict mode never ignores bad bytes.
+        """
+        from ..delta.format import decode_records
+
+        if self.version < 3:
+            return False
+        records = decode_records(self._buffer, self.base_size,
+                                 self.n_pointers, self.n_objects)
+        return all(record.watermark for record in records)
 
     def append_tail(self, record: bytes) -> int:
         """Durably append one encoded DELTA record after the current image.

@@ -610,3 +610,197 @@ class TestWorkerMode:
             if proc.poll() is None:
                 proc.kill()
                 proc.wait()
+
+
+# ----------------------------------------------------------------------
+# Versioned frames: VERSIONS and QUERY_AT over the wire
+# ----------------------------------------------------------------------
+
+
+class TestVersionedProtocol:
+    def test_query_at_round_trips(self):
+        inner = protocol.encode_is_alias([(1, 2), (3, 4)])
+        body = protocol.encode_query_at(7, inner)
+        assert protocol.request_op(body) == protocol.OP_QUERY_AT
+        version, decoded = protocol.decode_query_at(body)
+        assert version == 7
+        assert decoded == inner
+
+    def test_query_at_rejects_bad_shapes(self):
+        inner = protocol.encode_list(OP_LIST_POINTS_TO, [1])
+        with pytest.raises(ProtocolError):
+            protocol.encode_query_at(-1, inner)
+        with pytest.raises(ProtocolError):
+            protocol.encode_query_at(2 ** 32, inner)
+        with pytest.raises(ProtocolError):  # only plain queries may nest
+            protocol.encode_query_at(1, protocol.encode_ping())
+        nested = protocol.encode_query_at(1, inner)
+        with pytest.raises(ProtocolError):  # no QUERY_AT inside QUERY_AT
+            protocol.encode_query_at(2, nested)
+        with pytest.raises(ProtocolError):  # truncated: no inner body
+            protocol.decode_query_at(bytes((protocol.OP_QUERY_AT,)) + b"\x00" * 4)
+        bad = bytes((protocol.OP_QUERY_AT,)) + struct.pack("<I", 1) + \
+            protocol.encode_ping()
+        with pytest.raises(ProtocolError):
+            protocol.decode_query_at(bad)
+
+    def test_version_range_round_trips(self):
+        payload = protocol.encode_version_range(2, 9)
+        status, body = protocol.split_response(payload)
+        assert status == ST_OK
+        assert protocol.decode_version_range(body) == (2, 9)
+        with pytest.raises(ProtocolError):
+            protocol.decode_version_range(body + b"\x00")
+
+
+@pytest.fixture
+def versioned_served(tmp_path):
+    """A daemon over a file with a 2-record stamped chain.
+
+    Yields ``(states, socket_path, daemon)`` where ``states[k]`` is the
+    ground-truth matrix at file epoch ``k``.
+    """
+    from repro.delta import append_delta
+
+    matrix = make_random_matrix(30, 10, density=0.2, seed=13)
+    path = str(tmp_path / "chain.pes")
+    persist(matrix, path)
+    rng = random.Random(13)
+    states = [matrix]
+    while len(states) < 3:
+        log = DeltaLog()
+        for _ in range(6):
+            pointer, obj = rng.randrange(30), rng.randrange(10)
+            if rng.random() < 0.5:
+                log.insert(pointer, obj)
+            else:
+                log.delete(pointer, obj)
+        inserts, deletes = log.net()
+        if not inserts and not deletes:
+            continue
+        append_delta(path, log)
+        states.append(_apply_script(states[-1], log))
+    service = AliasService.from_files([path])
+    sock = str(tmp_path / "v.sock")
+    daemon = AliasDaemon(service, socket_path=sock, http_port=0,
+                         close_service=True)
+    runner = ThreadedDaemon(daemon).start()
+    try:
+        yield states, sock, daemon
+    finally:
+        runner.stop()
+
+
+class TestVersionedFrames:
+    def test_versions_and_as_of_match_every_epoch(self, versioned_served):
+        states, sock, _daemon = versioned_served
+        with DaemonClient(sock) as client:
+            assert client.versions() == (0, 2)
+            pairs = [(p, q) for p in range(0, 30, 4) for q in range(0, 30, 5)]
+            pointers = list(range(30))
+            for epoch, state in enumerate(states):
+                assert client.is_alias_batch(pairs, as_of=epoch) == [
+                    state.is_alias(p, q) for p, q in pairs
+                ]
+                rows = client.points_to_batch(pointers, as_of=epoch)
+                assert [sorted(row) for row in rows] == [
+                    state.list_points_to(p) for p in pointers
+                ]
+                rows = client.pointed_by_batch(list(range(10)), as_of=epoch)
+                assert [sorted(row) for row in rows] == [
+                    state.list_pointed_by(obj) for obj in range(10)
+                ]
+                assert sorted(client.list_aliases(3, as_of=epoch)) == \
+                    state.list_aliases(3)
+
+    def test_out_of_range_version_is_bad_request_and_survivable(
+            self, versioned_served):
+        states, sock, _daemon = versioned_served
+        with DaemonClient(sock) as client:
+            with pytest.raises(DaemonError) as info:
+                client.is_alias(0, 1, as_of=99)
+            assert info.value.status == ST_BAD_REQUEST
+            # The connection keeps serving after the rejected version.
+            assert client.is_alias(0, 1) == states[-1].is_alias(0, 1)
+
+    def test_apply_delta_extends_the_version_range(self, versioned_served):
+        states, sock, _daemon = versioned_served
+        log = DeltaLog().insert(2, 3).delete(0, 1)
+        edited = _apply_script(states[-1], log)
+        with DaemonClient(sock) as client:
+            client.apply_delta(log)
+            assert client.versions() == (0, 3)
+            assert sorted(client.list_points_to(2, as_of=3)) == \
+                edited.list_points_to(2)
+            # The pre-delta epoch still answers the pre-delta state.
+            assert sorted(client.list_points_to(2, as_of=2)) == \
+                states[-1].list_points_to(2)
+            stats = client.stats()
+            assert stats["version"] == 3
+            assert stats["version_floor"] == 0
+
+    def test_pinned_epoch_readers_vs_delta_stream(self, versioned_served):
+        """QUERY_AT readers pinned at old epochs stay exact during deltas."""
+        states, sock, _daemon = versioned_served
+        rng = random.Random(99)
+        logs, live = [], states[-1]
+        for _ in range(3):
+            log = DeltaLog()
+            for _ in range(4):
+                pointer, obj = rng.randrange(30), rng.randrange(10)
+                if rng.random() < 0.5:
+                    log.insert(pointer, obj)
+                else:
+                    log.delete(pointer, obj)
+            logs.append(log)
+            live = _apply_script(live, log)
+
+        failures = []
+        stop = threading.Event()
+
+        def reader(slot):
+            reader_rng = random.Random(400 + slot)
+            try:
+                with DaemonClient(sock) as client:
+                    while not stop.is_set():
+                        epoch = reader_rng.randrange(len(states))
+                        state = states[epoch]
+                        pairs = [(reader_rng.randrange(30),
+                                  reader_rng.randrange(30)) for _ in range(4)]
+                        answers = client.is_alias_batch(pairs, as_of=epoch)
+                        if answers != [state.is_alias(p, q) for p, q in pairs]:
+                            failures.append(("is_alias_batch", epoch, pairs))
+                        p = reader_rng.randrange(30)
+                        if sorted(client.list_points_to(p, as_of=epoch)) != \
+                                state.list_points_to(p):
+                            failures.append(("points_to", epoch, p))
+            except Exception as error:  # pragma: no cover - debugging aid
+                failures.append(("reader exception", slot, repr(error)))
+
+        def updater():
+            try:
+                with DaemonClient(sock) as client:
+                    for log in logs:
+                        time.sleep(0.02)
+                        client.apply_delta(log)
+            except Exception as error:  # pragma: no cover - debugging aid
+                failures.append(("updater exception", repr(error)))
+            finally:
+                stop.set()
+
+        threads = [threading.Thread(target=reader, args=(slot,))
+                   for slot in range(3)]
+        threads.append(threading.Thread(target=updater))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not failures, failures[:10]
+        with DaemonClient(sock) as client:
+            floor, head = client.versions()
+            assert (floor, head) == (0, 2 + len(logs))
+            rows = client.points_to_batch(list(range(30)), as_of=head)
+            assert [sorted(row) for row in rows] == [
+                live.list_points_to(p) for p in range(30)
+            ]

@@ -261,9 +261,19 @@ class TestFileRoundTrip:
             image = stream.read()
         with pytest.raises(CorruptFileError):
             decode_bytes(image)
-        # Compacting folds the chain back into a plain decodable image.
+        # Compacting folds the chain into a fresh base, leaving only the
+        # epoch watermark record behind (so as_of on folded versions fails
+        # loudly instead of answering wrongly).
         compact_file(path)
-        assert load_index(path).materialize() == edited
+        compacted = load_overlay(path)
+        assert compacted.materialize() == edited
+        assert compacted.delta_size() == 0
+        from repro.delta import VersionUnavailableError, load_versions
+
+        versioned = load_versions(path)
+        assert versioned.floor == versioned.head == 3
+        with pytest.raises(VersionUnavailableError):
+            versioned.as_of(2)
 
     def test_net_empty_log_appends_nothing(self, tmp_path):
         matrix = make_random_matrix(6, 3, density=0.3, seed=7)

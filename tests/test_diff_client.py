@@ -112,3 +112,71 @@ class TestNewAliasPairs:
             for p, q in fresh:
                 assert new_matrix.is_alias(p, q)
                 assert not old_matrix.is_alias(p, q)
+
+
+def _full_range_diff(old, new):
+    """The pre-candidate implementation: scan the whole pointer id range.
+
+    Kept as the reference semantics for the candidate-narrowed scan — the
+    optimisation must change cost, never answers.
+    """
+    from repro.clients.diff import PointsToDiff
+
+    diff = PointsToDiff()
+    for pointer in range(max(old.n_pointers, new.n_pointers)):
+        old_row = set(old.list_points_to(pointer)) if pointer < old.n_pointers else set()
+        new_row = set(new.list_points_to(pointer)) if pointer < new.n_pointers else set()
+        for obj in sorted(new_row - old_row):
+            diff.added.append((pointer, obj))
+        for obj in sorted(old_row - new_row):
+            diff.removed.append((pointer, obj))
+    return diff
+
+
+class TestCandidateScanEquality:
+    """The candidate-narrowed diff is pinned to the full-range scan."""
+
+    @settings(max_examples=40)
+    @given(matrices(max_pointers=10, max_objects=6),
+           matrices(max_pointers=10, max_objects=6))
+    def test_matches_full_scan_on_plain_indexes(self, old_matrix, new_matrix):
+        old, new = _index(old_matrix), _index(new_matrix)
+        fast = diff_points_to(old, new)
+        slow = _full_range_diff(old, new)
+        assert fast.added == slow.added
+        assert fast.removed == slow.removed
+
+    def test_matches_full_scan_on_overlays(self):
+        """Overlay dirty sets join the candidates: edited rows still diff."""
+        import random
+
+        from repro.delta import DeltaLog, OverlayIndex
+
+        for seed in range(6):
+            rng = random.Random("diff-pin-%d" % seed)
+            old_matrix = make_random_matrix(18, 7, density=0.2, seed=seed)
+            new_matrix = make_random_matrix(18, 7, density=0.2, seed=seed + 50)
+            log = DeltaLog()
+            for _ in range(8):
+                pointer, obj = rng.randrange(18), rng.randrange(7)
+                if rng.random() < 0.5:
+                    log.insert(pointer, obj)
+                else:
+                    log.delete(pointer, obj)
+            old = _index(old_matrix)
+            new = OverlayIndex(_index(new_matrix), log)
+            fast = diff_points_to(old, new)
+            slow = _full_range_diff(old, new)
+            assert fast.added == slow.added
+            assert fast.removed == slow.removed
+
+    def test_explicit_candidates_narrow_the_scan(self):
+        old_matrix = PointsToMatrix.from_rows([[0], [1], [0]], 2)
+        new_matrix = PointsToMatrix.from_rows([[1], [0], [0]], 2)
+        full = diff_points_to(_index(old_matrix), _index(new_matrix))
+        assert set(full.added) == {(0, 1), (1, 0)}
+        narrowed = diff_points_to(_index(old_matrix), _index(new_matrix),
+                                  candidates=[0])
+        # Pointer 1's change is invisible by construction; pointer 0's is kept.
+        assert narrowed.added == [(0, 1)]
+        assert narrowed.removed == [(0, 0)]

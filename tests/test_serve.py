@@ -746,3 +746,150 @@ class TestBatchReadersDuringUpdates:
         assert [sorted(row) for row in rows] == [
             final.list_points_to(p) for p in range(30)
         ]
+
+
+class TestPinnedSnapshotsDuringUpdates:
+    """MVCC stress: pinned ``as_of`` handles stay exact while the head races.
+
+    Unlike the prefix-legality rule above, a *pinned* snapshot has a
+    stronger contract: every answer must match its epoch's state exactly —
+    no drift, no torn reads — no matter how many deltas land, and even
+    after the epoch itself is pruned from the service's history.
+    """
+
+    READERS = 4
+
+    def _chain(self, seed, n_pointers=24, n_objects=8, updates=6):
+        matrix = make_random_matrix(n_pointers, n_objects, density=0.25,
+                                    seed=seed)
+        rng = random.Random(seed)
+        logs, states = [], [matrix]
+        while len(logs) < updates:
+            log = DeltaLog()
+            for _ in range(5):
+                pointer, obj = rng.randrange(n_pointers), rng.randrange(n_objects)
+                if rng.random() < 0.5:
+                    log.insert(pointer, obj)
+                else:
+                    log.delete(pointer, obj)
+            inserts, deletes = log.net()
+            if not inserts and not deletes:
+                continue
+            logs.append(log)
+            states.append(_apply_script(states[-1], log))
+        return matrix, logs, states
+
+    def _race(self, pins, states, writer, n_pointers, n_objects):
+        failures = []
+        stop = threading.Event()
+
+        def reader(slot):
+            reader_rng = random.Random(300 + slot)
+            versions = sorted(pins)
+            try:
+                while not stop.is_set():
+                    version = reader_rng.choice(versions)
+                    snap, state = pins[version], states[version]
+                    p = reader_rng.randrange(n_pointers)
+                    q = reader_rng.randrange(n_pointers)
+                    if sorted(snap.list_points_to(p)) != state.list_points_to(p):
+                        failures.append(("points_to", version, p))
+                    if snap.is_alias(p, q) != state.is_alias(p, q):
+                        failures.append(("is_alias", version, p, q))
+                    obj = reader_rng.randrange(n_objects)
+                    if sorted(snap.list_pointed_by(obj)) != state.list_pointed_by(obj):
+                        failures.append(("pointed_by", version, obj))
+                    pairs = [(reader_rng.randrange(n_pointers),
+                              reader_rng.randrange(n_pointers))
+                             for _ in range(4)]
+                    if snap.is_alias_batch(pairs) != [state.is_alias(p, q)
+                                                     for p, q in pairs]:
+                        failures.append(("is_alias_batch", version))
+            except Exception as error:  # pragma: no cover - debugging aid
+                failures.append(("reader exception", slot, repr(error)))
+
+        def updater():
+            try:
+                writer()
+            except Exception as error:  # pragma: no cover - debugging aid
+                failures.append(("updater exception", repr(error)))
+            finally:
+                stop.set()
+
+        threads = [threading.Thread(target=reader, args=(slot,))
+                   for slot in range(self.READERS)]
+        threads.append(threading.Thread(target=updater))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return failures
+
+    def test_pinned_readers_vs_updater_and_prune(self):
+        from repro.delta import VersionUnavailableError
+
+        matrix, logs, states = self._chain(seed=23)
+        service = AliasService.from_index(index_from_bytes(encode(matrix)),
+                                          cache_size=64)
+        for log in logs[:3]:  # history to pin before the race starts
+            service.apply_delta(log)
+        assert service.versions() == [0, 1, 2, 3]
+        pins = {version: service.as_of(version) for version in range(4)}
+
+        def writer():
+            for log in logs[3:]:
+                time.sleep(0.01)
+                service.apply_delta(log)
+            service.prune_versions(3)
+
+        failures = self._race(pins, states, writer, 24, 8)
+        assert not failures, failures[:10]
+
+        assert service.version == len(logs)
+        assert service.version_floor == 3
+        final = states[-1]
+        for p in range(24):
+            assert sorted(service.list_points_to(p)) == final.list_points_to(p)
+        for version in (0, 1, 2):
+            with pytest.raises(VersionUnavailableError):
+                service.as_of(version)
+        # Handles pinned before the prune keep answering their exact epoch.
+        for version, snap in pins.items():
+            for p in range(24):
+                assert sorted(snap.list_points_to(p)) == \
+                    states[version].list_points_to(p)
+
+    def test_pinned_file_epochs_survive_on_disk_compaction(self, tmp_path):
+        from repro.core.pipeline import persist
+        from repro.delta import append_delta, compact_file, load_versions
+
+        matrix, logs, states = self._chain(seed=29, updates=3)
+        path = str(tmp_path / "service.pestrie")
+        persist(matrix, path)
+        for log in logs:
+            append_delta(path, log)
+        service = AliasService.from_files([path], cache_size=64)
+        try:
+            assert service.versions() == [0, 1, 2, 3]
+            pins = {version: service.as_of(version) for version in range(4)}
+
+            def writer():
+                time.sleep(0.01)
+                # Rewrites the file on disk; the service's mapping (and
+                # every pinned handle) must keep serving the old image.
+                compact_file(path)
+
+            failures = self._race(pins, states, writer, 24, 8)
+            assert not failures, failures[:10]
+            for version, snap in pins.items():
+                for p in range(24):
+                    assert sorted(snap.list_points_to(p)) == \
+                        states[version].list_points_to(p)
+        finally:
+            service.close()
+        # A fresh open sees the folded history behind the watermark.
+        versioned = load_versions(path)
+        try:
+            assert versioned.floor == versioned.head == 3
+        finally:
+            versioned.close()
