@@ -3,7 +3,7 @@
 PYTHON ?= python3
 RUN = PYTHONPATH=src:$$PYTHONPATH $(PYTHON)
 
-.PHONY: install test fuzz fuzz-v4 fuzz-versions bench bench-smoke daemon-smoke metrics-smoke examples results clean
+.PHONY: install test fuzz fuzz-v4 fuzz-versions bench bench-smoke daemon-smoke metrics-smoke obs-smoke examples results clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -43,6 +43,12 @@ bench-smoke:
 # reload invariant.
 daemon-smoke:
 	BENCH_SMOKE=1 $(RUN) -m pytest benchmarks/bench_daemon_throughput.py -q
+
+# Observability guard: boot a daemon, drive traced traffic, assert one
+# request yields one connected span tree, the flight recorder dumps real
+# events, and the always-on recorder costs <5% throughput.
+obs-smoke:
+	BENCH_SMOKE=1 $(RUN) -m pytest benchmarks/bench_obs_flight.py -q
 
 # End-to-end telemetry guard: run the pipeline, dump the metrics registry,
 # fail if any catalogued family is missing or an exercised one has no data.

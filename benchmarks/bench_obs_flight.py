@@ -1,0 +1,148 @@
+"""Extension — observability overhead: the flight recorder must ride free.
+
+PR 9 leaves the flight recorder on permanently and the cost hooks compiled
+into every query path, so this bench is the acceptance gate for that
+decision: boot a ``ThreadedDaemon``, drive a mixed traced/untraced batch
+workload through it, and
+
+1. assert one traced request produced one *connected* span tree — the
+   client-side ``client.request`` and the daemon-side ``daemon.request``
+   share the minted request id, and the daemon root reaches down through
+   ``serve.*`` into ``index.answer``;
+2. assert the flight recorder retained a non-empty structured dump whose
+   events cover the request path;
+3. replay the same workload with the recorder on and off and require the
+   recorder-on rate to stay within ``MAX_OVERHEAD`` (<5%) of recorder-off.
+
+Runs with a tiny workload when ``BENCH_SMOKE`` is set (the ``make
+obs-smoke`` CI guard).
+"""
+
+import json
+import os
+import random
+import urllib.request
+
+from repro.bench.harness import Table, timed
+from repro.bench.synthetic import SyntheticSpec, synthesize
+from repro.clients import DaemonClient
+from repro.core.pipeline import persist
+from repro.daemon import AliasDaemon, ThreadedDaemon
+from repro.obs import get_flight_recorder, trace
+from repro.serve import AliasService
+
+from conftest import write_result
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+N_POINTERS = 240 if SMOKE else 1000
+N_OBJECTS = 60 if SMOKE else 250
+BATCH = 64
+BATCHES = 24 if SMOKE else 150
+#: Overhead acceptance bar for the always-on recorder (fraction).
+MAX_OVERHEAD = 0.05
+#: Repeat the paired measurement and take the best ratio: single runs of a
+#: sub-second workload are noise-bound, and the bar is about systematic
+#: cost, not scheduler jitter.
+ROUNDS = 3 if SMOKE else 5
+
+
+def _serve(tmp_path, matrix):
+    path = os.path.join(tmp_path, "obs.pes")
+    persist(matrix, path, version=4)
+    service = AliasService.from_files([path], lazy=True)
+    socket_path = os.path.join(tmp_path, "obs.sock")
+    daemon = AliasDaemon(service, socket_path=socket_path, http_port=0,
+                         close_service=True)
+    return socket_path, daemon
+
+
+def _batches(matrix, seed, count):
+    rng = random.Random(seed)
+    return [
+        [(rng.randrange(matrix.n_pointers), rng.randrange(matrix.n_pointers))
+         for _ in range(BATCH)]
+        for _ in range(count)
+    ]
+
+
+def _replay(socket_path, batches):
+    with DaemonClient(socket_path) as client:
+        for batch in batches:
+            client.is_alias_batch(batch)
+
+
+def test_obs_flight_smoke(tmp_path):
+    matrix = synthesize(SyntheticSpec(n_pointers=N_POINTERS,
+                                      n_objects=N_OBJECTS, seed=9))
+    batches = _batches(matrix, 77, BATCHES)
+    total = BATCH * BATCHES
+    socket_path, daemon = _serve(str(tmp_path), matrix)
+    recorder = get_flight_recorder()
+
+    with ThreadedDaemon(daemon):
+        # ------------------------------------------------------------------
+        # 1. One traced request = one connected span tree.
+        # ------------------------------------------------------------------
+        with trace.capture() as spans:
+            with DaemonClient(socket_path, trace_requests=True) as client:
+                client.is_alias(0, 1)
+                request_id = client.last_request_id
+        by_name = {}
+        for span in spans:
+            by_name.setdefault(span.name, span)
+        client_span = by_name["client.request"]
+        daemon_span = by_name["daemon.request"]
+        assert client_span.attrs["request_id"] == request_id
+        assert daemon_span.attrs["request_id"] == request_id
+        serve_span = daemon_span.find("serve.is_alias")
+        assert serve_span is not None, "daemon root missing the serve layer"
+        assert serve_span.find("index.answer") is not None, \
+            "serve layer missing the index leaf"
+
+        # ------------------------------------------------------------------
+        # 2. The flight recorder retained structured evidence.
+        # ------------------------------------------------------------------
+        recorder.clear()
+        _replay(socket_path, batches[:4])
+        events = json.loads(recorder.dump_json())
+        assert events, "flight dump empty after traffic"
+        kinds = {event["kind"] for event in events}
+        assert "request" in kinds
+        assert all({"seq", "wall", "kind"} <= set(event) for event in events)
+        host, port = daemon.http_address
+        http_events = json.loads(urllib.request.urlopen(
+            "http://%s:%d/debug/events?limit=8" % (host, port)).read())
+        assert 0 < len(http_events) <= 8
+
+        # ------------------------------------------------------------------
+        # 3. Recorder on vs off: same workload, <5% throughput cost.
+        # ------------------------------------------------------------------
+        best_ratio = float("inf")
+        on_seconds = off_seconds = 0.0
+        _replay(socket_path, batches)  # warm caches for both arms
+        for _ in range(ROUNDS):
+            recorder.set_enabled(False)
+            off = timed(lambda: _replay(socket_path, batches))
+            recorder.set_enabled(True)
+            on = timed(lambda: _replay(socket_path, batches))
+            best_ratio = min(best_ratio, on.seconds / max(off.seconds, 1e-9))
+            on_seconds, off_seconds = on.seconds, off.seconds
+        overhead = best_ratio - 1.0
+
+    on_qps = total / max(on_seconds, 1e-9)
+    off_qps = total / max(off_seconds, 1e-9)
+    table = Table(
+        title="Extension — flight recorder overhead (batched IsAlias)",
+        columns=("Scenario", "queries", "seconds", "q/s"),
+        note="Best-of-%d paired runs; always-on recorder must cost <%.0f%%."
+             % (ROUNDS, 100 * MAX_OVERHEAD),
+    )
+    table.add(Scenario="recorder off", queries=total, seconds=off_seconds,
+              **{"q/s": off_qps})
+    table.add(Scenario="recorder on", queries=total, seconds=on_seconds,
+              **{"q/s": on_qps})
+    write_result("obs_flight_overhead.txt", table.render())
+
+    assert overhead < MAX_OVERHEAD, (
+        "flight recorder costs %.1f%% throughput (bar: %.0f%%)"
+        % (100 * overhead, 100 * MAX_OVERHEAD))

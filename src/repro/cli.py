@@ -192,22 +192,37 @@ def cmd_query(args: argparse.Namespace) -> int:
     else:
         index = _load_queryable(args.file, args.mode)
     operands = [int(value) for value in args.operands]
-    if args.kind == "is_alias":
-        if len(operands) != 2:
-            print("is_alias needs two pointer ids", file=sys.stderr)
-            return 2
-        print("true" if index.is_alias(*operands) else "false")
-        return 0
-    if len(operands) != 1:
+    if args.kind == "is_alias" and len(operands) != 2:
+        print("is_alias needs two pointer ids", file=sys.stderr)
+        return 2
+    if args.kind != "is_alias" and len(operands) != 1:
         print("%s needs one id" % args.kind, file=sys.stderr)
         return 2
-    if args.kind == "list_points_to":
-        answer = index.list_points_to(operands[0])
-    elif args.kind == "list_pointed_by":
-        answer = index.list_pointed_by(operands[0])
-    else:
-        answer = index.list_aliases(operands[0])
-    print(" ".join(str(value) for value in sorted(answer)))
+
+    from .obs import measure
+
+    # One measured context around the query: with a lazy open, any section
+    # the answer forces is parsed *here*, so --explain attributes it.
+    with measure() as cost:
+        if args.kind == "is_alias":
+            answer = "true" if index.is_alias(*operands) else "false"
+        else:
+            if args.kind == "list_points_to":
+                values = index.list_points_to(operands[0])
+            elif args.kind == "list_pointed_by":
+                values = index.list_pointed_by(operands[0])
+            else:
+                values = index.list_aliases(operands[0])
+            answer = " ".join(str(value) for value in sorted(values))
+    print(answer)
+    if args.explain:
+        cost.queries = max(cost.queries, 1)
+        depth = getattr(index, "generation", 0)
+        cost.replay_depth = max(cost.replay_depth, depth)
+        if cost.epoch is None and args.as_of is not None:
+            cost.epoch = args.as_of
+        print("--- cost ---")
+        print(cost.render())
     return 0
 
 
@@ -457,10 +472,34 @@ def _exercise_pipeline(source: str, analysis: str, queries: int, seed: int) -> N
         shutil.rmtree(directory, ignore_errors=True)
 
 
+def _scrape_url(url: str, timeout: float = 5.0) -> str:
+    """GET a daemon HTTP endpoint; bare host:port URLs get ``/metrics``."""
+    from urllib.parse import urlparse
+    from urllib.request import urlopen
+
+    if urlparse(url).path in ("", "/"):
+        url = url.rstrip("/") + "/metrics"
+    with urlopen(url, timeout=timeout) as response:
+        return response.read().decode("utf-8")
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
-    """Dump the process metrics registry, optionally after a pipeline run."""
+    """Dump the process metrics registry, optionally after a pipeline run.
+
+    With ``--socket`` or ``--url`` the dump comes from a *running daemon*
+    (unix-socket METRICS op / HTTP ``/metrics``) instead of this process.
+    """
     from .obs import get_registry
 
+    if args.socket:
+        from .clients import DaemonClient
+
+        with DaemonClient(args.socket) as client:
+            sys.stdout.write(client.metrics())
+        return 0
+    if args.url:
+        sys.stdout.write(_scrape_url(args.url))
+        return 0
     if args.source:
         _exercise_pipeline(args.source, args.analysis, args.queries, args.seed)
     registry = get_registry()
@@ -469,6 +508,92 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     else:
         print(registry.to_json())
     return 0
+
+
+def _top_row(label: str, stats: dict, previous: dict) -> str:
+    """One worker's line of the ``top`` display, qps from counter deltas."""
+    import time
+
+    total = int(stats.get("total_queries", 0))
+    now = time.perf_counter()
+    qps = 0.0
+    last = previous.get(label)
+    if last is not None and now > last[1]:
+        qps = max(0.0, (total - last[0]) / (now - last[1]))
+    previous[label] = (total, now)
+    counts = stats.get("counts") or {}
+    busiest = max(counts, key=counts.get) if counts else ""
+    p50 = 1e6 * stats.get("latency_p50", {}).get(busiest, 0.0)
+    p95 = 1e6 * stats.get("latency_p95", {}).get(busiest, 0.0)
+    hit_rate = 100.0 * stats.get("cache_hit_rate", 0.0)
+    return "%-24s %8.0f %10d %7.1f%% %9.1f %9.1f %8d" % (
+        label, qps, total, hit_rate, p50, p95, stats.get("version", 0))
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Poll running daemon(s) and render a qps/latency/cache table.
+
+    Curses-free: each refresh clears the screen with ANSI codes when
+    stdout is a terminal, and just appends otherwise (pipeable).  One
+    ``--url`` per pre-fork worker (ports stack as ``http_port + slot``)
+    gives the per-worker fleet view.
+    """
+    import json as jsonlib
+    import time
+
+    from .clients import DaemonClient, DaemonError
+
+    targets: List[tuple] = []
+    if args.socket:
+        targets.append(("socket:%s" % args.socket, "socket", args.socket))
+    for url in args.url or ():
+        targets.append((url, "url", url))
+    if not targets:
+        print("top needs --socket PATH and/or --url URL", file=sys.stderr)
+        return 2
+
+    clients: dict = {}
+    previous: dict = {}
+    header = "%-24s %8s %10s %8s %9s %9s %8s" % (
+        "worker", "qps", "queries", "cache", "p50 (us)", "p95 (us)", "version")
+    refreshes = 0
+    try:
+        while True:
+            rows = []
+            for label, kind, target in targets:
+                try:
+                    if kind == "socket":
+                        client = clients.get(target)
+                        if client is None:
+                            client = clients[target] = DaemonClient(target)
+                        stats = client.stats()
+                    else:
+                        from urllib.parse import urlparse
+
+                        url = target
+                        if urlparse(url).path in ("", "/"):
+                            url = url.rstrip("/") + "/stats"
+                        stats = jsonlib.loads(_scrape_url(url))
+                    rows.append(_top_row(label, stats, previous))
+                except (OSError, ValueError, DaemonError) as error:
+                    clients.pop(target, None)
+                    rows.append("%-24s unreachable (%s)" % (label, error))
+            if sys.stdout.isatty():
+                sys.stdout.write("\x1b[2J\x1b[H")
+            print(time.strftime("%H:%M:%S"), "-", len(targets), "worker(s)")
+            print(header)
+            for row in rows:
+                print(row)
+            sys.stdout.flush()
+            refreshes += 1
+            if args.iterations and refreshes >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        for client in clients.values():
+            client.close()
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -555,6 +680,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--as-of", type=int, default=None, metavar="VERSION",
                        help="answer as of this delta-chain version (epoch) "
                             "instead of the file's head state")
+    query.add_argument("--explain", action="store_true",
+                       help="print the query's cost breakdown (bytes parsed, "
+                            "sections materialised, replay depth, ...) after "
+                            "the answer")
     query.set_defaults(handler=cmd_query)
 
     delta_append = sub.add_parser(
@@ -660,7 +789,30 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--queries", type=int, default=1000,
                          help="workload length replayed through the service")
     metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument("--socket", default=None, metavar="PATH",
+                         help="scrape a running daemon over its unix socket "
+                              "(Prometheus text; ignores source/--format)")
+    metrics.add_argument("--url", default=None, metavar="URL",
+                         help="scrape a running daemon's HTTP /metrics "
+                              "endpoint (bare host:port URLs get /metrics "
+                              "appended)")
     metrics.set_defaults(handler=cmd_metrics)
+
+    top = sub.add_parser(
+        "top",
+        help="live polling view of running daemon(s): qps, latency "
+             "quantiles, cache hit rate, and MVCC version per worker",
+    )
+    top.add_argument("--socket", default=None, metavar="PATH",
+                     help="poll a daemon over its unix socket")
+    top.add_argument("--url", action="append", metavar="URL",
+                     help="poll a daemon's HTTP /stats endpoint; repeat once "
+                          "per pre-fork worker (ports are http_port + slot)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between refreshes (default 2)")
+    top.add_argument("--iterations", type=int, default=0, metavar="N",
+                     help="stop after N refreshes (0 = run until ^C)")
+    top.set_defaults(handler=cmd_top)
 
     trace = sub.add_parser(
         "trace",

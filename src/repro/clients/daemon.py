@@ -12,12 +12,26 @@ pay its batch fast path once.
 One client is one connection and is **not** thread-safe (requests are
 strictly sequential on the socket); concurrent callers should hold one
 client each — connections are cheap, and the daemon multiplexes.
+
+Request-scoped tracing (PR 9): constructed with ``trace_requests=True``
+the client mints a fresh request id per round trip, wraps every frame in
+the ``TRACED`` protocol extension, and opens a ``client.request`` span
+carrying that id — so the client-side span and the daemon's
+``daemon.request`` span correlate by ``request_id`` into one logical
+tree across the process boundary.  With ``want_cost=True`` the daemon
+additionally returns its :class:`~repro.obs.QueryCost` breakdown, parsed
+into :attr:`DaemonClient.last_cost` after each successful call.  Both
+default off; an untraced client emits byte-identical frames to PR 7.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import socket
 from typing import List, Optional, Sequence, Tuple
+
+from ..obs.tracing import trace
 
 from ..daemon import protocol
 from ..daemon.protocol import (
@@ -54,7 +68,8 @@ class DaemonError(RuntimeError):
 class DaemonClient:
     """One blocking connection to an alias daemon's unix socket."""
 
-    def __init__(self, socket_path: str, timeout: Optional[float] = 30.0):
+    def __init__(self, socket_path: str, timeout: Optional[float] = 30.0, *,
+                 trace_requests: bool = False, want_cost: bool = False):
         self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         try:
             self._sock.settimeout(timeout)
@@ -63,6 +78,16 @@ class DaemonClient:
             self._sock.close()
             raise
         self._closed = False
+        # want_cost implies tracing: the cost ride-along only exists on the
+        # TRACED frame.
+        self._trace = trace_requests or want_cost
+        self._want_cost = want_cost
+        #: Request id of the most recent round trip (None until the first
+        #: traced request).
+        self.last_request_id: Optional[str] = None
+        #: Parsed cost breakdown of the most recent successful round trip
+        #: (None unless ``want_cost`` and the daemon measured one).
+        self.last_cost: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # Wire plumbing
@@ -82,13 +107,32 @@ class DaemonClient:
         """Send one request frame, return the ``OK`` response payload."""
         if self._closed:
             raise ValueError("client is closed")
-        self._sock.sendall(protocol.frame(request))
-        length = protocol.body_length(self._recv_exactly(4))
-        body = self._recv_exactly(length)
-        status, payload = protocol.split_response(body)
+        rid = None
+        if self._trace:
+            rid = os.urandom(8).hex()
+            request = protocol.encode_traced(rid, request,
+                                             want_cost=self._want_cost)
+            self.last_request_id = rid
+            self.last_cost = None
+        if rid is None:
+            body = self._exchange(request)
+        else:
+            with trace.span("client.request", request_id=rid):
+                body = self._exchange(request)
+        if rid is not None and self._want_cost:
+            status, cost_json, payload = protocol.split_cost_response(body)
+            if cost_json:
+                self.last_cost = json.loads(cost_json.decode("ascii"))
+        else:
+            status, payload = protocol.split_response(body)
         if status != ST_OK:
             raise DaemonError(status, payload.decode("utf-8", "replace"))
         return payload
+
+    def _exchange(self, request: bytes) -> bytes:
+        self._sock.sendall(protocol.frame(request))
+        length = protocol.body_length(self._recv_exactly(4))
+        return self._recv_exactly(length)
 
     # ------------------------------------------------------------------
     # Table 1 queries
@@ -160,10 +204,17 @@ class DaemonClient:
 
     def stats(self) -> dict:
         """The daemon's service stats snapshot as a plain dict."""
-        import json
-
         payload = self._round_trip(protocol.encode_stats())
         return json.loads(payload.decode("utf-8"))
+
+    def metrics(self) -> str:
+        """The daemon's Prometheus exposition text, over the unix socket.
+
+        The same families the HTTP ``/metrics`` plane serves — this path
+        works even when the daemon was started without an HTTP port.
+        """
+        payload = self._round_trip(protocol.encode_metrics())
+        return payload.decode("utf-8")
 
     def versions(self) -> Tuple[int, int]:
         """The daemon's answerable version range as ``(floor, head)``.

@@ -28,6 +28,20 @@ Request opcodes
                     snapshot at ``version``.  A version outside the
                     service's ``[floor, head]`` range answers
                     ``BAD_REQUEST``.
+``TRACED``          the request-scoped observability extension (PR 9):
+                    ``u8 flags, u8 id_len`` then ``id_len`` ASCII bytes of
+                    client-minted request id, then a complete inner
+                    request body (any opcode except another ``TRACED``).
+                    The daemon tags its request span and flight-recorder
+                    entry with the id.  With flag bit 0 (``WANT_COST``)
+                    set, an ``OK`` answer is extended: ``u32 cost_len``
+                    then ``cost_len`` bytes of ``QueryCost`` JSON precede
+                    the inner payload.  Old clients never send ``TRACED``
+                    and responses to unwrapped requests are unchanged —
+                    the extension is invisible to PR 7 peers.
+``METRICS``         empty payload; answers the process metrics registry
+                    as Prometheus 0.0.4 text (the ``/metrics`` HTTP body,
+                    for socket-only deployments).
 
 Response statuses
 -----------------
@@ -69,6 +83,8 @@ OP_APPLY_DELTA = 0x06
 OP_STATS = 0x07
 OP_VERSIONS = 0x08
 OP_QUERY_AT = 0x09
+OP_TRACED = 0x0A
+OP_METRICS = 0x0B
 
 #: Human-readable opcode names (metric labels, error messages).
 OP_NAMES = {
@@ -81,7 +97,15 @@ OP_NAMES = {
     OP_STATS: "stats",
     OP_VERSIONS: "versions",
     OP_QUERY_AT: "query_at",
+    OP_TRACED: "traced",
+    OP_METRICS: "metrics",
 }
+
+#: ``TRACED`` flag bits.
+TRACE_WANT_COST = 0x01
+
+#: Ceiling on a client-minted request id (ASCII bytes on the wire).
+MAX_REQUEST_ID_BYTES = 64
 
 #: The read-only opcodes eligible for in-flight coalescing.  A versioned
 #: query is pure (its answer is fixed by the version stamp in its body),
@@ -159,6 +183,30 @@ def encode_stats() -> bytes:
 
 def encode_versions() -> bytes:
     return bytes((OP_VERSIONS,))
+
+
+def encode_metrics() -> bytes:
+    return bytes((OP_METRICS,))
+
+
+def encode_traced(request_id: str, inner: bytes,
+                  want_cost: bool = False) -> bytes:
+    """Wrap an already-encoded request body in a ``TRACED`` frame."""
+    try:
+        encoded_id = request_id.encode("ascii")
+    except UnicodeEncodeError:
+        raise ProtocolError("request id must be ASCII: %r" % (request_id,))
+    if not encoded_id or len(encoded_id) > MAX_REQUEST_ID_BYTES:
+        raise ProtocolError(
+            "request id must be 1-%d bytes, got %d"
+            % (MAX_REQUEST_ID_BYTES, len(encoded_id))
+        )
+    if not inner:
+        raise ProtocolError("traced frame wraps an empty body")
+    if inner[0] == OP_TRACED:
+        raise ProtocolError("traced frames do not nest")
+    flags = TRACE_WANT_COST if want_cost else 0
+    return (bytes((OP_TRACED, flags, len(encoded_id))) + encoded_id + inner)
 
 
 def encode_query_at(version: int, inner: bytes) -> bytes:
@@ -256,6 +304,33 @@ def decode_query_at(body: bytes) -> Tuple[int, bytes]:
     return version, inner
 
 
+def decode_traced(body: bytes) -> Tuple[str, bool, bytes]:
+    """``(request_id, want_cost, inner_body)`` of a ``TRACED`` request.
+
+    The inner body is re-validated by its own opcode's decoder; here only
+    the wrapper is checked.  Unknown flag bits are a protocol error so a
+    future flag cannot be silently half-honoured.
+    """
+    if len(body) < 4:
+        raise ProtocolError("truncated traced request (%d bytes)" % len(body))
+    flags, id_len = body[1], body[2]
+    if flags & ~TRACE_WANT_COST:
+        raise ProtocolError("unknown traced flags 0x%02x" % flags)
+    if not 1 <= id_len <= MAX_REQUEST_ID_BYTES:
+        raise ProtocolError("traced id length %d out of range" % id_len)
+    if len(body) < 3 + id_len + 1:
+        raise ProtocolError("traced request truncated inside the id or body")
+    raw_id = body[3:3 + id_len]
+    try:
+        request_id = raw_id.decode("ascii")
+    except UnicodeDecodeError:
+        raise ProtocolError("traced request id is not ASCII")
+    inner = body[3 + id_len:]
+    if inner[0] == OP_TRACED:
+        raise ProtocolError("traced frames do not nest")
+    return request_id, bool(flags & TRACE_WANT_COST), inner
+
+
 def decode_apply_delta(body: bytes) -> List[Tuple[str, int, int]]:
     count = _count(body, 9, "apply_delta")
     ops: List[Tuple[str, int, int]] = []
@@ -332,6 +407,38 @@ def decode_id_lists(payload: bytes, expected: int) -> List[List[int]]:
             "%d trailing bytes after the last list row" % (len(payload) - offset)
         )
     return rows
+
+
+def attach_cost(response: bytes, cost_json: bytes) -> bytes:
+    """Extend an ``OK`` response with a cost preamble (``TRACED`` + ``WANT_COST``).
+
+    The extended body is ``status | u32 cost_len | cost JSON | payload``.
+    Non-``OK`` responses pass through untouched: their payload is an error
+    message whose shape old and new clients alike must keep parsing.
+    """
+    status, payload = split_response(response)
+    if status != ST_OK:
+        return response
+    return bytes((status,)) + _U32.pack(len(cost_json)) + cost_json + payload
+
+
+def split_cost_response(body: bytes) -> Tuple[int, bytes, bytes]:
+    """``(status, cost_json, payload)`` of a cost-extended response.
+
+    Only meaningful for responses to ``TRACED`` requests with
+    ``WANT_COST`` set; non-``OK`` statuses carry no cost preamble.
+    """
+    status, payload = split_response(body)
+    if status != ST_OK:
+        return status, b"", payload
+    if len(payload) < 4:
+        raise ProtocolError("cost-extended response lacks a length word")
+    cost_len = _U32.unpack_from(payload, 0)[0]
+    if 4 + cost_len > len(payload):
+        raise ProtocolError(
+            "cost preamble declares %d bytes past the payload end" % cost_len
+        )
+    return status, payload[4:4 + cost_len], payload[4 + cost_len:]
 
 
 def decode_u32(payload: bytes) -> int:

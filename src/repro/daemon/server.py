@@ -19,7 +19,15 @@ module puts a network front door on the serve layer:
   instead of queueing without bound (fail fast, let the client back off);
 * a **minimal HTTP listener** for operations: ``GET /metrics`` serves
   the process registry's Prometheus 0.0.4 exposition, ``/healthz`` a
-  liveness probe, ``/stats`` the service's JSON stats snapshot;
+  liveness probe, ``/stats`` the service's JSON stats snapshot, and the
+  live-introspection surfaces ``/debug/events`` (the flight-recorder
+  ring), ``/debug/requests`` (in-flight frames with ages), and
+  ``/debug/profile?seconds=N`` (the sampling profiler);
+* **request-scoped observability** — ``TRACED`` frames carry a
+  client-minted request id into a ``daemon.request`` span rooted on the
+  executor thread, run the service work under a per-request
+  :class:`~repro.obs.QueryCost` context, and (with ``WANT_COST``) return
+  the itemised cost ahead of the answer payload;
 * **hot reload** — ``APPLY_DELTA`` frames go through
   :meth:`AliasService.apply_delta`: readers never pause, in-flight
   queries finish against whichever backend they captured, and the
@@ -44,7 +52,8 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Set, Tuple
 
 from ..delta import DeltaLog
-from ..obs import get_registry
+from ..obs import get_flight_recorder, get_registry, sample_profile, trace
+from ..obs.cost import measure
 from . import protocol
 from .protocol import (
     MAX_FRAME_BYTES,
@@ -53,9 +62,11 @@ from .protocol import (
     OP_LIST_ALIASES,
     OP_LIST_POINTED_BY,
     OP_LIST_POINTS_TO,
+    OP_METRICS,
     OP_PING,
     OP_QUERY_AT,
     OP_STATS,
+    OP_TRACED,
     OP_VERSIONS,
     OP_NAMES,
     QUERY_OPS,
@@ -79,7 +90,30 @@ DEFAULT_EXECUTOR_THREADS = 4
 #: Ceiling on one HTTP request head (request line + headers).
 _HTTP_HEAD_LIMIT = 8192
 
+#: Default /debug/profile window when the query string names none.
+_DEFAULT_PROFILE_SECONDS = 2.0
+
 _REGISTRY = get_registry()
+
+#: Marker cost payload for responses answered by joining an in-flight
+#: twin computation: the joiner did no work of its own to itemise.
+_COALESCED_COST = b'{"coalesced": true}'
+
+
+class _RequestContext:
+    """Per-request observability state peeled off a ``TRACED`` wrapper."""
+
+    __slots__ = ("request_id", "want_cost", "start", "parent", "cost")
+
+    def __init__(self, request_id: str, want_cost: bool, start: float, parent):
+        self.request_id = request_id
+        self.want_cost = want_cost
+        self.start = start
+        #: The loop thread's current span, re-parented across the executor
+        #: boundary by ``trace.propagate`` (usually ``None`` — set when the
+        #: daemon itself runs under an enclosing span).
+        self.parent = parent
+        self.cost = None
 
 
 class AliasDaemon:
@@ -107,7 +141,8 @@ class AliasDaemon:
                  coalesce: bool = True,
                  allow_deltas: bool = True,
                  executor_threads: int = DEFAULT_EXECUTOR_THREADS,
-                 close_service: bool = False):
+                 close_service: bool = False,
+                 worker_slot: int = 0):
         if (socket_path is None) == (listen_socket is None):
             raise ValueError("exactly one of socket_path/listen_socket is required")
         if max_pending < 1:
@@ -124,6 +159,7 @@ class AliasDaemon:
         self.allow_deltas = allow_deltas
         self._executor_threads = executor_threads
         self._close_service = close_service
+        self.worker_slot = worker_slot
 
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -135,8 +171,12 @@ class AliasDaemon:
         self._pending = 0
         self._coalesce_epoch = 0
         self._inflight: Dict[bytes, Tuple[int, asyncio.Future]] = {}
+        #: In-flight request registry for /debug/requests: seq -> summary.
+        self._requests: Dict[int, Dict[str, object]] = {}
+        self._request_seq = 0
         self._started = False
         self._stopped = False
+        self._flight = get_flight_recorder()
 
         self._connections_total = _REGISTRY.counter("repro_daemon_connections_total")
         self._open_connections = _REGISTRY.gauge("repro_daemon_open_connections")
@@ -176,6 +216,13 @@ class AliasDaemon:
             )
             self.http_address = self._http_server.sockets[0].getsockname()[:2]
         self._started = True
+        # Pre-fork worker labelling: each process advertises its slot, so a
+        # fleet scrape distinguishes the workers behind one shared socket.
+        _REGISTRY.gauge("repro_daemon_worker_info",
+                        slot=str(self.worker_slot)).set(1)
+        self._flight.record("daemon_start", slot=self.worker_slot,
+                            socket=self.socket_path or "<inherited>",
+                            pid=os.getpid())
 
     async def stop(self, grace: float = 5.0) -> None:
         """Stop accepting, drain in-flight requests, release everything.
@@ -211,6 +258,8 @@ class AliasDaemon:
             close = getattr(self._service, "close", None)
             if close is not None:
                 close()
+        self._flight.record("daemon_stop", slot=self.worker_slot,
+                            pid=os.getpid())
 
     async def serve_forever(self, stop_event: Optional[asyncio.Event] = None,
                             install_signal_handlers: bool = False) -> None:
@@ -288,18 +337,41 @@ class AliasDaemon:
     async def _respond(self, body: bytes) -> bytes:
         """One request frame in, one response body out.  Never raises."""
         start = time.perf_counter()
+        ctx: Optional[_RequestContext] = None
         try:
             op = protocol.request_op(body)
+            if op == OP_TRACED:
+                # Peel the observability wrapper: everything downstream —
+                # coalescing included — keys on the *inner* body, so traced
+                # frames with unique request ids still join their untraced
+                # (or differently-tagged) in-flight twins.
+                request_id, want_cost, body = protocol.decode_traced(body)
+                op = protocol.request_op(body)
+                ctx = _RequestContext(request_id, want_cost, start,
+                                      trace.current())
         except ProtocolError as error:
             self._protocol_errors.inc()
             response = protocol.encode_error(ST_BAD_REQUEST, str(error))
-            self._record("unknown", response, start)
+            self._record("unknown", response, start, ctx)
             return response
         name = OP_NAMES[op]
+        seq = self._register_request(name, ctx)
+        try:
+            response, cost_json = await self._respond_inner(
+                op, name, body, start, ctx)
+        finally:
+            self._requests.pop(seq, None)
+        if ctx is not None and ctx.want_cost:
+            response = protocol.attach_cost(response, cost_json or b"{}")
+        return response
+
+    async def _respond_inner(self, op: int, name: str, body: bytes,
+                             start: float, ctx: Optional[_RequestContext]
+                             ) -> Tuple[bytes, Optional[bytes]]:
         if op == OP_PING:
             response = protocol.encode_response(ST_OK)
-            self._record(name, response, start)
-            return response
+            self._record(name, response, start, ctx)
+            return response, None
         coalescable = op in QUERY_OPS and self.coalesce
         if coalescable:
             # Joining an identical in-flight computation consumes no
@@ -309,38 +381,50 @@ class AliasDaemon:
             entry = self._inflight.get(body)
             if entry is not None and entry[0] == self._coalesce_epoch:
                 self._coalesced.inc()
+                self._flight.record(
+                    "coalesce", op=name,
+                    request_id=ctx.request_id if ctx else "")
                 # shield(): a waiter's cancellation must not cancel the
                 # shared computation other clients are waiting on.
-                response = await asyncio.shield(entry[1])
-                self._record(name, response, start)
-                return response
+                response, _ = await asyncio.shield(entry[1])
+                self._record(name, response, start, ctx)
+                return response, _COALESCED_COST
         if op != OP_APPLY_DELTA and self._pending >= self.max_pending:
             # Admission control: fail fast instead of queueing unboundedly.
             # Deltas are exempt — the control plane must stay reachable
             # precisely when the data plane is saturated.
             self._rejected.inc()
+            self._flight.record(
+                "admission_reject", op=name, pending=self._pending,
+                request_id=ctx.request_id if ctx else "")
             response = protocol.encode_error(
                 ST_OVERLOADED,
                 "daemon at capacity (%d pending requests)" % self._pending,
             )
-            self._record(name, response, start)
-            return response
+            self._record(name, response, start, ctx)
+            return response, None
         if coalescable:
-            response = await self._coalesced_run(op, body)
+            response, cost_json = await self._coalesced_run(op, body, ctx)
         else:
-            response = await self._run(op, body)
+            response, cost_json = await self._run(op, body, ctx)
             if op == OP_APPLY_DELTA and response[:1] == bytes((ST_OK,)):
                 # Answers computed before this reload must not be handed
                 # to requests that arrive after its acknowledgement.
                 self._coalesce_epoch += 1
-        self._record(name, response, start)
-        return response
+                self._flight.record(
+                    "delta", coalesce_epoch=self._coalesce_epoch,
+                    version=getattr(self._service, "version", 0),
+                    request_id=ctx.request_id if ctx else "")
+        self._record(name, response, start, ctx)
+        return response, cost_json
 
-    async def _coalesced_run(self, op: int, body: bytes) -> bytes:
+    async def _coalesced_run(self, op: int, body: bytes,
+                             ctx: Optional[_RequestContext]
+                             ) -> Tuple[bytes, Optional[bytes]]:
         future = self._loop.create_future()
         self._inflight[body] = (self._coalesce_epoch, future)
         try:
-            response = await self._run(op, body)
+            result = await self._run(op, body, ctx)
         except BaseException as error:
             if not future.done():
                 future.set_exception(error)
@@ -350,21 +434,49 @@ class AliasDaemon:
         finally:
             if self._inflight.get(body, (None, None))[1] is future:
                 del self._inflight[body]
-        future.set_result(response)
-        return response
+        future.set_result(result)
+        return result
 
-    async def _run(self, op: int, body: bytes) -> bytes:
+    async def _run(self, op: int, body: bytes,
+                   ctx: Optional[_RequestContext]
+                   ) -> Tuple[bytes, Optional[bytes]]:
         self._pending += 1
         self._inflight_gauge.inc()
         try:
             return await self._loop.run_in_executor(
-                self._executor, self._execute, op, body
+                self._executor, self._execute, op, body, ctx
             )
         finally:
             self._pending -= 1
             self._inflight_gauge.inc(-1)
 
-    def _execute(self, op: int, body: bytes) -> bytes:
+    def _execute(self, op: int, body: bytes,
+                 ctx: Optional[_RequestContext]
+                 ) -> Tuple[bytes, Optional[bytes]]:
+        """Answer one frame on an executor thread, measuring if traced.
+
+        Untraced (PR 7) requests take the bare dispatch — no span, no cost
+        context, no new overhead.  Traced requests root a ``daemon.request``
+        span *on this executor thread* (the loop thread's stack cannot hold
+        a span across interleaved awaits) re-parented onto the loop-side
+        span via ``trace.propagate``, and run the service work under a
+        ``measure()`` context that the store/serve hooks feed.
+        """
+        if ctx is None:
+            return self._dispatch(op, body), None
+        wait_ms = round(1e3 * (time.perf_counter() - ctx.start), 3)
+        with trace.propagate(ctx.parent):
+            with trace.span("daemon.request", op=OP_NAMES[op],
+                            request_id=ctx.request_id, wait_ms=wait_ms):
+                with measure() as cost:
+                    response = self._dispatch(op, body)
+        ctx.cost = cost
+        if not ctx.want_cost:
+            return response, None
+        cost_json = json.dumps(cost.as_dict(), sort_keys=True).encode("ascii")
+        return response, cost_json
+
+    def _dispatch(self, op: int, body: bytes) -> bytes:
         """Parse and answer one frame on an executor thread."""
         try:
             if op in (OP_IS_ALIAS, OP_LIST_ALIASES, OP_LIST_POINTS_TO,
@@ -394,6 +506,11 @@ class AliasDaemon:
             if op == OP_STATS:
                 payload = json.dumps(self._stats_payload(), sort_keys=True)
                 return protocol.encode_response(ST_OK, payload.encode("utf-8"))
+            if op == OP_METRICS:
+                # The /metrics HTTP body over the socket, for deployments
+                # that expose no HTTP port (`repro-pestrie metrics --socket`).
+                payload = _REGISTRY.to_prometheus().encode("utf-8")
+                return protocol.encode_response(ST_OK, payload)
             return protocol.encode_error(ST_BAD_REQUEST,
                                          "unhandled opcode 0x%02x" % op)
         except ProtocolError as error:
@@ -429,12 +546,35 @@ class AliasDaemon:
         self._queries.inc(len(operands))
         return protocol.encode_id_lists(rows)
 
-    def _record(self, name: str, response: bytes, start: float) -> None:
+    def _register_request(self, name: str,
+                          ctx: Optional[_RequestContext]) -> int:
+        """Track an accepted frame for /debug/requests until it answers."""
+        self._request_seq += 1
+        seq = self._request_seq
+        self._requests[seq] = {
+            "seq": seq,
+            "op": name,
+            "request_id": ctx.request_id if ctx is not None else "",
+            "start": time.perf_counter(),
+            "wall": time.time(),
+        }
+        return seq
+
+    def _record(self, name: str, response: bytes, start: float,
+                ctx: Optional[_RequestContext] = None) -> None:
         status = STATUS_NAMES.get(response[0], "internal") if response else "internal"
         _REGISTRY.counter("repro_daemon_requests_total", op=name, status=status).inc()
+        seconds = time.perf_counter() - start
         _REGISTRY.histogram("repro_daemon_request_seconds", op=name).observe(
-            time.perf_counter() - start
+            seconds
         )
+        if self._flight.enabled:
+            cost = ctx.cost if ctx is not None else None
+            self._flight.record(
+                "request", op=name, status=status,
+                seconds=round(seconds, 6),
+                request_id=ctx.request_id if ctx is not None else "",
+                cost=cost.as_dict() if cost is not None else None)
 
     def _stats_payload(self) -> dict:
         snapshot = self._service.stats()
@@ -498,7 +638,8 @@ class AliasDaemon:
         parts = request_line.split()
         if len(parts) < 2:
             return "400 Bad Request", "text/plain; charset=utf-8", b"bad request\n"
-        method, path = parts[0], parts[1].split("?", 1)[0]
+        method, target = parts[0], parts[1]
+        path, _, query = target.partition("?")
         if method != "GET":
             return "405 Method Not Allowed", "text/plain; charset=utf-8", \
                 b"only GET is supported\n"
@@ -513,8 +654,70 @@ class AliasDaemon:
                 lambda: json.dumps(self._stats_payload(), sort_keys=True).encode(),
             )
             return "200 OK", "application/json; charset=utf-8", payload
+        if path == "/debug/events":
+            limit = _query_int(query, "limit")
+            payload = self._flight.dump_json(limit).encode("utf-8")
+            return "200 OK", "application/json; charset=utf-8", payload
+        if path == "/debug/requests":
+            # Loop-confined read: this handler runs on the loop thread, the
+            # only mutator of the registry, so the snapshot is consistent.
+            now = time.perf_counter()
+            rows = [
+                {
+                    "seq": entry["seq"],
+                    "op": entry["op"],
+                    "request_id": entry["request_id"],
+                    "age_ms": round(1e3 * (now - entry["start"]), 3),
+                    "wall": entry["wall"],
+                }
+                for entry in sorted(self._requests.values(),
+                                    key=lambda item: item["seq"])
+            ]
+            payload = json.dumps(rows, sort_keys=True).encode("utf-8")
+            return "200 OK", "application/json; charset=utf-8", payload
+        if path == "/debug/profile":
+            seconds = _query_float(query, "seconds", _DEFAULT_PROFILE_SECONDS)
+            if seconds is None or seconds <= 0:
+                return "400 Bad Request", "text/plain; charset=utf-8", \
+                    b"seconds must be a positive number\n"
+            # The sampler parks an executor thread for the window; the loop
+            # keeps serving (including this endpoint's own /metrics peers).
+            report = await self._loop.run_in_executor(
+                self._executor, lambda: sample_profile(seconds))
+            return "200 OK", "text/plain; charset=utf-8", \
+                report.encode("utf-8")
         return "404 Not Found", "text/plain; charset=utf-8", \
-            b"try /metrics, /healthz, or /stats\n"
+            b"try /metrics, /healthz, /stats, /debug/events, " \
+            b"/debug/requests, or /debug/profile?seconds=N\n"
+
+
+def _query_params(query: str) -> Dict[str, str]:
+    params: Dict[str, str] = {}
+    for pair in query.split("&"):
+        if "=" in pair:
+            key, _, value = pair.partition("=")
+            params[key] = value
+    return params
+
+
+def _query_int(query: str, key: str) -> Optional[int]:
+    raw = _query_params(query).get(key)
+    if raw is None:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None
+
+
+def _query_float(query: str, key: str, default: float) -> Optional[float]:
+    raw = _query_params(query).get(key)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return None
 
 
 class ThreadedDaemon:

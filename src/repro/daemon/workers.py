@@ -27,10 +27,31 @@ import socket
 import sys
 from typing import List, Optional, Sequence
 
+from ..obs import get_flight_recorder, install_signal_dump
 from .server import DEFAULT_MAX_PENDING, AliasDaemon
 
 #: accept() backlog for the shared listening socket.
 _BACKLOG = 128
+
+
+def _serve_with_flight(daemon: AliasDaemon) -> None:
+    """Run a daemon to completion with incident capture wired up.
+
+    ``SIGUSR2`` dumps the flight recorder to stderr at any time; an
+    unexpected crash of the serve loop dumps it on the way down — the
+    ring's whole purpose is to still exist when the process doesn't.
+    """
+    install_signal_dump()
+    try:
+        asyncio.run(daemon.serve_forever(install_signal_handlers=True))
+    except KeyboardInterrupt:
+        raise
+    except BaseException as error:
+        flight = get_flight_recorder()
+        flight.record("crash", error="%s: %s" % (type(error).__name__, error),
+                      pid=os.getpid())
+        flight.dump_to(reason="daemon crash: %s" % type(error).__name__)
+        raise
 
 
 def _bind_unix_socket(socket_path: str) -> socket.socket:
@@ -69,7 +90,7 @@ def run_daemon(service, socket_path: str, http_port: Optional[int] = None,
         allow_deltas=allow_deltas,
         close_service=close_service,
     )
-    asyncio.run(daemon.serve_forever(install_signal_handlers=True))
+    _serve_with_flight(daemon)
     return 0
 
 
@@ -119,8 +140,9 @@ def run_workers(paths: Sequence[str], socket_path: str, workers: int,
                     max_pending=max_pending,
                     allow_deltas=False,
                     close_service=True,
+                    worker_slot=slot,
                 )
-                asyncio.run(daemon.serve_forever(install_signal_handlers=True))
+                _serve_with_flight(daemon)
                 status = 0
             except KeyboardInterrupt:
                 status = 0
@@ -129,6 +151,7 @@ def run_workers(paths: Sequence[str], socket_path: str, workers: int,
                 # here no matter what serve_forever did.
                 os._exit(status)
         pids.append(pid)
+        get_flight_recorder().record("worker_spawn", slot=slot, pid=pid)
 
     sock.close()
     print("daemon: %d workers on %s (pids %s)"
@@ -162,6 +185,7 @@ def run_workers(paths: Sequence[str], socket_path: str, workers: int,
             code = os.waitstatus_to_exitcode(status)
             code = 128 - code if code < 0 else code  # killed by signal -N
             worst = max(worst, code)
+            get_flight_recorder().record("worker_exit", pid=pid, code=code)
             if code != 0 and remaining:
                 # One worker crashed: bring the rest down rather than
                 # serving at silent fractional capacity.

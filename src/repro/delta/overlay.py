@@ -100,6 +100,10 @@ class OverlayIndex:
         self.n_groups = base.n_groups
         self._state = _DeltaState()
         self._base_facts: Optional[int] = None
+        #: Delta generations composed over the base (replay depth: 1 for a
+        #: freshly built overlay, +1 per :meth:`extend`).  Cost accounting
+        #: reads it to attribute overlay replay depth to a query.
+        self.generation = 1
         if log is not None and len(log):
             self._apply(log)
 
@@ -147,6 +151,7 @@ class OverlayIndex:
         twin = OverlayIndex(self._base)
         twin._state = self._state.copy()
         twin._base_facts = self._base_facts
+        twin.generation = self.generation + 1
         twin._apply(log)
         return twin
 

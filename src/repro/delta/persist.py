@@ -28,7 +28,7 @@ from typing import Optional
 from ..core.decoder import CorruptFileError
 from ..core.ioutil import atomic_write
 from ..core.pipeline import encode
-from ..obs import get_registry, record_delta_health, trace
+from ..obs import get_flight_recorder, get_registry, record_delta_health, trace
 from ..core.query import PestrieIndex
 from .format import decode_record, encode_record
 from .log import DeltaLog
@@ -164,6 +164,11 @@ def append_delta(path: str, log: DeltaLog, compact: Optional[bool] = None,
         registry.counter("repro_delta_appends_total").inc()
         registry.histogram("repro_delta_append_seconds").observe(
             time.perf_counter() - start)
+        get_flight_recorder().record(
+            "delta_append", path=path, ops=len(log),
+            epoch=result.epoch, bytes=result.bytes_appended,
+            compacted=result.compacted,
+            seconds=round(time.perf_counter() - start, 6))
     record_delta_health(result.record_count,
                         net_ops=len(log.net()[0]) + len(log.net()[1]),
                         ratio=result.delta_ratio, trigger=auto_compact_ratio)
@@ -281,6 +286,10 @@ def _compact_overlay(overlay: OverlayIndex, path: str, order: str = "hub",
     registry.counter("repro_delta_compactions_total").inc()
     registry.histogram("repro_delta_compact_seconds").observe(
         time.perf_counter() - start)
+    get_flight_recorder().record(
+        "compaction", path=path, net_ops=overlay.delta_size(),
+        bytes=size, watermark=watermark,
+        seconds=round(time.perf_counter() - start, 6))
     return size
 
 

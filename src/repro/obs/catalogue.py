@@ -85,8 +85,11 @@ CATALOGUE = {
     "repro_daemon_coalesced_total": (COUNTER, "Query frames answered by joining an identical in-flight computation."),
     "repro_daemon_protocol_errors_total": (COUNTER, "Malformed frames, bad lengths, and mid-frame disconnects."),
     "repro_daemon_inflight_requests": (GAUGE, "Request frames currently executing or awaiting an executor thread."),
+    "repro_daemon_worker_info": (GAUGE, "1 for the serving daemon process, labelled by pre-fork worker slot (slot 0 = single-process)."),
     # --- tracing (obs/tracing.py) -------------------------------------
     "repro_trace_span_seconds": (HISTOGRAM, "Span durations recorded while tracing is enabled, by span name."),
+    # --- flight recorder (obs/flight.py) ------------------------------
+    "repro_flight_events_total": (COUNTER, "Flight-recorder events captured, by event kind."),
 }
 
 

@@ -16,6 +16,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional, Tuple
 
+from .cost import QueryCost
+from .flight import get_flight_recorder
 from .registry import get_registry
 
 #: Default slow-query latency threshold (seconds, per query).
@@ -39,13 +41,22 @@ class SlowQuery:
     queries: int
     #: ``time.time()`` at capture, for correlating with external logs.
     wall_time: float
+    #: MVCC epoch answered at (``as_of`` pins it; ``None`` pre-MVCC).
+    epoch: Optional[int] = None
+    #: Itemised cost breakdown when the call ran under ``obs.measure()``.
+    cost: Optional[QueryCost] = None
 
     def render(self) -> str:
         per_query = self.seconds / max(1, self.queries)
         detail = "batch of %d" % self.queries if self.batched else "single"
         outcome = "hit" if self.cache_hit else "miss"
-        return "%-16s %9.3f ms/query  (%s, cache %s, operands %r)" % (
+        line = "%-16s %9.3f ms/query  (%s, cache %s, operands %r)" % (
             self.kind, 1e3 * per_query, detail, outcome, self.operands)
+        if self.epoch is not None:
+            line += "  @epoch %d" % self.epoch
+        if self.cost is not None:
+            line += "\n%18s%s" % ("", self.cost.summary())
+        return line
 
 
 class SlowQueryLog:
@@ -73,18 +84,27 @@ class SlowQueryLog:
 
     def record(self, kind: str, operands: Tuple, seconds: float, *,
                cache_hit: bool = False, batched: bool = False,
-               queries: int = 1) -> bool:
+               queries: int = 1, epoch: Optional[int] = None,
+               cost: Optional[QueryCost] = None) -> bool:
         """Capture the call if its *per-query* latency crosses the threshold."""
         threshold = self.threshold
         if threshold is None or seconds / max(1, queries) < threshold:
             return False
         entry = SlowQuery(kind=kind, operands=tuple(operands), seconds=seconds,
                           cache_hit=cache_hit, batched=batched, queries=queries,
-                          wall_time=time.time())
+                          wall_time=time.time(), epoch=epoch, cost=cost)
         with self._lock:
             self._entries.append(entry)
             counter = self._counter(kind)
         counter.inc()
+        flight = get_flight_recorder()
+        if flight.enabled:
+            flight.record(
+                "slow_query", service=self._service, query_kind=kind,
+                seconds=round(seconds, 6), queries=queries,
+                cache_hit=cache_hit,
+                epoch=epoch if epoch is not None else -1,
+                cost=cost.as_dict() if cost is not None else None)
         return True
 
     def entries(self) -> List[SlowQuery]:

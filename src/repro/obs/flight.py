@@ -1,0 +1,184 @@
+"""The flight recorder: always-on bounded capture of structural events.
+
+Metrics aggregate and spans must be enabled ahead of time; neither answers
+"what was the daemon doing in the seconds before it fell over?".  The
+flight recorder does: a fixed-size ring of structured events (queries with
+costs, deltas, compactions, admission rejections, coalescing joins, worker
+lifecycle) that is cheap enough to leave on in production — recording is
+one lock acquisition and a deque append — and is dumped on demand
+(``/debug/events``), on ``SIGUSR2``, and on daemon crash.
+
+Events are plain dicts with three reserved keys — ``seq`` (monotonic
+per-recorder sequence), ``wall`` (``time.time()`` at capture), ``kind`` —
+plus whatever fields the call site attaches.  Field values should be
+JSON-ready scalars; callers pass ``cost=QueryCost.as_dict()`` style
+payloads, never live objects.
+
+The module-level recorder (:func:`get_flight_recorder`) is shared by the
+daemon, the serve layer, and the delta persistence path, so one dump
+interleaves all of them in arrival order.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from .registry import get_registry
+
+__all__ = [
+    "DEFAULT_FLIGHT_CAPACITY",
+    "FlightRecorder",
+    "get_flight_recorder",
+    "install_signal_dump",
+]
+
+#: Events retained before the oldest is evicted.
+DEFAULT_FLIGHT_CAPACITY = 2048
+
+
+class FlightRecorder:
+    """Bounded, thread-safe ring of structured events."""
+
+    def __init__(self, capacity: int = DEFAULT_FLIGHT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError("flight recorder capacity must be positive")
+        self.capacity = capacity
+        self._events: Deque[Dict[str, object]] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._enabled = True
+        self._counters: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def set_enabled(self, enabled: bool) -> None:
+        self._enabled = bool(enabled)
+
+    def _counter(self, kind: str):
+        counter = self._counters.get(kind)
+        if counter is None:
+            counter = get_registry().counter("repro_flight_events_total", kind=kind)
+            self._counters[kind] = counter
+        return counter
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record(self, kind: str, **fields: object) -> None:
+        """Append one event (dropped silently while disabled)."""
+        if not self._enabled:
+            return
+        event: Dict[str, object] = {"kind": kind, "wall": time.time()}
+        event.update(fields)
+        with self._lock:
+            self._seq += 1
+            event["seq"] = self._seq
+            self._events.append(event)
+            counter = self._counter(kind)
+        counter.inc()
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def events(self, limit: Optional[int] = None,
+               kind: Optional[str] = None) -> List[Dict[str, object]]:
+        """The retained events, oldest first (optionally filtered/tailed)."""
+        with self._lock:
+            out = list(self._events)
+        if kind is not None:
+            out = [event for event in out if event["kind"] == kind]
+        if limit is not None and limit >= 0:
+            out = out[-limit:]
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    # ------------------------------------------------------------------
+    # Dumping
+    # ------------------------------------------------------------------
+
+    def dump_json(self, limit: Optional[int] = None) -> str:
+        """The ring as a JSON array (the ``/debug/events`` body)."""
+        return json.dumps(self.events(limit), sort_keys=True)
+
+    def dump_lines(self, limit: Optional[int] = None) -> str:
+        """Human-oriented one-event-per-line dump (signal/crash output)."""
+        events = self.events(limit)
+        if not events:
+            return "(flight recorder empty)"
+        lines = []
+        for event in events:
+            extras = ", ".join(
+                "%s=%s" % (key, _compact(value))
+                for key, value in sorted(event.items())
+                if key not in ("seq", "wall", "kind"))
+            lines.append("#%-6d %.3f %-18s %s" % (
+                event["seq"], event["wall"], event["kind"], extras))
+        return "\n".join(lines)
+
+    def dump_to(self, stream=None, limit: Optional[int] = None,
+                reason: str = "") -> None:
+        """Write a framed ``dump_lines`` report (stderr by default)."""
+        stream = stream or sys.stderr
+        header = "=== flight recorder dump"
+        if reason:
+            header += " (%s)" % reason
+        header += " ==="
+        stream.write("%s\n%s\n=== end flight recorder ===\n"
+                     % (header, self.dump_lines(limit)))
+        stream.flush()
+
+
+def _compact(value: object) -> str:
+    if isinstance(value, dict):
+        return json.dumps(value, sort_keys=True)
+    return str(value)
+
+
+#: The process-wide recorder every instrumented layer shares.
+_GLOBAL = FlightRecorder()
+
+
+def get_flight_recorder() -> FlightRecorder:
+    return _GLOBAL
+
+
+def install_signal_dump(signum: int = signal.SIGUSR2,
+                        recorder: Optional[FlightRecorder] = None) -> bool:
+    """Dump the ring to stderr on ``signum`` (default ``SIGUSR2``).
+
+    Returns ``False`` (and installs nothing) off the main thread or on
+    platforms without the signal — callers need not special-case either.
+    """
+    target = recorder or _GLOBAL
+    if threading.current_thread() is not threading.main_thread():
+        return False
+
+    def _handler(_signum, _frame):
+        target.dump_to(reason="signal %d" % signum)
+
+    try:
+        signal.signal(signum, _handler)
+    except (ValueError, OSError, AttributeError):  # pragma: no cover
+        return False
+    return True

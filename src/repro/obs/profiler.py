@@ -1,0 +1,89 @@
+"""A dependency-free sampling profiler for live daemon introspection.
+
+``sample_profile(seconds)`` polls :func:`sys._current_frames` from a
+sampling thread at a fixed interval, aggregates the stacks it sees, and
+renders a text report: hottest leaf frames and hottest whole stacks,
+weighted by sample count.  It is statistical (the GIL serialises what a
+sample can observe) and deliberately coarse — its job is the on-call
+question "what is this daemon *doing* right now?", answered over HTTP by
+``/debug/profile?seconds=N`` without installing anything or restarting
+the process.
+
+The sampler excludes its own thread and imposes a hard ceiling on the
+window (``MAX_PROFILE_SECONDS``) so a fat-fingered query parameter cannot
+park a profiler thread for an hour.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import Counter
+from typing import List, Optional
+
+__all__ = ["MAX_PROFILE_SECONDS", "sample_profile"]
+
+#: Hard ceiling on one profiling window.
+MAX_PROFILE_SECONDS = 30.0
+
+#: Seconds between samples.
+DEFAULT_INTERVAL = 0.005
+
+
+def _frame_label(frame) -> str:
+    code = frame.f_code
+    return "%s (%s:%d)" % (code.co_name, code.co_filename.rsplit("/", 1)[-1],
+                           code.co_firstlineno)
+
+
+def _stack_labels(frame) -> List[str]:
+    labels: List[str] = []
+    while frame is not None:
+        labels.append(_frame_label(frame))
+        frame = frame.f_back
+    labels.reverse()
+    return labels
+
+
+def sample_profile(seconds: float, interval: float = DEFAULT_INTERVAL,
+                   top: int = 15,
+                   exclude_threads: Optional[set] = None) -> str:
+    """Sample every thread for ``seconds`` and render a text report."""
+    if seconds <= 0:
+        raise ValueError("profile window must be positive")
+    seconds = min(float(seconds), MAX_PROFILE_SECONDS)
+    skip = set(exclude_threads or ())
+    skip.add(threading.get_ident())
+
+    leaf_counts: Counter = Counter()
+    stack_counts: Counter = Counter()
+    samples = 0
+    deadline = time.monotonic() + seconds
+    while time.monotonic() < deadline:
+        for ident, frame in sys._current_frames().items():
+            if ident in skip:
+                continue
+            labels = _stack_labels(frame)
+            if not labels:
+                continue
+            leaf_counts[labels[-1]] += 1
+            stack_counts[" <- ".join(reversed(labels[-8:]))] += 1
+        samples += 1
+        time.sleep(interval)
+
+    lines = [
+        "profile: %.2fs window, %d samples, %d distinct stacks"
+        % (seconds, samples, len(stack_counts)),
+        "",
+        "hottest frames:",
+    ]
+    if not leaf_counts:
+        lines.append("  (no samples — all other threads idle)")
+    for label, count in leaf_counts.most_common(top):
+        lines.append("  %6.1f%%  %s" % (100.0 * count / max(1, samples), label))
+    lines.append("")
+    lines.append("hottest stacks (leaf first):")
+    for stack, count in stack_counts.most_common(max(1, top // 3)):
+        lines.append("  %6.1f%%  %s" % (100.0 * count / max(1, samples), stack))
+    return "\n".join(lines)

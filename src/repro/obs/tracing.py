@@ -112,6 +112,36 @@ class _ActiveSpan:
         return False
 
 
+class _Propagation:
+    """Pushes an adopted parent span onto another thread's stack.
+
+    Unlike :class:`_ActiveSpan` it never stamps the span's duration or
+    finishes it — the owning thread's context manager does that; this one
+    only makes the span the attachment point for the block's children.
+    ``Span.children`` mutation is a single ``list.append`` (atomic under
+    the GIL), so the owning thread may read the finished tree afterwards
+    without extra locking.
+    """
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._stack().append(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self._span:
+            stack.pop()
+        elif self._span in stack:
+            stack.remove(self._span)
+        return False
+
+
 class _NoopSpan:
     """Shared do-nothing context manager returned while tracing is off."""
 
@@ -170,6 +200,40 @@ class Tracer:
         if not self._enabled:
             return _NOOP
         return _ActiveSpan(self, Span(name, attrs))
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on *this* thread, or ``None``.
+
+        Capture it before handing work to another thread, then re-attach
+        there with :meth:`propagate` — the stack is thread-local, so
+        without this a span opened under ``run_in_executor`` becomes an
+        orphaned root instead of a child of the request that spawned it.
+        """
+        if not self._enabled:
+            return None
+        stack = getattr(self._local, "stack", None)
+        if stack:
+            return stack[-1]
+        return None
+
+    def propagate(self, parent: Optional[Span]):
+        """Adopt ``parent`` as the current span for a block on this thread::
+
+            parent = trace.current()          # submitting thread
+            def job():
+                with trace.propagate(parent): # executor thread
+                    with trace.span("work"):
+                        ...
+
+        Spans opened inside the block become ``parent``'s children even
+        though they run on a different thread.  The caller must guarantee
+        ``parent`` outlives the block (the daemon does: it awaits the
+        executor future before closing the request span).  No-op when
+        disabled or ``parent`` is ``None``, so call sites need no guards.
+        """
+        if not self._enabled or parent is None:
+            return _NOOP
+        return _Propagation(self, parent)
 
     def roots(self) -> List[Span]:
         """Completed top-level spans, oldest first."""

@@ -39,11 +39,35 @@ from ..delta import (
     load_versions,
 )
 from ..obs import DEFAULT_SLOW_CAPACITY, DEFAULT_SLOW_THRESHOLD, SlowQuery, SlowQueryLog
+from ..obs.cost import QueryCost, current_cost, measure, note_cache_hit
+from ..obs.tracing import trace
 from .cache import LRUCache
 from .sharding import ShardedIndex
 from .stats import DEFAULT_WINDOW, ServiceStats, StatsSnapshot
 
 _MISS = object()
+
+
+def _fill_cost(cost: QueryCost, backend, epoch: int, hits: int, misses: int,
+               queries: int) -> None:
+    """Stamp the backend-shape costs a measured block can't observe itself.
+
+    Called inside the ``measure()`` block so a surrounding context (the
+    daemon's per-request one) inherits the values through the exit merge.
+    The byte/section counters arrive separately via the store layer's
+    hooks; this fills in what only the service knows: the cache outcome,
+    the epoch answered at, and the backend's replay depth / shard fan-out.
+    """
+    cost.cache_hits += hits
+    cost.cache_misses += misses
+    cost.queries = queries
+    cost.epoch = epoch
+    depth = getattr(backend, "generation", 0)
+    if depth > cost.replay_depth:
+        cost.replay_depth = depth
+    fanout = getattr(backend, "shard_count", 1)
+    if fanout > cost.shard_fanout:
+        cost.shard_fanout = fanout
 
 
 class AliasService:
@@ -376,17 +400,25 @@ class AliasService:
         key = ("is_alias", (p, q) if p <= q else (q, p), version)
         value = self._cache.get(key, _MISS)
         hit = value is not _MISS
+        cost: Optional[QueryCost] = None
         if not hit:
             self._stats.record_cache(0, 1)
             # No epoch guard: a version-qualified answer never goes stale
             # (apply_delta's invalidation skips 3-tuple keys entirely).
-            value = backend.is_alias(p, q)
+            with measure() as cost:
+                with trace.span("serve.is_alias", version=version), \
+                        trace.span("index.answer",
+                                   backend=type(backend).__name__):
+                    value = backend.is_alias(p, q)
+                _fill_cost(cost, backend, version, 0, 1, 1)
             self._cache.put(key, value)
         else:
             self._stats.record_cache(1, 0)
+            note_cache_hit()
         elapsed = time.perf_counter() - start
         self._stats.record("is_alias", elapsed)
-        self._slow.record("is_alias", (p, q), elapsed, cache_hit=hit)
+        self._slow.record("is_alias", (p, q), elapsed, cache_hit=hit,
+                          epoch=version, cost=cost)
         return value
 
     def _snapshot_list(self, backend, version: int, kind: str,
@@ -395,15 +427,23 @@ class AliasService:
         key = (kind, operand, version)
         value = self._cache.get(key, _MISS)
         hit = value is not _MISS
+        cost: Optional[QueryCost] = None
         if not hit:
             self._stats.record_cache(0, 1)
-            value = tuple(getattr(backend, kind)(operand))
+            with measure() as cost:
+                with trace.span("serve.%s" % kind, version=version), \
+                        trace.span("index.answer",
+                                   backend=type(backend).__name__):
+                    value = tuple(getattr(backend, kind)(operand))
+                _fill_cost(cost, backend, version, 0, 1, 1)
             self._cache.put(key, value)
         else:
             self._stats.record_cache(1, 0)
+            note_cache_hit()
         elapsed = time.perf_counter() - start
         self._stats.record(kind, elapsed)
-        self._slow.record(kind, (operand,), elapsed, cache_hit=hit)
+        self._slow.record(kind, (operand,), elapsed, cache_hit=hit,
+                          epoch=version, cost=cost)
         return value
 
     # ------------------------------------------------------------------
@@ -415,18 +455,29 @@ class AliasService:
         key = ("is_alias", (p, q) if p <= q else (q, p))
         value = self._cache.get(key, _MISS)
         hit = value is not _MISS
+        cost: Optional[QueryCost] = None
         if not hit:
             self._stats.record_cache(0, 1)
             # Snapshot the epoch before the backend: if apply_delta swaps
             # in between, the stale-epoch put below is dropped.
             epoch = self._cache.epoch
-            value = self._backend.is_alias(p, q)
+            backend = self._backend
+            # A miss pays a cost context (misses already pay backend work;
+            # hits stay on the passive note_cache_hit path).
+            with measure() as cost:
+                with trace.span("serve.is_alias"), \
+                        trace.span("index.answer",
+                                   backend=type(backend).__name__):
+                    value = backend.is_alias(p, q)
+                _fill_cost(cost, backend, self._version, 0, 1, 1)
             self._cache.put(key, value, epoch=epoch)
         else:
             self._stats.record_cache(1, 0)
+            note_cache_hit()
         elapsed = time.perf_counter() - start
         self._stats.record("is_alias", elapsed)
-        self._slow.record("is_alias", (p, q), elapsed, cache_hit=hit)
+        self._slow.record("is_alias", (p, q), elapsed, cache_hit=hit,
+                          epoch=self._version, cost=cost)
         return value
 
     def list_aliases(self, p: int) -> List[int]:
@@ -443,16 +494,25 @@ class AliasService:
         key = (kind, operand)
         value = self._cache.get(key, _MISS)
         hit = value is not _MISS
+        cost: Optional[QueryCost] = None
         if not hit:
             self._stats.record_cache(0, 1)
             epoch = self._cache.epoch
-            value = tuple(getattr(self._backend, kind)(operand))
+            backend = self._backend
+            with measure() as cost:
+                with trace.span("serve.%s" % kind), \
+                        trace.span("index.answer",
+                                   backend=type(backend).__name__):
+                    value = tuple(getattr(backend, kind)(operand))
+                _fill_cost(cost, backend, self._version, 0, 1, 1)
             self._cache.put(key, value, epoch=epoch)
         else:
             self._stats.record_cache(1, 0)
+            note_cache_hit()
         elapsed = time.perf_counter() - start
         self._stats.record(kind, elapsed)
-        self._slow.record(kind, (operand,), elapsed, cache_hit=hit)
+        self._slow.record(kind, (operand,), elapsed, cache_hit=hit,
+                          epoch=self._version, cost=cost)
         return value
 
     # ------------------------------------------------------------------
@@ -477,6 +537,7 @@ class AliasService:
             else:
                 hits += 1
                 results[position] = value
+        cost: Optional[QueryCost] = None
         if pending:
             unique = list(pending)
             # Same ordering contract as the single-query miss path (see
@@ -486,15 +547,27 @@ class AliasService:
             # can never launder stale answers into the post-swap cache.
             epoch = self._cache.epoch
             backend = self._backend
-            batch = getattr(backend, "is_alias_batch", None)
-            if batch is not None:
-                answers = batch(unique)
-            else:
-                answers = [backend.is_alias(p, q) for p, q in unique]
+            # One cost context and one span pair for the whole batch — the
+            # instrumentation cost is paid per call, not per query.
+            with measure() as cost:
+                with trace.span("serve.is_alias", batch=len(pairs)), \
+                        trace.span("index.answer",
+                                   backend=type(backend).__name__):
+                    batch = getattr(backend, "is_alias_batch", None)
+                    if batch is not None:
+                        answers = batch(unique)
+                    else:
+                        answers = [backend.is_alias(p, q) for p, q in unique]
+                _fill_cost(cost, backend, self._version,
+                           hits, len(pairs) - hits, len(pairs))
             for norm, answer in zip(unique, answers):
                 self._cache.put(("is_alias", norm), answer, epoch=epoch)
                 for position in pending[norm]:
                     results[position] = answer
+        elif hits:
+            ambient = current_cost()
+            if ambient is not None:
+                ambient.cache_hits += hits
         elapsed = time.perf_counter() - start
         self._stats.record_cache(hits, len(pairs) - hits)
         self._stats.record("is_alias", elapsed, queries=len(pairs), batched=True)
@@ -503,7 +576,8 @@ class AliasService:
             # average crosses the threshold; the first operands identify it.
             self._slow.record("is_alias", tuple(pairs[:4]), elapsed,
                               cache_hit=not pending, batched=True,
-                              queries=len(pairs))
+                              queries=len(pairs), epoch=self._version,
+                              cost=cost)
         return results
 
     def list_aliases_many(self, pointers: Sequence[int]) -> List[List[int]]:
@@ -527,6 +601,7 @@ class AliasService:
             else:
                 hits += 1
                 results[position] = value
+        cost: Optional[QueryCost] = None
         if pending:
             unique = list(pending)
             # Epoch before backend — the batch-wide stale-put guard; see
@@ -542,18 +617,29 @@ class AliasService:
                 # neighbouring slabs, keeping the lookups cache-friendly.
                 unique.sort(key=lambda operand: _column_key(column_of, operand))
             query = getattr(backend, kind)
-            for operand in unique:
-                value = tuple(query(operand))
-                self._cache.put((kind, operand), value, epoch=epoch)
-                for position in pending[operand]:
-                    results[position] = value
+            with measure() as cost:
+                with trace.span("serve.%s" % kind, batch=len(operands)), \
+                        trace.span("index.answer",
+                                   backend=type(backend).__name__):
+                    for operand in unique:
+                        value = tuple(query(operand))
+                        self._cache.put((kind, operand), value, epoch=epoch)
+                        for position in pending[operand]:
+                            results[position] = value
+                _fill_cost(cost, backend, self._version,
+                           hits, len(operands) - hits, len(operands))
+        elif hits:
+            ambient = current_cost()
+            if ambient is not None:
+                ambient.cache_hits += hits
         elapsed = time.perf_counter() - start
         self._stats.record_cache(hits, len(operands) - hits)
         self._stats.record(kind, elapsed, queries=len(operands), batched=True)
         if operands:
             self._slow.record(kind, tuple(operands[:4]), elapsed,
                               cache_hit=not pending, batched=True,
-                              queries=len(operands))
+                              queries=len(operands), epoch=self._version,
+                              cost=cost)
         return [list(value) for value in results]
 
 

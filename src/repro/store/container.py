@@ -64,7 +64,8 @@ from ..core.encoder import (
 )
 from ..core.ioutil import crc32
 from ..core.segment_tree import Rect
-from ..obs import get_registry
+from ..obs import get_registry, trace
+from ..obs.cost import add_parsed_bytes, add_section
 
 _U32 = struct.Struct("<I")
 
@@ -478,7 +479,8 @@ class Container:
         else:
             end = len(self._buffer)
         reader = _Reader(self._buffer, self.compact, offset=offset, end=end)
-        values = reader.read_ints(count)
+        with trace.span("store.materialize", section=SECTION_NAMES[index]):
+            values = reader.read_ints(count)
         if self.version >= 3 and reader.offset != end:
             raise CorruptFileError(
                 "section has %d unread trailing bytes" % (end - reader.offset)
@@ -496,6 +498,10 @@ class Container:
         _BYTES_PARSED.inc(reader.offset - offset)
         _REGISTRY.counter("repro_store_sections_materialized_total",
                           section=SECTION_NAMES[index]).inc()
+        # Attribute the parse to the query that forced it (no-op when no
+        # cost context is active on this thread).
+        add_parsed_bytes(reader.offset - offset)
+        add_section()
         return values
 
     # ------------------------------------------------------------------

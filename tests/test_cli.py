@@ -261,3 +261,42 @@ class TestQueryModes:
         ptlist_out = capsys.readouterr().out
         assert main(["query", pes_file, "list_aliases", "1", "--mode", "segment"]) == 0
         assert capsys.readouterr().out == ptlist_out
+
+
+class TestQueryExplain:
+    @pytest.fixture
+    def pes_file(self, pm_file, tmp_path):
+        out = str(tmp_path / "explain.pes")
+        main(["encode", pm_file, out])
+        return out
+
+    # The breakdown's shape is a golden contract: fixed labels, fixed
+    # order, one value column.  Only the values vary run to run.
+    GOLDEN_LABELS = ["bytes_parsed", "sections_materialized", "cache",
+                     "replay_depth", "shard_fanout", "queries", "seconds"]
+
+    def test_explain_prints_golden_breakdown(self, pes_file, capsys):
+        assert main(["query", pes_file, "is_alias", "0", "1",
+                     "--explain"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0] in ("true", "false")
+        assert lines[1] == "--- cost ---"
+        assert [line.split()[0] for line in lines[2:]] == self.GOLDEN_LABELS
+        parsed = int(lines[2].split()[1])
+        assert parsed > 0  # the lazy open charges the parse to this query
+        assert lines[7].split()[1] == "1"  # queries
+
+    def test_explain_with_as_of_reports_the_epoch(self, pes_file, capsys):
+        assert main(["delta-append", pes_file, "--insert", "0:1"]) == 0
+        capsys.readouterr()
+        assert main(["query", pes_file, "list_points_to", "0",
+                     "--as-of", "1", "--explain"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        cost_lines = lines[lines.index("--- cost ---") + 1:]
+        assert cost_lines[0].split() == ["epoch", "1"]
+
+    def test_without_explain_output_is_unchanged(self, pes_file, capsys):
+        assert main(["query", pes_file, "is_alias", "0", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "--- cost ---" not in out
+        assert out.strip() in ("true", "false")

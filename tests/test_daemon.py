@@ -804,3 +804,322 @@ class TestVersionedFrames:
             assert [sorted(row) for row in rows] == [
                 live.list_points_to(p) for p in range(30)
             ]
+
+
+# ----------------------------------------------------------------------
+# PR 9: TRACED/METRICS frames, request tracing, cost, introspection
+# ----------------------------------------------------------------------
+
+
+class TestTracedProtocol:
+    def test_traced_round_trips(self):
+        inner = protocol.encode_is_alias([(1, 2)])
+        body = protocol.encode_traced("abc123", inner, want_cost=True)
+        assert protocol.request_op(body) == protocol.OP_TRACED
+        request_id, want_cost, decoded = protocol.decode_traced(body)
+        assert (request_id, want_cost, decoded) == ("abc123", True, inner)
+        body = protocol.encode_traced("x", inner)
+        assert protocol.decode_traced(body)[1] is False
+
+    def test_traced_rejects_bad_shapes(self):
+        inner = protocol.encode_ping()
+        with pytest.raises(ProtocolError):  # empty id
+            protocol.encode_traced("", inner)
+        with pytest.raises(ProtocolError):  # oversized id
+            protocol.encode_traced("x" * 65, inner)
+        with pytest.raises(ProtocolError):  # non-ascii id
+            protocol.encode_traced("é", inner)
+        with pytest.raises(ProtocolError):  # empty inner
+            protocol.encode_traced("rid", b"")
+        nested = protocol.encode_traced("rid", inner)
+        with pytest.raises(ProtocolError):  # no TRACED inside TRACED
+            protocol.encode_traced("rid2", nested)
+        with pytest.raises(ProtocolError):  # truncated
+            protocol.decode_traced(bytes((protocol.OP_TRACED,)) + b"\x00")
+        # Unknown flag bits are a loud error, not silently ignored: they
+        # are the extension point for future frame semantics.
+        mutated = bytearray(nested)
+        mutated[1] |= 0x80
+        with pytest.raises(ProtocolError):
+            protocol.decode_traced(bytes(mutated))
+
+    def test_attach_and_split_cost(self):
+        ok = protocol.encode_response(ST_OK, b"payload")
+        cost = b'{"queries": 1}'
+        extended = protocol.attach_cost(ok, cost)
+        status, cost_json, payload = protocol.split_cost_response(extended)
+        assert (status, cost_json, payload) == (ST_OK, cost, b"payload")
+        # Non-OK responses pass through untouched (PR 7 compatibility:
+        # old clients decode errors without knowing about costs).
+        error = protocol.encode_response(ST_BAD_REQUEST, b"nope")
+        assert protocol.attach_cost(error, cost) == error
+        status, cost_json, payload = protocol.split_cost_response(error)
+        assert (status, cost_json, payload) == (ST_BAD_REQUEST, b"", b"nope")
+
+    def test_split_cost_response_bounds_check(self):
+        with pytest.raises(ProtocolError):
+            protocol.split_cost_response(b"")
+        lying = bytes((ST_OK,)) + struct.pack("<I", 100) + b"short"
+        with pytest.raises(ProtocolError):
+            protocol.split_cost_response(lying)
+
+    def test_metrics_frame(self):
+        body = protocol.encode_metrics()
+        assert protocol.request_op(body) == protocol.OP_METRICS
+
+
+class TestRequestTracing:
+    def test_traced_client_is_wire_compatible(self, served):
+        matrix, sock, _daemon = served
+        with DaemonClient(sock, trace_requests=True) as client:
+            assert client.is_alias(0, 1) == matrix.is_alias(0, 1)
+            first = client.last_request_id
+            assert first and len(first) == 16
+            client.ping()
+            assert client.last_request_id != first  # fresh id per request
+
+    def test_want_cost_returns_breakdown(self, served):
+        _matrix, sock, _daemon = served
+        with DaemonClient(sock, want_cost=True) as client:
+            client.is_alias(0, 2)
+            cost = client.last_cost
+            assert cost["cache_misses"] == 1
+            assert cost["queries"] == 1
+            assert "epoch" in cost
+            assert cost["seconds"] >= 0
+            client.is_alias(0, 2)  # identical query: served from cache
+            assert client.last_cost["cache_hits"] == 1
+            assert client.last_cost["bytes_parsed"] == 0
+
+    def test_error_responses_reach_traced_clients_unchanged(self, served):
+        _matrix, sock, _daemon = served
+        with DaemonClient(sock, want_cost=True) as client:
+            with pytest.raises(DaemonError) as info:
+                client.is_alias_batch([(0, 10_000)])
+            assert info.value.status == ST_BAD_REQUEST
+            assert client.last_cost is None
+
+    def test_bad_traced_flags_are_bad_request(self, served):
+        _matrix, sock, _daemon = served
+        body = bytearray(protocol.encode_traced("rid", protocol.encode_ping()))
+        body[1] |= 0x40
+        raw = _raw_connection(sock)
+        try:
+            raw.sendall(protocol.frame(bytes(body)))
+            status, _ = protocol.split_response(_read_frame(raw))
+            assert status == ST_BAD_REQUEST
+        finally:
+            raw.close()
+
+    def test_one_request_yields_connected_span_tree(self, served):
+        from repro.obs import trace
+
+        matrix, sock, _daemon = served
+        with trace.capture() as spans:
+            with DaemonClient(sock, trace_requests=True) as client:
+                assert client.is_alias(1, 3) == matrix.is_alias(1, 3)
+                rid = client.last_request_id
+        by_name = {}
+        for span in spans:
+            by_name.setdefault(span.name, span)
+        # Client side: one root span stamped with the minted id.
+        assert by_name["client.request"].attrs["request_id"] == rid
+        # Daemon side: the same id connects the socket-read root to the
+        # service and index work that ran on the executor thread.
+        daemon_span = by_name["daemon.request"]
+        assert daemon_span.attrs["request_id"] == rid
+        assert daemon_span.attrs["op"] == "is_alias"
+        serve_span = daemon_span.find("serve.is_alias")
+        assert serve_span is not None
+        assert serve_span.find("index.answer") is not None
+
+    def test_coalesced_joiner_gets_marker_cost(self, gated):
+        matrix, backend, sock = gated
+        pairs = [(0, 1)]
+        expected = [matrix.is_alias(0, 1)]
+        coalesced = get_registry().counter("repro_daemon_coalesced_total")
+        before = coalesced.value
+        results = {}
+
+        def holder():
+            with DaemonClient(sock) as client:  # plain PR 7 frames
+                results["holder"] = client.is_alias_batch(pairs)
+
+        def joiner():
+            with DaemonClient(sock, want_cost=True) as client:
+                results["joiner"] = client.is_alias_batch(pairs)
+                results["cost"] = client.last_cost
+
+        first = threading.Thread(target=holder)
+        first.start()
+        assert backend.entered.wait(10)
+        # The traced frame's INNER body matches the parked untraced twin,
+        # so it joins the computation instead of running (or rejecting).
+        second = threading.Thread(target=joiner)
+        second.start()
+        deadline = time.time() + 10
+        while coalesced.value == before and time.time() < deadline:
+            time.sleep(0.01)
+        backend.gate.set()
+        first.join(10)
+        second.join(10)
+        assert results["holder"] == expected
+        assert results["joiner"] == expected
+        assert results["cost"] == {"coalesced": True}
+
+
+class TestIntrospection:
+    def test_metrics_op_exposes_every_daemon_family(self, served):
+        from repro.obs import CATALOGUE
+
+        _matrix, sock, _daemon = served
+        with DaemonClient(sock) as client:
+            client.is_alias_batch([(0, 1)])
+            text = client.metrics()
+        families = sorted(name for name in CATALOGUE
+                          if name.startswith("repro_daemon_"))
+        assert len(families) >= 9
+        for name in families:
+            assert "# TYPE %s " % name in text, name
+        assert 'repro_daemon_worker_info{slot="0"} 1' in text
+
+    def test_worker_slot_labels_the_info_gauge(self, tmp_path):
+        matrix = make_random_matrix(8, 4, density=0.3, seed=5)
+        service = AliasService.from_index(index_from_bytes(encode(matrix)))
+        sock = str(tmp_path / "slot.sock")
+        daemon = AliasDaemon(service, socket_path=sock, worker_slot=3)
+        runner = ThreadedDaemon(daemon).start()
+        try:
+            with DaemonClient(sock) as client:
+                text = client.metrics()
+            assert 'repro_daemon_worker_info{slot="3"} 1' in text
+        finally:
+            runner.stop()
+
+    def test_debug_events_is_a_structured_golden(self, served):
+        from repro.obs import get_flight_recorder
+
+        _matrix, sock, daemon = served
+        get_flight_recorder().clear()
+        with DaemonClient(sock) as client:
+            client.is_alias_batch([(2, 4)])
+        host, port = daemon.http_address
+        base = "http://%s:%d" % (host, port)
+        with urllib.request.urlopen(base + "/debug/events") as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith(
+                "application/json")
+            events = json.loads(response.read())
+        assert isinstance(events, list) and events
+        for event in events:
+            # The golden structural contract: every event carries the
+            # three reserved keys, seq strictly increasing.
+            assert {"seq", "wall", "kind"} <= set(event)
+        assert [e["seq"] for e in events] == \
+            sorted(e["seq"] for e in events)
+        request_events = [e for e in events if e["kind"] == "request"]
+        assert request_events
+        entry = request_events[-1]
+        assert entry["op"] == "is_alias"
+        assert entry["status"] == "ok"
+        assert entry["seconds"] >= 0
+        with urllib.request.urlopen(base + "/debug/events?limit=1") as response:
+            assert len(json.loads(response.read())) == 1
+
+    def test_debug_requests_shows_inflight_work(self, tmp_path):
+        matrix = make_random_matrix(12, 6, density=0.3, seed=8)
+        backend = _GatedBackend(index_from_bytes(encode(matrix)))
+        service = AliasService(backend, cache_size=0)
+        sock = str(tmp_path / "dbg.sock")
+        daemon = AliasDaemon(service, socket_path=sock, http_port=0)
+        runner = ThreadedDaemon(daemon).start()
+        try:
+            host, port = daemon.http_address
+            base = "http://%s:%d" % (host, port)
+            with urllib.request.urlopen(base + "/debug/requests") as response:
+                assert json.loads(response.read()) == []
+            result = []
+
+            def query():
+                with DaemonClient(sock, trace_requests=True) as client:
+                    result.append(client.is_alias_batch([(0, 1)]))
+
+            thread = threading.Thread(target=query)
+            thread.start()
+            assert backend.entered.wait(10)
+            with urllib.request.urlopen(base + "/debug/requests") as response:
+                inflight = json.loads(response.read())
+            assert len(inflight) == 1
+            assert inflight[0]["op"] == "is_alias"
+            assert inflight[0]["age_ms"] >= 0
+            assert len(inflight[0]["request_id"]) == 16
+            backend.gate.set()
+            thread.join(10)
+            assert result == [[matrix.is_alias(0, 1)]]
+            with urllib.request.urlopen(base + "/debug/requests") as response:
+                assert json.loads(response.read()) == []
+        finally:
+            backend.gate.set()
+            runner.stop()
+
+    def test_debug_profile_returns_a_report(self, served):
+        _matrix, sock, daemon = served
+        host, port = daemon.http_address
+        base = "http://%s:%d" % (host, port)
+        with urllib.request.urlopen(base + "/debug/profile?seconds=0.1") \
+                as response:
+            body = response.read().decode()
+        assert body.startswith("profile:")
+        assert "samples" in body
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(base + "/debug/profile?seconds=0")
+        assert info.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(base + "/debug/profile?seconds=junk")
+        assert info.value.code == 400
+
+
+class TestObservabilityCli:
+    """`repro-pestrie metrics --socket/--url` and `top` against a daemon."""
+
+    def test_metrics_scrapes_over_the_socket(self, served, capsys):
+        from repro.cli import main as cli_main
+
+        _matrix, sock, _daemon = served
+        with DaemonClient(sock) as client:
+            client.is_alias_batch([(0, 1)])
+        assert cli_main(["metrics", "--socket", sock]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_daemon_requests_total counter" in out
+        assert "repro_daemon_worker_info" in out
+
+    def test_metrics_scrapes_over_http(self, served, capsys):
+        from repro.cli import main as cli_main
+
+        _matrix, _sock, daemon = served
+        host, port = daemon.http_address
+        assert cli_main(["metrics", "--url",
+                         "http://%s:%d" % (host, port)]) == 0
+        assert "repro_daemon_connections_total" in capsys.readouterr().out
+
+    def test_top_renders_one_refresh(self, served, capsys):
+        from repro.cli import main as cli_main
+
+        _matrix, sock, daemon = served
+        with DaemonClient(sock) as client:
+            client.is_alias_batch([(0, 1), (2, 3)])
+        host, port = daemon.http_address
+        url = "http://%s:%d" % (host, port)
+        assert cli_main(["top", "--socket", sock, "--url", url,
+                         "--iterations", "2", "--interval", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "qps" in out and "cache" in out and "version" in out
+        assert "socket:%s" % sock in out
+        assert url in out
+        assert "unreachable" not in out
+
+    def test_top_without_targets_is_usage_error(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["top", "--iterations", "1"]) == 2
+        assert "needs --socket" in capsys.readouterr().err
