@@ -3,7 +3,7 @@
 PYTHON ?= python3
 RUN = PYTHONPATH=src:$$PYTHONPATH $(PYTHON)
 
-.PHONY: install test fuzz fuzz-v4 fuzz-versions bench bench-smoke daemon-smoke metrics-smoke obs-smoke examples results clean
+.PHONY: install test fuzz fuzz-v4 fuzz-versions bench bench-smoke bench-scale-smoke daemon-smoke metrics-smoke obs-smoke examples results clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -43,6 +43,12 @@ bench-smoke:
 # reload invariant.
 daemon-smoke:
 	BENCH_SMOKE=1 $(RUN) -m pytest benchmarks/bench_daemon_throughput.py -q
+
+# Scale-growth guard: staged encode up to 10^5 pointers must stay
+# near-linear in the fact count, and a 2-process parallel encode must be
+# byte-identical to the serial bytes.
+bench-scale-smoke:
+	cd benchmarks && BENCH_SMOKE=1 PYTHONPATH=../src:$$PYTHONPATH $(PYTHON) bench_scale_growth.py --quick
 
 # Observability guard: boot a daemon, drive traced traffic, assert one
 # request yields one connected span tree, the flight recorder dumps real

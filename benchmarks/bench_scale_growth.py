@@ -2,22 +2,56 @@
 
 The paper's complexity claims: construction O(nm) worst case (far better in
 practice under the hub order), decoding linear in the file, IsAlias
-O(log n).  This bench sweeps calibrated synthetic matrices across a 6×
-pointer range and checks the *growth shape*: per-query IsAlias cost must
-grow far slower than the matrix (logarithmically), and decode must stay a
-small multiple of the file size.
+O(log n).  This bench has two faces:
+
+* the pytest ``test_cost_growth`` sweeps calibrated synthetic matrices
+  across a 6x pointer range and checks the *growth shape*: per-query
+  IsAlias cost must grow far slower than the matrix (logarithmically),
+  and decode must stay a small multiple of the file size;
+
+* script mode (``python bench_scale_growth.py [--quick]``) drives the
+  staged build pipeline two orders of magnitude further — up to 10^6
+  pointers — printing per-stage wall-clock and peak-RSS columns from the
+  ``BuildReport``, asserting near-linear encode growth in the fact
+  count, and checking that a multi-process encode is byte-identical to
+  the serial one (with a wall-clock speedup bar that only applies when
+  the machine actually has spare cores).
+
+``--quick`` stops at 10^5 pointers and is the CI guard
+(``make bench-scale-smoke``).
 """
 
+import os
 import random
+import resource
+import sys
 
 from repro.bench.harness import Table, timed
 from repro.bench.synthetic import SyntheticSpec, synthesize
 from repro.core.pipeline import encode, index_from_bytes
-
-from conftest import write_result
+from repro.core.stages import BuildReport, ProcessExecutor, run_pipeline
 
 SIZES = ((5_000, 1_200), (15_000, 3_600), (30_000, 7_500))
 QUERIES = 20_000
+
+# Script-mode sweeps: (n_pointers, n_objects).  Objects stay at 1/4 of the
+# pointers so density (facts per pointer) is roughly constant across sizes
+# and seconds-per-fact is a fair linearity measure.
+SCALE_SIZES_QUICK = ((10_000, 2_500), (100_000, 25_000))
+SCALE_SIZES_FULL = ((10_000, 2_500), (100_000, 25_000), (1_000_000, 250_000))
+
+# Near-linear bar: seconds per unit of *work* (input facts + output image
+# bytes) at the largest size may exceed the smallest size's by at most
+# this factor.  Facts alone are the wrong denominator: in the calibrated
+# synthetic family the kept-rectangle count — and hence the image — grows
+# ~facts^1.4 (hub origins accumulate cross edges, and Case-2 candidates
+# are pairs), so even a perfect encoder is super-linear in facts because
+# its *output* is.  Normalising by input+output makes the bar a genuine
+# algorithmic guard: a near-linear encode scores ~1x across the 10x-100x
+# sweep, while the quadratic hot spots this guard exists to catch (the
+# legacy segment-tree insert-probe loop, footprint slab walks) blow
+# through it.
+NEAR_LINEAR_FACTOR = 3.0
 
 
 def test_cost_growth(benchmark):
@@ -53,6 +87,8 @@ def test_cost_growth(benchmark):
                 "IsAlias (us/query)": microseconds,
             }
         )
+    from conftest import write_result
+
     write_result("scale_growth.txt", table.render())
 
     # 6x more pointers must cost clearly less than 6x per query
@@ -61,3 +97,92 @@ def test_cost_growth(benchmark):
 
     pairs = [(rng.randrange(5_000), rng.randrange(5_000)) for _ in range(5_000)]
     benchmark(lambda: sum(1 for p, q in pairs if smallest_index.is_alias(p, q)))
+
+
+# ----------------------------------------------------------------------
+# Script mode — staged pipeline to 10^6 pointers
+# ----------------------------------------------------------------------
+
+
+def _stage_table(n_pointers, facts, report):
+    rows = ["  %-12s %9.3fs  peak RSS %7.1f MB"
+            % (entry.name, entry.seconds, entry.peak_rss_kb / 1024)
+            for entry in report.stages]
+    header = "n=%d facts=%d total=%.2fs jobs=%d" % (
+        n_pointers, facts, report.total_seconds(), report.jobs)
+    return "\n".join([header] + rows)
+
+
+def _run_scale(sizes):
+    """Encode each size serially, print per-stage wall/RSS, return samples."""
+    samples = []
+    for n_pointers, n_objects in sizes:
+        synth = timed(lambda: synthesize(SyntheticSpec(
+            n_pointers=n_pointers, n_objects=n_objects, seed=1)))
+        matrix = synth.result
+        facts = matrix.fact_count()
+        report = BuildReport()
+        enc = timed(lambda: run_pipeline(matrix, report=report))
+        print("synthesize %.1fs" % synth.seconds)
+        print(_stage_table(n_pointers, facts, report))
+        print("  %-12s %9d bytes" % ("image", len(enc.result)))
+        sys.stdout.flush()
+        samples.append((n_pointers, facts, enc.seconds, matrix, enc.result))
+    return samples
+
+
+def _assert_near_linear(samples):
+    (_, facts_lo, secs_lo, _, bytes_lo) = samples[0]
+    (_, facts_hi, secs_hi, _, bytes_hi) = samples[-1]
+    work_lo = facts_lo + len(bytes_lo)
+    work_hi = facts_hi + len(bytes_hi)
+    per_unit_lo = secs_lo / work_lo
+    per_unit_hi = secs_hi / work_hi
+    growth = per_unit_hi / per_unit_lo
+    print("near-linear check: %.2e -> %.2e s/work-unit (%.2fx across %.0fx "
+          "facts, %.0fx output bytes)"
+          % (per_unit_lo, per_unit_hi, growth, facts_hi / facts_lo,
+             len(bytes_hi) / len(bytes_lo)))
+    assert growth < NEAR_LINEAR_FACTOR, (
+        "encode is super-linear: seconds per work unit grew %.2fx (bar %.1fx)"
+        % (growth, NEAR_LINEAR_FACTOR))
+
+
+def _check_parallel(samples, jobs):
+    """Byte-identity (always) and speedup (only with spare cores)."""
+    n_pointers, facts, serial_seconds, matrix, serial_bytes = samples[-1]
+    executor = ProcessExecutor(jobs)
+    try:
+        par = timed(lambda: run_pipeline(matrix, executor=executor))
+    finally:
+        executor.close()
+    identical = par.result == serial_bytes
+    print("parallel jobs=%d at n=%d: %.2fs vs serial %.2fs, byte-identical=%s"
+          % (jobs, n_pointers, par.seconds, serial_seconds, identical))
+    assert identical, "parallel encode diverged from serial bytes"
+    # The speedup bar is meaningful only when the host can actually run
+    # the workers concurrently; on a 1-2 core box the fork/pickle overhead
+    # dominates and the byte-identity check above is the whole guard.
+    cores = os.cpu_count() or 1
+    if cores >= jobs + 1 and facts >= 1_000_000:
+        assert par.seconds < serial_seconds * 0.75, (
+            "expected parallel speedup on %d cores: %.2fs vs %.2fs"
+            % (cores, par.seconds, serial_seconds))
+
+
+def main(argv):
+    quick = "--quick" in argv
+    sizes = SCALE_SIZES_QUICK if quick else SCALE_SIZES_FULL
+    print("scale growth (%s): sizes %s" % (
+        "quick" if quick else "full", [n for n, _ in sizes]))
+    samples = _run_scale(sizes)
+    _assert_near_linear(samples)
+    _check_parallel(samples, jobs=2 if quick else 4)
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    print("OK: near-linear to n=%d, parallel output byte-identical "
+          "(process peak RSS %.1f MB)" % (samples[-1][0], peak / 1024))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -15,6 +15,7 @@ import pytest
 
 from repro.baselines.bitmap_persist import BitmapIndex, BitmapPersistence
 from repro.baselines.bzip_persist import BzipPersistence
+from repro.baselines.cha_bitvector import ChaBitVectorIndex, ChaBitVectorPersistence
 from repro.baselines.demand import DemandDriven
 from repro.bdd.encode import PointsToBdd, encode_matrix
 from repro.bdd.persist import BddPersistence
@@ -47,6 +48,12 @@ class EncodedSubject:
     bzip_size: int
     bzip_construct_seconds: float
 
+    cha_path: str
+    cha_size: int
+    cha_construct_seconds: float
+    cha_decode_seconds: float
+    cha: ChaBitVectorIndex
+
     demand: DemandDriven
 
     bdd_path: Optional[str] = None
@@ -74,6 +81,10 @@ def _encode_subject(subject: Subject, directory: str) -> EncodedSubject:
     bzip_path = os.path.join(directory, subject.name + ".bz")
     bzip_construct = timed(lambda: BzipPersistence.encode_to_file(matrix, bzip_path))
 
+    cha_path = os.path.join(directory, subject.name + ".chbv")
+    cha_construct = timed(lambda: ChaBitVectorPersistence.encode_to_file(matrix, cha_path))
+    cha_decode = timed(lambda: ChaBitVectorPersistence.decode_from_file(cha_path))
+
     encoded = EncodedSubject(
         subject=subject,
         pes_path=pes_path,
@@ -89,6 +100,11 @@ def _encode_subject(subject: Subject, directory: str) -> EncodedSubject:
         bzip_path=bzip_path,
         bzip_size=bzip_construct.result,
         bzip_construct_seconds=bzip_construct.seconds,
+        cha_path=cha_path,
+        cha_size=cha_construct.result,
+        cha_construct_seconds=cha_construct.seconds,
+        cha_decode_seconds=cha_decode.seconds,
+        cha=cha_decode.result,
         demand=DemandDriven(matrix, universe=subject.base_pointers),
     )
 

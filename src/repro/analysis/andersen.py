@@ -1,8 +1,10 @@
 """Andersen-style inclusion-based points-to analysis.
 
 Flow- and context-insensitive subset constraints solved to a fixed point
-with a worklist over a constraint graph whose points-to sets are sparse
-bitmaps:
+with a difference-propagation worklist over a constraint graph whose
+points-to sets are sparse bitmaps: each node tracks the facts gained since
+it was last processed and only that delta is pushed along edges.  The
+constraint forms:
 
 * ``p = alloc S``   →  ``S ∈ pts(p)``
 * ``p = q``         →  ``pts(q) ⊆ pts(p)``          (copy edge q → p)
@@ -253,6 +255,18 @@ def analyze(
     obj_to_var: List[Set[int]] = [set() for _ in range(n_sites)]  # pts(o) ⊆ pts(v)
     var_to_obj: List[Set[int]] = [set() for _ in range(n_vars)]  # pts(v) ⊆ pts(o)
 
+    # Difference propagation: each node carries a *delta* — the facts added
+    # since it was last processed — and only the delta flows along existing
+    # edges.  Every fact enters a node's set exactly once through its delta,
+    # so dereference-edge discovery and icall resolution scan deltas instead
+    # of whole points-to sets; a newly created edge is paid for with one
+    # full-set propagation at creation time, after which delta flow keeps it
+    # current.  The fixpoint is identical to whole-set propagation, but the
+    # work per iteration is proportional to what changed, which is what
+    # makes million-pointer PMs generatable.
+    var_delta: List[SparseBitmap] = [pts.copy() for pts in var_pts]
+    obj_delta: List[SparseBitmap] = [SparseBitmap() for _ in range(n_sites)]
+
     worklist: List[Tuple[str, int]] = [("var", v) for v in range(n_vars) if var_pts[v]]
     pending: Set[Tuple[str, int]] = set(worklist)
     iterations = 0
@@ -263,18 +277,33 @@ def analyze(
             pending.add(key)
             worklist.append(key)
 
+    def gain_var(dst: int, bits: SparseBitmap) -> None:
+        gained = bits - var_pts[dst]
+        if gained:
+            var_pts[dst].union_update(gained)
+            var_delta[dst].union_update(gained)
+            push("var", dst)
+
+    def gain_obj(obj: int, bits: SparseBitmap) -> None:
+        gained = bits - obj_pts[obj]
+        if gained:
+            obj_pts[obj].union_update(gained)
+            obj_delta[obj].union_update(gained)
+            push("obj", obj)
+
     while worklist:
         kind, index = worklist.pop()
         pending.discard((kind, index))
         iterations += 1
         if kind == "var":
-            pts = var_pts[index]
+            delta = var_delta[index]
+            var_delta[index] = SparseBitmap()
             # Resolve indirect calls through this pointer (on-the-fly call
-            # graph): each function object in its points-to set wires the
-            # usual argument/return copy edges, once.
+            # graph): each *new* function object wires the usual
+            # argument/return copy edges, once, with a full-set catch-up.
             for icall_id in icalls_on[index]:
                 _pointer, target, args = icalls[icall_id]
-                for site in pts:
+                for site in delta:
                     func = fn_sites.get(site)
                     if func is None or (icall_id, site) in resolved_icalls:
                         continue
@@ -283,40 +312,35 @@ def analyze(
                         param = as_rep(param)
                         if param != arg:
                             succ_var[arg].add(param)
-                        if var_pts[param].union_update(var_pts[arg]):
-                            push("var", param)
+                        gain_var(param, var_pts[arg])
                     if target is not None:
                         for returned in return_vars.get(func, ()):
                             returned = as_rep(returned)
                             if returned != target:
                                 succ_var[returned].add(target)
-                            if var_pts[target].union_update(var_pts[returned]):
-                                push("var", target)
-            # New dereference edges induced by this variable's points-to set.
+                            gain_var(target, var_pts[returned])
+            # New dereference edges induced by this variable's new objects;
+            # objects already propagated wired these edges on their delta.
             for dst in loads_from[index]:
-                for obj in pts:
+                for obj in delta:
                     if dst not in obj_to_var[obj]:
                         obj_to_var[obj].add(dst)
-                        if var_pts[dst].union_update(obj_pts[obj]):
-                            push("var", dst)
+                        gain_var(dst, obj_pts[obj])
             for src in stores_to[index]:
-                for obj in pts:
+                for obj in delta:
                     if obj not in var_to_obj[src]:
                         var_to_obj[src].add(obj)
-                        if obj_pts[obj].union_update(var_pts[src]):
-                            push("obj", obj)
-            # Propagate along static and dynamic copy edges.
+                        gain_obj(obj, var_pts[src])
+            # Propagate the delta along static and dynamic copy edges.
             for dst in succ_var[index]:
-                if var_pts[dst].union_update(pts):
-                    push("var", dst)
+                gain_var(dst, delta)
             for obj in var_to_obj[index]:
-                if obj_pts[obj].union_update(pts):
-                    push("obj", obj)
+                gain_obj(obj, delta)
         else:
-            pts = obj_pts[index]
+            delta = obj_delta[index]
+            obj_delta[index] = SparseBitmap()
             for dst in obj_to_var[index]:
-                if var_pts[dst].union_update(pts):
-                    push("var", dst)
+                gain_var(dst, delta)
 
     if representative is not None:
         # Collapsed variables share their representative's solution (the

@@ -1,7 +1,15 @@
-"""Persistence and querying baselines: BitP, bzip, demand-driven."""
+"""Persistence and querying baselines: BitP, ChaBV, bzip, demand-driven."""
 
 from .bitmap_persist import BitmapIndex, BitmapPersistence
 from .bzip_persist import BzipPersistence
+from .cha_bitvector import ChaBitVectorIndex, ChaBitVectorPersistence
 from .demand import DemandDriven
 
-__all__ = ["BitmapIndex", "BitmapPersistence", "BzipPersistence", "DemandDriven"]
+__all__ = [
+    "BitmapIndex",
+    "BitmapPersistence",
+    "BzipPersistence",
+    "ChaBitVectorIndex",
+    "ChaBitVectorPersistence",
+    "DemandDriven",
+]

@@ -1,0 +1,281 @@
+"""ChaBV: the class-hierarchy-aware bit-vector persistence baseline.
+
+Toussi's MDE line of work compresses points-to bit vectors by switching the
+vector dimension from *objects* to *classes*: allocation sites of one class
+collapse into a single bit, and per-class site tables recover the members.
+This module reproduces that scheme as a Table 8 baseline:
+
+* objects are partitioned into classes — a caller-supplied hierarchy map
+  (``class_of``) when the front end has one, refined by pointed-by-column
+  identity so the encoding stays lossless (two sites share a bit only when
+  *exactly* the same pointers reach them; with no hierarchy the column
+  refinement alone is the partition);
+* each pointer's points-to set becomes a dense bit vector over class ids
+  (``⌈n_classes/8⌉`` bytes), with identical vectors stored once behind a
+  pointer→vector table, the same row merging BitP uses;
+* each class stores its pointed-by column once — which is simultaneously
+  the member-expansion table for ``ListPointsTo`` and the whole answer to
+  ``ListPointedBy``.
+
+Losslessness argument: column refinement guarantees that members of one
+class have identical pointed-by sets, so every points-to set is a union of
+whole classes and the class vector loses nothing.  ``IsAlias`` is then one
+byte-string intersection — O(classes/8) — the scenario-diversity contrast
+to BitP's block-list walk and Pestrie's O(log n) probe.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+from typing import BinaryIO, Dict, List, Optional, Sequence, Tuple
+
+from ..core.ioutil import atomic_write, crc32
+from ..matrix.points_to import PointsToMatrix
+
+#: ``CHBV`` + version 1 + two reserved bytes, mirroring the BitP magic.
+MAGIC = b"CHBV\x00\x01\x00\x00"
+
+_U32 = struct.Struct("<I")
+
+
+def _write_u32(stream: BinaryIO, value: int) -> None:
+    stream.write(_U32.pack(value))
+
+
+def _read_exact(stream: BinaryIO, size: int) -> bytes:
+    data = stream.read(size)
+    if len(data) != size:
+        raise ValueError("truncated ChaBV file (wanted %d bytes, got %d)"
+                         % (size, len(data)))
+    return data
+
+
+def _read_u32(stream: BinaryIO) -> int:
+    return _U32.unpack(_read_exact(stream, 4))[0]
+
+
+def _partition_classes(
+    matrix: PointsToMatrix, class_of: Optional[Sequence[int]]
+) -> Tuple[List[int], List[List[int]]]:
+    """Class id per object plus each class's pointed-by column.
+
+    Classes are ``(hierarchy class, pointed-by column)`` groups, numbered in
+    first-object order so the partition is deterministic.
+    """
+    columns: List[List[int]] = [[] for _ in range(matrix.n_objects)]
+    for pointer, row in enumerate(matrix.rows):
+        for obj in row:
+            columns[obj].append(pointer)
+    obj_class = [0] * matrix.n_objects
+    table: Dict[Tuple[int, Tuple[int, ...]], int] = {}
+    class_columns: List[List[int]] = []
+    for obj in range(matrix.n_objects):
+        declared = class_of[obj] if class_of is not None else 0
+        key = (declared, tuple(columns[obj]))
+        class_id = table.get(key)
+        if class_id is None:
+            class_id = len(class_columns)
+            table[key] = class_id
+            class_columns.append(columns[obj])
+        obj_class[obj] = class_id
+    return obj_class, class_columns
+
+
+class ChaBitVectorIndex:
+    """Decoded ChaBV data: class tables plus merged class-vector rows."""
+
+    def __init__(
+        self,
+        n_pointers: int,
+        n_objects: int,
+        obj_class: List[int],
+        class_members: List[List[int]],
+        class_pointers: List[List[int]],
+        row_vector_of: List[int],
+        vectors: List[bytes],
+    ):
+        self.n_pointers = n_pointers
+        self.n_objects = n_objects
+        self._obj_class = obj_class
+        self._class_members = class_members
+        self._class_pointers = class_pointers
+        self._row_vector_of = row_vector_of
+        self._vectors = vectors
+
+    def _vector(self, p: int) -> bytes:
+        return self._vectors[self._row_vector_of[p]]
+
+    def _classes_of(self, p: int) -> List[int]:
+        out = []
+        for byte_index, byte in enumerate(self._vector(p)):
+            while byte:
+                bit = byte & -byte
+                out.append(byte_index * 8 + bit.bit_length() - 1)
+                byte ^= bit
+        return out
+
+    # The four Table 1 queries.
+
+    def is_alias(self, p: int, q: int) -> bool:
+        """One byte-string intersection over the class dimension."""
+        for a, b in zip(self._vector(p), self._vector(q)):
+            if a & b:
+                return True
+        return False
+
+    def list_aliases(self, p: int) -> List[int]:
+        aliases = set()
+        for class_id in self._classes_of(p):
+            aliases.update(self._class_pointers[class_id])
+        aliases.discard(p)
+        return sorted(aliases)
+
+    def list_points_to(self, p: int) -> List[int]:
+        objects: List[int] = []
+        for class_id in self._classes_of(p):
+            objects.extend(self._class_members[class_id])
+        return sorted(objects)
+
+    def list_pointed_by(self, obj: int) -> List[int]:
+        """The class column, verbatim — sharing is the point of the scheme."""
+        return list(self._class_pointers[self._obj_class[obj]])
+
+    def memory_footprint(self) -> int:
+        """Rough decoded-structure size in bytes."""
+        total = 28 * (len(self._obj_class) + len(self._row_vector_of))
+        for vector in self._vectors:
+            total += len(vector) + 49  # bytes object overhead
+        for table in (self._class_members, self._class_pointers):
+            for entries in table:
+                total += 56 + 28 * len(entries)
+        return total
+
+
+class ChaBitVectorPersistence:
+    """Encoder/decoder for the ChaBV persistent format."""
+
+    @staticmethod
+    def encode(
+        matrix: PointsToMatrix,
+        stream: BinaryIO,
+        class_of: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Serialise ``matrix``; ``class_of`` optionally supplies the
+        declared class per object (any ints — they only seed the grouping).
+        """
+        if class_of is not None and len(class_of) != matrix.n_objects:
+            raise ValueError(
+                "class_of must cover all %d objects, got %d entries"
+                % (matrix.n_objects, len(class_of))
+            )
+        obj_class, class_columns = _partition_classes(matrix, class_of)
+        n_classes = len(class_columns)
+        width = (n_classes + 7) // 8
+
+        vectors: List[bytes] = []
+        vector_ids: Dict[bytes, int] = {}
+        row_vector_of: List[int] = []
+        for row in matrix.rows:
+            vector = bytearray(width)
+            for obj in row:
+                class_id = obj_class[obj]
+                vector[class_id >> 3] |= 1 << (class_id & 7)
+            key = bytes(vector)
+            vector_id = vector_ids.get(key)
+            if vector_id is None:
+                vector_id = len(vectors)
+                vector_ids[key] = vector_id
+                vectors.append(key)
+            row_vector_of.append(vector_id)
+
+        body = io.BytesIO()
+        body.write(MAGIC)
+        for value in (matrix.n_pointers, matrix.n_objects, n_classes, len(vectors)):
+            _write_u32(body, value)
+        for class_id in obj_class:
+            _write_u32(body, class_id)
+        for vector_id in row_vector_of:
+            _write_u32(body, vector_id)
+        for column in class_columns:
+            _write_u32(body, len(column))
+            for pointer in column:
+                _write_u32(body, pointer)
+        for vector in vectors:
+            body.write(vector)
+        payload = body.getvalue()
+        stream.write(payload)
+        stream.write(_U32.pack(crc32(payload)))
+
+    @staticmethod
+    def encode_to_file(
+        matrix: PointsToMatrix,
+        path: str,
+        class_of: Optional[Sequence[int]] = None,
+    ) -> int:
+        body = io.BytesIO()
+        ChaBitVectorPersistence.encode(matrix, body, class_of=class_of)
+        atomic_write(path, body.getvalue())
+        return os.path.getsize(path)
+
+    @staticmethod
+    def decode_buffer(data) -> ChaBitVectorIndex:
+        if bytes(data[:8]) != MAGIC:
+            raise ValueError("not a ChaBV file (bad magic %r)" % bytes(data[:8]))
+        if len(data) < 12:
+            raise ValueError("truncated ChaBV file (no checksum trailer)")
+        stored = _U32.unpack_from(data, len(data) - 4)[0]
+        actual = crc32(data[:-4])
+        if stored != actual:
+            raise ValueError("ChaBV checksum mismatch (stored %08x, computed %08x)"
+                             % (stored, actual))
+        body = io.BytesIO(data[8 : len(data) - 4])
+        n_pointers = _read_u32(body)
+        n_objects = _read_u32(body)
+        n_classes = _read_u32(body)
+        n_vectors = _read_u32(body)
+        obj_class = [_read_u32(body) for _ in range(n_objects)]
+        row_vector_of = [_read_u32(body) for _ in range(n_pointers)]
+        class_pointers: List[List[int]] = []
+        for _ in range(n_classes):
+            count = _read_u32(body)
+            class_pointers.append([_read_u32(body) for _ in range(count)])
+        width = (n_classes + 7) // 8
+        vectors = [bytes(_read_exact(body, width)) for _ in range(n_vectors)]
+        trailing = len(body.read())
+        if trailing:
+            raise ValueError("%d trailing bytes after the ChaBV sections" % trailing)
+        for class_id in obj_class:
+            if class_id >= n_classes:
+                raise ValueError("object class id %d out of range" % class_id)
+        for vector_id in row_vector_of:
+            if vector_id >= n_vectors:
+                raise ValueError("row vector id %d out of range" % vector_id)
+        class_members: List[List[int]] = [[] for _ in range(n_classes)]
+        for obj, class_id in enumerate(obj_class):
+            class_members[class_id].append(obj)
+        return ChaBitVectorIndex(
+            n_pointers=n_pointers,
+            n_objects=n_objects,
+            obj_class=obj_class,
+            class_members=class_members,
+            class_pointers=class_pointers,
+            row_vector_of=row_vector_of,
+            vectors=vectors,
+        )
+
+    @staticmethod
+    def decode(stream: BinaryIO) -> ChaBitVectorIndex:
+        return ChaBitVectorPersistence.decode_buffer(stream.read())
+
+    @staticmethod
+    def decode_from_file(path: str) -> ChaBitVectorIndex:
+        from ..store import open_blob
+
+        with open_blob(path) as blob:
+            view = blob.buffer
+            try:
+                return ChaBitVectorPersistence.decode_buffer(view)
+            finally:
+                view.release()

@@ -87,7 +87,7 @@ def _matrix_from_source(path: str, analysis: str) -> PointsToMatrix:
 def cmd_encode(args: argparse.Namespace) -> int:
     matrix = _matrix_from_source(args.source, args.analysis)
     size = persist(matrix, args.output, order=args.order, compact=args.compact,
-                   version=args.format_version)
+                   version=args.format_version, jobs=args.jobs)
     print("%s: %d pointers, %d objects, %d facts -> %d bytes"
           % (args.output, matrix.n_pointers, matrix.n_objects,
              matrix.fact_count(), size))
@@ -650,6 +650,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="on-disk format version (3 = checksummed PESTRIE3, "
                              "the default; 4 = PESTRIE4 with zero-copy flat query "
                              "sections; 1/2 = legacy uncheck-summed formats)")
+    encode.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the parallel build stages "
+                             "(default: serial; output is byte-identical "
+                             "regardless of N)")
     encode.set_defaults(handler=cmd_encode)
 
     analyze = sub.add_parser("analyze", help="analyse IR into a reusable archive dir")

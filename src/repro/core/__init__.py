@@ -28,12 +28,26 @@ from .query import PestrieIndex
 from .reachability import pointed_by, points_to, verify_theorem_1, xi_reachable_groups
 from .rectangles import LabeledRect, RectangleSet, generate_rectangles
 from .segment_tree import Rect, SegmentTree
+from .stages import (
+    ENCODE_STAGES,
+    BuildContext,
+    BuildReport,
+    ProcessExecutor,
+    SerialExecutor,
+    Stage,
+    StageReport,
+    make_executor,
+    run_pipeline,
+)
 from .structure import CrossEdge, Group, Pestrie
 
 __all__ = [
     "ABSENT",
     "DEFAULT_VERSION",
+    "ENCODE_STAGES",
     "ORDER_CHOICES",
+    "BuildContext",
+    "BuildReport",
     "CorruptFileError",
     "CrossEdge",
     "Group",
@@ -44,9 +58,13 @@ __all__ = [
     "PestrieEncoder",
     "PestrieIndex",
     "PestriePayload",
+    "ProcessExecutor",
     "Rect",
     "RectangleSet",
     "SegmentTree",
+    "SerialExecutor",
+    "Stage",
+    "StageReport",
     "assign_intervals",
     "atomic_write",
     "build_labeled_pestrie",
@@ -66,6 +84,7 @@ __all__ = [
     "index_from_bytes",
     "load_index",
     "load_payload",
+    "make_executor",
     "partition_objective",
     "persist",
     "pointed_by",
@@ -73,6 +92,7 @@ __all__ = [
     "random_order",
     "rectangles_for",
     "resolve_order",
+    "run_pipeline",
     "save_pestrie",
     "simple_degree_order",
     "simple_degrees",

@@ -114,6 +114,22 @@ def _write_varint(out: bytearray, value: int) -> None:
             return
 
 
+def validate_version(version: int, compact: bool) -> bool:
+    """Check a (version, compact) pair; return the effective compact flag."""
+    if version not in (1, 2, 3, 4):
+        raise ValueError("unknown Pestrie format version %r" % version)
+    if version == 1 and compact:
+        raise ValueError(
+            "format version 1 stores raw uint32s; use version 2 or 3 for compact coding"
+        )
+    if version == 4 and compact:
+        raise ValueError(
+            "format version 4 stores raw uint32 sections so queries can run "
+            "zero-copy over the mapped bytes; compact coding is not available"
+        )
+    return True if version == 2 else compact
+
+
 def _encode_ints(values: Sequence[int], compact: bool) -> bytes:
     if not compact:
         return b"".join(_U32.pack(v) for v in values)
@@ -140,19 +156,7 @@ class PestrieEncoder:
         compact: bool = False,
         version: int = DEFAULT_VERSION,
     ):
-        if version not in (1, 2, 3, 4):
-            raise ValueError("unknown Pestrie format version %r" % version)
-        if version == 1 and compact:
-            raise ValueError(
-                "format version 1 stores raw uint32s; use version 2 or 3 for compact coding"
-            )
-        if version == 4 and compact:
-            raise ValueError(
-                "format version 4 stores raw uint32 sections so queries can run "
-                "zero-copy over the mapped bytes; compact coding is not available"
-            )
-        if version == 2:
-            compact = True
+        compact = validate_version(version, compact)
         self.pestrie = pestrie
         self.rects = list(rects)
         self.compact = compact

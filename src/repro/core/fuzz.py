@@ -100,6 +100,7 @@ class FuzzReport:
     survived: int = 0
     lazy_checks: int = 0
     flat_checks: int = 0
+    parallel_checks: int = 0
     failures: List[FuzzFailure] = field(default_factory=list)
 
     @property
@@ -111,11 +112,13 @@ class FuzzReport:
             "%d cases: %d clean round-trips (+%d delta-chain, %d versioned), "
             "%d as_of checks, "
             "%d corruptions (%d rejected, %d survived validation), "
-            "%d lazy-parity checks, %d flat-parity checks, %d failures"
+            "%d lazy-parity checks, %d flat-parity checks, "
+            "%d parallel-parity checks, %d failures"
             % (self.cases, self.clean_round_trips, self.delta_round_trips,
                self.versioned_round_trips, self.as_of_checks,
                self.corruptions, self.rejected, self.survived,
-               self.lazy_checks, self.flat_checks, len(self.failures))
+               self.lazy_checks, self.flat_checks, self.parallel_checks,
+               len(self.failures))
         )
 
 
@@ -200,6 +203,26 @@ def _check_clean(case: int, version: int, compact: bool, order: str,
                                            "re-encoding is not byte-exact"))
         return
     report.clean_round_trips += 1
+
+
+def _check_parallel(case: int, version: int, compact: bool, order: str,
+                    matrix: PointsToMatrix, data: bytes, executor,
+                    report: FuzzReport) -> None:
+    """A 2-process staged encode must reproduce the serial bytes exactly."""
+    from .stages import run_pipeline
+
+    try:
+        parallel = run_pipeline(matrix, order=order, compact=compact,
+                                version=version, executor=executor)
+    except Exception as error:  # noqa: BLE001 — any exception here is a bug
+        report.failures.append(FuzzFailure(case, version, None,
+                                           "parallel encode failed: %r" % (error,)))
+        return
+    if parallel != data:
+        report.failures.append(FuzzFailure(case, version, None,
+                                           "parallel encode is not byte-identical to serial"))
+        return
+    report.parallel_checks += 1
 
 
 def _check_flat_clean(case: int, matrix: PointsToMatrix, data: bytes,
@@ -643,6 +666,7 @@ def run_fuzz(iterations: int = 500, seed: int = 0, mutants_per_case: int = 3,
 
     pool = tuple(versions) if versions else (1, 2, 3, 3, 4)
     report = FuzzReport()
+    parallel_executor = None
     for case in range(iterations):
         rng = random.Random("pestrie-fuzz-%d-%d" % (seed, case))
         matrix = random_matrix(rng)
@@ -653,6 +677,16 @@ def run_fuzz(iterations: int = 500, seed: int = 0, mutants_per_case: int = 3,
         report.cases += 1
 
         _check_clean(case, version, compact, order, matrix, data, report)
+
+        # A slice of cases re-encodes through a shared 2-process executor:
+        # chunked fan-out and merge must reproduce the serial bytes.
+        if rng.random() < 0.12:
+            if parallel_executor is None:
+                from .stages import ProcessExecutor
+
+                parallel_executor = ProcessExecutor(2)
+            _check_parallel(case, version, compact, order, matrix, data,
+                            parallel_executor, report)
         for _ in range(mutants_per_case):
             kind, mutated = corrupt(rng, data)
             if mutated == data:
@@ -698,6 +732,8 @@ def run_fuzz(iterations: int = 500, seed: int = 0, mutants_per_case: int = 3,
                                 _corrupt_epoch(rng, image, spans), report)
             _check_misplaced_watermark(case, version, image,
                                        len(prefixes) - 1, report)
+    if parallel_executor is not None:
+        parallel_executor.close()
     return report
 
 

@@ -14,7 +14,7 @@ from ..matrix.points_to import PointsToMatrix
 from ..obs import trace
 from .builder import build_pestrie
 from .decoder import decode_bytes, load_payload
-from .encoder import DEFAULT_VERSION, PestrieEncoder, save_pestrie
+from .encoder import DEFAULT_VERSION
 from .intervals import assign_intervals
 from .query import PestrieIndex
 from .rectangles import RectangleSet, generate_rectangles
@@ -41,14 +41,20 @@ def encode(
     compact: bool = False,
     explicit_order: Optional[Sequence[int]] = None,
     version: int = DEFAULT_VERSION,
+    jobs: Optional[int] = None,
 ) -> bytes:
-    """Encode a matrix straight to persistent-file bytes."""
+    """Encode a matrix straight to persistent-file bytes.
+
+    Runs the staged build pipeline (``repro.core.stages``); ``jobs`` > 1
+    fans the parallel stages out over that many worker processes, with
+    output byte-identical to the serial run.
+    """
+    from .stages import run_pipeline  # deferred: stages builds on this layer
+
     with trace.span("encode", pointers=matrix.n_pointers, objects=matrix.n_objects):
-        pestrie = build_labeled_pestrie(matrix, order=order, seed=seed,
-                                        explicit_order=explicit_order)
-        rect_set = generate_rectangles(pestrie)
-        return PestrieEncoder(pestrie, rect_set.rects, compact=compact,
-                              version=version).to_bytes()
+        return run_pipeline(matrix, order=order, seed=seed,
+                            explicit_order=explicit_order, compact=compact,
+                            version=version, jobs=jobs)
 
 
 def persist(
@@ -59,15 +65,19 @@ def persist(
     compact: bool = False,
     explicit_order: Optional[Sequence[int]] = None,
     version: int = DEFAULT_VERSION,
+    jobs: Optional[int] = None,
 ) -> int:
     """Encode ``matrix`` and write the persistent file; return its size."""
+    from .ioutil import atomic_write
+    from .stages import run_pipeline  # deferred: stages builds on this layer
+
     with trace.span("persist", pointers=matrix.n_pointers, objects=matrix.n_objects):
-        pestrie = build_labeled_pestrie(matrix, order=order, seed=seed,
-                                        explicit_order=explicit_order)
-        rect_set = generate_rectangles(pestrie)
+        payload = run_pipeline(matrix, order=order, seed=seed,
+                               explicit_order=explicit_order, compact=compact,
+                               version=version, jobs=jobs)
         with trace.span("persist.write", path=path):
-            return save_pestrie(pestrie, rect_set.rects, path, compact=compact,
-                                version=version)
+            atomic_write(path, payload)
+            return len(payload)
 
 
 def index_from_bytes(data: bytes, mode: str = "ptlist",

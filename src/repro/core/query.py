@@ -554,9 +554,16 @@ class PestrieIndex:
         total = 0
         if self._sweep is not None:
             total += self._sweep.memory_footprint()
-            for slab in self._sweep._slabs:
-                for entry in slab:
-                    total += sized(entry)
+            # Distinct slab entries, by construction: exactly one forward
+            # and one mirrored ``_Entry`` per rectangle, every one a fixed
+            # size (frozen dataclass, no dict growth).  The closed form
+            # replaces a walk over every slab's tuple — Σ|slab| grows
+            # super-linearly in the rectangle count (an entry repeats in
+            # every slab its x-range stabs), which made this accessor
+            # dominate footprint reporting at 10^5+ pointers.
+            if self._rects:
+                sample = _Entry(y1=0, y2=0, case1=False, mirrored=False)
+                total += 2 * len(self._rects) * sys.getsizeof(sample)
         if self._segment is not None:
             total += self._segment.memory_footprint()
         for array in (

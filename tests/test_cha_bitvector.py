@@ -1,0 +1,126 @@
+"""ChaBV baseline: lossless class-vector round trips and format hardening."""
+
+import io
+import random
+
+import pytest
+
+from repro.baselines.cha_bitvector import (
+    MAGIC,
+    ChaBitVectorPersistence,
+)
+from repro.bench.synthetic import SyntheticSpec, synthesize
+from repro.matrix.points_to import PointsToMatrix
+
+
+def random_matrix(seed, n_pointers=12, n_objects=8):
+    rng = random.Random(seed)
+    matrix = PointsToMatrix(n_pointers, n_objects)
+    for _ in range(rng.randint(0, n_pointers * n_objects)):
+        matrix.add(rng.randrange(n_pointers), rng.randrange(n_objects))
+    return matrix
+
+
+def encode_decode(matrix, class_of=None):
+    body = io.BytesIO()
+    ChaBitVectorPersistence.encode(matrix, body, class_of=class_of)
+    return ChaBitVectorPersistence.decode_buffer(body.getvalue())
+
+
+def assert_lossless(matrix, index):
+    transpose = matrix.transpose()
+    for p in range(matrix.n_pointers):
+        assert index.list_points_to(p) == sorted(matrix.rows[p])
+    for obj in range(matrix.n_objects):
+        assert sorted(index.list_pointed_by(obj)) == sorted(transpose.rows[obj])
+    for p in range(matrix.n_pointers):
+        row = set(matrix.rows[p])
+        expected = sorted(
+            q for q in range(matrix.n_pointers)
+            if q != p and row & set(matrix.rows[q])
+        )
+        assert index.list_aliases(p) == expected
+        for q in range(matrix.n_pointers):
+            assert index.is_alias(p, q) == bool(row & set(matrix.rows[q]))
+
+
+def test_round_trip_random_matrices():
+    for seed in range(25):
+        matrix = random_matrix(seed)
+        assert_lossless(matrix, encode_decode(matrix))
+
+
+def test_round_trip_synthetic():
+    matrix = synthesize(SyntheticSpec(n_pointers=400, n_objects=80, seed=5))
+    index = encode_decode(matrix)
+    transpose = matrix.transpose()
+    for p in range(matrix.n_pointers):
+        assert index.list_points_to(p) == sorted(matrix.rows[p])
+    for obj in range(matrix.n_objects):
+        assert sorted(index.list_pointed_by(obj)) == sorted(transpose.rows[obj])
+
+
+def test_coarse_hierarchy_is_refined_to_lossless():
+    # A declared hierarchy that lumps objects with different pointed-by
+    # columns must be split by the column refinement, not trusted.
+    matrix = random_matrix(3, n_pointers=10, n_objects=6)
+    coarse = [0] * matrix.n_objects  # everything "one class"
+    assert_lossless(matrix, encode_decode(matrix, class_of=coarse))
+
+
+def test_hierarchy_classes_shape_the_partition():
+    # Two objects with identical columns but different declared classes
+    # must not share a bit.
+    matrix = PointsToMatrix(2, 2)
+    matrix.add(0, 0)
+    matrix.add(0, 1)
+    matrix.add(1, 0)
+    matrix.add(1, 1)
+    merged = encode_decode(matrix)
+    split = encode_decode(matrix, class_of=[0, 1])
+    assert len(merged._class_members) == 1
+    assert len(split._class_members) == 2
+    assert_lossless(matrix, merged)
+    assert_lossless(matrix, split)
+
+
+def test_class_of_length_checked():
+    matrix = random_matrix(1)
+    with pytest.raises(ValueError, match="class_of must cover"):
+        encode_decode(matrix, class_of=[0])
+
+
+def test_checksum_and_magic_guard():
+    matrix = random_matrix(7)
+    body = io.BytesIO()
+    ChaBitVectorPersistence.encode(matrix, body)
+    data = bytearray(body.getvalue())
+    with pytest.raises(ValueError, match="checksum mismatch"):
+        flipped = bytearray(data)
+        flipped[len(MAGIC) + 2] ^= 0xFF
+        ChaBitVectorPersistence.decode_buffer(bytes(flipped))
+    with pytest.raises(ValueError, match="bad magic"):
+        ChaBitVectorPersistence.decode_buffer(b"NOTCHBV0" + bytes(data[8:]))
+    with pytest.raises(ValueError, match="truncated"):
+        ChaBitVectorPersistence.decode_buffer(bytes(data[:8]))
+
+
+def test_file_round_trip(tmp_path):
+    matrix = random_matrix(9)
+    path = str(tmp_path / "m.chbv")
+    size = ChaBitVectorPersistence.encode_to_file(matrix, path)
+    assert size > 0
+    index = ChaBitVectorPersistence.decode_from_file(path)
+    assert_lossless(matrix, index)
+    assert index.memory_footprint() > 0
+
+
+def test_empty_matrix():
+    matrix = PointsToMatrix(3, 2)
+    index = encode_decode(matrix)
+    for p in range(3):
+        assert index.list_points_to(p) == []
+        assert index.list_aliases(p) == []
+    # Empty columns collapse into one class shared by both objects.
+    assert index.list_pointed_by(0) == []
+    assert index.list_pointed_by(1) == []

@@ -1,0 +1,227 @@
+"""Staged pipeline: contracts, executors, and parallel/serial parity.
+
+The load-bearing property is byte-identity: the staged pipeline must
+reproduce the legacy ``build → rectangles → PestrieEncoder`` bytes for
+every version/coding/order, and a multi-process run must reproduce the
+serial bytes exactly — chunked fan-out with deterministic merges, never
+"close enough".
+"""
+
+import random
+
+import pytest
+
+from repro.bench.synthetic import SyntheticSpec, synthesize
+from repro.core import pipeline
+from repro.core.builder import ORDER_CHOICES, build_pestrie
+from repro.core.encoder import PestrieEncoder
+from repro.core.intervals import assign_intervals
+from repro.core.rectangles import generate_rectangles
+from repro.core.stages import (
+    ENCODE_STAGES,
+    BuildReport,
+    ProcessExecutor,
+    SerialExecutor,
+    make_executor,
+    run_pipeline,
+)
+from repro.matrix.points_to import PointsToMatrix
+
+VERSIONS = ((1, False), (2, False), (3, False), (3, True), (4, False))
+
+
+def legacy_encode(matrix, *, order="hub", seed=None, compact=False, version=3):
+    pestrie = build_pestrie(matrix, order=order, seed=seed)
+    assign_intervals(pestrie)
+    rects = generate_rectangles(pestrie)
+    return PestrieEncoder(pestrie, rects.rects, compact=compact,
+                          version=version).to_bytes()
+
+
+def random_matrix(seed, n_pointers=14, n_objects=9):
+    rng = random.Random(seed)
+    matrix = PointsToMatrix(n_pointers, n_objects)
+    for _ in range(rng.randint(0, n_pointers * n_objects)):
+        matrix.add(rng.randrange(n_pointers), rng.randrange(n_objects))
+    return matrix
+
+
+@pytest.fixture(scope="module")
+def synthetic():
+    return synthesize(SyntheticSpec(n_pointers=3000, n_objects=600, seed=17))
+
+
+@pytest.fixture(scope="module")
+def pool2():
+    executor = ProcessExecutor(2)
+    yield executor
+    executor.close()
+
+
+@pytest.fixture(scope="module")
+def pool4():
+    executor = ProcessExecutor(4)
+    yield executor
+    executor.close()
+
+
+# ----------------------------------------------------------------------
+# Staged output == legacy output
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("order", ORDER_CHOICES)
+@pytest.mark.parametrize("version,compact", VERSIONS)
+def test_staged_matches_legacy(synthetic, order, version, compact):
+    expected = legacy_encode(synthetic, order=order, seed=5, compact=compact,
+                             version=version)
+    assert run_pipeline(synthetic, order=order, seed=5, compact=compact,
+                        version=version) == expected
+
+
+def test_staged_matches_legacy_random_matrices():
+    for seed in range(20):
+        matrix = random_matrix(seed)
+        for order in ORDER_CHOICES:
+            expected = legacy_encode(matrix, order=order, seed=seed, version=3,
+                                     compact=bool(seed % 2))
+            assert run_pipeline(matrix, order=order, seed=seed, version=3,
+                                compact=bool(seed % 2)) == expected, (seed, order)
+
+
+def test_staged_explicit_order(synthetic):
+    perm = list(range(synthetic.n_objects))
+    random.Random(3).shuffle(perm)
+    pestrie = build_pestrie(synthetic, explicit_order=perm)
+    assign_intervals(pestrie)
+    rects = generate_rectangles(pestrie)
+    expected = PestrieEncoder(pestrie, rects.rects).to_bytes()
+    assert run_pipeline(synthetic, explicit_order=perm) == expected
+
+
+def test_pipeline_facade_routes_through_stages(synthetic):
+    assert pipeline.encode(synthetic) == run_pipeline(synthetic)
+    assert pipeline.encode(synthetic, jobs=1) == run_pipeline(synthetic)
+
+
+def test_empty_object_universe_matches_legacy_error():
+    matrix = PointsToMatrix(4, 0)
+    with pytest.raises(ValueError, match="interval labels missing"):
+        run_pipeline(matrix)
+
+
+# ----------------------------------------------------------------------
+# Parallel parity: --jobs N is byte-identical to serial
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("order", ORDER_CHOICES)
+@pytest.mark.parametrize("version,compact", ((3, False), (3, True), (4, False)))
+def test_parallel_byte_identical(synthetic, pool2, order, version, compact):
+    serial = run_pipeline(synthetic, order=order, seed=2, compact=compact,
+                          version=version)
+    parallel = run_pipeline(synthetic, order=order, seed=2, compact=compact,
+                            version=version, executor=pool2)
+    assert parallel == serial
+
+
+def test_parallel_byte_identical_four_jobs(synthetic, pool4):
+    for version, compact in VERSIONS:
+        serial = run_pipeline(synthetic, compact=compact, version=version)
+        assert run_pipeline(synthetic, compact=compact, version=version,
+                            executor=pool4) == serial
+
+
+def test_parallel_byte_identical_small_matrices(pool2):
+    # Degenerate shapes: empty, single row, chunk-count > item-count.
+    cases = [PointsToMatrix(1, 1)]
+    cases[0].add(0, 0)
+    cases.append(random_matrix(42, n_pointers=3, n_objects=2))
+    cases.append(random_matrix(43, n_pointers=50, n_objects=4))
+    for matrix in cases:
+        for version, compact in VERSIONS:
+            serial = run_pipeline(matrix, compact=compact, version=version)
+            assert run_pipeline(matrix, compact=compact, version=version,
+                                executor=pool2) == serial
+
+
+def test_jobs_kwarg_spins_up_own_pool(synthetic):
+    serial = run_pipeline(synthetic, version=4)
+    assert run_pipeline(synthetic, version=4, jobs=2) == serial
+
+
+# ----------------------------------------------------------------------
+# Executors and stage framework
+# ----------------------------------------------------------------------
+
+
+def test_make_executor_selection():
+    assert isinstance(make_executor(None), SerialExecutor)
+    assert isinstance(make_executor(0), SerialExecutor)
+    assert isinstance(make_executor(1), SerialExecutor)
+    executor = make_executor(2)
+    assert isinstance(executor, ProcessExecutor)
+    assert executor.jobs == 2
+    executor.close()
+    with pytest.raises(ValueError):
+        ProcessExecutor(1)
+
+
+def test_serial_executor_preserves_order():
+    executor = SerialExecutor()
+    assert executor.map(lambda x: x * x, [3, 1, 2]) == [9, 1, 4]
+
+
+def test_process_executor_preserves_order(pool2):
+    payloads = list(range(20))
+    assert pool2.map(_square, payloads) == [value * value for value in payloads]
+
+
+def _square(value):
+    return value * value
+
+
+def test_stage_contracts_are_declared():
+    names = [stage.name for stage in ENCODE_STAGES]
+    assert names == ["normalize", "order", "trie", "intervals", "rectangles",
+                     "dedup", "sections", "assemble"]
+    produced = {"matrix"}
+    for stage in ENCODE_STAGES:
+        for key in stage.inputs:
+            assert key in produced, (stage.name, key)
+        produced.update(stage.outputs)
+    assert "payload" in produced
+    # The parallel stages the issue names, and only those plus sections.
+    assert [stage.name for stage in ENCODE_STAGES if stage.parallel] == [
+        "order", "rectangles", "sections"]
+
+
+def test_build_report_collects_stages(synthetic):
+    report = BuildReport()
+    run_pipeline(synthetic, report=report)
+    assert [entry.name for entry in report.stages] == [
+        stage.name for stage in ENCODE_STAGES]
+    assert report.jobs == 1
+    assert report.total_seconds() > 0
+    assert all(entry.peak_rss_kb > 0 for entry in report.stages)
+    assert report.seconds("rectangles") >= 0
+
+
+def test_stage_telemetry_emitted(synthetic):
+    from repro.obs import get_registry
+
+    registry = get_registry()
+    before = registry.snapshot().get("repro_stage_seconds", {}).get("series", [])
+    before_count = sum(entry["count"] for entry in before)
+    run_pipeline(synthetic)
+    after = registry.snapshot()["repro_stage_seconds"]["series"]
+    after_count = sum(entry["count"] for entry in after)
+    assert after_count == before_count + len(ENCODE_STAGES)
+    stages_seen = {entry["labels"]["stage"] for entry in after}
+    assert {stage.name for stage in ENCODE_STAGES} <= stages_seen
+
+
+def test_decoded_queries_match_legacy_index(synthetic):
+    data = run_pipeline(synthetic, version=3)
+    index = pipeline.index_from_bytes(data)
+    assert index.materialize() == synthetic
